@@ -1,0 +1,210 @@
+(* Ablations over the design choices DESIGN.md calls out:
+     - delta split (interval slack as a function of epsilon and B)
+     - interval-list rebuild policy (per point vs per query)
+     - sliding-prefix rebase period (float drift vs rebase cost)
+     - wavelet maintenance policy (from-scratch per point vs stale reuse) *)
+
+module Rng = Sh_util.Rng
+module Source = Sh_gen.Source
+module Wk = Sh_gen.Workloads
+module P = Sh_prefix.Prefix_sums
+module SP = Sh_prefix.Sliding_prefix
+module RB = Sh_window.Ring_buffer
+module H = Sh_histogram.Histogram
+module V = Sh_histogram.Vopt
+module FW = Stream_histogram.Fixed_window
+module Syn = Sh_wavelet.Synopsis
+module E = Sh_query.Estimator
+module Q = Sh_query.Workload
+module Ev = Sh_query.Evaluate
+
+let network ~seed ~len = Source.take (Wk.network (Rng.create ~seed) Wk.default_network) len
+
+(* ------------------------------------------------------------- delta *)
+
+let delta scale =
+  let window, buckets, eps =
+    match scale with
+    | Bench_config.Small -> (256, 8, 0.1)
+    | Bench_config.Default -> (1024, 16, 0.1)
+    | Bench_config.Full -> (2048, 32, 0.1)
+  in
+  Report.section "ABLATE-DELTA: interval slack delta vs accuracy and refresh cost";
+  Report.note "paper uses delta = eps/(2B); window=%d B=%d eps=%g" window buckets eps;
+  let data = network ~seed:3 ~len:(2 * window) in
+  let p = P.of_sub data ~pos:window ~len:window in
+  let opt = V.optimal_error p ~buckets in
+  let rows =
+    List.map
+      (fun (label, delta) ->
+        let fw = FW.create_with_delta ~window ~buckets ~epsilon:eps ~delta in
+        Array.iter (FW.push fw) data;
+        let (), t_refresh = Report.time (fun () -> FW.refresh fw) in
+        let sse = H.sse_against (FW.current_histogram fw) p in
+        let intervals = Array.fold_left ( + ) 0 (FW.interval_counts fw) in
+        [
+          label;
+          Report.fmt_g delta;
+          Printf.sprintf "%.5f" (if opt > 0.0 then sse /. opt else 1.0);
+          string_of_int intervals;
+          Report.fmt_time t_refresh;
+        ])
+      [
+        ("eps/B", eps /. Float.of_int buckets);
+        ("eps/2B (paper)", eps /. (2.0 *. Float.of_int buckets));
+        ("eps/4B", eps /. (4.0 *. Float.of_int buckets));
+        ("eps (coarse)", eps);
+      ]
+  in
+  Report.table ~headers:[ "delta rule"; "delta"; "SSE/optimal"; "total intervals"; "refresh time" ] rows
+
+(* ----------------------------------------------------- rebuild policy *)
+
+let rebuild scale =
+  let window, buckets, eps, stream_len =
+    (* per-point rebuilds are the expensive arm: keep streams short *)
+    match scale with
+    | Bench_config.Small -> (128, 4, 0.5, 400)
+    | Bench_config.Default -> (256, 8, 0.5, 1_000)
+    | Bench_config.Full -> (512, 16, 0.2, 4_000)
+  in
+  Report.section "ABLATE-REBUILD: per-point vs amortised interval-list rebuilds";
+  Report.note
+    "queries see identical (freshly refreshed) state, so accuracy is unchanged; only cost moves";
+  let data = network ~seed:4 ~len:stream_len in
+  let rows =
+    List.map
+      (fun every ->
+        let fw = FW.create ~window ~buckets ~epsilon:eps in
+        let (), dt =
+          Report.time (fun () ->
+              Array.iteri
+                (fun i v ->
+                  FW.push fw v;
+                  if (i + 1) mod every = 0 then FW.refresh fw)
+                data)
+        in
+        let label = if every = 1 then "every point (paper)" else Printf.sprintf "every %d" every in
+        [
+          label;
+          Report.fmt_time dt;
+          Printf.sprintf "%.1f us" (dt /. Float.of_int stream_len *. 1e6);
+          string_of_int (FW.work_counters fw).FW.refreshes;
+        ])
+      [ 1; 16; 128; 1024 ]
+  in
+  Report.table ~headers:[ "rebuild policy"; "total time"; "per point"; "refreshes" ] rows
+
+(* ------------------------------------------------------ rebase period *)
+
+let rebase scale =
+  let capacity, pushes =
+    match scale with
+    | Bench_config.Small -> (256, 100_000)
+    | Bench_config.Default -> (1024, 1_000_000)
+    | Bench_config.Full -> (4096, 5_000_000)
+  in
+  Report.section "ABLATE-REBASE: sliding-prefix rebase period vs drift and throughput";
+  Report.note
+    "SQERROR drift vs exact recomputation after %d pushes of fractional values (integer streams stay exact)"
+    pushes;
+  let rng = Rng.create ~seed:5 in
+  let values = Array.init (capacity * 4) (fun _ -> Rng.float rng 10_000.0) in
+  let rows =
+    List.map
+      (fun (label, rebase_every) ->
+        let sp = SP.create ~rebase_every ~capacity () in
+        let ring = RB.create ~capacity in
+        let (), dt =
+          Report.time (fun () ->
+              for i = 0 to pushes - 1 do
+                let v = values.(i mod Array.length values) in
+                SP.push sp v;
+                RB.push ring v
+              done)
+        in
+        (* worst absolute drift of per-bucket SSE vs exact: the quantity
+           the histogram algorithms actually consume *)
+        let wdata = RB.to_array ring in
+        let p = P.make wdata in
+        let drift = ref 0.0 in
+        let n = capacity in
+        let step = max 1 (n / 64) in
+        let lo = ref 1 in
+        while !lo <= n do
+          let hi = ref !lo in
+          while !hi <= n do
+            drift :=
+              Float.max !drift
+                (Float.abs (SP.sqerror sp ~lo:!lo ~hi:!hi -. P.sqerror p ~lo:!lo ~hi:!hi));
+            hi := !hi + step
+          done;
+          lo := !lo + step
+        done;
+        [
+          label;
+          Report.fmt_g !drift;
+          Report.fmt_time dt;
+          Printf.sprintf "%.0f ns/push" (dt /. Float.of_int pushes *. 1e9);
+        ])
+      [
+        ("n (paper)", capacity);
+        ("n/4", max 1 (capacity / 4));
+        ("16n", 16 * capacity);
+        ("never (2^30)", 1 lsl 30);
+      ]
+  in
+  Report.table ~headers:[ "rebase period"; "max |drift|"; "total time"; "throughput" ] rows
+
+(* ----------------------------------------------------- wavelet policy *)
+
+let wavelet scale =
+  let window, buckets, stream_len, queries =
+    match scale with
+    | Bench_config.Small -> (256, 16, 2_000, 100)
+    | Bench_config.Default -> (1024, 32, 8_000, 200)
+    | Bench_config.Full -> (4096, 32, 20_000, 400)
+  in
+  Report.section "ABLATE-WAVELET: rebuild-per-point (paper) vs stale periodic rebuilds";
+  Report.note "stale synopses answer queries between rebuilds; accuracy decays with the period";
+  let data = network ~seed:6 ~len:stream_len in
+  let rows =
+    List.map
+      (fun every ->
+        let ring = RB.create ~capacity:window in
+        let syn = ref None in
+        let err_sum = ref 0.0 and err_n = ref 0 in
+        let (), dt =
+          Report.time (fun () ->
+              Array.iteri
+                (fun i v ->
+                  RB.push ring v;
+                  if RB.is_full ring && (i + 1) mod every = 0 then
+                    syn := Some (Syn.build (RB.to_array ring) ~coeffs:buckets);
+                  (* a query arrives every 97 points *)
+                  if RB.is_full ring && (i + 1) mod 97 = 0 then begin
+                    match !syn with
+                    | None -> ()
+                    | Some s ->
+                      let wdata = RB.to_array ring in
+                      let truth = E.exact (P.make wdata) in
+                      let qs =
+                        Q.random_ranges (Rng.create ~seed:(i * 31)) ~n:window
+                          ~count:(queries / 10)
+                      in
+                      let summary = Ev.range_sum_errors ~truth (E.of_wavelet s) qs in
+                      err_sum := !err_sum +. summary.Sh_util.Metrics.mae;
+                      incr err_n
+                  end)
+                data)
+        in
+        let label = if every = 1 then "every point (paper)" else Printf.sprintf "every %d" every in
+        [
+          label;
+          Report.fmt_g (!err_sum /. Float.of_int (max 1 !err_n));
+          Report.fmt_time dt;
+          Printf.sprintf "%.1f us/point" (dt /. Float.of_int stream_len *. 1e6);
+        ])
+      [ 1; 64; 512 ]
+  in
+  Report.table ~headers:[ "rebuild policy"; "avg query err"; "total time"; "per point" ] rows

@@ -1,0 +1,197 @@
+(* Section 5.2 "Additional Experiments":
+     - AgglomerativeHistogram vs a wavelet synopsis (accuracy and time)
+     - AgglomerativeHistogram vs the optimal DP of Jagadish et al.
+       (accuracy parity, construction-time savings growing with data size)
+     - time-series similarity: histogram synopses vs APCA (false positives
+       during filter-and-refine search), whole-match and subsequence-match *)
+
+module Rng = Sh_util.Rng
+module Source = Sh_gen.Source
+module Wk = Sh_gen.Workloads
+module P = Sh_prefix.Prefix_sums
+module H = Sh_histogram.Histogram
+module V = Sh_histogram.Vopt
+module AG = Stream_histogram.Agglomerative
+module FW = Stream_histogram.Fixed_window
+module Syn = Sh_wavelet.Synopsis
+module E = Sh_query.Estimator
+module Q = Sh_query.Workload
+module Ev = Sh_query.Evaluate
+module Seg = Sh_timeseries.Segments
+module Apca = Sh_timeseries.Apca
+module Paa = Sh_timeseries.Paa
+module Sim = Sh_timeseries.Similarity
+
+(* ---------------------------- agglomerative vs wavelet (accuracy+time) *)
+
+let agg_vs_wavelet scale =
+  let sizes, buckets, queries =
+    match scale with
+    | Bench_config.Small -> ([ 5_000 ], 16, 200)
+    | Bench_config.Default -> ([ 10_000; 30_000; 100_000 ], 16, 500)
+    | Bench_config.Full -> ([ 10_000; 100_000; 1_000_000 ], 32, 1_000)
+  in
+  Report.section "EXP-AGG-WAV: agglomerative stream histogram vs wavelet (agglomerative model)";
+  Report.note "one pass over the whole stream; accuracy = avg |error| of %d random range sums" queries;
+  Report.note "stream-wav = incrementally maintained top-B wavelet (the [MVW00]-style baseline)";
+  let rows =
+    List.map
+      (fun n ->
+        let data = Source.take (Wk.network (Rng.create ~seed:7) Wk.default_network) n in
+        let ag = AG.create ~buckets ~epsilon:0.1 in
+        let (), t_agg = Report.time (fun () -> Array.iter (AG.push ag) data) in
+        let wave = ref (Syn.build [| 0.0 |] ~coeffs:1) in
+        let (), t_wav = Report.time (fun () -> wave := Syn.build data ~coeffs:buckets) in
+        let sw = Sh_wavelet.Streaming.create ~budget:buckets in
+        let (), t_sw = Report.time (fun () -> Array.iter (Sh_wavelet.Streaming.push sw) data) in
+        let truth = E.exact (P.make data) in
+        let qs = Q.random_ranges (Rng.create ~seed:5) ~n ~count:queries in
+        let mae est = (Ev.range_sum_errors ~truth est qs).Sh_util.Metrics.mae in
+        [
+          string_of_int n;
+          Report.fmt_g (mae (E.of_histogram (AG.current_histogram ag)));
+          Report.fmt_g (mae (E.of_wavelet !wave));
+          Report.fmt_g (mae (E.of_streaming_wavelet sw));
+          Report.fmt_time t_agg;
+          Report.fmt_time t_wav;
+          Report.fmt_time t_sw;
+          string_of_int (AG.space_in_entries ag);
+        ])
+      sizes
+  in
+  Report.table
+    ~headers:
+      [ "stream-len"; "agg avg-err"; "offline-wav err"; "stream-wav err"; "agg time";
+        "offline-wav time"; "stream-wav time"; "agg entries" ]
+    rows
+
+(* -------------------------------- agglomerative vs optimal (Jagadish) *)
+
+let agg_vs_opt scale =
+  let sizes, buckets =
+    match scale with
+    | Bench_config.Small -> ([ 1_000; 2_000 ], 16)
+    | Bench_config.Default -> ([ 1_000; 2_000; 5_000; 10_000; 20_000 ], 32)
+    | Bench_config.Full -> ([ 2_000; 5_000; 10_000; 20_000; 50_000 ], 32)
+  in
+  Report.section "EXP-AGG-OPT: agglomerative vs optimal histogram construction";
+  Report.note "SSE ratio should stay within (1 + eps) = 1.1; time savings grow with dataset size";
+  let rows =
+    List.map
+      (fun n ->
+        let data = Source.take (Wk.network (Rng.create ~seed:17) Wk.default_network) n in
+        let p = P.make data in
+        let ag = AG.create ~buckets ~epsilon:0.1 in
+        let (), t_agg = Report.time (fun () -> Array.iter (AG.push ag) data) in
+        let opt_hist = ref None in
+        let (), t_opt = Report.time (fun () -> opt_hist := Some (V.build_prefix p ~buckets)) in
+        let opt_sse =
+          match !opt_hist with Some h -> H.sse_against h p | None -> assert false
+        in
+        let agg_sse = H.sse_against (AG.current_histogram ag) p in
+        [
+          string_of_int n;
+          Report.fmt_g agg_sse;
+          Report.fmt_g opt_sse;
+          Printf.sprintf "%.4f" (if opt_sse > 0.0 then agg_sse /. opt_sse else 1.0);
+          Report.fmt_time t_agg;
+          Report.fmt_time t_opt;
+          Printf.sprintf "%.1fx" (t_opt /. Float.max 1e-9 t_agg);
+        ])
+      sizes
+  in
+  Report.table
+    ~headers:
+      [ "n"; "agg SSE"; "optimal SSE"; "SSE ratio"; "agg time"; "optimal time"; "speedup" ]
+    rows
+
+(* ------------------------------------------- similarity: whole series *)
+
+let synopses ~segments =
+  [
+    ("APCA", fun s -> Apca.build s ~segments);
+    ("PAA", fun s -> Paa.build s ~segments);
+    ( "AggHist",
+      fun s ->
+        let ag = AG.create ~buckets:segments ~epsilon:0.1 in
+        Array.iter (AG.push ag) s;
+        Seg.of_histogram (AG.current_histogram ag) );
+    ( "FWHist",
+      fun s ->
+        let fw = FW.create ~window:(Array.length s) ~buckets:segments ~epsilon:0.1 in
+        Array.iter (FW.push fw) s;
+        Seg.of_histogram (FW.current_histogram fw) );
+  ]
+
+let run_similarity ~name ~series ~segments ~radius_quantile ~query_count =
+  Report.note "synopsis budget: %d segments per series; %d series; %d queries" segments
+    (Array.length series) query_count;
+  (* Choose a radius that returns a small, non-trivial answer set: the
+     given quantile of pairwise distances from the first series. *)
+  let d0 = Array.map (fun s -> Seg.euclidean series.(0) s) series in
+  Array.sort compare d0;
+  let radius = d0.(int_of_float (radius_quantile *. Float.of_int (Array.length d0))) in
+  let rows =
+    List.map
+      (fun (sname, synopsis) ->
+        let coll, t_build =
+          Report.time (fun () -> Sim.make_collection ~name:sname ~synopsis series)
+        in
+        let fp = ref 0 and cand = ref 0 and matches = ref 0 and fp_knn = ref 0 in
+        for qi = 0 to query_count - 1 do
+          let query = series.(qi * Array.length series / query_count) in
+          let _, stats = Sim.range_search coll ~query ~radius in
+          fp := !fp + stats.Sim.false_positives;
+          cand := !cand + stats.Sim.candidates;
+          matches := !matches + stats.Sim.true_matches;
+          let _, kstats = Sim.knn_search coll ~query ~k:5 in
+          fp_knn := !fp_knn + kstats.Sim.false_positives
+        done;
+        let per_query v = Float.of_int v /. Float.of_int query_count in
+        [
+          sname;
+          Printf.sprintf "%.2f" (per_query !fp);
+          Printf.sprintf "%.2f" (per_query !cand);
+          Printf.sprintf "%.2f" (per_query !matches);
+          Printf.sprintf "%.2f" (per_query !fp_knn);
+          Report.fmt_time t_build;
+        ])
+      (synopses ~segments)
+  in
+  ignore name;
+  Report.table
+    ~headers:
+      [ "synopsis"; "range FP/query"; "candidates/query"; "matches/query"; "kNN extra refs"; "build time" ]
+    rows
+
+let similarity_whole scale =
+  let count, len, segments, queries =
+    match scale with
+    | Bench_config.Small -> (40, 128, 8, 10)
+    | Bench_config.Default -> (120, 256, 12, 30)
+    | Bench_config.Full -> (400, 512, 16, 60)
+  in
+  Report.section "EXP-SIM-WHOLE: whole-series similarity, histogram synopses vs APCA";
+  Report.note "step-structured series: segment placement is what separates the synopses";
+  let series =
+    Wk.step_family (Rng.create ~seed:23) ~count ~len ~shapes:(count / 5)
+      ~steps:(2 * segments) ~noise:8.0
+  in
+  run_similarity ~name:"whole" ~series ~segments ~radius_quantile:0.12 ~query_count:queries
+
+let similarity_subseq scale =
+  let data_len, w, step, segments, queries =
+    match scale with
+    | Bench_config.Small -> (2_000, 64, 16, 8, 8)
+    | Bench_config.Default -> (8_000, 128, 16, 12, 20)
+    | Bench_config.Full -> (30_000, 256, 16, 16, 40)
+  in
+  Report.section "EXP-SIM-SUB: subsequence similarity over a long stream";
+  Report.note "windows of length %d every %d positions over a %d-point step signal" w step data_len;
+  let data =
+    Source.take
+      (Wk.step_signal (Rng.create ~seed:29) ~segment_mean:(w / 6) ~noise_stddev:6.0 ())
+      data_len
+  in
+  let windows = Array.map snd (Sim.sliding_windows data ~w ~step) in
+  run_similarity ~name:"subseq" ~series:windows ~segments ~radius_quantile:0.08 ~query_count:queries

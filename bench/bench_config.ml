@@ -1,0 +1,63 @@
+(* Experiment scaling.  The paper runs on 1M-point AT&T traces with B up to
+   100; those parameters are infeasible for a per-checkpoint exact-optimal
+   comparison (the exact DP alone is O(n^2 B) per checkpoint), so each
+   experiment is sized by a scale knob.  `Full` approaches the paper's
+   shapes most closely; `Default` keeps the whole suite to a few minutes;
+   `Small` is a smoke test. *)
+
+type scale = Small | Default | Full
+
+let scale_of_string = function
+  | "small" -> Some Small
+  | "default" -> Some Default
+  | "full" -> Some Full
+  | _ -> None
+
+type fig6_accuracy = {
+  windows : int list;       (* subsequence lengths swept (x axis) *)
+  bucket_list : int list;   (* the B series *)
+  stream_len : int;
+  checkpoints : int;        (* slide positions where accuracy is measured *)
+  queries : int;            (* random range-sum queries per checkpoint *)
+}
+
+let fig6_accuracy ~eps scale =
+  match (scale, eps < 0.05) with
+  | Small, _ -> { windows = [ 128; 256 ]; bucket_list = [ 8 ]; stream_len = 4_000; checkpoints = 2; queries = 150 }
+  | Default, false ->
+    { windows = [ 256; 512; 1024; 2048 ]; bucket_list = [ 16; 32 ]; stream_len = 30_000;
+      checkpoints = 4; queries = 300 }
+  | Default, true ->
+    (* tighter epsilon means much longer interval lists: fewer, smaller
+       configurations keep the run tractable *)
+    { windows = [ 256; 512; 1024 ]; bucket_list = [ 16; 32 ]; stream_len = 20_000;
+      checkpoints = 2; queries = 300 }
+  | Full, false ->
+    { windows = [ 256; 512; 1024; 2048; 4096 ]; bucket_list = [ 16; 32; 64 ]; stream_len = 100_000;
+      checkpoints = 8; queries = 500 }
+  | Full, true ->
+    { windows = [ 256; 512; 1024; 2048 ]; bucket_list = [ 16; 32 ]; stream_len = 50_000;
+      checkpoints = 4; queries = 500 }
+
+type fig6_time = {
+  t_windows : int list;
+  t_bucket_list : int list;
+  t_stream_len : int;
+  t_refresh_every : int; (* maintenance is amortised: lists rebuilt at query times *)
+}
+
+let fig6_time ~eps scale =
+  match (scale, eps < 0.05) with
+  | Small, _ -> { t_windows = [ 128; 256 ]; t_bucket_list = [ 8 ]; t_stream_len = 4_000; t_refresh_every = 1_000 }
+  | Default, false ->
+    { t_windows = [ 256; 512; 1024; 2048 ]; t_bucket_list = [ 8; 16 ]; t_stream_len = 20_000;
+      t_refresh_every = 2_000 }
+  | Default, true ->
+    { t_windows = [ 256; 512; 1024 ]; t_bucket_list = [ 8; 16 ]; t_stream_len = 10_000;
+      t_refresh_every = 2_000 }
+  | Full, false ->
+    { t_windows = [ 256; 512; 1024; 2048; 4096 ]; t_bucket_list = [ 16; 32 ]; t_stream_len = 100_000;
+      t_refresh_every = 2_000 }
+  | Full, true ->
+    { t_windows = [ 256; 512; 1024; 2048 ]; t_bucket_list = [ 16; 32 ]; t_stream_len = 20_000;
+      t_refresh_every = 2_000 }

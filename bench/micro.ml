@@ -1,0 +1,165 @@
+(* Bechamel micro-benchmarks: one Test.make per core operation.  The
+   fixed-window per-point series across window lengths is the check of
+   Theorem 1's polylog growth: per-point cost should grow far slower than
+   the window length. *)
+
+open Bechamel
+open Toolkit
+
+module Rng = Sh_util.Rng
+module Source = Sh_gen.Source
+module Wk = Sh_gen.Workloads
+module P = Sh_prefix.Prefix_sums
+module SP = Sh_prefix.Sliding_prefix
+module V = Sh_histogram.Vopt
+module FW = Stream_histogram.Fixed_window
+module AG = Stream_histogram.Agglomerative
+module Syn = Sh_wavelet.Synopsis
+
+let network ~seed ~len = Source.take (Wk.network (Rng.create ~seed) Wk.default_network) len
+
+(* A cyclic feed so benchmarked closures never run out of input. *)
+let feeder data =
+  let i = ref 0 in
+  fun () ->
+    let v = data.(!i) in
+    i := (!i + 1) mod Array.length data;
+    v
+
+let fw_push_and_refresh ~window ~buckets ~epsilon =
+  let data = network ~seed:1 ~len:(2 * window) in
+  let next = feeder data in
+  let fw = FW.create ~window ~buckets ~epsilon in
+  Array.iter (FW.push fw) data;
+  FW.refresh fw;
+  Test.make
+    ~name:(Printf.sprintf "fw.push_and_refresh n=%d B=%d eps=%g" window buckets epsilon)
+    (Staged.stage (fun () -> FW.push_and_refresh fw (next ())))
+
+let fw_push_only =
+  let fw = FW.create ~window:4096 ~buckets:16 ~epsilon:0.1 in
+  let next = feeder (network ~seed:2 ~len:8192) in
+  Test.make ~name:"fw.push (prefix update only)" (Staged.stage (fun () -> FW.push fw (next ())))
+
+let ag_push =
+  let ag = AG.create ~buckets:16 ~epsilon:0.1 in
+  let next = feeder (network ~seed:3 ~len:8192) in
+  Test.make ~name:"agglomerative.push B=16" (Staged.stage (fun () -> AG.push ag (next ())))
+
+let sliding_push =
+  let sp = SP.create ~capacity:4096 () in
+  let next = feeder (network ~seed:4 ~len:8192) in
+  Test.make ~name:"sliding_prefix.push n=4096" (Staged.stage (fun () -> SP.push sp (next ())))
+
+let vopt_build ~n ~buckets =
+  let data = network ~seed:5 ~len:n in
+  let p = P.make data in
+  Test.make
+    ~name:(Printf.sprintf "vopt.build n=%d B=%d" n buckets)
+    (Staged.stage (fun () -> ignore (V.optimal_error p ~buckets)))
+
+let wavelet_build ~n ~coeffs =
+  let data = network ~seed:6 ~len:n in
+  Test.make
+    ~name:(Printf.sprintf "wavelet.build n=%d c=%d" n coeffs)
+    (Staged.stage (fun () -> ignore (Syn.build data ~coeffs)))
+
+let gk_insert =
+  let g = Sh_quantile.Gk.create ~epsilon:0.01 in
+  let next = feeder (network ~seed:7 ~len:8192) in
+  Test.make ~name:"gk.insert eps=0.01" (Staged.stage (fun () -> Sh_quantile.Gk.insert g (next ())))
+
+let streaming_wavelet_push =
+  let sw = Sh_wavelet.Streaming.create ~budget:32 in
+  let next = feeder (network ~seed:10 ~len:8192) in
+  Test.make ~name:"streaming_wavelet.push c=32"
+    (Staged.stage (fun () -> Sh_wavelet.Streaming.push sw (next ())))
+
+let mrl_insert =
+  let m = Sh_quantile.Mrl.create ~buffer_size:256 in
+  let next = feeder (network ~seed:11 ~len:8192) in
+  Test.make ~name:"mrl.insert k=256" (Staged.stage (fun () -> Sh_quantile.Mrl.insert m (next ())))
+
+let heavy_hitters_add =
+  let h = Sh_mining.Heavy_hitters.create ~capacity:64 in
+  let next = feeder (network ~seed:12 ~len:8192) in
+  Test.make ~name:"heavy_hitters.add k=64"
+    (Staged.stage (fun () -> Sh_mining.Heavy_hitters.add h (next ())))
+
+let mhist_build =
+  let rng = Rng.create ~seed:13 in
+  let cells = Array.init 32 (fun _ -> Array.init 32 (fun _ -> Float.of_int (Rng.int rng 100))) in
+  Test.make ~name:"mhist.build 32x32 B=16"
+    (Staged.stage (fun () -> ignore (Sh_multidim.Mhist.build cells ~buckets:16)))
+
+let dct_build =
+  let data = network ~seed:14 ~len:512 in
+  Test.make ~name:"dct.build n=512 c=32"
+    (Staged.stage (fun () -> ignore (Sh_wavelet.Dct.build data ~coeffs:32)))
+
+let query_ops =
+  let data = network ~seed:8 ~len:4096 in
+  let h = V.build data ~buckets:32 in
+  let s = Syn.build data ~coeffs:32 in
+  let rng = Rng.create ~seed:9 in
+  [
+    Test.make ~name:"histogram.range_sum B=32"
+      (Staged.stage (fun () ->
+           let lo = 1 + Rng.int rng 4000 in
+           ignore (Sh_histogram.Histogram.range_sum_estimate h ~lo ~hi:(lo + 90))));
+    Test.make ~name:"wavelet.range_sum c=32"
+      (Staged.stage (fun () ->
+           let lo = 1 + Rng.int rng 4000 in
+           ignore (Syn.range_sum_estimate s ~lo ~hi:(lo + 90))));
+  ]
+
+let run_group ~quota tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> Float.nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  Report.table ~headers:[ "operation"; "time/op" ]
+    (List.map
+       (fun (name, ns) ->
+         let pretty =
+           if Float.is_nan ns then "n/a"
+           else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+           else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else Printf.sprintf "%.2f s" (ns /. 1e9)
+         in
+         [ name; pretty ])
+       sorted)
+
+let run scale =
+  Report.section "BENCH-MICRO: per-operation costs (bechamel, OLS estimate)";
+  let quota, fw_windows =
+    match scale with
+    | Bench_config.Small -> (0.25, [ 256 ])
+    | Bench_config.Default -> (0.5, [ 256; 1024 ])
+    | Bench_config.Full -> (1.0, [ 256; 1024; 4096 ])
+  in
+  Report.note "fw.push_and_refresh across window lengths tests the polylog per-point growth";
+  let fw_tests =
+    List.map (fun w -> fw_push_and_refresh ~window:w ~buckets:8 ~epsilon:0.5) fw_windows
+  in
+  let tests =
+    fw_tests
+    @ [ fw_push_only; ag_push; sliding_push; gk_insert ]
+    @ [ vopt_build ~n:512 ~buckets:16; wavelet_build ~n:4096 ~coeffs:32 ]
+    @ [ streaming_wavelet_push; mrl_insert; heavy_hitters_add; mhist_build; dct_build ]
+    @ query_ops
+  in
+  run_group ~quota tests

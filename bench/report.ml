@@ -1,0 +1,42 @@
+(* Plain-text tables for the experiment harness: each experiment prints the
+   same rows/series shape as the corresponding table or figure in the
+   paper, so EXPERIMENTS.md can cite the output verbatim. *)
+
+let section title =
+  let line = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" line title line
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  # %s\n" s) fmt
+
+let table ~headers rows =
+  let ncols = List.length headers in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then Printf.printf "  %-*s" (widths.(i) + 2) cell)
+      row;
+    print_newline ()
+  in
+  print_row headers;
+  print_row (List.mapi (fun i _ -> String.make widths.(i) '-') headers);
+  List.iter print_row rows;
+  print_newline ()
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let fmt_time seconds =
+  if seconds < 1e-3 then Printf.sprintf "%.1f us" (seconds *. 1e6)
+  else if seconds < 1.0 then Printf.sprintf "%.2f ms" (seconds *. 1e3)
+  else Printf.sprintf "%.2f s" seconds
+
+let fmt_g v = Printf.sprintf "%.4g" v

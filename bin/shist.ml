@@ -1,0 +1,266 @@
+(* shist — command-line driver for the stream-histogram library.
+
+   Subcommands:
+     generate     synthesise a workload stream to a file
+     build        build a histogram / wavelet synopsis of a data file
+     stream       simulate fixed-window maintenance over a stream
+     query        answer range-sum queries approximately and report error
+     quantiles    one-pass GK quantile summary of a data file
+     selectivity  value-histogram selectivity estimates
+     heavy        Misra-Gries heavy hitters *)
+
+open Cmdliner
+
+module Rng = Sh_util.Rng
+module Source = Sh_gen.Source
+module Wk = Sh_gen.Workloads
+module P = Sh_prefix.Prefix_sums
+module H = Sh_histogram.Histogram
+module V = Sh_histogram.Vopt
+module Heur = Sh_histogram.Heuristics
+module FW = Stream_histogram.Fixed_window
+module AG = Stream_histogram.Agglomerative
+module Syn = Sh_wavelet.Synopsis
+module E = Sh_query.Estimator
+module Q = Sh_query.Workload
+module Ev = Sh_query.Evaluate
+
+(* ------------------------------------------------------- common args *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (reproducible runs).")
+
+let buckets_arg =
+  Arg.(value & opt int 32 & info [ "b"; "buckets" ] ~docv:"B" ~doc:"Space budget in buckets.")
+
+let epsilon_arg =
+  Arg.(value & opt float 0.1 & info [ "e"; "epsilon" ] ~docv:"EPS" ~doc:"Approximation precision.")
+
+let file_arg p =
+  Arg.(required & pos p (some string) None & info [] ~docv:"FILE" ~doc:"Data file, one value per line.")
+
+(* --------------------------------------------------------- generate *)
+
+let generate_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("network", `Network); ("walk", `Walk); ("steps", `Steps); ("clicks", `Clicks); ("uniform", `Uniform) ]) `Network
+      & info [ "w"; "workload" ] ~docv:"KIND" ~doc:"Workload: network | walk | steps | clicks | uniform.")
+  in
+  let count =
+    Arg.(value & opt int 100_000 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of points.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run workload count out seed =
+    let rng = Rng.create ~seed in
+    let source =
+      match workload with
+      | `Network -> Wk.network rng Wk.default_network
+      | `Walk -> Wk.random_walk rng ()
+      | `Steps -> Wk.step_signal rng ()
+      | `Clicks -> Wk.click_counts rng ()
+      | `Uniform -> Wk.uniform_noise rng ~lo:0.0 ~hi:10_000.0
+    in
+    Source.to_file out (Source.take source count);
+    Printf.printf "wrote %d points to %s\n" count out
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesise a workload stream to a file")
+    Term.(const run $ workload $ count $ out $ seed_arg)
+
+(* ------------------------------------------------------------ build *)
+
+let build_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("vopt", `Vopt); ("agglomerative", `Agg); ("wavelet", `Wavelet);
+               ("equiwidth", `Equi); ("maxdiff", `Maxdiff); ("greedy", `Greedy) ])
+          `Agg
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"vopt | agglomerative | wavelet | equiwidth | maxdiff | greedy.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every bucket, not just the summary.")
+  in
+  let run algo file buckets epsilon verbose =
+    let data = Source.of_file file in
+    let n = Array.length data in
+    let p = P.make data in
+    let describe name sse buckets_used pp_detail =
+      Printf.printf "%s: n=%d space=%d SSE=%.6g RMSE/point=%.6g\n" name n buckets_used sse
+        (sqrt (sse /. Float.of_int n));
+      if verbose then pp_detail ()
+    in
+    match algo with
+    | `Wavelet ->
+      let s = Syn.build data ~coeffs:buckets in
+      describe "wavelet" (Syn.sse_against s data) (Syn.stored_coefficients s) (fun () -> ())
+    | (`Vopt | `Agg | `Equi | `Maxdiff | `Greedy) as a ->
+      let h =
+        match a with
+        | `Vopt -> V.build_prefix p ~buckets
+        | `Equi -> Heur.equi_width p ~buckets
+        | `Maxdiff -> Heur.max_diff p ~values:data ~buckets
+        | `Greedy -> Heur.greedy_merge p ~buckets
+        | `Agg ->
+          let ag = AG.create ~buckets ~epsilon in
+          Array.iter (AG.push ag) data;
+          AG.current_histogram ag
+      in
+      let name =
+        match a with
+        | `Vopt -> "vopt" | `Equi -> "equiwidth" | `Maxdiff -> "maxdiff"
+        | `Greedy -> "greedy" | `Agg -> "agglomerative"
+      in
+      describe name (H.sse_against h p) (H.bucket_count h) (fun () ->
+          Format.printf "%a@." H.pp h)
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a synopsis of a data file and report its SSE")
+    Term.(const run $ algo $ file_arg 0 $ buckets_arg $ epsilon_arg $ verbose)
+
+(* ----------------------------------------------------------- stream *)
+
+let stream_cmd =
+  let window =
+    Arg.(value & opt int 1024 & info [ "n"; "window" ] ~docv:"N" ~doc:"Sliding window length.")
+  in
+  let report =
+    Arg.(value & opt int 1000 & info [ "report-every" ] ~docv:"K" ~doc:"Report every K points.")
+  in
+  let run file window buckets epsilon report =
+    let data = Source.of_file file in
+    let fw = FW.create ~window ~buckets ~epsilon in
+    Array.iteri
+      (fun i v ->
+        FW.push fw v;
+        if (i + 1) mod report = 0 then begin
+          let err = FW.current_error fw in
+          let h = FW.current_histogram fw in
+          Printf.printf "t=%8d window=%d herror=%.6g buckets=%d\n%!" (i + 1) (FW.length fw) err
+            (H.bucket_count h)
+        end)
+      data;
+    let c = FW.work_counters fw in
+    Printf.printf "done: %d refreshes, %d herror evaluations, %d intervals built\n"
+      c.FW.refreshes c.FW.herror_evaluations c.FW.intervals_built
+  in
+  Cmd.v
+    (Cmd.info "stream" ~doc:"Maintain a fixed-window histogram over a stream file")
+    Term.(const run $ file_arg 0 $ window $ buckets_arg $ epsilon_arg $ report)
+
+(* ------------------------------------------------------------ query *)
+
+let query_cmd =
+  let queries =
+    Arg.(value & opt int 1000 & info [ "q"; "queries" ] ~docv:"Q" ~doc:"Number of random range-sum queries.")
+  in
+  let run file buckets epsilon queries seed =
+    let data = Source.of_file file in
+    let n = Array.length data in
+    let p = P.make data in
+    let truth = E.exact p in
+    let qs = Q.random_ranges (Rng.create ~seed) ~n ~count:queries in
+    let report name est =
+      let s = Ev.range_sum_errors ~truth est qs in
+      Format.printf "%-14s %a@." name Sh_util.Metrics.pp_summary s
+    in
+    let ag = AG.create ~buckets ~epsilon in
+    Array.iter (AG.push ag) data;
+    report "agglomerative" (E.of_histogram (AG.current_histogram ag));
+    report "vopt" (E.of_histogram (V.build_prefix p ~buckets));
+    report "wavelet" (E.of_wavelet (Syn.build data ~coeffs:buckets));
+    report "equiwidth" (E.of_histogram (Heur.equi_width p ~buckets))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Compare synopses on random range-sum queries over a data file")
+    Term.(const run $ file_arg 0 $ buckets_arg $ epsilon_arg $ queries $ seed_arg)
+
+(* ------------------------------------------------------ selectivity *)
+
+let selectivity_cmd =
+  let preds =
+    Arg.(
+      value
+      & opt (list (pair ~sep:':' float float)) [ (0.0, 100.0) ]
+      & info [ "p"; "predicates" ] ~docv:"LO:HI,..."
+          ~doc:"Comma-separated value ranges to estimate selectivity for.")
+  in
+  let run file buckets preds =
+    let data = Source.of_file file in
+    let n = Array.length data in
+    let module VH = Sh_selectivity.Value_histogram in
+    let truth lo hi =
+      let c = Array.fold_left (fun a v -> if v >= lo && v <= hi then a + 1 else a) 0 data in
+      Float.of_int c /. Float.of_int n
+    in
+    let methods =
+      [
+        ("equi-width", VH.equi_width data ~buckets);
+        ("equi-depth", VH.equi_depth data ~buckets);
+        ("v-optimal", VH.v_optimal data ~buckets ~domain_bins:(8 * buckets));
+      ]
+    in
+    List.iter
+      (fun (lo, hi) ->
+        Printf.printf "v IN [%g, %g]: true %.4f" lo hi (truth lo hi);
+        List.iter
+          (fun (name, h) -> Printf.printf "  %s %.4f" name (VH.selectivity_range h ~lo ~hi))
+          methods;
+        print_newline ())
+      preds
+  in
+  Cmd.v
+    (Cmd.info "selectivity" ~doc:"Value-histogram selectivity estimates over a data file")
+    Term.(const run $ file_arg 0 $ buckets_arg $ preds)
+
+(* ------------------------------------------------------------ heavy *)
+
+let heavy_cmd =
+  let capacity =
+    Arg.(value & opt int 20 & info [ "k"; "capacity" ] ~docv:"K" ~doc:"Counters to keep.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"F" ~doc:"Frequency threshold.")
+  in
+  let run file capacity threshold =
+    let data = Source.of_file file in
+    let h = Sh_mining.Heavy_hitters.create ~capacity in
+    Array.iter (Sh_mining.Heavy_hitters.add h) data;
+    Printf.printf "n=%d, values at frequency >= %g:\n" (Sh_mining.Heavy_hitters.total h) threshold;
+    List.iter
+      (fun (v, c) ->
+        Printf.printf "  %10g  count >= %d (%.2f%%)\n" v c
+          (100.0 *. Float.of_int c /. Float.of_int (Sh_mining.Heavy_hitters.total h)))
+      (Sh_mining.Heavy_hitters.heavy_hitters h ~threshold)
+  in
+  Cmd.v
+    (Cmd.info "heavy" ~doc:"Misra-Gries heavy hitters of a data file")
+    Term.(const run $ file_arg 0 $ capacity $ threshold)
+
+(* -------------------------------------------------------- quantiles *)
+
+let quantiles_cmd =
+  let run file epsilon =
+    let data = Source.of_file file in
+    let g = Sh_quantile.Gk.create ~epsilon in
+    Array.iter (Sh_quantile.Gk.insert g) data;
+    Printf.printf "n=%d summary-size=%d\n" (Sh_quantile.Gk.count g) (Sh_quantile.Gk.size g);
+    List.iter
+      (fun phi -> Printf.printf "  q%.2f = %.6g\n" phi (Sh_quantile.Gk.quantile g phi))
+      [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+  in
+  Cmd.v
+    (Cmd.info "quantiles" ~doc:"One-pass GK quantile summary of a data file")
+    Term.(const run $ file_arg 0 $ epsilon_arg)
+
+let () =
+  let doc = "streaming histogram toolkit (Guha & Koudas, ICDE 2002 reproduction)" in
+  let info = Cmd.info "shist" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; stream_cmd; query_cmd; quantiles_cmd; selectivity_cmd; heavy_cmd ]))

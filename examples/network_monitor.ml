@@ -1,0 +1,60 @@
+(* Network monitoring over a data stream — the paper's motivating scenario:
+   "network operators commonly pose queries, requesting the aggregate
+   number of bytes over network interfaces for time windows of interest."
+
+   A router produces one utilisation sample per time unit; we keep a
+   fixed-window histogram of the last HOUR of samples and answer operator
+   queries ("total bytes in the last 10 minutes", "average utilisation
+   between t-40min and t-20min") from the synopsis, comparing against the
+   exact answers the operator can no longer afford to compute.
+
+     dune exec examples/network_monitor.exe *)
+
+module Rng = Sh_util.Rng
+module Source = Sh_gen.Source
+module Wk = Sh_gen.Workloads
+module RB = Sh_window.Ring_buffer
+module P = Sh_prefix.Prefix_sums
+module H = Sh_histogram.Histogram
+module FW = Stream_histogram.Fixed_window
+
+let minutes m = 60 * m (* one sample per second *)
+
+let () =
+  let window = minutes 60 in
+  let fw = FW.create ~window ~buckets:48 ~epsilon:0.1 in
+  (* the monitor also keeps the raw hour so this demo can show true errors *)
+  let raw = RB.create ~capacity:window in
+
+  let rng = Rng.create ~seed:1234 in
+  let router = Wk.network rng { Wk.default_network with Wk.period = minutes 60 } in
+
+  Printf.printf "simulating 3 hours of router samples (1/s, window = last hour)\n\n";
+  let report_at = [ minutes 75; minutes 120; minutes 180 ] in
+  let t = ref 0 in
+  Source.drop router 0;
+  while !t < minutes 180 do
+    incr t;
+    let v = router () in
+    FW.push fw v;
+    RB.push raw v;
+    if List.mem !t report_at then begin
+      let h = FW.current_histogram fw in
+      let exact = P.make (RB.to_array raw) in
+      let q name lo hi =
+        let est = H.range_sum_estimate h ~lo ~hi in
+        let tru = P.range_sum exact ~lo ~hi in
+        Printf.printf "  %-42s estimate %12.0f   exact %12.0f   error %5.2f%%\n" name est tru
+          (100.0 *. Float.abs (est -. tru) /. Float.max 1.0 tru)
+      in
+      Printf.printf "t = %d min; histogram uses %d buckets for %d samples\n" (!t / 60)
+        (H.bucket_count h) window;
+      q "bytes in the last 10 minutes" (window - minutes 10 + 1) window;
+      q "bytes between t-40min and t-20min" (window - minutes 40 + 1) (window - minutes 20);
+      q "bytes over the whole hour" 1 window;
+      Printf.printf "\n"
+    end
+  done;
+  let c = FW.work_counters fw in
+  Printf.printf "maintenance: %d interval-list refreshes over %d samples\n" c.FW.refreshes
+    (minutes 180)

@@ -1,0 +1,31 @@
+(* Quickstart: maintain an epsilon-approximate histogram over the last
+   n points of a stream and answer range-sum queries from it.
+
+     dune exec examples/quickstart.exe *)
+
+module FW = Stream_histogram.Fixed_window
+module H = Sh_histogram.Histogram
+
+let () =
+  (* A maintainer for the most recent 64 stream points, summarised by 4
+     buckets, within 10% of the best possible 4-bucket summary. *)
+  let fw = FW.create ~window:64 ~buckets:4 ~epsilon:0.1 in
+
+  (* Feed a stream: a level shift halfway through, some noise at the end. *)
+  for i = 1 to 200 do
+    let v = if i mod 64 < 32 then 10.0 else 50.0 in
+    let v = if i mod 7 = 0 then v +. 3.0 else v in
+    FW.push fw v
+  done;
+
+  (* The histogram of the current window. *)
+  let h = FW.current_histogram fw in
+  Format.printf "window summary:@.%a@." H.pp h;
+  Format.printf "approximation error (SSE, within 1.1x of optimal): %.2f@."
+    (FW.current_error fw);
+
+  (* Use it to answer queries about the window without the raw data:
+     index 1 is the oldest of the 64 retained points. *)
+  Format.printf "estimated sum of points 1..32:  %.1f@." (H.range_sum_estimate h ~lo:1 ~hi:32);
+  Format.printf "estimated sum of points 33..64: %.1f@." (H.range_sum_estimate h ~lo:33 ~hi:64);
+  Format.printf "estimated value at point 40:    %.1f@." (H.point_estimate h 40)

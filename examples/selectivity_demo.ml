@@ -1,0 +1,58 @@
+(* Selectivity estimation for query optimisation — the database use case
+   the paper's introduction motivates ([PI97], [IP95]): a query optimiser
+   needs the fraction of tuples matching "value BETWEEN a AND b" without
+   scanning the column.
+
+   Builds equi-width, equi-depth (offline and one-pass via GK) and
+   V-optimal value histograms over a skewed column and compares their
+   selectivity estimates against the truth.
+
+     dune exec examples/selectivity_demo.exe *)
+
+module Rng = Sh_util.Rng
+module VH = Sh_selectivity.Value_histogram
+module Gk = Sh_quantile.Gk
+
+let () =
+  (* A Zipf-skewed column: a few hot values dominate (e.g. status codes,
+     customer ids), a long cold tail. *)
+  let rng = Rng.create ~seed:2002 in
+  let n = 200_000 in
+  let column = Array.init n (fun _ -> Float.of_int (Rng.zipf rng ~n:10_000 ~skew:1.1)) in
+
+  let truth lo hi =
+    let c = Array.fold_left (fun a v -> if v >= lo && v <= hi then a + 1 else a) 0 column in
+    Float.of_int c /. Float.of_int n
+  in
+
+  let buckets = 25 in
+  let g = Gk.create ~epsilon:0.005 in
+  Array.iter (Gk.insert g) column;
+  let methods =
+    [
+      ("equi-width", VH.equi_width column ~buckets);
+      ("equi-depth", VH.equi_depth column ~buckets);
+      ("equi-depth (GK, 1-pass)", VH.equi_depth_of_gk g ~buckets);
+      ("v-optimal", VH.v_optimal column ~buckets ~domain_bins:400);
+    ]
+  in
+
+  let predicates =
+    [ (1.0, 1.0); (1.0, 5.0); (2.0, 20.0); (50.0, 200.0); (1000.0, 9999.0) ]
+  in
+  Printf.printf "column: %d tuples, Zipf(1.1) over 10k distinct values; B = %d buckets\n\n" n
+    buckets;
+  Printf.printf "%-26s" "predicate v IN [a,b]";
+  List.iter (fun (name, _) -> Printf.printf " %22s" name) methods;
+  Printf.printf " %12s\n" "true";
+  List.iter
+    (fun (lo, hi) ->
+      Printf.printf "%-26s" (Printf.sprintf "[%.0f, %.0f]" lo hi);
+      List.iter
+        (fun (_, h) -> Printf.printf " %21.4f%%" (100.0 *. VH.selectivity_range h ~lo ~hi))
+        methods;
+      Printf.printf " %11.4f%%\n" (100.0 *. truth lo hi))
+    predicates;
+  Printf.printf
+    "\nequi-width wastes buckets on the empty tail; the quantile-based and\n\
+     V-optimal constructions track the skew, and the GK variant needs one pass.\n"

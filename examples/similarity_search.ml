@@ -1,0 +1,77 @@
+(* Time-series similarity search — the paper's Section 5.2 comparison:
+   approximate every series in a collection with a B-segment synopsis,
+   search with lower-bounding distances (never missing a true match), and
+   count the false positives each synopsis admits.  Histogram synopses
+   (this paper) place segment boundaries near-optimally; APCA [KCMP01]
+   places them with a wavelet heuristic; PAA uses fixed segments.
+
+     dune exec examples/similarity_search.exe *)
+
+module Rng = Sh_util.Rng
+module Wk = Sh_gen.Workloads
+module V = Sh_histogram.Vopt
+module Seg = Sh_timeseries.Segments
+module Apca = Sh_timeseries.Apca
+module Paa = Sh_timeseries.Paa
+module Sim = Sh_timeseries.Similarity
+module AG = Stream_histogram.Agglomerative
+
+let () =
+  let rng = Rng.create ~seed:4242 in
+  let series = Wk.step_family rng ~count:100 ~len:256 ~shapes:20 ~steps:24 ~noise:10.0 in
+  let segments = 12 in
+  Printf.printf "collection: %d series of length 256, %d segments per synopsis\n\n"
+    (Array.length series) segments;
+
+  let methods =
+    [
+      ("PAA (fixed segments)", fun s -> Paa.build s ~segments);
+      ("APCA (wavelet heuristic)", fun s -> Apca.build s ~segments);
+      ( "Histogram (this paper)",
+        fun s ->
+          let ag = AG.create ~buckets:segments ~epsilon:0.1 in
+          Array.iter (AG.push ag) s;
+          Seg.of_histogram (AG.current_histogram ag) );
+      ("V-optimal (offline bound)", fun s -> Apca.build_optimal s ~segments);
+    ]
+  in
+
+  (* radius chosen so each query matches its own shape-family only *)
+  let radius =
+    let d = Array.map (fun s -> Seg.euclidean series.(0) s) series in
+    Array.sort compare d;
+    d.(5)
+  in
+  Printf.printf "range search radius: %.1f\n\n" radius;
+  Printf.printf "%-28s %12s %14s %14s %12s\n" "synopsis" "SSE/series" "candidates/q" "false pos/q"
+    "pruned";
+  List.iter
+    (fun (name, synopsis) ->
+      let coll = Sim.make_collection ~name ~synopsis series in
+      let sse =
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i s -> acc := !acc +. Seg.sse_of_approximation s coll.Sim.synopses.(i))
+          series;
+        !acc /. Float.of_int (Array.length series)
+      in
+      let fp = ref 0 and cand = ref 0 and prune = ref 0.0 and queries = ref 0 in
+      Array.iteri
+        (fun i q ->
+          if i mod 5 = 0 then begin
+            incr queries;
+            let _, stats = Sim.range_search coll ~query:q ~radius in
+            fp := !fp + stats.Sim.false_positives;
+            cand := !cand + stats.Sim.candidates;
+            prune := !prune +. stats.Sim.pruning_power
+          end)
+        series;
+      let f = Float.of_int !queries in
+      Printf.printf "%-28s %12.0f %14.2f %14.2f %11.1f%%\n" name sse
+        (Float.of_int !cand /. f)
+        (Float.of_int !fp /. f)
+        (100.0 *. !prune /. f))
+    methods;
+  Printf.printf
+    "\nevery method returns exactly the true matches (lower bounds never dismiss a\n\
+     real result); better segment placement means fewer false positives to refine.\n"

@@ -1,0 +1,24 @@
+module RB = Sh_window.Ring_buffer
+module P = Sh_prefix.Prefix_sums
+
+type t = { ring : RB.t; buckets : int; scratch : float array }
+
+let create ~window ~buckets =
+  if buckets < 1 then invalid_arg "Exact_window.create: buckets must be >= 1";
+  { ring = RB.create ~capacity:window; buckets; scratch = Array.make window 0.0 }
+
+let window t = RB.capacity t.ring
+let buckets t = t.buckets
+let length t = RB.length t.ring
+let push t v =
+  if not (Float.is_finite v) then invalid_arg "Exact_window.push: non-finite value";
+  RB.push t.ring v
+
+let prefix t =
+  let n = RB.length t.ring in
+  if n = 0 then invalid_arg "Exact_window.current_histogram: empty window";
+  RB.blit_to t.ring t.scratch;
+  P.of_sub t.scratch ~pos:0 ~len:n
+
+let current_histogram t = Sh_histogram.Vopt.build_prefix (prefix t) ~buckets:t.buckets
+let current_error t = Sh_histogram.Vopt.optimal_error (prefix t) ~buckets:t.buckets

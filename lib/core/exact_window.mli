@@ -1,0 +1,26 @@
+(** The naive fixed-window baseline of Section 3 of the paper: keep the
+    raw window in a circular buffer and run the optimal O(n^2 B) dynamic
+    program on it whenever a histogram is needed ("a naive application of
+    the optimal histogram construction algorithm to each subsequence").
+
+    This is the "Exact" series of Figure 6: the quality ceiling the
+    streaming algorithm approximates, at a per-query cost that is
+    quadratic in the window length. *)
+
+type t
+
+val create : window:int -> buckets:int -> t
+
+val window : t -> int
+val buckets : t -> int
+val length : t -> int
+
+val push : t -> float -> unit
+(** O(1): append to the circular buffer. *)
+
+val current_histogram : t -> Sh_histogram.Histogram.t
+(** Optimal B-bucket histogram of the current window, recomputed from
+    scratch: O(n^2 B).  Raises [Invalid_argument] on an empty window. *)
+
+val current_error : t -> float
+(** The optimal SSE itself. *)

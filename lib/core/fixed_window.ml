@@ -1,0 +1,227 @@
+module Sliding_prefix = Sh_prefix.Sliding_prefix
+module Histogram = Sh_histogram.Histogram
+module Vec = Sh_util.Vec
+
+(* One interval [a_idx .. b_idx] of a level-k list.  Within the interval the
+   (non-decreasing) function HERROR[., k] varies by at most a (1 + delta)
+   factor: herror values are stored at both ends, and candidates are
+   evaluated at right endpoints only (Section 4.2.1 of the paper). *)
+type entry = { a_idx : int; a_herror : float; b_idx : int; b_herror : float }
+
+type work_counters = {
+  herror_evaluations : int;
+  intervals_built : int;
+  refreshes : int;
+}
+
+type t = {
+  params : Params.t;
+  sp : Sliding_prefix.t;
+  queues : entry Vec.t array; (* queues.(k-1) holds the level-k list, k = 1..B-1 *)
+  mutable dirty : bool;
+  mutable evals : int;
+  mutable built : int;
+  mutable refreshes : int;
+}
+
+let create_with_delta ~window ~buckets ~epsilon ~delta =
+  let params = Params.make_with_delta ~buckets ~epsilon ~delta in
+  if window < 1 then invalid_arg "Fixed_window.create: window must be >= 1";
+  {
+    params;
+    sp = Sliding_prefix.create ~capacity:window ();
+    queues = Array.init (max 1 (buckets - 1)) (fun _ -> Vec.create ());
+    dirty = true;
+    evals = 0;
+    built = 0;
+    refreshes = 0;
+  }
+
+let create ~window ~buckets ~epsilon =
+  create_with_delta ~window ~buckets ~epsilon
+    ~delta:(epsilon /. (2.0 *. Float.of_int buckets))
+
+let window t = Sliding_prefix.capacity t.sp
+let buckets t = t.params.Params.buckets
+let epsilon t = t.params.Params.epsilon
+let length t = Sliding_prefix.length t.sp
+
+let push t v =
+  if not (Float.is_finite v) then invalid_arg "Fixed_window.push: non-finite value";
+  Sliding_prefix.push t.sp v;
+  t.dirty <- true
+
+let push_batch t vs = Array.iter (push t) vs
+
+(* Approximate HERROR[x, k] for the current window, reading the level-(k-1)
+   list.  Candidates are the objective evaluated at list endpoints b < x,
+   plus — when the interval covering x-1 extends to or past x — that
+   interval's endpoint herror standing in for the "split at x-1" candidate
+   (monotonicity makes it an upper bound on HERROR[x-1, k-1], and the
+   interval invariant keeps it within (1 + delta) of it). *)
+let eval_herror t ~k ~x =
+  t.evals <- t.evals + 1;
+  if x <= 0 then 0.0
+  else if k >= x then 0.0 (* x points in >= x buckets: zero error *)
+  else if k = 1 then Sliding_prefix.sqerror t.sp ~lo:1 ~hi:x
+  else begin
+    let q = t.queues.(k - 2) in
+    let best = ref infinity in
+    let i = ref 0 in
+    let len = Vec.length q in
+    let continue = ref true in
+    while !continue && !i < len do
+      let e = Vec.get q !i in
+      if e.b_idx <= x - 1 then begin
+        (* Early exit: stored herror values are non-decreasing along the
+           list, so once one alone reaches the current best, no later
+           candidate (herror + non-negative SQERROR) can improve it.  The
+           covering interval's proxy candidate cannot improve either: its
+           value is a later herror. *)
+        if e.b_herror >= !best then continue := false
+        else begin
+          let cand = e.b_herror +. Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x in
+          if cand < !best then best := cand;
+          incr i
+        end
+      end
+      else begin
+        (* e is the interval covering x-1 (and beyond). *)
+        if e.a_idx <= x - 1 && e.b_herror < !best then best := e.b_herror;
+        continue := false
+      end
+    done;
+    if !best = infinity then 0.0 else !best
+  end
+
+(* CreateList (Figure 5): cover [1 .. n] with maximal intervals whose
+   HERROR[., k] spread stays within (1 + delta), found by binary search. *)
+let create_list t ~k =
+  let q = t.queues.(k - 1) in
+  Vec.clear q;
+  let n = length t in
+  let delta = t.params.Params.delta in
+  let a = ref 1 in
+  while !a <= n do
+    let start = !a in
+    if start = n then begin
+      let h = eval_herror t ~k ~x:start in
+      Vec.push q { a_idx = start; a_herror = h; b_idx = start; b_herror = h };
+      t.built <- t.built + 1;
+      a := n + 1
+    end
+    else begin
+      let h_start = eval_herror t ~k ~x:start in
+      let threshold = (1.0 +. delta) *. h_start in
+      (* Largest c in [start, n] with HERROR[c, k] <= threshold; c = start
+         always qualifies. *)
+      let lo = ref start and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if eval_herror t ~k ~x:mid <= threshold then lo := mid else hi := mid - 1
+      done;
+      let c = !lo in
+      let h_c = if c = start then h_start else eval_herror t ~k ~x:c in
+      Vec.push q { a_idx = start; a_herror = h_start; b_idx = c; b_herror = h_c };
+      t.built <- t.built + 1;
+      a := c + 1
+    end
+  done
+
+let refresh t =
+  if t.dirty then begin
+    let b = buckets t in
+    if length t > 0 then
+      for k = 1 to b - 1 do
+        create_list t ~k
+      done;
+    t.dirty <- false;
+    t.refreshes <- t.refreshes + 1
+  end
+
+let push_and_refresh t v =
+  push t v;
+  refresh t
+
+let current_error t =
+  refresh t;
+  eval_herror t ~k:(buckets t) ~x:(length t)
+
+let herror t ~k ~x =
+  if k < 1 || k > buckets t then invalid_arg "Fixed_window.herror: k out of range";
+  if x < 0 || x > length t then invalid_arg "Fixed_window.herror: x out of range";
+  refresh t;
+  eval_herror t ~k ~x
+
+(* Best split position for the last bucket of a k-bucket histogram of
+   [1 .. x]: the argmin counterpart of [eval_herror].  Returns the chosen
+   i (last bucket is [i+1 .. x]), in [1 .. x-1]. *)
+let best_split t ~k ~x =
+  let q = t.queues.(k - 2) in
+  let best = ref infinity in
+  let best_i = ref (x - 1) in
+  let i = ref 0 in
+  let len = Vec.length q in
+  let continue = ref true in
+  while !continue && !i < len do
+    let e = Vec.get q !i in
+    if e.b_idx <= x - 1 then begin
+      if e.b_herror >= !best then continue := false
+      else begin
+        let cand = e.b_herror +. Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x in
+        if cand < !best then begin
+          best := cand;
+          best_i := e.b_idx
+        end;
+        incr i
+      end
+    end
+    else begin
+      if e.a_idx <= x - 1 && e.b_herror < !best then begin
+        best := e.b_herror;
+        best_i := x - 1
+      end;
+      continue := false
+    end
+  done;
+  !best_i
+
+let current_histogram t =
+  refresh t;
+  let n = length t in
+  if n = 0 then invalid_arg "Fixed_window.current_histogram: empty window";
+  let b = buckets t in
+  (* Recover right endpoints top-down: split off the last bucket at each
+     level, then recurse on the remaining prefix with one fewer bucket. *)
+  let rec boundaries x k acc =
+    if x <= 0 then acc
+    else if k <= 1 || x <= k then begin
+      (* Either a single remaining bucket, or x points fit in x singleton
+         buckets at zero error. *)
+      if k <= 1 then x :: acc
+      else begin
+        let acc = ref acc in
+        for i = x downto 1 do
+          acc := i :: !acc
+        done;
+        !acc
+      end
+    end
+    else begin
+      let i = best_split t ~k ~x in
+      boundaries i (k - 1) (x :: acc)
+    end
+  in
+  let ends = Array.of_list (boundaries n b []) in
+  let bucket_of i hi =
+    let lo = if i = 0 then 1 else ends.(i - 1) + 1 in
+    { Histogram.lo; hi; value = Sliding_prefix.range_mean t.sp ~lo ~hi }
+  in
+  Histogram.make ~n (Array.mapi bucket_of ends)
+
+let work_counters t =
+  { herror_evaluations = t.evals; intervals_built = t.built; refreshes = t.refreshes }
+
+let interval_counts t =
+  refresh t;
+  Array.map Vec.length t.queues

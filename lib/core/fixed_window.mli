@@ -1,0 +1,90 @@
+(** Fixed-window data-stream histograms — Algorithm FixedWindowHistogram
+    (Figure 5 of the paper), the paper's primary contribution.
+
+    The structure maintains, over the window of the most recent [window]
+    stream points, an epsilon-approximate B-bucket V-optimal histogram:
+    the SSE of the produced histogram is within a (1 + epsilon) factor of
+    the optimum for that window (Theorem 1), at
+    O((B^3 / epsilon^2) log^3 n) work per data point.
+
+    Per arrival the algorithm rebuilds, level by level, B - 1 lists of
+    intervals that cover the window and approximate the prefix-error
+    function HERROR\[., k\] to within a (1 + delta) factor per interval
+    (delta = epsilon / 2B).  Each list is built by the [CreateList]
+    binary-search procedure, touching only O((B / epsilon) log^2 n) window
+    positions rather than all n — the paper's key idea.  Sliding prefix
+    sums (SUM', SQSUM' of Section 4.5) make every SQERROR evaluation O(1).
+
+    {2 Maintenance modes}
+
+    {!push} is cheap: it only advances the window and its prefix sums.  The
+    interval lists are (re)built lazily by the first query after a push, or
+    eagerly by {!refresh} / {!push_and_refresh} — the latter matches the
+    paper's cost model of doing the full per-point work on every arrival. *)
+
+type t
+
+val create : window:int -> buckets:int -> epsilon:float -> t
+(** A maintainer for the last [window] points with [buckets] buckets and
+    precision [epsilon].  Raises [Invalid_argument] on non-positive
+    arguments. *)
+
+val create_with_delta : window:int -> buckets:int -> epsilon:float -> delta:float -> t
+(** Like {!create} with an explicit interval slack (ablation hook). *)
+
+val window : t -> int
+val buckets : t -> int
+val epsilon : t -> float
+val length : t -> int
+(** Points currently in the window ([<= window]). *)
+
+val push : t -> float -> unit
+(** Ingest the next stream point (evicting the oldest once the window is
+    full) without rebuilding the interval lists. *)
+
+val push_batch : t -> float array -> unit
+(** Batched arrivals (footnote 2 of the paper): ingest many points with a
+    single deferred list rebuild.  Equivalent to pushing each point, but
+    makes the batch cost explicit: O(batch) plus one refresh at the next
+    query. *)
+
+val refresh : t -> unit
+(** Rebuild the interval lists for the current window contents; no-op when
+    they are already current. *)
+
+val push_and_refresh : t -> float -> unit
+(** [push] then [refresh]: the paper's per-point maintenance. *)
+
+val current_error : t -> float
+(** The approximate HERROR\[n, B\] for the current window: an upper bound
+    on the SSE of {!current_histogram} target that is within (1 + epsilon)
+    of the optimal B-bucket SSE.  Refreshes if needed. *)
+
+val current_histogram : t -> Sh_histogram.Histogram.t
+(** The epsilon-approximate histogram of the current window, with indices
+    1..{!length} (1 = oldest point in the window).  Bucket values are exact
+    range means.  Refreshes if needed.  Raises [Invalid_argument] on an
+    empty window. *)
+
+val herror : t -> k:int -> x:int -> float
+(** Approximate HERROR\[x, k\]: the error of summarising the oldest [x]
+    window points with [k] buckets.  Requires [1 <= k <= buckets] and
+    [0 <= x <= length]; levels below [buckets] read the interval lists,
+    which are refreshed if needed.  Exposed for validation against the
+    exact dynamic program. *)
+
+(** {2 Introspection} *)
+
+type work_counters = {
+  herror_evaluations : int; (** HERROR evaluations since creation *)
+  intervals_built : int;    (** interval-list entries created since creation *)
+  refreshes : int;          (** list rebuilds performed *)
+}
+
+val work_counters : t -> work_counters
+(** Cumulative work counters, used by the complexity benchmarks to check
+    the per-point cost grows polylogarithmically in the window length. *)
+
+val interval_counts : t -> int array
+(** Number of intervals currently held per level k = 1 .. B-1; the paper
+    bounds each by O((B / epsilon) log n).  Refreshes if needed. *)

@@ -1,0 +1,15 @@
+(** Shared parameter handling for the streaming histogram algorithms. *)
+
+type t = private {
+  buckets : int;  (** B, the space budget in buckets; >= 1 *)
+  epsilon : float;(** the approximation precision; > 0 *)
+  delta : float;  (** the per-level interval slack, epsilon / (2 B) as in the paper *)
+}
+
+val make : buckets:int -> epsilon:float -> t
+(** Validates and derives [delta = epsilon /. (2. *. buckets)].
+    Raises [Invalid_argument] on non-positive arguments. *)
+
+val make_with_delta : buckets:int -> epsilon:float -> delta:float -> t
+(** Same, but with an explicit [delta] — used by the delta-split ablation
+    benchmark to decouple the interval slack from epsilon. *)

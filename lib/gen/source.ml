@@ -1,0 +1,45 @@
+type t = unit -> float
+
+let take s n = Array.init n (fun _ -> s ())
+
+let drop s n =
+  for _ = 1 to n do
+    ignore (s () : float)
+  done
+
+let of_array xs =
+  if Array.length xs = 0 then invalid_arg "Source.of_array: empty array";
+  let i = ref 0 in
+  fun () ->
+    let v = xs.(!i) in
+    i := (!i + 1) mod Array.length xs;
+    v
+
+let map f s () = f (s ())
+let add a b () = a () +. b ()
+
+let clamp ~lo ~hi s () =
+  let v = s () in
+  if v < lo then lo else if v > hi then hi else v
+
+let quantize s () = Float.round (s ())
+
+let of_file path =
+  let ic = open_in path in
+  let values = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then values := float_of_string line :: !values
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+    close_in ic;
+    raise e);
+  Array.of_list (List.rev !values)
+
+let to_file path xs =
+  let oc = open_out path in
+  Array.iter (fun v -> Printf.fprintf oc "%.12g\n" v) xs;
+  close_out oc

@@ -1,0 +1,35 @@
+(** Infinite data-stream sources.
+
+    A source produces one value per call, modelling the paper's "data source
+    that produces a new data element at each time unit".  All sources built
+    from an {!Sh_util.Rng.t} are deterministic given the generator state. *)
+
+type t = unit -> float
+(** A stream: each call yields the next point. *)
+
+val take : t -> int -> float array
+(** [take s n] materialises the next [n] points. *)
+
+val drop : t -> int -> unit
+(** [drop s n] discards the next [n] points. *)
+
+val of_array : float array -> t
+(** Replays the array, then cycles back to its start (so the source stays
+    infinite, as the stream model requires). *)
+
+val map : (float -> float) -> t -> t
+
+val add : t -> t -> t
+(** Pointwise sum of two sources. *)
+
+val clamp : lo:float -> hi:float -> t -> t
+
+val quantize : t -> t
+(** Round every value to the nearest integer — the paper assumes "each value
+    x_i is an integer drawn from some bounded range". *)
+
+val of_file : string -> float array
+(** Load one float per line; '#'-prefixed lines and blanks are skipped. *)
+
+val to_file : string -> float array -> unit
+(** Write one value per line (round-trips with {!of_file}). *)

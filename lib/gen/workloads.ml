@@ -1,0 +1,144 @@
+module Rng = Sh_util.Rng
+
+type network_params = {
+  base_level : float;
+  diurnal_amplitude : float;
+  period : int;
+  ar_coefficient : float;
+  noise_stddev : float;
+  burst_probability : float;
+  burst_shape : float;
+  burst_scale : float;
+  shift_probability : float;
+  shift_stddev : float;
+  value_max : float;
+}
+
+let default_network =
+  {
+    base_level = 4000.0;
+    diurnal_amplitude = 1500.0;
+    period = 1440;
+    ar_coefficient = 0.9;
+    noise_stddev = 120.0;
+    burst_probability = 0.003;
+    burst_shape = 1.5;
+    burst_scale = 300.0;
+    shift_probability = 0.0005;
+    shift_stddev = 800.0;
+    value_max = 10000.0;
+  }
+
+let network rng p =
+  if p.period <= 0 then invalid_arg "Workloads.network: period must be positive";
+  let tick = ref 0 in
+  let ar = ref 0.0 in
+  let level = ref p.base_level in
+  let raw () =
+    let t = Float.of_int !tick in
+    incr tick;
+    let diurnal =
+      p.diurnal_amplitude *. sin (2.0 *. Float.pi *. t /. Float.of_int p.period)
+    in
+    ar := (p.ar_coefficient *. !ar) +. Rng.gaussian rng ~mean:0.0 ~stddev:p.noise_stddev;
+    if Rng.float rng 1.0 < p.shift_probability then
+      level := !level +. Rng.gaussian rng ~mean:0.0 ~stddev:p.shift_stddev;
+    let burst =
+      if Rng.float rng 1.0 < p.burst_probability then
+        Rng.pareto rng ~shape:p.burst_shape ~scale:p.burst_scale
+      else 0.0
+    in
+    !level +. diurnal +. !ar +. burst
+  in
+  Source.quantize (Source.clamp ~lo:0.0 ~hi:p.value_max raw)
+
+let random_walk rng ?(start = 100.0) ?(step_stddev = 1.0) ?(lo = 0.0) ?(hi = 1000.0) () =
+  let x = ref start in
+  let raw () =
+    x := !x +. Rng.gaussian rng ~mean:0.0 ~stddev:step_stddev;
+    (* Reflect at the boundaries so the walk stays in its bounded range. *)
+    if !x < lo then x := lo +. (lo -. !x);
+    if !x > hi then x := hi -. (!x -. hi);
+    if !x < lo then x := lo;
+    !x
+  in
+  Source.quantize raw
+
+let step_signal rng ?(segment_mean = 100) ?(level_lo = 0.0) ?(level_hi = 1000.0)
+    ?(noise_stddev = 2.0) () =
+  if segment_mean < 1 then invalid_arg "Workloads.step_signal: segment_mean must be >= 1";
+  let remaining = ref 0 in
+  let level = ref (Rng.uniform rng ~lo:level_lo ~hi:level_hi) in
+  let raw () =
+    if !remaining <= 0 then begin
+      (* Geometric segment length with the requested mean. *)
+      remaining := 1 + int_of_float (Rng.exponential rng ~rate:(1.0 /. Float.of_int segment_mean));
+      level := Rng.uniform rng ~lo:level_lo ~hi:level_hi
+    end;
+    decr remaining;
+    !level +. Rng.gaussian rng ~mean:0.0 ~stddev:noise_stddev
+  in
+  Source.quantize (Source.clamp ~lo:level_lo ~hi:level_hi raw)
+
+let click_counts rng ?(mean_rate = 50.0) ?(zipf_n = 1000) ?(zipf_skew = 1.1) () =
+  let raw () =
+    (* Requests this tick: Poisson-ish via exponential inter-arrivals, with
+       each request weighted by the (heavy-tailed) size rank of the object
+       it touches. *)
+    let budget = ref (Rng.exponential rng ~rate:(1.0 /. mean_rate)) in
+    let bytes = ref 0.0 in
+    while !budget >= 1.0 do
+      budget := !budget -. 1.0;
+      let rank = Rng.zipf rng ~n:zipf_n ~skew:zipf_skew in
+      bytes := !bytes +. (1000.0 /. Float.of_int rank)
+    done;
+    !bytes
+  in
+  Source.quantize raw
+
+let uniform_noise rng ~lo ~hi =
+  Source.quantize (fun () -> Rng.uniform rng ~lo ~hi)
+
+let series_family rng ~count ~len ~shapes ~noise =
+  if shapes < 1 || count < 1 || len < 1 then
+    invalid_arg "Workloads.series_family: all sizes must be positive";
+  let terms = 4 in
+  let prototypes =
+    Array.init shapes (fun _ ->
+        let amplitude = Array.init terms (fun _ -> Rng.uniform rng ~lo:0.5 ~hi:2.0) in
+        let freq = Array.init terms (fun _ -> Rng.uniform rng ~lo:1.0 ~hi:6.0) in
+        let phase = Array.init terms (fun _ -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. Float.pi)) in
+        Array.init len (fun i ->
+            let x = Float.of_int i /. Float.of_int len in
+            let acc = ref 0.0 in
+            for k = 0 to terms - 1 do
+              acc := !acc +. (amplitude.(k) *. sin ((2.0 *. Float.pi *. freq.(k) *. x) +. phase.(k)))
+            done;
+            100.0 *. !acc))
+  in
+  Array.init count (fun i ->
+      let proto = prototypes.(i mod shapes) in
+      Array.map (fun v -> v +. Rng.gaussian rng ~mean:0.0 ~stddev:noise) proto)
+
+let step_family rng ~count ~len ~shapes ~steps ~noise =
+  if shapes < 1 || count < 1 || len < 1 || steps < 1 then
+    invalid_arg "Workloads.step_family: all sizes must be positive";
+  let prototypes =
+    Array.init shapes (fun _ ->
+        (* random change points and levels *)
+        let cuts = Array.init (steps - 1) (fun _ -> 1 + Rng.int rng (len - 1)) in
+        Array.sort compare cuts;
+        let levels = Array.init steps (fun _ -> Rng.uniform rng ~lo:(-200.0) ~hi:200.0) in
+        let proto = Array.make len 0.0 in
+        let seg = ref 0 in
+        for i = 0 to len - 1 do
+          while !seg < steps - 1 && i >= cuts.(!seg) do
+            incr seg
+          done;
+          proto.(i) <- levels.(!seg)
+        done;
+        proto)
+  in
+  Array.init count (fun i ->
+      let proto = prototypes.(i mod shapes) in
+      Array.map (fun v -> v +. Rng.gaussian rng ~mean:0.0 ~stddev:noise) proto)

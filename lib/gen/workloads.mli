@@ -1,0 +1,66 @@
+(** Synthetic stream workloads.
+
+    The paper evaluates on proprietary AT&T operational traces (network
+    utilisation, fault/flow sequences, click streams, stock series).  These
+    generators are the documented substitutes (see DESIGN.md): each
+    reproduces the qualitative features that determine how the evaluated
+    synopses behave — piecewise-smooth regions, diurnal periodicity, bursts
+    with heavy-tailed magnitude, level shifts, and bounded integer values.
+
+    Every workload takes its own {!Sh_util.Rng.t}, so experiments are
+    reproducible and sub-workloads independent. *)
+
+type network_params = {
+  base_level : float;       (** mean utilisation level *)
+  diurnal_amplitude : float;(** amplitude of the daily cycle *)
+  period : int;             (** points per "day" *)
+  ar_coefficient : float;   (** AR(1) smoothness of the noise, in [0,1) *)
+  noise_stddev : float;     (** innovation scale of the AR(1) noise *)
+  burst_probability : float;(** per-point probability a burst starts *)
+  burst_shape : float;      (** Pareto tail index of burst magnitude *)
+  burst_scale : float;      (** minimum burst magnitude *)
+  shift_probability : float;(** per-point probability of a level shift *)
+  shift_stddev : float;     (** scale of level shifts *)
+  value_max : float;        (** values clamped to [0, value_max] *)
+}
+
+val default_network : network_params
+(** Utilisation-like defaults: bounded in [0, 10000], mild bursts. *)
+
+val network : Sh_util.Rng.t -> network_params -> Source.t
+(** Router-utilisation-style stream: diurnal sinusoid + AR(1) noise +
+    Pareto bursts + occasional level shifts, quantised to integers. *)
+
+val random_walk :
+  Sh_util.Rng.t -> ?start:float -> ?step_stddev:float -> ?lo:float -> ?hi:float -> unit -> Source.t
+(** Stock-style reflected Gaussian random walk, quantised. *)
+
+val step_signal :
+  Sh_util.Rng.t ->
+  ?segment_mean:int -> ?level_lo:float -> ?level_hi:float -> ?noise_stddev:float -> unit -> Source.t
+(** Piecewise-constant levels of geometric duration plus Gaussian noise —
+    the regime where V-optimal histograms are near-lossless.  Quantised. *)
+
+val click_counts : Sh_util.Rng.t -> ?mean_rate:float -> ?zipf_n:int -> ?zipf_skew:float -> unit -> Source.t
+(** Web click-stream style: per-tick request counts with Zipf-distributed
+    object popularity driving heavy-tailed spikes. *)
+
+val uniform_noise : Sh_util.Rng.t -> lo:float -> hi:float -> Source.t
+(** Worst-case-for-histograms stream: i.i.d. uniform integers. *)
+
+val series_family :
+  Sh_util.Rng.t -> count:int -> len:int -> shapes:int -> noise:float -> float array array
+(** A collection of [count] time series of length [len] for the similarity
+    experiments: [shapes] distinct smooth prototypes (random Fourier
+    mixtures), each series a noisy copy of one prototype.  Series of the
+    same prototype are mutual nearest neighbours by construction, which
+    gives the similarity benchmarks a known ground truth. *)
+
+val step_family :
+  Sh_util.Rng.t ->
+  count:int -> len:int -> shapes:int -> steps:int -> noise:float -> float array array
+(** Like {!series_family} but with piecewise-constant prototypes of
+    [steps] random levels at random change points.  Step-structured series
+    are where adaptive segment placement (V-optimal histograms, APCA)
+    differs most from fixed segmentation, so this is the stress workload
+    for the similarity experiments. *)

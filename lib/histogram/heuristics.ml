@@ -1,0 +1,93 @@
+module Prefix_sums = Sh_prefix.Prefix_sums
+module Heap = Sh_util.Heap
+
+let equi_width prefix ~buckets =
+  let n = Prefix_sums.length prefix in
+  let b = min (max 1 buckets) n in
+  (* Distribute the remainder so bucket lengths differ by at most one. *)
+  let boundaries =
+    Array.init b (fun i ->
+        let pos = (n * (i + 1)) / b in
+        max (i + 1) pos)
+  in
+  boundaries.(b - 1) <- n;
+  Histogram.of_boundaries prefix ~boundaries
+
+let max_diff prefix ~values ~buckets =
+  let n = Prefix_sums.length prefix in
+  if Array.length values <> n then invalid_arg "Heuristics.max_diff: length mismatch";
+  let b = min (max 1 buckets) n in
+  if b = 1 then Histogram.of_boundaries prefix ~boundaries:[| n |]
+  else begin
+    (* Rank positions by the jump between consecutive values; the b-1
+       largest jumps become bucket boundaries. *)
+    let diffs = Array.init (n - 1) (fun i -> (Float.abs (values.(i + 1) -. values.(i)), i + 1)) in
+    Array.sort (fun (d1, _) (d2, _) -> compare d2 d1) diffs;
+    let cut = Array.sub diffs 0 (b - 1) in
+    let boundaries = Array.map snd cut in
+    Array.sort compare boundaries;
+    let all = Array.append boundaries [| n |] in
+    Histogram.of_boundaries prefix ~boundaries:all
+  end
+
+(* Bottom-up merging.  Buckets live in a doubly linked structure encoded by
+   [next]/[prev] index arrays; the heap holds (cost, left, stamp) candidate
+   merges, invalidated lazily via per-bucket stamps. *)
+let greedy_merge prefix ~buckets =
+  let n = Prefix_sums.length prefix in
+  let b = min (max 1 buckets) n in
+  if b >= n then Histogram.of_boundaries prefix ~boundaries:(Array.init n (fun i -> i + 1))
+  else begin
+    let hi = Array.init n (fun i -> i + 1) in
+    (* hi.(i) = right endpoint of the bucket starting at position i+1 *)
+    let next = Array.init n (fun i -> i + 1) in
+    let prev = Array.init n (fun i -> i - 1) in
+    let alive = Array.make n true in
+    let stamp = Array.make n 0 in
+    let merge_cost left =
+      let right = next.(left) in
+      let lo = left + 1 in
+      Prefix_sums.sqerror prefix ~lo ~hi:hi.(right)
+      -. Prefix_sums.sqerror prefix ~lo ~hi:hi.(left)
+      -. Prefix_sums.sqerror prefix ~lo:(right + 1) ~hi:hi.(right)
+    in
+    let heap = Heap.create ~cmp:(fun (c1, _, _, _) (c2, _, _, _) -> compare (c1 : float) c2) in
+    for i = 0 to n - 2 do
+      Heap.add heap (merge_cost i, i, stamp.(i), stamp.(i + 1))
+    done;
+    let remaining = ref n in
+    while !remaining > b do
+      match Heap.pop heap with
+      | None -> remaining := b (* unreachable: there is always a mergeable pair *)
+      | Some (_, left, s_left, s_right) ->
+        let right = if alive.(left) && next.(left) < n then next.(left) else -1 in
+        let valid =
+          right >= 0 && alive.(right)
+          && stamp.(left) = s_left
+          && stamp.(right) = s_right
+        in
+        if valid then begin
+          hi.(left) <- hi.(right);
+          alive.(right) <- false;
+          stamp.(left) <- stamp.(left) + 1;
+          let after = next.(right) in
+          next.(left) <- after;
+          if after < n then prev.(after) <- left;
+          decr remaining;
+          if !remaining > b then begin
+            if next.(left) < n then
+              Heap.add heap (merge_cost left, left, stamp.(left), stamp.(next.(left)));
+            let before = prev.(left) in
+            if before >= 0 then
+              Heap.add heap (merge_cost before, before, stamp.(before), stamp.(left))
+          end
+        end
+    done;
+    let boundaries = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      boundaries := hi.(!i) :: !boundaries;
+      i := next.(!i)
+    done;
+    Histogram.of_boundaries prefix ~boundaries:(Array.of_list (List.rev !boundaries))
+  end

@@ -1,0 +1,18 @@
+(** Classic heuristic histogram constructions.
+
+    These are the non-optimal baselines that predate the V-optimal family;
+    they are cheap to build and serve as additional comparison points in the
+    benchmarks (the paper's related-work section surveys them via
+    [IP95]). *)
+
+val equi_width : Sh_prefix.Prefix_sums.t -> buckets:int -> Histogram.t
+(** Buckets of (near-)equal index length. *)
+
+val max_diff : Sh_prefix.Prefix_sums.t -> values:float array -> buckets:int -> Histogram.t
+(** Bucket boundaries at the B-1 largest adjacent differences
+    [|v_{i+1} - v_i|] — the MaxDiff(V, A) heuristic. *)
+
+val greedy_merge : Sh_prefix.Prefix_sums.t -> buckets:int -> Histogram.t
+(** Bottom-up agglomerative merging: start from singleton buckets and
+    repeatedly merge the adjacent pair whose merge increases SSE least,
+    until B buckets remain.  O(n log n) with a heap. *)

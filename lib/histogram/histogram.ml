@@ -1,0 +1,104 @@
+module Prefix_sums = Sh_prefix.Prefix_sums
+
+type bucket = { lo : int; hi : int; value : float }
+type t = { n : int; buckets : bucket array }
+
+let make ~n buckets =
+  let count = Array.length buckets in
+  if n < 1 then invalid_arg "Histogram.make: n must be >= 1";
+  if count = 0 then invalid_arg "Histogram.make: at least one bucket required";
+  if buckets.(0).lo <> 1 then invalid_arg "Histogram.make: first bucket must start at 1";
+  if buckets.(count - 1).hi <> n then invalid_arg "Histogram.make: last bucket must end at n";
+  for i = 0 to count - 1 do
+    let b = buckets.(i) in
+    if b.lo > b.hi then invalid_arg "Histogram.make: empty bucket";
+    if i > 0 && b.lo <> buckets.(i - 1).hi + 1 then
+      invalid_arg "Histogram.make: buckets must be contiguous"
+  done;
+  { n; buckets = Array.copy buckets }
+
+let of_boundaries prefix ~boundaries =
+  let n = Prefix_sums.length prefix in
+  let count = Array.length boundaries in
+  if count = 0 || boundaries.(count - 1) <> n then
+    invalid_arg "Histogram.of_boundaries: last boundary must equal n";
+  let buckets =
+    Array.mapi
+      (fun i hi ->
+        let lo = if i = 0 then 1 else boundaries.(i - 1) + 1 in
+        if lo > hi then invalid_arg "Histogram.of_boundaries: boundaries must increase";
+        { lo; hi; value = Prefix_sums.range_mean prefix ~lo ~hi })
+      boundaries
+  in
+  make ~n buckets
+
+let bucket_count t = Array.length t.buckets
+
+let find_bucket t i =
+  if i < 1 || i > t.n then invalid_arg "Histogram.find_bucket: index out of range";
+  let rec search lo hi =
+    if lo >= hi then t.buckets.(lo)
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.buckets.(mid).hi < i then search (mid + 1) hi else search lo mid
+    end
+  in
+  search 0 (Array.length t.buckets - 1)
+
+let point_estimate t i = (find_bucket t i).value
+
+let range_sum_estimate t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    if lo < 1 || hi > t.n then invalid_arg "Histogram.range_sum_estimate: range out of bounds";
+    let acc = ref 0.0 in
+    let i = ref 0 in
+    (* Skip buckets entirely left of the range, then accumulate overlaps. *)
+    while t.buckets.(!i).hi < lo do
+      incr i
+    done;
+    let continue = ref true in
+    while !continue && !i < Array.length t.buckets do
+      let b = t.buckets.(!i) in
+      if b.lo > hi then continue := false
+      else begin
+        let o_lo = max b.lo lo and o_hi = min b.hi hi in
+        acc := !acc +. (Float.of_int (o_hi - o_lo + 1) *. b.value);
+        incr i
+      end
+    done;
+    !acc
+  end
+
+let range_avg_estimate t ~lo ~hi =
+  if lo > hi then 0.0
+  else range_sum_estimate t ~lo ~hi /. Float.of_int (hi - lo + 1)
+
+let to_series t =
+  let out = Array.make t.n 0.0 in
+  Array.iter
+    (fun b ->
+      for i = b.lo to b.hi do
+        out.(i - 1) <- b.value
+      done)
+    t.buckets;
+  out
+
+let sse_against t prefix =
+  if Prefix_sums.length prefix <> t.n then
+    invalid_arg "Histogram.sse_against: length mismatch";
+  (* Per bucket: sum_{i} (v_i - h)^2 = SQSUM - 2 h SUM + len h^2. *)
+  let acc = ref 0.0 in
+  Array.iter
+    (fun b ->
+      let s = Prefix_sums.range_sum prefix ~lo:b.lo ~hi:b.hi in
+      let q = Prefix_sums.range_sqsum prefix ~lo:b.lo ~hi:b.hi in
+      let len = Float.of_int (b.hi - b.lo + 1) in
+      acc := !acc +. Float.max 0.0 (q -. (2.0 *. b.value *. s) +. (len *. b.value *. b.value)))
+    t.buckets;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>histogram n=%d B=%d" t.n (Array.length t.buckets);
+  Array.iter (fun b -> Format.fprintf ppf "@,  [%d..%d] = %.6g" b.lo b.hi b.value) t.buckets;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+module Prefix_sums = Sh_prefix.Prefix_sums
+
+(* Run the DP up to [buckets] rows.  Returns the final HERROR row and, when
+   [record_choices], the argmin table used to backtrack bucket boundaries.
+   Row k is HERROR[., k]; only two float rows are live at a time. *)
+let dp prefix ~buckets ~record_choices =
+  let n = Prefix_sums.length prefix in
+  if buckets < 1 then invalid_arg "Vopt: buckets must be >= 1";
+  let b = min buckets n in
+  let prev = Array.make (n + 1) 0.0 in
+  let cur = Array.make (n + 1) 0.0 in
+  let choices = if record_choices then Array.make_matrix (b + 1) (n + 1) 0 else [||] in
+  for j = 1 to n do
+    prev.(j) <- Prefix_sums.sqerror prefix ~lo:1 ~hi:j
+  done;
+  for k = 2 to b do
+    for j = 0 to n do
+      cur.(j) <- 0.0
+    done;
+    for j = k to n do
+      (* Last bucket is [i+1 .. j]; the rest is an optimal (k-1)-histogram
+         of [1 .. i].  i ranges over [k-1 .. j-1] so no bucket is empty. *)
+      let best = ref infinity in
+      let best_i = ref (k - 1) in
+      for i = k - 1 to j - 1 do
+        let cost = prev.(i) +. Prefix_sums.sqerror prefix ~lo:(i + 1) ~hi:j in
+        if cost < !best then begin
+          best := cost;
+          best_i := i
+        end
+      done;
+      cur.(j) <- !best;
+      if record_choices then choices.(k).(j) <- !best_i
+    done;
+    Array.blit cur 0 prev 0 (n + 1)
+  done;
+  (prev, choices, b)
+
+let optimal_error prefix ~buckets =
+  let n = Prefix_sums.length prefix in
+  if buckets >= n then 0.0
+  else begin
+    let row, _, _ = dp prefix ~buckets ~record_choices:false in
+    row.(n)
+  end
+
+let herror_row prefix ~buckets =
+  let row, _, _ = dp prefix ~buckets ~record_choices:false in
+  row
+
+let build_prefix prefix ~buckets =
+  let n = Prefix_sums.length prefix in
+  let _, choices, b = dp prefix ~buckets ~record_choices:true in
+  (* Walk the choice table backwards to recover the right endpoints. *)
+  let boundaries = Array.make b 0 in
+  boundaries.(b - 1) <- n;
+  let j = ref n in
+  for k = b downto 2 do
+    j := choices.(k).(!j);
+    boundaries.(k - 2) <- !j
+  done;
+  Histogram.of_boundaries prefix ~boundaries
+
+let build values ~buckets = build_prefix (Prefix_sums.make values) ~buckets

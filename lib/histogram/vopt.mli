@@ -1,0 +1,24 @@
+(** Optimal V-optimal histogram construction — the O(n^2 B) dynamic program
+    of Jagadish et al. [JKM+98], Figure 2 of the paper.
+
+    The recurrence: HERROR\[j, k\] = min over i < j of
+    HERROR\[i, k-1\] + SQERROR\[i+1, j\], with SQERROR evaluated in O(1)
+    from prefix sums.  This is the "Exact" series of Figure 6 and the test
+    oracle for both streaming algorithms. *)
+
+val optimal_error : Sh_prefix.Prefix_sums.t -> buckets:int -> float
+(** Minimum achievable SSE with the given number of buckets.  With
+    [buckets >= n] the error is 0. *)
+
+val build_prefix : Sh_prefix.Prefix_sums.t -> buckets:int -> Histogram.t
+(** The optimal histogram itself, by backtracking the DP choices.  Uses
+    min(buckets, n) buckets. *)
+
+val build : float array -> buckets:int -> Histogram.t
+(** Convenience wrapper: preprocess then {!build_prefix}. *)
+
+val herror_row : Sh_prefix.Prefix_sums.t -> buckets:int -> float array
+(** [herror_row prefix ~buckets] is the array h with h.(j) = HERROR\[j,
+    buckets\] for j in 0..n (h.(0) = 0) — the error of optimally
+    histogramming each prefix.  Exposed for the monotonicity property tests
+    and as an oracle for the streaming algorithms. *)

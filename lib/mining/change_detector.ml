@@ -1,0 +1,51 @@
+module FW = Stream_histogram.Fixed_window
+module H = Sh_histogram.Histogram
+
+type t = {
+  recent : FW.t;
+  reference : FW.t;
+  lag : float Queue.t; (* values in flight between the two windows *)
+  window : int;
+  threshold : float;
+  check_every : int;
+  mutable seen : int;
+  mutable last_distance : float;
+}
+
+type verdict = Stable | Drift of float
+
+let create ~window ~buckets ~epsilon ~threshold ?check_every () =
+  if threshold <= 0.0 then invalid_arg "Change_detector.create: threshold must be > 0";
+  let check_every = match check_every with None -> max 1 (window / 8) | Some c -> max 1 c in
+  {
+    recent = FW.create ~window ~buckets ~epsilon;
+    reference = FW.create ~window ~buckets ~epsilon;
+    lag = Queue.create ();
+    window;
+    threshold;
+    check_every;
+    seen = 0;
+    last_distance = 0.0;
+  }
+
+(* Root-mean-square distance between the two reconstructed windows. *)
+let distance t =
+  let a = H.to_series (FW.current_histogram t.recent) in
+  let b = H.to_series (FW.current_histogram t.reference) in
+  sqrt (Sh_util.Metrics.sse a b /. Float.of_int (Array.length a))
+
+let push t v =
+  t.seen <- t.seen + 1;
+  FW.push t.recent v;
+  Queue.push v t.lag;
+  if Queue.length t.lag > t.window then FW.push t.reference (Queue.pop t.lag);
+  (* evaluate only once both windows are fully populated *)
+  if t.seen >= 2 * t.window && t.seen mod t.check_every = 0 then begin
+    let d = distance t in
+    t.last_distance <- d;
+    if d > t.threshold then Drift d else Stable
+  end
+  else Stable
+
+let last_distance t = t.last_distance
+let points_seen t = t.seen

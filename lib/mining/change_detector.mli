@@ -1,0 +1,29 @@
+(** Distribution-change detection on a stream from histogram synopses —
+    the stream-mining application the paper's conclusion singles out
+    ("the incremental nature of our algorithms makes them applicable to
+    mining problems in data streams").
+
+    The detector maintains two fixed-window histograms: one over the most
+    recent [window] points and one over the [window] points before those.
+    A change is flagged when the L2 distance between the reconstructed
+    window approximations exceeds [threshold].  Everything is computed
+    from the synopses; the raw stream is never retained beyond the
+    reference lag. *)
+
+type t
+
+type verdict = Stable | Drift of float  (** distance that crossed the threshold *)
+
+val create :
+  window:int -> buckets:int -> epsilon:float -> threshold:float -> ?check_every:int -> unit -> t
+(** [check_every] (default [window / 8]) limits how often the (costly)
+    histogram refresh runs. *)
+
+val push : t -> float -> verdict
+(** Feed the next point; returns [Drift d] on ticks where the detector
+    re-evaluated and found the windows further apart than the threshold. *)
+
+val last_distance : t -> float
+(** Distance from the most recent evaluation ([0.] before the first). *)
+
+val points_seen : t -> int

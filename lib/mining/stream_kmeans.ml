@@ -1,0 +1,179 @@
+module Rng = Sh_util.Rng
+
+let sq_dist a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let nearest centres p =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i c ->
+      let d = sq_dist c p in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    centres;
+  (!best, !best_d)
+
+(* Weighted k-means++ seeding: each next seed is drawn with probability
+   proportional to weight x squared distance to the nearest seed so far. *)
+let seed_plus_plus rng ~k ~weights points =
+  let n = Array.length points in
+  let seeds = Array.make k points.(Rng.int rng n) in
+  let d2 = Array.init n (fun i -> weights.(i) *. sq_dist points.(i) seeds.(0)) in
+  for s = 1 to k - 1 do
+    let total = Array.fold_left ( +. ) 0.0 d2 in
+    let pick =
+      if total <= 0.0 then Rng.int rng n
+      else begin
+        let target = Rng.float rng total in
+        let acc = ref 0.0 and chosen = ref (n - 1) in
+        (try
+           Array.iteri
+             (fun i d ->
+               acc := !acc +. d;
+               if !acc >= target then begin
+                 chosen := i;
+                 raise Exit
+               end)
+             d2
+         with Exit -> ());
+        !chosen
+      end
+    in
+    seeds.(s) <- points.(pick);
+    Array.iteri
+      (fun i p -> d2.(i) <- Float.min d2.(i) (weights.(i) *. sq_dist p seeds.(s)))
+      points
+  done;
+  seeds
+
+let kmeans rng ~k ?weights ?(iterations = 20) points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Stream_kmeans.kmeans: no points";
+  if k < 1 then invalid_arg "Stream_kmeans.kmeans: k must be >= 1";
+  let dim = Array.length points.(0) in
+  let weights = match weights with None -> Array.make n 1.0 | Some w -> w in
+  if Array.length weights <> n then invalid_arg "Stream_kmeans.kmeans: weights length mismatch";
+  let k = min k n in
+  let centres = Array.map Array.copy (seed_plus_plus rng ~k ~weights points) in
+  let assignment = Array.make n 0 in
+  let changed = ref true in
+  let iter = ref 0 in
+  while !changed && !iter < iterations do
+    incr iter;
+    changed := false;
+    Array.iteri
+      (fun i p ->
+        let a, _ = nearest centres p in
+        if a <> assignment.(i) then begin
+          assignment.(i) <- a;
+          changed := true
+        end)
+      points;
+    (* weighted centroid update; empty clusters keep their centre *)
+    let sums = Array.init k (fun _ -> Array.make dim 0.0) in
+    let mass = Array.make k 0.0 in
+    Array.iteri
+      (fun i p ->
+        let a = assignment.(i) in
+        mass.(a) <- mass.(a) +. weights.(i);
+        for d = 0 to dim - 1 do
+          sums.(a).(d) <- sums.(a).(d) +. (weights.(i) *. p.(d))
+        done)
+      points;
+    Array.iteri
+      (fun c s ->
+        if mass.(c) > 0.0 then
+          centres.(c) <- Array.map (fun x -> x /. mass.(c)) s)
+      sums
+  done;
+  (* attach final weights *)
+  let mass = Array.make k 0.0 in
+  Array.iteri (fun i p -> let a, _ = nearest centres p in mass.(a) <- mass.(a) +. weights.(i))
+    points;
+  Array.init k (fun c -> (centres.(c), mass.(c)))
+
+type t = {
+  rng : Rng.t;
+  k : int;
+  dim : int;
+  chunk_size : int;
+  buffer : float array Sh_util.Vec.t;           (* raw points awaiting reduction *)
+  summary : (float array * float) Sh_util.Vec.t;(* weighted centroids retained *)
+  mutable seen : int;
+}
+
+let create rng ~k ~dim ~chunk_size =
+  if k < 1 then invalid_arg "Stream_kmeans.create: k must be >= 1";
+  if dim < 1 then invalid_arg "Stream_kmeans.create: dim must be >= 1";
+  if chunk_size < k then invalid_arg "Stream_kmeans.create: chunk_size must be >= k";
+  {
+    rng;
+    k;
+    dim;
+    chunk_size;
+    buffer = Sh_util.Vec.create ();
+    summary = Sh_util.Vec.create ();
+    seen = 0;
+  }
+
+(* Phase-1 reduction of the raw buffer into k weighted centroids. *)
+let reduce_buffer t =
+  if not (Sh_util.Vec.is_empty t.buffer) then begin
+    let points = Sh_util.Vec.to_array t.buffer in
+    Sh_util.Vec.clear t.buffer;
+    Array.iter (fun c -> Sh_util.Vec.push t.summary c) (kmeans t.rng ~k:t.k points)
+  end
+
+(* Phase-2: when the retained centroids outgrow a chunk, re-cluster them
+   (weighted) back down to k. *)
+let compact_summary t =
+  if Sh_util.Vec.length t.summary > t.chunk_size then begin
+    let entries = Sh_util.Vec.to_array t.summary in
+    Sh_util.Vec.clear t.summary;
+    let points = Array.map fst entries in
+    let weights = Array.map snd entries in
+    Array.iter (fun c -> Sh_util.Vec.push t.summary c) (kmeans t.rng ~k:t.k ~weights points)
+  end
+
+let add t p =
+  if Array.length p <> t.dim then invalid_arg "Stream_kmeans.add: dimension mismatch";
+  t.seen <- t.seen + 1;
+  Sh_util.Vec.push t.buffer (Array.copy p);
+  if Sh_util.Vec.length t.buffer >= t.chunk_size then begin
+    reduce_buffer t;
+    compact_summary t
+  end
+
+let points_seen t = t.seen
+
+let centroids t =
+  reduce_buffer t;
+  compact_summary t;
+  if Sh_util.Vec.is_empty t.summary then [||]
+  else begin
+    let entries = Sh_util.Vec.to_array t.summary in
+    if Array.length entries <= t.k then entries
+    else begin
+      let points = Array.map fst entries in
+      let weights = Array.map snd entries in
+      kmeans t.rng ~k:t.k ~weights points
+    end
+  end
+
+let assign t p =
+  let cs = centroids t in
+  if Array.length cs = 0 then invalid_arg "Stream_kmeans.assign: no points seen";
+  fst (nearest (Array.map fst cs) p)
+
+let cost t data =
+  let cs = centroids t in
+  if Array.length cs = 0 then invalid_arg "Stream_kmeans.cost: no points seen";
+  let centres = Array.map fst cs in
+  Array.fold_left (fun acc p -> acc +. snd (nearest centres p)) 0.0 data

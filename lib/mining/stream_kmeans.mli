@@ -1,0 +1,40 @@
+(** One-pass k-means clustering of a stream of vectors, after the
+    two-phase STREAM scheme of Guha, Mishra, Motwani & O'Callaghan
+    \[GMMO00\] (cited by the paper as the companion stream-clustering
+    result): buffer a chunk of points, reduce it to k weighted centroids
+    with (weighted) k-means++, keep only the centroids, and periodically
+    re-cluster the retained centroids so memory stays bounded.
+
+    The guarantee of the original paper is for k-median; this
+    implementation follows the same structure with the k-means objective,
+    which is what the experiments use. *)
+
+type t
+
+val create : Sh_util.Rng.t -> k:int -> dim:int -> chunk_size:int -> t
+(** [chunk_size] points are buffered per phase-1 reduction;
+    [chunk_size >= k >= 1]. *)
+
+val add : t -> float array -> unit
+(** Feed the next vector (length [dim]). *)
+
+val points_seen : t -> int
+
+val centroids : t -> (float array * float) array
+(** Current k (or fewer) cluster centres with their absorbed weights.
+    Flushes buffered points first. *)
+
+val assign : t -> float array -> int
+(** Index (into {!centroids}) of the nearest centre.  Raises
+    [Invalid_argument] before any point has been added. *)
+
+val cost : t -> float array array -> float
+(** Sum over the given vectors of squared distance to their nearest
+    centre — the k-means objective, for evaluating clustering quality. *)
+
+val kmeans :
+  Sh_util.Rng.t ->
+  k:int -> ?weights:float array -> ?iterations:int -> float array array ->
+  (float array * float) array
+(** The offline weighted k-means++ used internally, exposed as the
+    batch baseline: returns (centre, weight) pairs. *)

@@ -1,0 +1,68 @@
+type t = {
+  rows : int;
+  cols : int;
+  (* (rows+1) x (cols+1) summed-area tables; entry (r, c) covers the cell
+     block [0..r-1] x [0..c-1] *)
+  sum : float array array;
+  sqsum : float array array;
+}
+
+let make cells =
+  let rows = Array.length cells in
+  if rows = 0 then invalid_arg "Grid.make: empty grid";
+  let cols = Array.length cells.(0) in
+  if cols = 0 then invalid_arg "Grid.make: empty grid";
+  Array.iter
+    (fun row -> if Array.length row <> cols then invalid_arg "Grid.make: ragged grid")
+    cells;
+  let sum = Array.make_matrix (rows + 1) (cols + 1) 0.0 in
+  let sqsum = Array.make_matrix (rows + 1) (cols + 1) 0.0 in
+  for r = 1 to rows do
+    for c = 1 to cols do
+      let v = cells.(r - 1).(c - 1) in
+      sum.(r).(c) <- v +. sum.(r - 1).(c) +. sum.(r).(c - 1) -. sum.(r - 1).(c - 1);
+      sqsum.(r).(c) <-
+        (v *. v) +. sqsum.(r - 1).(c) +. sqsum.(r).(c - 1) -. sqsum.(r - 1).(c - 1)
+    done
+  done;
+  { rows; cols; sum; sqsum }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let block table ~r0 ~c0 ~r1 ~c1 =
+  table.(r1 + 1).(c1 + 1) -. table.(r0).(c1 + 1) -. table.(r1 + 1).(c0) +. table.(r0).(c0)
+
+let check t ~r0 ~c0 ~r1 ~c1 =
+  if r0 < 0 || c0 < 0 || r1 >= t.rows || c1 >= t.cols then
+    invalid_arg "Grid: block out of bounds"
+
+let range_sum t ~r0 ~c0 ~r1 ~c1 =
+  if r0 > r1 || c0 > c1 then 0.0
+  else begin
+    check t ~r0 ~c0 ~r1 ~c1;
+    block t.sum ~r0 ~c0 ~r1 ~c1
+  end
+
+let range_sqsum t ~r0 ~c0 ~r1 ~c1 =
+  if r0 > r1 || c0 > c1 then 0.0
+  else begin
+    check t ~r0 ~c0 ~r1 ~c1;
+    block t.sqsum ~r0 ~c0 ~r1 ~c1
+  end
+
+let mean t ~r0 ~c0 ~r1 ~c1 =
+  if r0 > r1 || c0 > c1 then 0.0
+  else begin
+    let cells = Float.of_int ((r1 - r0 + 1) * (c1 - c0 + 1)) in
+    range_sum t ~r0 ~c0 ~r1 ~c1 /. cells
+  end
+
+let sse t ~r0 ~c0 ~r1 ~c1 =
+  if r0 > r1 || c0 > c1 then 0.0
+  else begin
+    let s = range_sum t ~r0 ~c0 ~r1 ~c1 in
+    let q = range_sqsum t ~r0 ~c0 ~r1 ~c1 in
+    let cells = Float.of_int ((r1 - r0 + 1) * (c1 - c0 + 1)) in
+    Float.max 0.0 (q -. (s *. s /. cells))
+  end

@@ -1,0 +1,26 @@
+(** Two-dimensional prefix sums (summed-area tables) over a frequency or
+    measure grid — the 2-D analogue of {!Sh_prefix.Prefix_sums}, the
+    substrate for multidimensional histograms ([PI97], [LKC99] in the
+    paper's bibliography).
+
+    Cells are addressed by 0-based [(row, col)]; ranges are inclusive. *)
+
+type t
+
+val make : float array array -> t
+(** Preprocess a rectangular grid in O(rows x cols).  Raises on an empty
+    or ragged grid. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val range_sum : t -> r0:int -> c0:int -> r1:int -> c1:int -> float
+(** Sum over the cell block [\[r0..r1\] x \[c0..c1\]], O(1).  Empty ranges
+    ([r0 > r1] or [c0 > c1]) sum to [0.]. *)
+
+val range_sqsum : t -> r0:int -> c0:int -> r1:int -> c1:int -> float
+
+val sse : t -> r0:int -> c0:int -> r1:int -> c1:int -> float
+(** SSE of representing the block by its mean — the 2-D SQERROR. *)
+
+val mean : t -> r0:int -> c0:int -> r1:int -> c1:int -> float

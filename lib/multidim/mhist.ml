@@ -1,0 +1,129 @@
+module Heap = Sh_util.Heap
+
+type bucket = { r0 : int; c0 : int; r1 : int; c1 : int; value : float }
+type t = { grid_rows : int; grid_cols : int; buckets : bucket array }
+
+type region = { rr0 : int; rc0 : int; rr1 : int; rc1 : int; err : float }
+
+(* Best split of a region: try every horizontal and vertical cut; return
+   the resulting pair with the smallest combined SSE, or None for unit
+   regions.  Cost ties are broken towards the more balanced cut (on flat
+   cost landscapes — e.g. symmetric mass — unbalanced first cuts would
+   strand the budget on slivers). *)
+let best_split grid region =
+  let { rr0; rc0; rr1; rc1; _ } = region in
+  let area r = (r.rr1 - r.rr0 + 1) * (r.rc1 - r.rc0 + 1) in
+  let best = ref None in
+  let consider a b =
+    let cost = a.err +. b.err in
+    let balance = abs (area a - area b) in
+    let better =
+      match !best with
+      | None -> true
+      | Some (c, bal, _, _) ->
+        let tie = Float.abs (cost -. c) <= 1e-9 *. (1.0 +. Float.abs c) in
+        cost < c && not tie || (tie && balance < bal)
+    in
+    if better then best := Some (cost, balance, a, b)
+  in
+  let mk r0 c0 r1 c1 =
+    { rr0 = r0; rc0 = c0; rr1 = r1; rc1 = c1; err = Grid.sse grid ~r0 ~c0 ~r1 ~c1 }
+  in
+  for r = rr0 to rr1 - 1 do
+    consider (mk rr0 rc0 r rc1) (mk (r + 1) rc0 rr1 rc1)
+  done;
+  for c = rc0 to rc1 - 1 do
+    consider (mk rr0 rc0 rr1 c) (mk rr0 (c + 1) rr1 rc1)
+  done;
+  match !best with None -> None | Some (_, _, a, b) -> Some (a, b)
+
+let build cells ~buckets =
+  if buckets < 1 then invalid_arg "Mhist.build: buckets must be >= 1";
+  let grid = Grid.make cells in
+  let nr = Grid.rows grid and nc = Grid.cols grid in
+  (* max-heap on region SSE: always split the worst bucket *)
+  let heap = Heap.create ~cmp:(fun a b -> compare b.err a.err) in
+  Heap.add heap { rr0 = 0; rc0 = 0; rr1 = nr - 1; rc1 = nc - 1;
+                  err = Grid.sse grid ~r0:0 ~c0:0 ~r1:(nr - 1) ~c1:(nc - 1) };
+  let finished = ref [] in
+  let continue = ref true in
+  while !continue && Heap.length heap + List.length !finished < buckets do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some worst ->
+      if worst.err <= 0.0 then begin
+        (* everything remaining is already exact *)
+        finished := worst :: !finished;
+        continue := Heap.length heap > 0
+      end
+      else begin
+        match best_split grid worst with
+        | None -> finished := worst :: !finished (* unit region, unsplittable *)
+        | Some (a, b) ->
+          Heap.add heap a;
+          Heap.add heap b
+      end
+  done;
+  let regions = ref !finished in
+  Heap.iter (fun r -> regions := r :: !regions) heap;
+  let to_bucket r =
+    {
+      r0 = r.rr0;
+      c0 = r.rc0;
+      r1 = r.rr1;
+      c1 = r.rc1;
+      value = Grid.mean grid ~r0:r.rr0 ~c0:r.rc0 ~r1:r.rr1 ~c1:r.rc1;
+    }
+  in
+  { grid_rows = nr; grid_cols = nc; buckets = Array.of_list (List.map to_bucket !regions) }
+
+let bucket_count t = Array.length t.buckets
+
+let point_estimate t ~row ~col =
+  if row < 0 || row >= t.grid_rows || col < 0 || col >= t.grid_cols then
+    invalid_arg "Mhist.point_estimate: cell out of bounds";
+  let found = ref None in
+  Array.iter
+    (fun b ->
+      if row >= b.r0 && row <= b.r1 && col >= b.c0 && col <= b.c1 then found := Some b.value)
+    t.buckets;
+  match !found with
+  | Some v -> v
+  | None -> assert false (* buckets tile the grid *)
+
+let range_sum_estimate t ~r0 ~c0 ~r1 ~c1 =
+  if r0 > r1 || c0 > c1 then 0.0
+  else begin
+    if r0 < 0 || c0 < 0 || r1 >= t.grid_rows || c1 >= t.grid_cols then
+      invalid_arg "Mhist.range_sum_estimate: block out of bounds";
+    let acc = ref 0.0 in
+    Array.iter
+      (fun b ->
+        let or0 = max r0 b.r0 and or1 = min r1 b.r1 in
+        let oc0 = max c0 b.c0 and oc1 = min c1 b.c1 in
+        if or0 <= or1 && oc0 <= oc1 then
+          acc := !acc +. (b.value *. Float.of_int ((or1 - or0 + 1) * (oc1 - oc0 + 1))))
+      t.buckets;
+    !acc
+  end
+
+let sse t cells =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun b ->
+      for r = b.r0 to b.r1 do
+        for c = b.c0 to b.c1 do
+          let d = cells.(r).(c) -. b.value in
+          acc := !acc +. (d *. d)
+        done
+      done)
+    t.buckets;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>mhist %dx%d B=%d" t.grid_rows t.grid_cols (Array.length t.buckets);
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "@,  [%d..%d]x[%d..%d] = %.6g" b.r0 b.r1 b.c0 b.c1 b.value)
+    t.buckets;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** MHIST-style multidimensional histograms (Poosala & Ioannidis [PI97],
+    "Selectivity Estimation Without the Attribute Value Independence
+    Assumption" — the query-optimisation line of work the paper's
+    introduction builds on).
+
+    Greedy recursive partitioning of a 2-D grid into B rectangular
+    buckets: repeatedly pick the bucket with the largest SSE and split it
+    at the (dimension, position) that reduces SSE the most.  Each bucket
+    is represented by its mean; 2-D range sums are answered under the
+    uniform-within-bucket assumption.
+
+    This generalises the 1-D V-optimal goal greedily (the exact 2-D
+    problem is NP-hard), and reduces to a near-V-optimal partition when
+    the grid is a single row. *)
+
+type bucket = {
+  r0 : int;
+  c0 : int;
+  r1 : int;
+  c1 : int;     (** inclusive cell block *)
+  value : float;(** block mean *)
+}
+
+type t = private {
+  grid_rows : int;
+  grid_cols : int;
+  buckets : bucket array; (** disjoint blocks covering the grid *)
+}
+
+val build : float array array -> buckets:int -> t
+(** Partition the grid into at most [buckets] rectangles. *)
+
+val bucket_count : t -> int
+
+val sse : t -> float array array -> float
+(** Exact SSE of the representation against the grid. *)
+
+val point_estimate : t -> row:int -> col:int -> float
+(** Estimated cell value (the covering bucket's mean). *)
+
+val range_sum_estimate : t -> r0:int -> c0:int -> r1:int -> c1:int -> float
+(** Estimated sum over a cell block: per-bucket mean x overlap area. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type t = { sum : float array; sqsum : float array }
+(* sum.(i) = v_1 + ... + v_i, with sum.(0) = 0; likewise sqsum for squares. *)
+
+let of_sub values ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length values then
+    invalid_arg "Prefix_sums.of_sub: slice out of bounds";
+  let sum = Array.make (len + 1) 0.0 in
+  let sqsum = Array.make (len + 1) 0.0 in
+  for i = 1 to len do
+    let v = values.(pos + i - 1) in
+    sum.(i) <- sum.(i - 1) +. v;
+    sqsum.(i) <- sqsum.(i - 1) +. (v *. v)
+  done;
+  { sum; sqsum }
+
+let make values = of_sub values ~pos:0 ~len:(Array.length values)
+
+let length t = Array.length t.sum - 1
+
+let check t ~lo ~hi =
+  if lo < 1 || hi > length t then invalid_arg "Prefix_sums: range out of bounds"
+
+let range_sum t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    check t ~lo ~hi;
+    t.sum.(hi) -. t.sum.(lo - 1)
+  end
+
+let range_sqsum t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    check t ~lo ~hi;
+    t.sqsum.(hi) -. t.sqsum.(lo - 1)
+  end
+
+let range_mean t ~lo ~hi =
+  if lo > hi then 0.0
+  else range_sum t ~lo ~hi /. Float.of_int (hi - lo + 1)
+
+let sqerror t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    let s = range_sum t ~lo ~hi in
+    let q = range_sqsum t ~lo ~hi in
+    let n = Float.of_int (hi - lo + 1) in
+    Float.max 0.0 (q -. (s *. s /. n))
+  end

@@ -1,0 +1,36 @@
+(** Static prefix sums over a finite sequence.
+
+    This is the SUM / SQSUM pair of Equation 3 in the paper: given data
+    [v_1 .. v_n], it stores the cumulative sums of values and of squared
+    values so that the V-optimal bucket error SQERROR(i, j) of Equation 2
+    is an O(1) computation.
+
+    Indices are 1-based and ranges are inclusive, matching the paper's
+    notation; index 0 denotes the empty prefix. *)
+
+type t
+
+val make : float array -> t
+(** [make values] preprocesses [values] in O(n). *)
+
+val of_sub : float array -> pos:int -> len:int -> t
+(** [of_sub values ~pos ~len] preprocesses the slice
+    [values.(pos .. pos+len-1)] without copying it twice. *)
+
+val length : t -> int
+(** Number of data points n. *)
+
+val range_sum : t -> lo:int -> hi:int -> float
+(** Sum of [v_lo .. v_hi].  Requires [1 <= lo] and [hi <= n]; an empty range
+    ([lo > hi]) sums to [0.]. *)
+
+val range_sqsum : t -> lo:int -> hi:int -> float
+(** Sum of squares over the range, same conventions. *)
+
+val range_mean : t -> lo:int -> hi:int -> float
+(** Mean of the range; [0.] on an empty range. *)
+
+val sqerror : t -> lo:int -> hi:int -> float
+(** SQERROR(lo, hi) of Equation 2: the SSE of representing the range by its
+    mean.  Clamped to be non-negative (floating-point round-off can push the
+    algebraic form slightly below zero). *)

@@ -1,0 +1,81 @@
+type t = {
+  cap : int;
+  rebase_every : int;
+  sum : float array;    (* ring of cap+1 cumulative sums from a past origin *)
+  sqsum : float array;
+  mutable pos : int;    (* ring slot of the most recent cumulative value *)
+  mutable count : int;  (* points currently in the window *)
+  mutable since_rebase : int;
+}
+
+let create ?rebase_every ~capacity () =
+  if capacity < 1 then invalid_arg "Sliding_prefix.create: capacity must be >= 1";
+  let rebase_every = match rebase_every with None -> capacity | Some r -> r in
+  if rebase_every < 1 then invalid_arg "Sliding_prefix.create: rebase_every must be >= 1";
+  {
+    cap = capacity;
+    rebase_every;
+    sum = Array.make (capacity + 1) 0.0;
+    sqsum = Array.make (capacity + 1) 0.0;
+    pos = 0;
+    count = 0;
+    since_rebase = 0;
+  }
+
+let capacity t = t.cap
+let length t = t.count
+
+(* Ring slot of the cumulative value for window-relative index i,
+   where i = 0 is the sentinel just before the window's oldest point. *)
+let slot t i = (t.pos - t.count + i + (2 * (t.cap + 1))) mod (t.cap + 1)
+
+(* Shift the origin to the start of the current window: subtract the
+   sentinel cumulative from every live slot.  Differences are unchanged. *)
+let rebase t =
+  let base_sum = t.sum.(slot t 0) in
+  let base_sq = t.sqsum.(slot t 0) in
+  for i = 0 to t.count do
+    let s = slot t i in
+    t.sum.(s) <- t.sum.(s) -. base_sum;
+    t.sqsum.(s) <- t.sqsum.(s) -. base_sq
+  done;
+  t.since_rebase <- 0
+
+let push t v =
+  let prev = t.pos in
+  t.pos <- (t.pos + 1) mod (t.cap + 1);
+  t.sum.(t.pos) <- t.sum.(prev) +. v;
+  t.sqsum.(t.pos) <- t.sqsum.(prev) +. (v *. v);
+  if t.count < t.cap then t.count <- t.count + 1;
+  t.since_rebase <- t.since_rebase + 1;
+  if t.since_rebase >= t.rebase_every then rebase t
+
+let check t ~lo ~hi =
+  if lo < 1 || hi > t.count then invalid_arg "Sliding_prefix: range out of bounds"
+
+let range_sum t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    check t ~lo ~hi;
+    t.sum.(slot t hi) -. t.sum.(slot t (lo - 1))
+  end
+
+let range_sqsum t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    check t ~lo ~hi;
+    t.sqsum.(slot t hi) -. t.sqsum.(slot t (lo - 1))
+  end
+
+let range_mean t ~lo ~hi =
+  if lo > hi then 0.0
+  else range_sum t ~lo ~hi /. Float.of_int (hi - lo + 1)
+
+let sqerror t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    let s = range_sum t ~lo ~hi in
+    let q = range_sqsum t ~lo ~hi in
+    let n = Float.of_int (hi - lo + 1) in
+    Float.max 0.0 (q -. (s *. s /. n))
+  end

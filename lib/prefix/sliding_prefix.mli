@@ -1,0 +1,42 @@
+(** Sliding-window prefix sums — the paper's SUM' / SQSUM' structure
+    (Section 4.5).
+
+    The structure ingests a stream one point at a time and supports O(1)
+    range-sum, range-square-sum and SQERROR queries over the window of the
+    most recent [capacity] points.  Internally it keeps cumulative sums from
+    a past origin in a ring of [capacity + 1] slots; differences of
+    cumulative values are origin-independent, and the origin is shifted
+    ("rebased") every [capacity] insertions so magnitudes stay bounded —
+    exactly the amortised-O(1) trick described in the paper.
+
+    Window-relative indices are 1-based: index 1 is the oldest point
+    currently in the window, [length t] the newest. *)
+
+type t
+
+val create : ?rebase_every:int -> capacity:int -> unit -> t
+(** Window over the last [capacity] points.  [capacity >= 1].
+    [rebase_every] (default [capacity]) controls how often the origin is
+    shifted; larger periods trade fewer O(capacity) rebase passes for more
+    floating-point drift in the stored cumulative sums (exposed for the
+    rebase-period ablation benchmark). *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Number of points currently held, [<= capacity]. *)
+
+val push : t -> float -> unit
+(** Append the next stream value; evicts the oldest once full.  Amortised
+    O(1), worst case O(capacity) on rebase ticks. *)
+
+val range_sum : t -> lo:int -> hi:int -> float
+(** Sum of window points [lo .. hi] inclusive; empty ranges sum to [0.].
+    Requires [1 <= lo] and [hi <= length t] when non-empty. *)
+
+val range_sqsum : t -> lo:int -> hi:int -> float
+
+val sqerror : t -> lo:int -> hi:int -> float
+(** SQERROR(lo, hi) over the current window, clamped non-negative. *)
+
+val range_mean : t -> lo:int -> hi:int -> float

@@ -1,0 +1,96 @@
+type t = {
+  k : int;
+  mutable pending : float list; (* unsorted level-0 accumulation *)
+  mutable pending_len : int;
+  mutable levels : float array option array; (* levels.(l): sorted buffer, weight 2^l *)
+  mutable n : int;
+  mutable flip : bool; (* alternating halving offset keeps ranks unbiased *)
+}
+
+let create ~buffer_size =
+  if buffer_size < 2 then invalid_arg "Mrl.create: buffer_size must be >= 2";
+  { k = buffer_size; pending = []; pending_len = 0; levels = Array.make 8 None; n = 0; flip = false }
+
+let count t = t.n
+
+let size t =
+  Array.fold_left (fun acc -> function None -> acc | Some b -> acc + Array.length b)
+    t.pending_len t.levels
+
+(* Merge two sorted same-weight buffers and keep every other element of
+   the merged order. *)
+let merge_halve t a b =
+  let k = t.k in
+  let merged = Array.make (2 * k) 0.0 in
+  let i = ref 0 and j = ref 0 in
+  for m = 0 to (2 * k) - 1 do
+    if !i < k && (!j >= k || a.(!i) <= b.(!j)) then begin
+      merged.(m) <- a.(!i);
+      incr i
+    end
+    else begin
+      merged.(m) <- b.(!j);
+      incr j
+    end
+  done;
+  let offset = if t.flip then 1 else 0 in
+  t.flip <- not t.flip;
+  Array.init k (fun m -> merged.((2 * m) + offset))
+
+let rec place t buf level =
+  if level >= Array.length t.levels then begin
+    let bigger = Array.make (2 * Array.length t.levels) None in
+    Array.blit t.levels 0 bigger 0 (Array.length t.levels);
+    t.levels <- bigger
+  end;
+  match t.levels.(level) with
+  | None -> t.levels.(level) <- Some buf
+  | Some other ->
+    t.levels.(level) <- None;
+    place t (merge_halve t other buf) (level + 1)
+
+let insert t v =
+  if not (Float.is_finite v) then invalid_arg "Mrl.insert: non-finite value";
+  t.n <- t.n + 1;
+  t.pending <- v :: t.pending;
+  t.pending_len <- t.pending_len + 1;
+  if t.pending_len = t.k then begin
+    let buf = Array.of_list t.pending in
+    Array.sort compare buf;
+    t.pending <- [];
+    t.pending_len <- 0;
+    place t buf 0
+  end
+
+let quantile t phi =
+  if phi < 0.0 || phi > 1.0 then invalid_arg "Mrl.quantile: phi out of [0, 1]";
+  if t.n = 0 then invalid_arg "Mrl.quantile: empty summary";
+  (* weighted merge of everything retained *)
+  let entries = ref (List.map (fun v -> (v, 1)) t.pending) in
+  Array.iteri
+    (fun level slot ->
+      match slot with
+      | None -> ()
+      | Some buf ->
+        let w = 1 lsl level in
+        Array.iter (fun v -> entries := (v, w) :: !entries) buf)
+    t.levels;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !entries in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 sorted in
+  let target = max 1 (min total (int_of_float (ceil (phi *. Float.of_int total)))) in
+  let rec walk acc = function
+    | [] -> invalid_arg "Mrl.quantile: empty summary"
+    | [ (v, _) ] -> v
+    | (v, w) :: rest -> if acc + w >= target then v else walk (acc + w) rest
+  in
+  walk 0 sorted
+
+(* A buffer that reached level l went through l merge-and-halve steps; each
+   step at weight w adds at most w rank uncertainty, so its contribution is
+   bounded by 2^l - 1.  Query error is at most the sum over live buffers. *)
+let rank_error_bound t =
+  let acc = ref 0 in
+  Array.iteri
+    (fun level slot -> match slot with None -> () | Some _ -> acc := !acc + ((1 lsl level) - 1))
+    t.levels;
+  !acc

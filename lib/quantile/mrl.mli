@@ -1,0 +1,34 @@
+(** Merge-and-prune approximate quantiles, after Manku, Rajagopalan &
+    Lindsay \[SRL98\] (whose buffer-collapse scheme descends from Munro &
+    Paterson \[MP80\] — both cited by the paper).  This is the baseline GK
+    \[GK01\] improves on.
+
+    Structure: a cascade of buffers of [buffer_size] sorted values, one
+    per level; a buffer at level l represents each stored value with
+    weight 2^l.  When two buffers meet at a level they are merged and
+    halved (every other element of the merged order survives, with an
+    alternating offset to keep ranks unbiased), producing one buffer a
+    level up.  Space is O(buffer_size x log(n / buffer_size)); the rank
+    error of a query grows with the number of collapses, roughly
+    (levels / 2) x (n / buffer_size x levels)... in practice
+    n x levels / (2 x buffer_size).  {!rank_error_bound} reports the
+    structure's own conservative bound for the current state. *)
+
+type t
+
+val create : buffer_size:int -> t
+(** [buffer_size >= 2]. *)
+
+val count : t -> int
+
+val size : t -> int
+(** Total values currently stored across all buffers. *)
+
+val insert : t -> float -> unit
+
+val quantile : t -> float -> float
+(** [quantile t phi], phi in [\[0, 1\]].  Raises when empty. *)
+
+val rank_error_bound : t -> int
+(** Conservative bound on the absolute rank error of any quantile answer,
+    given the collapses performed so far. *)

@@ -1,0 +1,33 @@
+module Rng = Sh_util.Rng
+module Stats = Sh_util.Stats
+
+type t = { rng : Rng.t; slots : float array; mutable filled : int; mutable seen : int }
+
+let create rng ~size =
+  if size < 1 then invalid_arg "Reservoir.create: size must be >= 1";
+  { rng; slots = Array.make size 0.0; filled = 0; seen = 0 }
+
+let add t v =
+  t.seen <- t.seen + 1;
+  if t.filled < Array.length t.slots then begin
+    t.slots.(t.filled) <- v;
+    t.filled <- t.filled + 1
+  end
+  else begin
+    (* Keep v with probability size/seen, replacing a uniform victim. *)
+    let j = Rng.int t.rng t.seen in
+    if j < Array.length t.slots then t.slots.(j) <- v
+  end
+
+let seen t = t.seen
+let sample t = Array.sub t.slots 0 t.filled
+
+let quantile t phi =
+  if t.filled = 0 then invalid_arg "Reservoir.quantile: empty reservoir";
+  Stats.quantile (sample t) phi
+
+let mean t =
+  if t.filled = 0 then invalid_arg "Reservoir.mean: empty reservoir";
+  Stats.mean (sample t)
+
+let sum_estimate t = if t.filled = 0 then 0.0 else mean t *. Float.of_int t.seen

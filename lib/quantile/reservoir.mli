@@ -1,0 +1,26 @@
+(** Reservoir sampling (Vitter's algorithm R): a uniform random sample of a
+    stream of unknown length in one pass — the random-sampling baseline of
+    the related-work section ([SRL99]). *)
+
+type t
+
+val create : Sh_util.Rng.t -> size:int -> t
+(** Reservoir of [size] slots; [size >= 1]. *)
+
+val add : t -> float -> unit
+
+val seen : t -> int
+(** Stream length so far. *)
+
+val sample : t -> float array
+(** Current sample (length [min size seen]), in reservoir order. *)
+
+val quantile : t -> float -> float
+(** Sample quantile — an estimate of the stream quantile.  Raises
+    [Invalid_argument] when empty. *)
+
+val mean : t -> float
+(** Sample mean (estimates the stream mean).  Raises when empty. *)
+
+val sum_estimate : t -> float
+(** Sample-scaled estimate of the stream sum: mean x seen. *)

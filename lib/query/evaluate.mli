@@ -1,0 +1,11 @@
+(** Accuracy evaluation of a synopsis estimator against ground truth. *)
+
+val range_sum_errors :
+  truth:Estimator.t -> Estimator.t -> Workload.range_query array -> Sh_util.Metrics.summary
+(** Run every range-sum query through both estimators and summarise the
+    errors.  Raises [Invalid_argument] when the index ranges disagree. *)
+
+val point_errors : truth:Estimator.t -> Estimator.t -> int array -> Sh_util.Metrics.summary
+
+val range_avg_errors :
+  truth:Estimator.t -> Estimator.t -> Workload.range_query array -> Sh_util.Metrics.summary

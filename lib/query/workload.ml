@@ -1,0 +1,17 @@
+module Rng = Sh_util.Rng
+
+type range_query = { lo : int; hi : int }
+
+let random_ranges_span rng ~n ~count ~max_span =
+  if n < 1 then invalid_arg "Workload.random_ranges: n must be >= 1";
+  if max_span < 1 then invalid_arg "Workload.random_ranges: max_span must be >= 1";
+  Array.init count (fun _ ->
+      let lo = 1 + Rng.int rng n in
+      let span = 1 + Rng.int rng (min max_span (n - lo + 1)) in
+      { lo; hi = lo + span - 1 })
+
+let random_ranges rng ~n ~count = random_ranges_span rng ~n ~count ~max_span:n
+
+let random_points rng ~n ~count =
+  if n < 1 then invalid_arg "Workload.random_points: n must be >= 1";
+  Array.init count (fun _ -> 1 + Rng.int rng n)

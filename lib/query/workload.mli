@@ -1,0 +1,16 @@
+(** Query workload generation — Section 5.1 of the paper: "the starting
+    points as well as the span of the queries (size of the requested
+    aggregation range) is chosen uniformly and independently". *)
+
+type range_query = { lo : int; hi : int }
+
+val random_ranges : Sh_util.Rng.t -> n:int -> count:int -> range_query array
+(** [count] queries over [\[1, n\]]: start uniform in [\[1, n\]], span
+    uniform in [\[1, n - start + 1\]]. *)
+
+val random_ranges_span :
+  Sh_util.Rng.t -> n:int -> count:int -> max_span:int -> range_query array
+(** Same with the span capped at [max_span] (short-range workload). *)
+
+val random_points : Sh_util.Rng.t -> n:int -> count:int -> int array
+(** Uniform point queries. *)

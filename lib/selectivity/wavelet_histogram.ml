@@ -1,0 +1,57 @@
+module Syn = Sh_wavelet.Synopsis
+
+type t = {
+  total : float;
+  lo : float;       (* domain minimum *)
+  width : float;    (* cell width *)
+  bins : int;
+  synopsis : Syn.t; (* top-B Haar synopsis of the cell-frequency vector *)
+}
+
+let build data ~coeffs ~domain_bins =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Wavelet_histogram.build: empty data";
+  if domain_bins < 1 then invalid_arg "Wavelet_histogram.build: domain_bins must be >= 1";
+  let lo, hi = Sh_util.Stats.min_max data in
+  let hi = if hi = lo then lo +. 1.0 else hi in
+  let width = (hi -. lo) /. Float.of_int domain_bins in
+  let freq = Array.make domain_bins 0.0 in
+  Array.iter
+    (fun v ->
+      let i = int_of_float ((v -. lo) /. width) in
+      let i = if i < 0 then 0 else if i >= domain_bins then domain_bins - 1 else i in
+      freq.(i) <- freq.(i) +. 1.0)
+    data;
+  { total = Float.of_int n; lo; width; bins = domain_bins; synopsis = Syn.build freq ~coeffs }
+
+let total t = t.total
+let stored_coefficients t = Syn.stored_coefficients t.synopsis
+
+let selectivity_range t ~lo ~hi =
+  if hi < lo || t.total <= 0.0 then 0.0
+  else begin
+    (* cells whose range intersects [lo, hi] *)
+    let first = int_of_float (Float.floor ((lo -. t.lo) /. t.width)) in
+    let last = int_of_float (Float.floor ((hi -. t.lo) /. t.width)) in
+    let first = max 0 first and last = min (t.bins - 1) last in
+    if first > last then 0.0
+    else begin
+      (* reconstruct the covered cells; clip negative frequencies, a
+         well-known artefact of thresholded wavelet reconstructions *)
+      let acc = ref 0.0 in
+      for cell = first to last do
+        let f = Syn.point_estimate t.synopsis (cell + 1) in
+        if f > 0.0 then begin
+          (* partial overlap of boundary cells, uniform within the cell *)
+          let c_lo = t.lo +. (Float.of_int cell *. t.width) in
+          let c_hi = c_lo +. t.width in
+          let o = (Float.min hi c_hi -. Float.max lo c_lo) /. t.width in
+          let o = Float.min 1.0 (Float.max 0.0 o) in
+          acc := !acc +. (f *. o)
+        end
+      done;
+      Float.min 1.0 (Float.max 0.0 (!acc /. t.total))
+    end
+  end
+
+let estimate_count t ~lo ~hi = selectivity_range t ~lo ~hi *. t.total

@@ -1,0 +1,27 @@
+(** Wavelet-based selectivity histograms — Matias, Vitter & Wang [MVW],
+    the wavelet baseline of the paper, on its home turf: compress the
+    {e frequency vector} of the (discretised) value domain with a top-B
+    Haar synopsis and answer range-selectivity queries from the
+    coefficients.
+
+    This complements {!Value_histogram}: same query interface, transform
+    synopsis instead of bucketing. *)
+
+type t
+
+val build : float array -> coeffs:int -> domain_bins:int -> t
+(** Discretise the value domain of the data into [domain_bins] cells,
+    take the cell-frequency vector, and keep the [coeffs] largest Haar
+    coefficients.  Raises on empty data. *)
+
+val total : t -> float
+(** Number of tuples summarised. *)
+
+val stored_coefficients : t -> int
+
+val selectivity_range : t -> lo:float -> hi:float -> float
+(** Estimated fraction of tuples with value in [\[lo, hi\]], from the
+    reconstructed frequency vector (clamped to [\[0, 1\]]; negative
+    reconstructed frequencies are clipped at query time). *)
+
+val estimate_count : t -> lo:float -> hi:float -> float

@@ -1,0 +1,61 @@
+module Prefix_sums = Sh_prefix.Prefix_sums
+module Synopsis = Sh_wavelet.Synopsis
+
+(* Greedily merge adjacent segments, cheapest SSE increase first, until at
+   most [target] remain.  The candidate set is small (the Haar heuristic
+   yields O(budget) pieces), so a quadratic scan is fine. *)
+let merge_down prefix boundaries ~target =
+  let bounds = ref (Array.to_list boundaries) in
+  let list_length l = List.length l in
+  let merge_cost lo_prev b b' =
+    (* Cost of fusing segments (lo_prev+1 .. b) and (b+1 .. b'). *)
+    Prefix_sums.sqerror prefix ~lo:(lo_prev + 1) ~hi:b'
+    -. Prefix_sums.sqerror prefix ~lo:(lo_prev + 1) ~hi:b
+    -. Prefix_sums.sqerror prefix ~lo:(b + 1) ~hi:b'
+  in
+  while list_length !bounds > target do
+    (* Find the boundary whose removal costs least. *)
+    let rec scan prev_end acc = function
+      | b :: (b' :: _ as rest) ->
+        let cost = merge_cost prev_end b b' in
+        let acc =
+          match acc with
+          | Some (best, _) when best <= cost -> acc
+          | _ -> Some (cost, b)
+        in
+        scan b acc rest
+      | _ -> acc
+    in
+    match scan 0 None !bounds with
+    | None -> bounds := !bounds (* single segment left: loop exits *)
+    | Some (_, victim) -> bounds := List.filter (fun b -> b <> victim) !bounds
+  done;
+  Array.of_list !bounds
+
+let boundaries_of_series series =
+  let n = Array.length series in
+  let out = ref [] in
+  for i = n - 1 downto 1 do
+    if series.(i) <> series.(i - 1) then out := i :: !out
+  done;
+  Array.of_list (!out @ [ n ])
+
+let build data ~segments =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Apca.build: empty series";
+  let m = min (max 1 segments) n in
+  (* Step 1: Haar reconstruction from the m largest coefficients — a
+     piecewise-constant signal with O(m) pieces at dyadic breakpoints. *)
+  let sketch = Synopsis.to_series (Synopsis.build data ~coeffs:m) in
+  let rough = boundaries_of_series sketch in
+  let prefix = Prefix_sums.make data in
+  let boundaries =
+    if Array.length rough <= m then rough else merge_down prefix rough ~target:m
+  in
+  Segments.of_means data ~boundaries
+
+let build_optimal data ~segments =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Apca.build_optimal: empty series";
+  let m = min (max 1 segments) n in
+  Segments.of_histogram (Sh_histogram.Vopt.build data ~buckets:m)

@@ -1,0 +1,19 @@
+(** Adaptive Piecewise Constant Approximation — Keogh, Chakrabarti,
+    Mehrotra & Pazzani [KCMP01], the similarity-search comparator of the
+    paper's Section 5.2.
+
+    [build] follows the original heuristic: Haar-transform the series,
+    keep the [segments] largest coefficients, reconstruct (a piecewise-
+    constant signal with more pieces than the budget), then greedily merge
+    the cheapest adjacent pieces down to the budget.  Finally every segment
+    value is replaced by the exact data mean over the segment, which both
+    improves quality and establishes the lower-bounding property required
+    for no-false-dismissal search. *)
+
+val build : float array -> segments:int -> Segments.t
+
+val build_optimal : float array -> segments:int -> Segments.t
+(** The same representation with the segmentation chosen by the V-optimal
+    dynamic program — what the paper's histogram algorithms approximate.
+    Used to quantify how much segment placement (heuristic vs optimal)
+    matters. *)

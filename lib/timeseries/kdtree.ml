@@ -1,0 +1,116 @@
+module Heap = Sh_util.Heap
+
+type node =
+  | Leaf of int array (* point indices *)
+  | Split of { axis : int; threshold : float; left : node; right : node }
+
+type t = { points : float array array; dim : int; root : node }
+
+let leaf_size = 8
+
+let sq_dist a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let build points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kdtree.build: empty point set";
+  let dim = Array.length points.(0) in
+  if dim = 0 then invalid_arg "Kdtree.build: zero-dimensional points";
+  Array.iter
+    (fun p -> if Array.length p <> dim then invalid_arg "Kdtree.build: ragged point set")
+    points;
+  (* Recursive median split on the axis of largest spread. *)
+  let rec make indices =
+    if Array.length indices <= leaf_size then Leaf indices
+    else begin
+      let axis = ref 0 and best_spread = ref neg_infinity in
+      for d = 0 to dim - 1 do
+        let lo = ref infinity and hi = ref neg_infinity in
+        Array.iter
+          (fun i ->
+            let v = points.(i).(d) in
+            if v < !lo then lo := v;
+            if v > !hi then hi := v)
+          indices;
+        if !hi -. !lo > !best_spread then begin
+          best_spread := !hi -. !lo;
+          axis := d
+        end
+      done;
+      if !best_spread <= 0.0 then Leaf indices (* all points identical *)
+      else begin
+        let axis = !axis in
+        let sorted = Array.copy indices in
+        Array.sort (fun a b -> compare points.(a).(axis) points.(b).(axis)) sorted;
+        let mid = Array.length sorted / 2 in
+        let threshold = points.(sorted.(mid)).(axis) in
+        (* guard against all-equal-to-median degeneracies *)
+        let left = Array.sub sorted 0 mid in
+        let right = Array.sub sorted mid (Array.length sorted - mid) in
+        if Array.length left = 0 || Array.length right = 0 then Leaf indices
+        else Split { axis; threshold; left = make left; right = make right }
+      end
+    end
+  in
+  { points; dim; root = make (Array.init n (fun i -> i)) }
+
+let size t = Array.length t.points
+let dim t = t.dim
+
+let check_query t q =
+  if Array.length q <> t.dim then invalid_arg "Kdtree: query dimension mismatch"
+
+(* Branch-and-bound k-NN: keep the k best in a max-heap; descend the near
+   side first, visit the far side only if the splitting plane is closer
+   than the current k-th best. *)
+let k_nearest t q ~k =
+  check_query t q;
+  if k < 1 then invalid_arg "Kdtree.k_nearest: k must be >= 1";
+  let best = Heap.create ~cmp:(fun (d1, _) (d2, _) -> compare (d2 : float) d1) in
+  let kth () = match Heap.peek best with Some (d, _) when Heap.length best = k -> d | _ -> infinity in
+  let offer i =
+    let d = sq_dist q t.points.(i) in
+    if Heap.length best < k then Heap.add best (d, i)
+    else if d < kth () then begin
+      ignore (Heap.pop best);
+      Heap.add best (d, i)
+    end
+  in
+  let rec go = function
+    | Leaf indices -> Array.iter offer indices
+    | Split { axis; threshold; left; right } ->
+      let delta = q.(axis) -. threshold in
+      let near, far = if delta < 0.0 then (left, right) else (right, left) in
+      go near;
+      if delta *. delta < kth () then go far
+  in
+  go t.root;
+  let rec drain acc = match Heap.pop best with None -> acc | Some x -> drain (x :: acc) in
+  List.map (fun (d, i) -> (i, sqrt d)) (drain [])
+
+let nearest t q =
+  match k_nearest t q ~k:1 with
+  | [ r ] -> r
+  | _ -> assert false (* build rejects empty sets *)
+
+let within t q ~radius =
+  check_query t q;
+  if radius < 0.0 then invalid_arg "Kdtree.within: negative radius";
+  let r2 = radius *. radius in
+  let hits = ref [] in
+  let rec go = function
+    | Leaf indices ->
+      Array.iter (fun i -> if sq_dist q t.points.(i) <= r2 then hits := i :: !hits) indices
+    | Split { axis; threshold; left; right } ->
+      let delta = q.(axis) -. threshold in
+      let near, far = if delta < 0.0 then (left, right) else (right, left) in
+      go near;
+      if delta *. delta <= r2 then go far
+  in
+  go t.root;
+  List.sort compare !hits

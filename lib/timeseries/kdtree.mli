@@ -1,0 +1,23 @@
+(** A k-d tree over fixed-dimension float vectors, with exact
+    nearest-neighbour and range (ball) queries under the Euclidean
+    metric.  Substrate for GEMINI-style indexed similarity search: index
+    the low-dimensional PAA features, refine candidates against the raw
+    series (see {!Paa_index}). *)
+
+type t
+
+val build : float array array -> t
+(** Build over the given points (indices into this array are the query
+    results).  O(n log n) expected.  Raises on an empty or ragged set. *)
+
+val size : t -> int
+val dim : t -> int
+
+val nearest : t -> float array -> int * float
+(** Index and Euclidean distance of the closest indexed point. *)
+
+val k_nearest : t -> float array -> k:int -> (int * float) list
+(** The [k] closest points, ascending by distance. *)
+
+val within : t -> float array -> radius:float -> int list
+(** Indices (ascending) of all points within Euclidean [radius]. *)

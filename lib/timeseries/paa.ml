@@ -1,0 +1,7 @@
+let build data ~segments =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Paa.build: empty series";
+  let m = min (max 1 segments) n in
+  let boundaries = Array.init m (fun i -> max (i + 1) (n * (i + 1) / m)) in
+  boundaries.(m - 1) <- n;
+  Segments.of_means data ~boundaries

@@ -1,0 +1,6 @@
+(** Piecewise Aggregate Approximation (Keogh et al. / Yi & Faloutsos
+    [YF00]): equal-width segments, each the mean of its span — the
+    fixed-segmentation baseline against the adaptive methods. *)
+
+val build : float array -> segments:int -> Segments.t
+(** [segments] is capped at the series length. *)

@@ -1,0 +1,90 @@
+type t = {
+  series : float array array;
+  segments : int;
+  len : int;
+  tree : Kdtree.t;
+}
+
+(* PAA feature map: segment means scaled by sqrt(segment length), so the
+   L2 distance between feature vectors lower-bounds the series distance. *)
+let features_of ~segments ~len s =
+  let seg = Paa.build s ~segments in
+  let segs = (seg : Segments.t).Segments.segments in
+  ignore len;
+  let lo = ref 1 in
+  Array.map
+    (fun { Segments.hi; value } ->
+      let w = Float.of_int (hi - !lo + 1) in
+      lo := hi + 1;
+      value *. sqrt w)
+    segs
+
+let build ~segments series =
+  if Array.length series = 0 then invalid_arg "Paa_index.build: empty collection";
+  let len = Array.length series.(0) in
+  if len = 0 then invalid_arg "Paa_index.build: empty series";
+  Array.iter
+    (fun s -> if Array.length s <> len then invalid_arg "Paa_index.build: ragged collection")
+    series;
+  let segments = min (max 1 segments) len in
+  let points = Array.map (features_of ~segments ~len) series in
+  { series; segments; len; tree = Kdtree.build points }
+
+let size t = Array.length t.series
+
+let features t q =
+  if Array.length q <> t.len then invalid_arg "Paa_index.features: query length mismatch";
+  features_of ~segments:t.segments ~len:t.len q
+
+let stats_of ~total ~candidates ~true_matches =
+  {
+    Similarity.total;
+    candidates;
+    false_positives = candidates - true_matches;
+    true_matches;
+    pruning_power = 1.0 -. (Float.of_int candidates /. Float.of_int total);
+  }
+
+let range_search t ~query ~radius =
+  let fq = features t query in
+  let candidates = Kdtree.within t.tree fq ~radius in
+  let hits =
+    List.filter (fun i -> Segments.euclidean query t.series.(i) <= radius) candidates
+  in
+  ( hits,
+    stats_of ~total:(size t) ~candidates:(List.length candidates)
+      ~true_matches:(List.length hits) )
+
+let knn_search t ~query ~k =
+  if k < 1 then invalid_arg "Paa_index.knn_search: k must be >= 1";
+  let total = size t in
+  let k = min k total in
+  let fq = features t query in
+  (* Iterative deepening in feature space: refine the feature-space front
+     until the next feature distance exceeds the k-th best exact one. *)
+  let refined = Hashtbl.create 64 in
+  let exact i =
+    match Hashtbl.find_opt refined i with
+    | Some d -> d
+    | None ->
+      let d = Segments.euclidean query t.series.(i) in
+      Hashtbl.replace refined i d;
+      d
+  in
+  let rec search fetch =
+    let front = Kdtree.k_nearest t.tree fq ~k:fetch in
+    let exacts =
+      List.sort (fun (_, a) (_, b) -> compare (a : float) b)
+        (List.map (fun (i, _) -> (i, exact i)) front)
+    in
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    let best_k = take k exacts in
+    let kth = match List.rev best_k with (_, d) :: _ -> d | [] -> infinity in
+    let frontier_lb = match List.rev front with (_, d) :: _ -> d | [] -> infinity in
+    if fetch >= total || frontier_lb >= kth then best_k else search (min total (2 * fetch))
+  in
+  let results = search (min total (max k 16)) in
+  (results, stats_of ~total ~candidates:(Hashtbl.length refined) ~true_matches:k)

@@ -1,0 +1,32 @@
+(** GEMINI indexed similarity search: a k-d tree over PAA feature vectors
+    with exact refinement — the indexed counterpart of the linear
+    filter-and-refine scans in {!Similarity}.
+
+    Feature map: a series of length n becomes its m PAA segment means,
+    each scaled by sqrt(n / m).  Euclidean distance between two feature
+    vectors then lower-bounds the true Euclidean distance between the
+    series (per-segment Cauchy-Schwarz), so pruning in feature space never
+    causes a false dismissal. *)
+
+type t
+
+val build : segments:int -> float array array -> t
+(** Index a collection of equal-length series.  Raises on an empty or
+    ragged collection. *)
+
+val size : t -> int
+
+val features : t -> float array -> float array
+(** The feature vector of a (query) series — exposed for testing the
+    lower-bounding property. *)
+
+val range_search : t -> query:float array -> radius:float -> int list * Similarity.stats
+(** Exact results (indices, ascending), with the same accounting as
+    {!Similarity.range_search}: candidates = series whose feature distance
+    passed the filter, false positives = candidates rejected on
+    refinement. *)
+
+val knn_search : t -> query:float array -> k:int -> (int * float) list * Similarity.stats
+(** Exact k nearest series: candidates are generated in ascending
+    feature-space distance until the feature bound exceeds the k-th best
+    exact distance. *)

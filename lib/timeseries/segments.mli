@@ -1,0 +1,40 @@
+(** Piecewise-constant time-series approximations.
+
+    Both APCA [KCMP01] and the paper's histogram synopses reduce a series
+    to contiguous segments, each represented by its mean — so one shared
+    representation serves the whole Section 5.2 similarity study.
+
+    When every segment value is the exact mean of the original series over
+    that segment, {!lower_bound_distance} never exceeds the true Euclidean
+    distance (per-segment Cauchy-Schwarz), which is what guarantees
+    no-false-dismissal filter-and-refine search. *)
+
+type segment = { hi : int; value : float }
+(** Right endpoint (1-based, inclusive); the left endpoint is the previous
+    segment's [hi + 1] (or 1). *)
+
+type t = private { n : int; segments : segment array }
+
+val make : n:int -> segment array -> t
+(** Validates endpoints are strictly increasing and end at [n]. *)
+
+val of_histogram : Sh_histogram.Histogram.t -> t
+(** Histograms are already piecewise-constant-by-mean. *)
+
+val of_means : float array -> boundaries:int array -> t
+(** Build from raw data and segment right-endpoints; values are computed
+    as exact segment means. *)
+
+val segment_count : t -> int
+val to_series : t -> float array
+
+val euclidean : float array -> float array -> float
+(** Exact Euclidean distance between equal-length series. *)
+
+val lower_bound_distance : query:float array -> t -> float
+(** D_LB(Q, C'): project the query onto the approximation's segmentation
+    and compare segment means, weighted by segment length.  A lower bound
+    on [euclidean query original] when segment values are exact means. *)
+
+val sse_of_approximation : float array -> t -> float
+(** Reconstruction SSE of the approximation against the original. *)

@@ -1,0 +1,95 @@
+module Heap = Sh_util.Heap
+
+type collection = {
+  name : string;
+  series : float array array;
+  synopses : Segments.t array;
+}
+
+let make_collection ~name ~synopsis series =
+  if Array.length series = 0 then invalid_arg "Similarity.make_collection: empty collection";
+  { name; series; synopses = Array.map synopsis series }
+
+type stats = {
+  total : int;
+  candidates : int;
+  false_positives : int;
+  true_matches : int;
+  pruning_power : float;
+}
+
+let range_search c ~query ~radius =
+  let total = Array.length c.series in
+  let candidates = ref 0 and fps = ref 0 in
+  let hits = ref [] in
+  for i = total - 1 downto 0 do
+    if Segments.lower_bound_distance ~query c.synopses.(i) <= radius then begin
+      incr candidates;
+      if Segments.euclidean query c.series.(i) <= radius then hits := i :: !hits
+      else incr fps
+    end
+  done;
+  let true_matches = List.length !hits in
+  ( !hits,
+    {
+      total;
+      candidates = !candidates;
+      false_positives = !fps;
+      true_matches;
+      pruning_power = 1.0 -. (Float.of_int !candidates /. Float.of_int total);
+    } )
+
+let knn_search c ~query ~k =
+  let total = Array.length c.series in
+  if k < 1 then invalid_arg "Similarity.knn_search: k must be >= 1";
+  let k = min k total in
+  (* Visit series in ascending lower-bound order; keep the k best exact
+     distances in a max-heap (negated comparator); stop when the next lower
+     bound already exceeds the current k-th best. *)
+  let order = Array.init total (fun i -> (Segments.lower_bound_distance ~query c.synopses.(i), i)) in
+  Array.sort (fun (a, _) (b, _) -> compare (a : float) b) order;
+  let best = Heap.create ~cmp:(fun (d1, _) (d2, _) -> compare (d2 : float) d1) in
+  let refined = ref 0 in
+  let stop = ref false in
+  let pos = ref 0 in
+  while (not !stop) && !pos < total do
+    let lb, i = order.(!pos) in
+    let kth_full = Heap.length best = k in
+    let kth = match Heap.peek best with Some (d, _) -> d | None -> infinity in
+    if kth_full && lb > kth then stop := true
+    else begin
+      incr refined;
+      let d = Segments.euclidean query c.series.(i) in
+      if not kth_full then Heap.add best (d, i)
+      else if d < kth then begin
+        ignore (Heap.pop best);
+        Heap.add best (d, i)
+      end
+    end;
+    incr pos
+  done;
+  let rec drain acc = match Heap.pop best with None -> acc | Some x -> drain (x :: acc) in
+  let results = List.map (fun (d, i) -> (i, d)) (drain []) in
+  ( results,
+    {
+      total;
+      candidates = !refined;
+      false_positives = max 0 (!refined - k);
+      true_matches = k;
+      pruning_power = 1.0 -. (Float.of_int !refined /. Float.of_int total);
+    } )
+
+let sliding_windows data ~w ~step =
+  let n = Array.length data in
+  if w < 1 || w > n then invalid_arg "Similarity.sliding_windows: bad window length";
+  if step < 1 then invalid_arg "Similarity.sliding_windows: step must be >= 1";
+  let count = ((n - w) / step) + 1 in
+  Array.init count (fun j ->
+      let start = j * step in
+      (start, Array.sub data start w))
+
+let subsequence_collection ~name ~synopsis ~data ~w ~step =
+  let windows = sliding_windows data ~w ~step in
+  let starts = Array.map fst windows in
+  let series = Array.map snd windows in
+  (make_collection ~name ~synopsis series, starts)

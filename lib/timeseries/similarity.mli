@@ -1,0 +1,44 @@
+(** Filter-and-refine similarity search over a collection of time series,
+    following the GEMINI framework the paper's Section 5.2 experiments use:
+    cheap lower-bounding distances on the synopses prune the collection,
+    exact Euclidean distances refine the survivors.  Because every synopsis
+    here lower-bounds the true distance, the search never drops a true
+    match; quality differences between synopses show up as {e false
+    positives} — exactly the metric the paper reports against APCA. *)
+
+type collection = {
+  name : string;
+  series : float array array;  (** the raw data, kept for refinement *)
+  synopses : Segments.t array; (** one synopsis per series *)
+}
+
+val make_collection :
+  name:string -> synopsis:(float array -> Segments.t) -> float array array -> collection
+
+type stats = {
+  total : int;           (** collection size *)
+  candidates : int;      (** series surviving the lower-bound filter *)
+  false_positives : int; (** candidates rejected by exact refinement *)
+  true_matches : int;
+  pruning_power : float; (** fraction of the collection pruned without refinement *)
+}
+
+val range_search : collection -> query:float array -> radius:float -> int list * stats
+(** Indices (ascending) of series within Euclidean [radius] of the query. *)
+
+val knn_search : collection -> query:float array -> k:int -> (int * float) list * stats
+(** The [k] nearest series as (index, exact distance), ascending by
+    distance.  Uses the optimal filter-and-refine order (ascending lower
+    bound, stop once the bound exceeds the k-th best exact distance);
+    [candidates] counts the refinements performed, [false_positives] the
+    refinements beyond the unavoidable [k]. *)
+
+val sliding_windows : float array -> w:int -> step:int -> (int * float array) array
+(** Subsequence-matching substrate: windows of length [w] starting every
+    [step] positions, as (start index, window) pairs; start is 0-based. *)
+
+val subsequence_collection :
+  name:string -> synopsis:(float array -> Segments.t) -> data:float array -> w:int -> step:int ->
+  collection * int array
+(** Collection of all sliding windows plus the map from collection index
+    back to window start position. *)

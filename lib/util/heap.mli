@@ -1,0 +1,26 @@
+(** Array-backed binary min-heap with an explicit comparator. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (smallest element at the top). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element.  O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but raises [Invalid_argument] on an empty heap. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Visit every element in unspecified (heap-internal) order. *)

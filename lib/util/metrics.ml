@@ -1,0 +1,39 @@
+type summary = {
+  count : int;
+  mae : float;
+  rmse : float;
+  mean_rel : float;
+  max_abs : float;
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mae=%.4g rmse=%.4g rel=%.4g max=%.4g"
+    s.count s.mae s.rmse s.mean_rel s.max_abs
+
+let summarize ~estimates ~truths =
+  let n = Array.length estimates in
+  if n = 0 || n <> Array.length truths then
+    invalid_arg "Metrics.summarize: arrays must be equal-length and non-empty";
+  let abs_errs = Array.init n (fun i -> Float.abs (estimates.(i) -. truths.(i))) in
+  let sq_errs = Array.map (fun e -> e *. e) abs_errs in
+  let rel_errs =
+    Array.init n (fun i ->
+        let denom = Float.max 1.0 (Float.abs truths.(i)) in
+        abs_errs.(i) /. denom)
+  in
+  {
+    count = n;
+    mae = Stats.mean abs_errs;
+    rmse = sqrt (Stats.mean sq_errs);
+    mean_rel = Stats.mean rel_errs;
+    max_abs = snd (Stats.min_max abs_errs);
+  }
+
+let sse xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Metrics.sse: arrays must be equal-length";
+  let acc = Array.init (Array.length xs) (fun i ->
+      let d = xs.(i) -. ys.(i) in
+      d *. d)
+  in
+  Stats.sum acc

@@ -1,0 +1,24 @@
+(** Estimation-error metrics used throughout the evaluation.
+
+    Section 5.1 of the paper measures accuracy as the average error of a
+    batch of random range queries; this module provides that aggregation
+    together with the standard companions (RMSE, relative error). *)
+
+type summary = {
+  count : int;          (** number of (estimate, truth) pairs *)
+  mae : float;          (** mean absolute error *)
+  rmse : float;         (** root mean squared error *)
+  mean_rel : float;     (** mean relative error, guarded against 0 truth *)
+  max_abs : float;      (** worst absolute error *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val summarize : estimates:float array -> truths:float array -> summary
+(** Pairwise error summary.  Raises [Invalid_argument] if lengths differ or
+    are zero.  Relative error for a pair with [|truth| < 1.] uses
+    denominator [1.] (the usual sanity bound, since stream values are
+    integers). *)
+
+val sse : float array -> float array -> float
+(** Sum of squared differences between two equal-length arrays. *)

@@ -1,0 +1,103 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the user seed into xoshiro state, per the
+   xoshiro authors' recommendation.  State must never be all-zero. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits (OCaml's native int is 63-bit,
+     so a 63-bit draw would wrap negative) to avoid modulo bias. *)
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
+
+let float t bound =
+  (* 53 top bits, as in the reference implementation. *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r *. (1.0 /. 9007199254740992.0) *. bound
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+let bool t = Int64.compare (bits64 t) 0L < 0
+
+let gaussian t ~mean ~stddev =
+  let rec polar () =
+    let u = uniform t ~lo:(-1.0) ~hi:1.0 in
+    let v = uniform t ~lo:(-1.0) ~hi:1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then polar ()
+    else u *. sqrt (-2.0 *. log s /. s)
+  in
+  mean +. (stddev *. polar ())
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log1p (-.float t 1.0) /. rate
+
+let pareto t ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Rng.pareto: parameters must be positive";
+  scale /. ((1.0 -. float t 1.0) ** (1.0 /. shape))
+
+(* Rejection-inversion sampling for the Zipf distribution (Hörmann &
+   Derflinger 1996).  H is an integral upper envelope of the Zipf mass
+   function; we invert it and accept/reject. *)
+let zipf t ~n ~skew =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if skew <= 0.0 then invalid_arg "Rng.zipf: skew must be positive";
+  if n = 1 then 1
+  else begin
+    let q = skew in
+    let h x = if q = 1.0 then log x else (x ** (1.0 -. q)) /. (1.0 -. q) in
+    let h_inv x = if q = 1.0 then exp x else ((1.0 -. q) *. x) ** (1.0 /. (1.0 -. q)) in
+    let h_x1 = h 1.5 -. 1.0 in
+    let h_n = h (Float.of_int n +. 0.5) in
+    let rec draw () =
+      let u = h_x1 +. (float t 1.0 *. (h_n -. h_x1)) in
+      let x = h_inv u in
+      let k = Float.round x in
+      let k = if k < 1.0 then 1.0 else if k > Float.of_int n then Float.of_int n else k in
+      if u >= h (k +. 0.5) -. (k ** -.q) then int_of_float k else draw ()
+    in
+    draw ()
+  end

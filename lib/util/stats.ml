@@ -1,0 +1,73 @@
+let sum xs =
+  (* Kahan summation: the compensation term recovers low-order bits lost
+     when adding a small element to a large running total. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    let y = xs.(i) -. !comp in
+    let t = !total +. y in
+    comp := t -. !total -. y;
+    total := t
+  done;
+  !total
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. Float.of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+    sum acc /. Float.of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  let lo = ref xs.(0) and hi = ref xs.(0) in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) < !lo then lo := xs.(i);
+    if xs.(i) > !hi then hi := xs.(i)
+  done;
+  (!lo, !hi)
+
+let quantile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.quantile: p out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = p *. Float.of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. Float.of_int lo in
+    ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let median xs = quantile xs 0.5
+
+let sse_about_mean xs lo hi =
+  if lo > hi then 0.0
+  else begin
+    let slice = Array.sub xs lo (hi - lo + 1) in
+    let m = mean slice in
+    sum (Array.map (fun x -> (x -. m) *. (x -. m)) slice)
+  end
+
+let histogram_counts xs ~bins ~lo ~hi =
+  if bins <= 0 then invalid_arg "Stats.histogram_counts: bins must be positive";
+  if hi <= lo then invalid_arg "Stats.histogram_counts: empty range";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. Float.of_int bins in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b < 0 then 0 else if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  counts

@@ -1,0 +1,32 @@
+(** Descriptive statistics over float arrays. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [0.] on the empty array. *)
+
+val variance : float array -> float
+(** Population variance (divide by n); [0.] on arrays of length < 1. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element.  Raises [Invalid_argument] on empty. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p] in [\[0,1\]], linear interpolation between order
+    statistics.  Sorts a copy; O(n log n).  Raises on empty input. *)
+
+val median : float array -> float
+
+val sse_about_mean : float array -> int -> int -> float
+(** [sse_about_mean xs lo hi] is the sum of squared deviations of
+    [xs.(lo..hi)] (inclusive) about their mean — the per-bucket V-optimal
+    error, computed naively.  Used as the test oracle for the prefix-sum
+    based computation. *)
+
+val histogram_counts : float array -> bins:int -> lo:float -> hi:float -> int array
+(** Equi-width bin counts of the values falling in [\[lo, hi\]]; values
+    outside the range are clamped into the end bins. *)

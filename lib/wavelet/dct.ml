@@ -1,0 +1,105 @@
+(* Orthonormal DCT-II: X_k = s_k * sum_i x_i cos(pi (2i+1) k / 2n), with
+   s_0 = sqrt(1/n) and s_k = sqrt(2/n) otherwise; DCT-III inverts it. *)
+
+let scale n k =
+  if k = 0 then sqrt (1.0 /. Float.of_int n) else sqrt (2.0 /. Float.of_int n)
+
+let transform x =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Dct.transform: empty input";
+  Array.init n (fun k ->
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc :=
+          !acc
+          +. (x.(i)
+             *. cos (Float.pi *. Float.of_int ((2 * i) + 1) *. Float.of_int k
+                     /. (2.0 *. Float.of_int n)))
+      done;
+      scale n k *. !acc)
+
+let inverse coeffs =
+  let n = Array.length coeffs in
+  if n = 0 then invalid_arg "Dct.inverse: empty input";
+  Array.init n (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc :=
+          !acc
+          +. (scale n k *. coeffs.(k)
+             *. cos (Float.pi *. Float.of_int ((2 * i) + 1) *. Float.of_int k
+                     /. (2.0 *. Float.of_int n)))
+      done;
+      !acc)
+
+let basis_value ~n ~coeff ~pos =
+  if coeff < 0 || coeff >= n then invalid_arg "Dct.basis_value: coefficient out of range";
+  if pos < 0 || pos >= n then invalid_arg "Dct.basis_value: position out of range";
+  scale n coeff
+  *. cos (Float.pi *. Float.of_int ((2 * pos) + 1) *. Float.of_int coeff
+          /. (2.0 *. Float.of_int n))
+
+(* sum_{i=0}^{p-1} cos((2i+1) theta) = sin(2 p theta) / (2 sin theta). *)
+let basis_prefix_sum ~n ~coeff ~prefix =
+  if coeff < 0 || coeff >= n then invalid_arg "Dct.basis_prefix_sum: coefficient out of range";
+  if prefix < 0 || prefix > n then invalid_arg "Dct.basis_prefix_sum: prefix out of range";
+  if coeff = 0 then scale n 0 *. Float.of_int prefix
+  else begin
+    let theta = Float.pi *. Float.of_int coeff /. (2.0 *. Float.of_int n) in
+    scale n coeff *. sin (2.0 *. Float.of_int prefix *. theta) /. (2.0 *. sin theta)
+  end
+
+type t = { n : int; coeffs : (int * float) array }
+
+let build data ~coeffs:budget =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Dct.build: empty data";
+  if budget < 1 then invalid_arg "Dct.build: coefficient budget must be >= 1";
+  let all = transform data in
+  let indexed = Array.mapi (fun i c -> (i, c)) all in
+  Array.sort (fun (_, c1) (_, c2) -> compare (Float.abs c2) (Float.abs c1)) indexed;
+  let kept = ref [] and count = ref 0 in
+  Array.iter
+    (fun (i, c) ->
+      if !count < budget && c <> 0.0 then begin
+        kept := (i, c) :: !kept;
+        incr count
+      end)
+    indexed;
+  let coeffs = Array.of_list !kept in
+  Array.sort (fun (i1, _) (i2, _) -> compare i1 i2) coeffs;
+  { n; coeffs }
+
+let length t = t.n
+let stored_coefficients t = Array.length t.coeffs
+
+let point_estimate t i =
+  if i < 1 || i > t.n then invalid_arg "Dct.point_estimate: index out of range";
+  Array.fold_left
+    (fun acc (k, c) -> acc +. (c *. basis_value ~n:t.n ~coeff:k ~pos:(i - 1)))
+    0.0 t.coeffs
+
+let prefix_sum t p =
+  Array.fold_left
+    (fun acc (k, c) -> acc +. (c *. basis_prefix_sum ~n:t.n ~coeff:k ~prefix:p))
+    0.0 t.coeffs
+
+let range_sum_estimate t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    if lo < 1 || hi > t.n then invalid_arg "Dct.range_sum_estimate: range out of bounds";
+    prefix_sum t hi -. prefix_sum t (lo - 1)
+  end
+
+let range_avg_estimate t ~lo ~hi =
+  if lo > hi then 0.0
+  else range_sum_estimate t ~lo ~hi /. Float.of_int (hi - lo + 1)
+
+let to_series t =
+  let full = Array.make t.n 0.0 in
+  Array.iter (fun (k, c) -> full.(k) <- c) t.coeffs;
+  inverse full
+
+let sse_against t data =
+  if Array.length data <> t.n then invalid_arg "Dct.sse_against: length mismatch";
+  Sh_util.Metrics.sse (to_series t) data

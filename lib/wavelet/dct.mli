@@ -1,0 +1,36 @@
+(** DCT-based compressed synopses — the "other transform" family of the
+    paper's related work ([LKC99]: multidimensional selectivity estimation
+    with compressed histogram information uses the discrete cosine
+    transform).
+
+    The orthonormal DCT-II concentrates the energy of smooth signals in a
+    few low-frequency coefficients; keeping the largest coefficients gives
+    an L2-optimal compressed representation of the sequence, exactly as
+    for the Haar synopsis.  Unlike Haar, no power-of-two padding is
+    needed, and basis prefix sums still have a closed form, so range sums
+    cost O(stored coefficients). *)
+
+val transform : float array -> float array
+(** Orthonormal DCT-II, O(n^2) (synopsis construction is offline per
+    window, so the direct form suffices at window sizes). *)
+
+val inverse : float array -> float array
+(** Orthonormal DCT-III; [inverse (transform a) = a] up to round-off. *)
+
+val basis_value : n:int -> coeff:int -> pos:int -> float
+(** Value of the orthonormal basis vector [coeff] at 0-based [pos]. *)
+
+val basis_prefix_sum : n:int -> coeff:int -> prefix:int -> float
+(** Closed-form sum of the basis vector over positions [0 .. prefix-1]. *)
+
+type t
+(** A top-B DCT synopsis. *)
+
+val build : float array -> coeffs:int -> t
+val length : t -> int
+val stored_coefficients : t -> int
+val point_estimate : t -> int -> float
+val range_sum_estimate : t -> lo:int -> hi:int -> float
+val range_avg_estimate : t -> lo:int -> hi:int -> float
+val to_series : t -> float array
+val sse_against : t -> float array -> float

@@ -1,0 +1,80 @@
+let is_pow2 n = n >= 1 && n land (n - 1) = 0
+
+let next_pow2 n =
+  if n < 1 then invalid_arg "Haar.next_pow2: argument must be >= 1";
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let sqrt2 = sqrt 2.0
+
+let transform input =
+  let n = Array.length input in
+  if not (is_pow2 n) then invalid_arg "Haar.transform: length must be a power of two";
+  let a = Array.copy input in
+  let tmp = Array.make n 0.0 in
+  let len = ref n in
+  (* Each pass halves the working prefix: averages go to the front,
+     details stay behind them in place. *)
+  while !len > 1 do
+    let half = !len / 2 in
+    for i = 0 to half - 1 do
+      tmp.(i) <- (a.(2 * i) +. a.((2 * i) + 1)) /. sqrt2;
+      tmp.(half + i) <- (a.(2 * i) -. a.((2 * i) + 1)) /. sqrt2
+    done;
+    Array.blit tmp 0 a 0 !len;
+    len := half
+  done;
+  a
+
+let inverse coeffs =
+  let n = Array.length coeffs in
+  if not (is_pow2 n) then invalid_arg "Haar.inverse: length must be a power of two";
+  let a = Array.copy coeffs in
+  let tmp = Array.make n 0.0 in
+  let len = ref 1 in
+  while !len < n do
+    let half = !len in
+    for i = 0 to half - 1 do
+      tmp.(2 * i) <- (a.(i) +. a.(half + i)) /. sqrt2;
+      tmp.((2 * i) + 1) <- (a.(i) -. a.(half + i)) /. sqrt2
+    done;
+    Array.blit tmp 0 a 0 (2 * half);
+    len := 2 * half
+  done;
+  a
+
+(* Geometry of coefficient [coeff] in a length-n transform: its level,
+   support [s, e) of size n / 2^level, midpoint, and amplitude
+   sqrt(2^level / n). *)
+let geometry ~n ~coeff =
+  let level = ref 0 and base = ref 1 in
+  while coeff >= 2 * !base do
+    base := 2 * !base;
+    incr level
+  done;
+  let support = n / !base in
+  let j = coeff - !base in
+  let s = j * support in
+  (s, s + (support / 2), s + support, sqrt (Float.of_int !base /. Float.of_int n))
+
+let basis_value ~n ~coeff ~pos =
+  if coeff < 0 || coeff >= n then invalid_arg "Haar.basis_value: coefficient out of range";
+  if pos < 0 || pos >= n then invalid_arg "Haar.basis_value: position out of range";
+  if coeff = 0 then 1.0 /. sqrt (Float.of_int n)
+  else begin
+    let s, mid, e, amp = geometry ~n ~coeff in
+    if pos >= s && pos < mid then amp
+    else if pos >= mid && pos < e then -.amp
+    else 0.0
+  end
+
+let basis_prefix_sum ~n ~coeff ~prefix =
+  if coeff < 0 || coeff >= n then invalid_arg "Haar.basis_prefix_sum: coefficient out of range";
+  if prefix < 0 || prefix > n then invalid_arg "Haar.basis_prefix_sum: prefix out of range";
+  if coeff = 0 then Float.of_int prefix /. sqrt (Float.of_int n)
+  else begin
+    let s, mid, e, amp = geometry ~n ~coeff in
+    let clamp lo hi = max 0 (min prefix hi - lo) in
+    let pos_count = clamp s mid and neg_count = clamp mid e in
+    amp *. Float.of_int (pos_count - neg_count)
+  end

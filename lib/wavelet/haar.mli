@@ -1,0 +1,29 @@
+(** Orthonormal Haar wavelet transform.
+
+    The transform is orthonormal (each averaging/differencing step divides
+    by sqrt 2), so it preserves the L2 norm (Parseval) and retaining the
+    largest-magnitude coefficients is the L2-optimal thresholding — the
+    property wavelet synopses [MVW] rely on.
+
+    Coefficient layout for an input of length n = 2^d:
+    index 0 is the scaling (overall average) coefficient; indices
+    [2^l .. 2^(l+1) - 1] are the level-l details, coarsest first. *)
+
+val is_pow2 : int -> bool
+val next_pow2 : int -> int
+(** Smallest power of two >= the argument (argument must be >= 1). *)
+
+val transform : float array -> float array
+(** Forward transform.  Input length must be a power of two. *)
+
+val inverse : float array -> float array
+(** Inverse transform; [inverse (transform a) = a] up to round-off. *)
+
+val basis_value : n:int -> coeff:int -> pos:int -> float
+(** psi_coeff(pos): value at 0-based position [pos] of the orthonormal
+    basis vector for coefficient [coeff], in a length-[n] transform. *)
+
+val basis_prefix_sum : n:int -> coeff:int -> prefix:int -> float
+(** Sum of the basis vector over positions [0 .. prefix-1], in O(1).
+    This is what makes range-sum estimation from a sparse coefficient set
+    an O(#coefficients) computation. *)

@@ -1,0 +1,129 @@
+module Heap = Sh_util.Heap
+
+(* A detail coefficient for the dyadic block [start, start + size): adds
+   [+d] over the first half and [-d] over the second.  Its L2 energy is
+   d^2 * size, so thresholding weight is |d| * sqrt(size). *)
+type coeff = { start : int; size : int; d : float }
+
+type pending = { p_start : int; avg : float }
+
+type t = {
+  budget : int;
+  kept : coeff Heap.t; (* min-heap by L2 weight, capped at budget *)
+  mutable levels : pending option array; (* levels.(l): incomplete block of size 2^l *)
+  mutable n : int;
+}
+
+let create ~budget =
+  if budget < 1 then invalid_arg "Streaming.create: budget must be >= 1";
+  let weight c = Float.abs c.d *. sqrt (Float.of_int c.size) in
+  {
+    budget;
+    kept = Heap.create ~cmp:(fun a b -> compare (weight a) (weight b));
+    levels = Array.make 8 None;
+    n = 0;
+  }
+
+let count t = t.n
+let stored_coefficients t = Heap.length t.kept
+
+let weight c = Float.abs c.d *. sqrt (Float.of_int c.size)
+
+let offer t c =
+  if c.d <> 0.0 then begin
+    if Heap.length t.kept < t.budget then Heap.add t.kept c
+    else begin
+      match Heap.peek t.kept with
+      | Some smallest when weight c > weight smallest ->
+        ignore (Heap.pop t.kept);
+        Heap.add t.kept c
+      | _ -> () (* below the retained threshold: dropped for good *)
+    end
+  end
+
+let grow_levels t needed =
+  if needed >= Array.length t.levels then begin
+    let bigger = Array.make (2 * needed) None in
+    Array.blit t.levels 0 bigger 0 (Array.length t.levels);
+    t.levels <- bigger
+  end
+
+(* Online Haar pyramid: carry the new point up through the pending levels;
+   each collision of two same-size blocks emits one detail coefficient and
+   promotes their average. *)
+let push t v =
+  if not (Float.is_finite v) then invalid_arg "Streaming.push: non-finite value";
+  let start = ref t.n and avg = ref v and level = ref 0 in
+  t.n <- t.n + 1;
+  let continue = ref true in
+  while !continue do
+    grow_levels t !level;
+    match t.levels.(!level) with
+    | None ->
+      t.levels.(!level) <- Some { p_start = !start; avg = !avg };
+      continue := false
+    | Some left ->
+      let size = 2 lsl !level in
+      offer t { start = left.p_start; size; d = (left.avg -. !avg) /. 2.0 };
+      t.levels.(!level) <- None;
+      start := left.p_start;
+      avg := (left.avg +. !avg) /. 2.0;
+      incr level
+  done
+
+(* Overlap length of [lo, hi) with [0, p). *)
+let overlap ~lo ~hi ~p = max 0 (min p hi - lo)
+
+let prefix_sum t p =
+  (* exact dyadic-block averages form the base approximation *)
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun level slot ->
+      match slot with
+      | None -> ()
+      | Some { p_start; avg } ->
+        let size = 1 lsl level in
+        acc := !acc +. (avg *. Float.of_int (overlap ~lo:p_start ~hi:(p_start + size) ~p)))
+    t.levels;
+  (* retained detail coefficients refine within their blocks *)
+  Heap.iter
+    (fun c ->
+      let mid = c.start + (c.size / 2) in
+      let pos = overlap ~lo:c.start ~hi:mid ~p in
+      let neg = overlap ~lo:mid ~hi:(c.start + c.size) ~p in
+      acc := !acc +. (c.d *. Float.of_int (pos - neg)))
+    t.kept;
+  !acc
+
+let range_sum_estimate t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    if lo < 1 || hi > t.n then invalid_arg "Streaming.range_sum_estimate: range out of bounds";
+    prefix_sum t hi -. prefix_sum t (lo - 1)
+  end
+
+let range_avg_estimate t ~lo ~hi =
+  if lo > hi then 0.0
+  else range_sum_estimate t ~lo ~hi /. Float.of_int (hi - lo + 1)
+
+let point_estimate t i =
+  if i < 1 || i > t.n then invalid_arg "Streaming.point_estimate: index out of range";
+  let pos = i - 1 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun level slot ->
+      match slot with
+      | None -> ()
+      | Some { p_start; avg } ->
+        let size = 1 lsl level in
+        if pos >= p_start && pos < p_start + size then acc := !acc +. avg)
+    t.levels;
+  Heap.iter
+    (fun c ->
+      let mid = c.start + (c.size / 2) in
+      if pos >= c.start && pos < mid then acc := !acc +. c.d
+      else if pos >= mid && pos < c.start + c.size then acc := !acc -. c.d)
+    t.kept;
+  !acc
+
+let to_series t = Array.init t.n (fun i -> point_estimate t (i + 1))

@@ -1,0 +1,42 @@
+(** Streaming (agglomerative-model) wavelet synopsis.
+
+    The paper's experiments rebuild wavelet synopses from scratch on every
+    arrival; the stronger baseline it cites ([MVW00], dynamic maintenance
+    of wavelet histograms) maintains the decomposition incrementally.
+    This module provides that for an append-only stream:
+
+    - an online Haar pyramid emits each detail coefficient exactly once,
+      when its dyadic block completes (O(1) amortised per point);
+    - the [budget] largest coefficients by L2 contribution are retained in
+      a min-heap; smaller ones are dropped immediately (streaming
+      thresholding — near the offline top-B selection, never above the
+      budget);
+    - the O(log N) averages of the currently incomplete dyadic blocks are
+      kept exactly, so the synopsis always covers the whole stream.
+
+    Point and range-sum estimates cost O(budget + log N). *)
+
+type t
+
+val create : budget:int -> t
+(** Retain at most [budget] detail coefficients ([>= 1]). *)
+
+val count : t -> int
+(** Stream length so far. *)
+
+val stored_coefficients : t -> int
+(** Detail coefficients currently retained ([<= budget]). *)
+
+val push : t -> float -> unit
+(** Append the next value.  Raises on non-finite input. *)
+
+val point_estimate : t -> int -> float
+(** Estimated x_i, 1-based, [1 <= i <= count]. *)
+
+val range_sum_estimate : t -> lo:int -> hi:int -> float
+(** Estimated sum of x_lo .. x_hi (1-based, inclusive). *)
+
+val range_avg_estimate : t -> lo:int -> hi:int -> float
+
+val to_series : t -> float array
+(** Full reconstruction of the approximation (length {!count}). *)

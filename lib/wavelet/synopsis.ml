@@ -1,0 +1,69 @@
+type t = {
+  n : int;                      (* original length *)
+  n2 : int;                     (* padded power-of-two length *)
+  coeffs : (int * float) array; (* retained (index, value), sorted by index *)
+}
+
+let build data ~coeffs:budget =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Synopsis.build: empty data";
+  if budget < 1 then invalid_arg "Synopsis.build: coefficient budget must be >= 1";
+  let n2 = Haar.next_pow2 n in
+  let padded =
+    if n2 = n then data
+    else begin
+      let mean = Sh_util.Stats.mean data in
+      Array.init n2 (fun i -> if i < n then data.(i) else mean)
+    end
+  in
+  let all = Haar.transform padded in
+  let indexed = Array.mapi (fun i c -> (i, c)) all in
+  (* Largest magnitudes first; drop exact zeros — they carry no information. *)
+  Array.sort (fun (_, c1) (_, c2) -> compare (Float.abs c2) (Float.abs c1)) indexed;
+  let kept = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun (i, c) ->
+      if !count < budget && c <> 0.0 then begin
+        kept := (i, c) :: !kept;
+        incr count
+      end)
+    indexed;
+  let coeffs = Array.of_list !kept in
+  Array.sort (fun (i1, _) (i2, _) -> compare i1 i2) coeffs;
+  { n; n2; coeffs }
+
+let length t = t.n
+let stored_coefficients t = Array.length t.coeffs
+
+let point_estimate t i =
+  if i < 1 || i > t.n then invalid_arg "Synopsis.point_estimate: index out of range";
+  Array.fold_left
+    (fun acc (k, c) -> acc +. (c *. Haar.basis_value ~n:t.n2 ~coeff:k ~pos:(i - 1)))
+    0.0 t.coeffs
+
+let prefix_sum t p =
+  Array.fold_left
+    (fun acc (k, c) -> acc +. (c *. Haar.basis_prefix_sum ~n:t.n2 ~coeff:k ~prefix:p))
+    0.0 t.coeffs
+
+let range_sum_estimate t ~lo ~hi =
+  if lo > hi then 0.0
+  else begin
+    if lo < 1 || hi > t.n then invalid_arg "Synopsis.range_sum_estimate: range out of bounds";
+    prefix_sum t hi -. prefix_sum t (lo - 1)
+  end
+
+let range_avg_estimate t ~lo ~hi =
+  if lo > hi then 0.0
+  else range_sum_estimate t ~lo ~hi /. Float.of_int (hi - lo + 1)
+
+let to_series t =
+  let full = Array.make t.n2 0.0 in
+  Array.iter (fun (k, c) -> full.(k) <- c) t.coeffs;
+  let rec_all = Haar.inverse full in
+  Array.sub rec_all 0 t.n
+
+let sse_against t data =
+  if Array.length data <> t.n then invalid_arg "Synopsis.sse_against: length mismatch";
+  Sh_util.Metrics.sse (to_series t) data

@@ -1,0 +1,39 @@
+(** Wavelet synopses: keep the B largest-magnitude orthonormal Haar
+    coefficients of a sequence — the wavelet-histogram comparator of the
+    paper's experiments ([MVW], [MVW00]).
+
+    Inputs of non-power-of-two length are padded to the next power of two
+    with the sequence mean (zero-padding would fabricate an artificial
+    step; mean padding keeps the coarse coefficients faithful).  Estimates
+    are reported only for the original index range.
+
+    Indices in the query API are 1-based with inclusive ranges, matching
+    {!Sh_histogram.Histogram}. *)
+
+type t
+
+val build : float array -> coeffs:int -> t
+(** Transform, then keep the [coeffs] largest coefficients by magnitude
+    (orthonormal basis makes this the L2-optimal selection). *)
+
+val length : t -> int
+(** Original sequence length. *)
+
+val stored_coefficients : t -> int
+(** Number of retained coefficients ([<= coeffs] requested: zeros are never
+    stored). *)
+
+val point_estimate : t -> int -> float
+(** Reconstructed v_i, O(stored) per query. *)
+
+val range_sum_estimate : t -> lo:int -> hi:int -> float
+(** Reconstructed sum over [lo .. hi], O(stored) via closed-form basis
+    prefix sums. *)
+
+val range_avg_estimate : t -> lo:int -> hi:int -> float
+
+val to_series : t -> float array
+(** Full reconstruction of the approximation (length {!length}). *)
+
+val sse_against : t -> float array -> float
+(** SSE of the reconstruction against the original data. *)

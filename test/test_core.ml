@@ -1,0 +1,449 @@
+module P = Sh_prefix.Prefix_sums
+module H = Sh_histogram.Histogram
+module V = Sh_histogram.Vopt
+module FW = Stream_histogram.Fixed_window
+module AG = Stream_histogram.Agglomerative
+
+let feed_fw fw data = Array.iter (FW.push fw) data
+let feed_ag ag data = Array.iter (AG.push ag) data
+
+(* Approximation-guarantee slack: the paper's accounting gives (1 + eps)
+   with delta = eps / 2B; our per-level evaluation adds one extra (1 +
+   delta) factor (documented in fixed_window.ml), so we assert against
+   (1 + 2 eps) plus an absolute epsilon for float noise. *)
+let within_guarantee ~eps ~opt err = err <= ((1.0 +. (2.0 *. eps)) *. opt) +. 1e-6
+
+(* ------------------------------------------------- paper worked example *)
+
+let test_paper_example_1 () =
+  (* Stream 100,0,0,0,1,1,1,1 with delta = 1, B = 2 (Example 1). *)
+  let fw = FW.create_with_delta ~window:8 ~buckets:2 ~epsilon:1.0 ~delta:1.0 in
+  feed_fw fw [| 100.; 0.; 0.; 0.; 1.; 1.; 1.; 1. |];
+  FW.refresh fw;
+  (* Slide: drop the 100, insert a 1 -> data 0,0,0,1,1,1,1,1.  The paper
+     works through CreateList[1,8,1] producing intervals (1,3),(4,6),(7,8)
+     and the optimal solution (1,3),(4,8) with zero error. *)
+  FW.push_and_refresh fw 1.0;
+  Helpers.check_close "optimal error found" 0.0 (FW.current_error fw);
+  let h = FW.current_histogram fw in
+  Alcotest.(check int) "two buckets" 2 (H.bucket_count h);
+  let b1 = H.find_bucket h 1 in
+  Alcotest.(check int) "first bucket is [1..3]" 3 b1.H.hi;
+  Helpers.check_close "first bucket value 0" 0.0 b1.H.value;
+  Helpers.check_close "second bucket value 1" 1.0 (H.point_estimate h 4);
+  (* The interval endpoints of the level-1 list should be 3, 6, 8 as in the
+     paper's walkthrough. *)
+  Alcotest.(check (array int)) "three level-1 intervals" [| 3 |]
+    [| (FW.interval_counts fw).(0) |]
+
+let test_paper_example_1_first_window () =
+  (* Before sliding: 100,0,0,0,1,1,1,1.  Optimal 2-histogram isolates the
+     100: buckets [1..1], [2..8]. *)
+  let fw = FW.create_with_delta ~window:8 ~buckets:2 ~epsilon:1.0 ~delta:1.0 in
+  feed_fw fw [| 100.; 0.; 0.; 0.; 1.; 1.; 1.; 1. |];
+  let h = FW.current_histogram fw in
+  let b1 = H.find_bucket h 1 in
+  Alcotest.(check int) "singleton first bucket" 1 b1.H.hi;
+  Helpers.check_close "value 100" 100.0 b1.H.value
+
+(* --------------------------------------------------------- fixed window *)
+
+let test_fw_accessors () =
+  let fw = FW.create ~window:16 ~buckets:4 ~epsilon:0.25 in
+  Alcotest.(check int) "window" 16 (FW.window fw);
+  Alcotest.(check int) "buckets" 4 (FW.buckets fw);
+  Helpers.check_close "epsilon" 0.25 (FW.epsilon fw);
+  Alcotest.(check int) "empty" 0 (FW.length fw);
+  FW.push fw 1.0;
+  Alcotest.(check int) "one" 1 (FW.length fw)
+
+let test_fw_validation () =
+  Alcotest.check_raises "bad window" (Invalid_argument "Fixed_window.create: window must be >= 1")
+    (fun () -> ignore (FW.create ~window:0 ~buckets:2 ~epsilon:0.1));
+  Alcotest.check_raises "bad buckets" (Invalid_argument "Params: buckets must be >= 1") (fun () ->
+      ignore (FW.create ~window:4 ~buckets:0 ~epsilon:0.1));
+  Alcotest.check_raises "bad epsilon" (Invalid_argument "Params: epsilon must be > 0") (fun () ->
+      ignore (FW.create ~window:4 ~buckets:2 ~epsilon:0.0));
+  let fw = FW.create ~window:4 ~buckets:2 ~epsilon:0.1 in
+  Alcotest.check_raises "empty histogram"
+    (Invalid_argument "Fixed_window.current_histogram: empty window") (fun () ->
+      ignore (FW.current_histogram fw))
+
+let test_fw_partial_window () =
+  (* Queries must work before the window fills. *)
+  let fw = FW.create ~window:100 ~buckets:3 ~epsilon:0.1 in
+  feed_fw fw [| 1.0; 1.0; 5.0 |];
+  let h = FW.current_histogram fw in
+  Alcotest.(check int) "covers 3 points" 3 h.H.n;
+  Helpers.check_close "zero error with enough buckets" 0.0 (FW.current_error fw)
+
+let test_fw_constant_stream () =
+  let fw = FW.create ~window:32 ~buckets:2 ~epsilon:0.1 in
+  for _ = 1 to 100 do
+    FW.push fw 7.0
+  done;
+  Helpers.check_close "constant stream zero error" 0.0 (FW.current_error fw);
+  let h = FW.current_histogram fw in
+  Helpers.check_close "value 7" 7.0 (H.point_estimate h 10)
+
+let prop_fw_guarantee =
+  Helpers.qcheck_case ~count:40 ~name:"fixed-window SSE within (1+eps) of optimal"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:2 ~max_len:120 ~vmax:1000 () in
+      let* b = int_range 1 6 in
+      let* eps = oneofl [ 0.01; 0.1; 0.5; 1.0 ] in
+      return (data, b, eps))
+    (fun (data, b, eps) ->
+      let n = Array.length data in
+      let fw = FW.create ~window:n ~buckets:b ~epsilon:eps in
+      feed_fw fw data;
+      let p = P.make data in
+      let opt = V.optimal_error p ~buckets:b in
+      let err = FW.current_error fw in
+      let sse = H.sse_against (FW.current_histogram fw) p in
+      within_guarantee ~eps ~opt err && within_guarantee ~eps ~opt sse && err >= -1e-9)
+
+let prop_fw_guarantee_while_sliding =
+  Helpers.qcheck_case ~count:15 ~name:"guarantee holds at every slide position"
+    QCheck2.Gen.(
+      let* stream = array_size (int_range 40 120) (int_range 0 500) in
+      let* b = int_range 2 4 in
+      return (Array.map Float.of_int stream, b))
+    (fun (stream, b) ->
+      let w = 32 in
+      let eps = 0.2 in
+      let fw = FW.create ~window:w ~buckets:b ~epsilon:eps in
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          FW.push_and_refresh fw v;
+          if i >= w - 1 && i mod 7 = 0 then begin
+            let p = P.of_sub stream ~pos:(i - w + 1) ~len:w in
+            let opt = V.optimal_error p ~buckets:b in
+            let sse = H.sse_against (FW.current_histogram fw) p in
+            if not (within_guarantee ~eps ~opt sse) then ok := false
+          end)
+        stream;
+      !ok)
+
+let prop_fw_herror_brackets_exact =
+  Helpers.qcheck_case ~count:25 ~name:"herror never under-reports the exact DP value"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:3 ~max_len:60 ~vmax:200 () in
+      let* b = int_range 2 5 in
+      return (data, b))
+    (fun (data, b) ->
+      let n = Array.length data in
+      let fw = FW.create ~window:n ~buckets:b ~epsilon:0.1 in
+      feed_fw fw data;
+      let p = P.make data in
+      let ok = ref true in
+      for k = 1 to b do
+        let exact = V.herror_row p ~buckets:k in
+        for x = 1 to n do
+          let approx = FW.herror fw ~k ~x in
+          (* Never below the true optimum, and within the guarantee above. *)
+          if approx < exact.(x) -. 1e-6 then ok := false;
+          if not (within_guarantee ~eps:0.1 ~opt:exact.(x) approx) then ok := false
+        done
+      done;
+      !ok)
+
+let test_fw_bucket_count_bounded () =
+  let fw = FW.create ~window:64 ~buckets:5 ~epsilon:0.1 in
+  let rng = Helpers.rng ~seed:42 in
+  for _ = 1 to 200 do
+    FW.push fw (Float.of_int (Sh_util.Rng.int rng 1000))
+  done;
+  Alcotest.(check bool) "at most B buckets" true (H.bucket_count (FW.current_histogram fw) <= 5)
+
+let test_fw_lazy_vs_eager () =
+  (* push+refresh per point and lazy refresh at the end must agree on the
+     final window state. *)
+  let data = Array.init 80 (fun i -> Float.of_int ((i * 37) mod 101)) in
+  let eager = FW.create ~window:32 ~buckets:4 ~epsilon:0.1 in
+  let lazy_ = FW.create ~window:32 ~buckets:4 ~epsilon:0.1 in
+  Array.iter (FW.push_and_refresh eager) data;
+  Array.iter (FW.push lazy_) data;
+  Helpers.check_close "same error" (FW.current_error eager) (FW.current_error lazy_);
+  Alcotest.(check (array (float 1e-9)))
+    "same histogram" (H.to_series (FW.current_histogram eager))
+    (H.to_series (FW.current_histogram lazy_))
+
+let test_fw_degenerate_sizes () =
+  (* window = 1: every histogram is one exact point *)
+  let fw = FW.create ~window:1 ~buckets:1 ~epsilon:0.5 in
+  FW.push fw 3.0;
+  FW.push fw 9.0;
+  Helpers.check_close "zero error" 0.0 (FW.current_error fw);
+  Helpers.check_close "latest point" 9.0 (H.point_estimate (FW.current_histogram fw) 1);
+  (* B = 1: error is SQERROR(1, n) exactly *)
+  let fw1 = FW.create ~window:8 ~buckets:1 ~epsilon:0.5 in
+  let data = [| 1.0; 5.0; 2.0; 8.0 |] in
+  Array.iter (FW.push fw1) data;
+  Helpers.check_close "B=1 exact" (P.sqerror (P.make data) ~lo:1 ~hi:4) (FW.current_error fw1)
+
+let test_fw_refresh_idempotent () =
+  let fw = FW.create ~window:16 ~buckets:3 ~epsilon:0.2 in
+  for i = 1 to 40 do
+    FW.push fw (Float.of_int ((i * 7) mod 13))
+  done;
+  FW.refresh fw;
+  let before = (FW.work_counters fw).FW.refreshes in
+  FW.refresh fw;
+  FW.refresh fw;
+  Alcotest.(check int) "no redundant rebuilds" before (FW.work_counters fw).FW.refreshes;
+  let e1 = FW.current_error fw in
+  let e2 = FW.current_error fw in
+  Helpers.check_close "stable answer" e1 e2
+
+let test_fw_push_batch () =
+  (* batched arrivals (paper footnote 2) are equivalent to pushing singly *)
+  let data = Array.init 100 (fun i -> Float.of_int ((i * 31) mod 57)) in
+  let single = FW.create ~window:40 ~buckets:4 ~epsilon:0.1 in
+  let batched = FW.create ~window:40 ~buckets:4 ~epsilon:0.1 in
+  Array.iter (FW.push single) data;
+  FW.push_batch batched data;
+  Helpers.check_close "same error" (FW.current_error single) (FW.current_error batched);
+  Alcotest.(check (array (float 0.0)))
+    "same histogram"
+    (H.to_series (FW.current_histogram single))
+    (H.to_series (FW.current_histogram batched))
+
+let test_fw_work_counters () =
+  let fw = FW.create ~window:32 ~buckets:3 ~epsilon:0.2 in
+  let before = FW.work_counters fw in
+  for i = 1 to 64 do
+    FW.push_and_refresh fw (Float.of_int i)
+  done;
+  let after = FW.work_counters fw in
+  Alcotest.(check bool) "evaluations grew" true
+    (after.FW.herror_evaluations > before.FW.herror_evaluations);
+  Alcotest.(check bool) "refreshes counted" true (after.FW.refreshes >= 64)
+
+let test_fw_interval_count_bound () =
+  (* The paper bounds each list by O((1/delta) log (HERROR)); sanity-check
+     with a generous constant. *)
+  let n = 256 and b = 4 in
+  let eps = 0.5 in
+  let fw = FW.create ~window:n ~buckets:b ~epsilon:eps in
+  let rng = Helpers.rng ~seed:9 in
+  for _ = 1 to n do
+    FW.push fw (Float.of_int (Sh_util.Rng.int rng 1000))
+  done;
+  let delta = eps /. (2.0 *. Float.of_int b) in
+  let bound =
+    (* 3 * (1/delta) * log2(n * R^2) with R = 1000, plus slack *)
+    int_of_float (3.0 /. delta *. (log (Float.of_int n *. 1e6) /. log 2.0)) + 16
+  in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "interval count bounded" true (c <= bound))
+    (FW.interval_counts fw)
+
+(* -------------------------------------------------------- agglomerative *)
+
+let test_ag_accessors () =
+  let ag = AG.create ~buckets:4 ~epsilon:0.25 in
+  Alcotest.(check int) "buckets" 4 (AG.buckets ag);
+  Helpers.check_close "epsilon" 0.25 (AG.epsilon ag);
+  Alcotest.(check int) "count" 0 (AG.count ag);
+  Helpers.check_close "empty error" 0.0 (AG.current_error ag);
+  Alcotest.check_raises "empty histogram"
+    (Invalid_argument "Agglomerative.current_histogram: empty stream") (fun () ->
+      ignore (AG.current_histogram ag))
+
+let test_ag_single_bucket () =
+  let ag = AG.create ~buckets:1 ~epsilon:0.1 in
+  feed_ag ag [| 1.0; 3.0 |];
+  Helpers.check_close "B=1 error" 2.0 (AG.current_error ag);
+  let h = AG.current_histogram ag in
+  Alcotest.(check int) "one bucket" 1 (H.bucket_count h);
+  Helpers.check_close "mean" 2.0 (H.point_estimate h 1)
+
+let test_ag_step_data_zero_error () =
+  let ag = AG.create ~buckets:3 ~epsilon:0.1 in
+  let data = Array.concat [ Array.make 20 1.0; Array.make 20 5.0; Array.make 20 2.0 ] in
+  feed_ag ag data;
+  Helpers.check_close "exact on 3-step data" 0.0 (AG.current_error ag);
+  let h = AG.current_histogram ag in
+  Helpers.check_close "reconstruction exact" 0.0 (H.sse_against h (P.make data))
+
+let prop_ag_guarantee =
+  Helpers.qcheck_case ~count:40 ~name:"agglomerative SSE within (1+eps) of optimal"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:2 ~max_len:120 ~vmax:1000 () in
+      let* b = int_range 1 6 in
+      let* eps = oneofl [ 0.01; 0.1; 0.5; 1.0 ] in
+      return (data, b, eps))
+    (fun (data, b, eps) ->
+      let ag = AG.create ~buckets:b ~epsilon:eps in
+      feed_ag ag data;
+      let p = P.make data in
+      let opt = V.optimal_error p ~buckets:b in
+      let err = AG.current_error ag in
+      let sse = H.sse_against (AG.current_histogram ag) p in
+      within_guarantee ~eps ~opt err && within_guarantee ~eps ~opt sse)
+
+let prop_ag_guarantee_every_prefix =
+  Helpers.qcheck_case ~count:10 ~name:"agglomerative guarantee holds at every prefix"
+    QCheck2.Gen.(
+      let* stream = array_size (int_range 10 80) (int_range 0 300) in
+      return (Array.map Float.of_int stream))
+    (fun stream ->
+      let b = 3 and eps = 0.2 in
+      let ag = AG.create ~buckets:b ~epsilon:eps in
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          AG.push ag v;
+          if i mod 5 = 0 then begin
+            let p = P.of_sub stream ~pos:0 ~len:(i + 1) in
+            let opt = V.optimal_error p ~buckets:b in
+            if not (within_guarantee ~eps ~opt (AG.current_error ag)) then ok := false
+          end)
+        stream;
+      !ok)
+
+let test_ag_space_sublinear () =
+  (* Space must stay polylogarithmic in the stream length: push 50k points
+     and check the queue total against the paper's O((B^2/eps) log n) with
+     a generous constant. *)
+  let b = 5 and eps = 0.2 in
+  let ag = AG.create ~buckets:b ~epsilon:eps in
+  let rng = Helpers.rng ~seed:4 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    AG.push ag (Float.of_int (Sh_util.Rng.int rng 10_000))
+  done;
+  let delta = eps /. (2.0 *. Float.of_int b) in
+  let per_queue = 3.0 /. delta *. (log (Float.of_int n *. 1e8) /. log 2.0) in
+  let bound = int_of_float (per_queue *. Float.of_int (b - 1)) + 64 in
+  Alcotest.(check bool) "space within paper bound" true (AG.space_in_entries ag <= bound);
+  Alcotest.(check int) "interval_counts consistent" (AG.space_in_entries ag)
+    (Array.fold_left ( + ) 0 (AG.interval_counts ag))
+
+let test_ag_monotone_error () =
+  (* HERROR[N, B] never decreases as the stream grows. *)
+  let ag = AG.create ~buckets:2 ~epsilon:0.1 in
+  let rng = Helpers.rng ~seed:5 in
+  let prev = ref 0.0 in
+  let ok = ref true in
+  for _ = 1 to 500 do
+    AG.push ag (Float.of_int (Sh_util.Rng.int rng 100));
+    let e = AG.current_error ag in
+    if e < !prev -. 1e-6 then ok := false;
+    prev := e
+  done;
+  Alcotest.(check bool) "monotone non-decreasing" true !ok
+
+(* --------------------------------------------------------- exact window *)
+
+module EW = Stream_histogram.Exact_window
+
+let test_ew_matches_vopt_on_window () =
+  let data = Array.init 120 (fun i -> Float.of_int ((i * 53) mod 97)) in
+  let ew = EW.create ~window:48 ~buckets:5 in
+  Array.iter (EW.push ew) data;
+  let window = Array.sub data (120 - 48) 48 in
+  let p = P.make window in
+  Helpers.check_close "optimal error of window" (V.optimal_error p ~buckets:5)
+    (EW.current_error ew);
+  Helpers.check_close "histogram achieves it" (V.optimal_error p ~buckets:5)
+    (H.sse_against (EW.current_histogram ew) p)
+
+let test_ew_is_lower_bound_for_fw () =
+  let data = Array.init 200 (fun i -> Float.of_int ((i * 17) mod 211)) in
+  let ew = EW.create ~window:64 ~buckets:4 in
+  let fw = FW.create ~window:64 ~buckets:4 ~epsilon:0.1 in
+  Array.iter (fun v -> EW.push ew v; FW.push fw v) data;
+  Alcotest.(check bool) "exact <= approximate" true
+    (EW.current_error ew <= FW.current_error fw +. 1e-6)
+
+let test_ew_partial_and_empty () =
+  let ew = EW.create ~window:10 ~buckets:2 in
+  Alcotest.check_raises "empty" (Invalid_argument "Exact_window.current_histogram: empty window")
+    (fun () -> ignore (EW.current_error ew));
+  EW.push ew 5.0;
+  Alcotest.(check int) "length" 1 (EW.length ew);
+  Helpers.check_close "single point" 0.0 (EW.current_error ew)
+
+(* ------------------------------------------------------ input validation *)
+
+let test_non_finite_rejected () =
+  let fw = FW.create ~window:4 ~buckets:2 ~epsilon:0.1 in
+  Alcotest.check_raises "fw nan" (Invalid_argument "Fixed_window.push: non-finite value")
+    (fun () -> FW.push fw Float.nan);
+  Alcotest.check_raises "fw inf" (Invalid_argument "Fixed_window.push: non-finite value")
+    (fun () -> FW.push fw Float.infinity);
+  let ag = AG.create ~buckets:2 ~epsilon:0.1 in
+  Alcotest.check_raises "ag nan" (Invalid_argument "Agglomerative.push: non-finite value")
+    (fun () -> AG.push ag Float.nan);
+  let ew = EW.create ~window:4 ~buckets:2 in
+  Alcotest.check_raises "ew nan" (Invalid_argument "Exact_window.push: non-finite value")
+    (fun () -> EW.push ew Float.neg_infinity)
+
+(* ------------------------------------------------- cross-algorithm ties *)
+
+let prop_fw_and_ag_agree_on_full_window =
+  Helpers.qcheck_case ~count:25 ~name:"fixed-window and agglomerative agree when window = stream"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:2 ~max_len:80 ~vmax:500 () in
+      let* b = int_range 1 5 in
+      return (data, b))
+    (fun (data, b) ->
+      (* Both answer the same question on identical inputs, so both must
+         land within the same guarantee band of the same optimum. *)
+      let eps = 0.1 in
+      let n = Array.length data in
+      let fw = FW.create ~window:n ~buckets:b ~epsilon:eps in
+      let ag = AG.create ~buckets:b ~epsilon:eps in
+      feed_fw fw data;
+      feed_ag ag data;
+      let opt = V.optimal_error (P.make data) ~buckets:b in
+      within_guarantee ~eps ~opt (FW.current_error fw)
+      && within_guarantee ~eps ~opt (AG.current_error ag))
+
+let () =
+  Alcotest.run "stream_histogram"
+    [
+      ( "paper_example",
+        [
+          Alcotest.test_case "example 1 after slide" `Quick test_paper_example_1;
+          Alcotest.test_case "example 1 first window" `Quick test_paper_example_1_first_window;
+        ] );
+      ( "fixed_window",
+        [
+          Alcotest.test_case "accessors" `Quick test_fw_accessors;
+          Alcotest.test_case "validation" `Quick test_fw_validation;
+          Alcotest.test_case "partial window" `Quick test_fw_partial_window;
+          Alcotest.test_case "constant stream" `Quick test_fw_constant_stream;
+          Alcotest.test_case "bucket count" `Quick test_fw_bucket_count_bounded;
+          Alcotest.test_case "lazy vs eager" `Quick test_fw_lazy_vs_eager;
+          Alcotest.test_case "push batch" `Quick test_fw_push_batch;
+          Alcotest.test_case "degenerate sizes" `Quick test_fw_degenerate_sizes;
+          Alcotest.test_case "refresh idempotent" `Quick test_fw_refresh_idempotent;
+          Alcotest.test_case "work counters" `Quick test_fw_work_counters;
+          Alcotest.test_case "interval bound" `Quick test_fw_interval_count_bound;
+          prop_fw_guarantee;
+          prop_fw_guarantee_while_sliding;
+          prop_fw_herror_brackets_exact;
+        ] );
+      ( "agglomerative",
+        [
+          Alcotest.test_case "accessors" `Quick test_ag_accessors;
+          Alcotest.test_case "single bucket" `Quick test_ag_single_bucket;
+          Alcotest.test_case "step data" `Quick test_ag_step_data_zero_error;
+          Alcotest.test_case "space sublinear" `Quick test_ag_space_sublinear;
+          Alcotest.test_case "monotone error" `Quick test_ag_monotone_error;
+          prop_ag_guarantee;
+          prop_ag_guarantee_every_prefix;
+        ] );
+      ( "exact_window",
+        [
+          Alcotest.test_case "matches vopt" `Quick test_ew_matches_vopt_on_window;
+          Alcotest.test_case "lower bound for fw" `Quick test_ew_is_lower_bound_for_fw;
+          Alcotest.test_case "partial and empty" `Quick test_ew_partial_and_empty;
+          Alcotest.test_case "non-finite rejected" `Quick test_non_finite_rejected;
+        ] );
+      ("cross", [ prop_fw_and_ag_agree_on_full_window ]);
+    ]

@@ -1,0 +1,172 @@
+module Rng = Sh_util.Rng
+module Source = Sh_gen.Source
+module W = Sh_gen.Workloads
+
+let is_integer v = Float.equal v (Float.round v)
+
+let test_source_of_array_cycles () =
+  let s = Source.of_array [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-9)))
+    "cycles" [| 1.0; 2.0; 3.0; 1.0; 2.0 |] (Source.take s 5)
+
+let test_source_combinators () =
+  let s = Source.map (fun x -> 2.0 *. x) (Source.of_array [| 1.0; 2.0 |]) in
+  Alcotest.(check (array (float 1e-9))) "map" [| 2.0; 4.0 |] (Source.take s 2);
+  let s2 = Source.add (Source.of_array [| 1.0 |]) (Source.of_array [| 10.0 |]) in
+  Helpers.check_close "add" 11.0 (s2 ());
+  let s3 = Source.clamp ~lo:0.0 ~hi:1.0 (Source.of_array [| -5.0; 0.5; 7.0 |]) in
+  Alcotest.(check (array (float 1e-9))) "clamp" [| 0.0; 0.5; 1.0 |] (Source.take s3 3);
+  let s4 = Source.quantize (Source.of_array [| 1.4; 1.6 |]) in
+  Alcotest.(check (array (float 1e-9))) "quantize" [| 1.0; 2.0 |] (Source.take s4 2)
+
+let test_source_drop () =
+  let s = Source.of_array [| 1.0; 2.0; 3.0 |] in
+  Source.drop s 2;
+  Helpers.check_close "after drop" 3.0 (s ())
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "shtest" ".txt" in
+  let data = [| 1.5; -2.0; 3.25 |] in
+  Source.to_file path data;
+  let back = Source.of_file path in
+  Sys.remove path;
+  Alcotest.(check (array (float 1e-9))) "roundtrip" data back
+
+let test_file_comments () =
+  let path = Filename.temp_file "shtest" ".txt" in
+  let oc = open_out path in
+  output_string oc "# header\n1.0\n\n2.0\n";
+  close_out oc;
+  let back = Source.of_file path in
+  Sys.remove path;
+  Alcotest.(check (array (float 1e-9))) "skips comments" [| 1.0; 2.0 |] back
+
+let deterministic make =
+  let a = Source.take (make (Rng.create ~seed:99)) 200 in
+  let b = Source.take (make (Rng.create ~seed:99)) 200 in
+  a = b
+
+let test_network_deterministic () =
+  Alcotest.(check bool) "same seed, same stream" true
+    (deterministic (fun rng -> W.network rng W.default_network))
+
+let test_network_bounds_and_integers () =
+  let rng = Rng.create ~seed:7 in
+  let s = W.network rng W.default_network in
+  let xs = Source.take s 5000 in
+  Alcotest.(check bool) "bounded" true
+    (Array.for_all (fun v -> v >= 0.0 && v <= W.default_network.W.value_max) xs);
+  Alcotest.(check bool) "integers" true (Array.for_all is_integer xs)
+
+let test_network_not_constant () =
+  let rng = Rng.create ~seed:7 in
+  let xs = Source.take (W.network rng W.default_network) 2000 in
+  Alcotest.(check bool) "has variance" true (Sh_util.Stats.stddev xs > 1.0)
+
+let test_random_walk () =
+  let rng = Rng.create ~seed:3 in
+  let xs = Source.take (W.random_walk rng ~start:100.0 ~step_stddev:2.0 ~lo:0.0 ~hi:200.0 ()) 5000 in
+  Alcotest.(check bool) "bounded" true (Array.for_all (fun v -> v >= 0.0 && v <= 200.0) xs);
+  Alcotest.(check bool) "integers" true (Array.for_all is_integer xs);
+  (* consecutive steps are small *)
+  let max_step = ref 0.0 in
+  for i = 1 to Array.length xs - 1 do
+    max_step := Float.max !max_step (Float.abs (xs.(i) -. xs.(i - 1)))
+  done;
+  Alcotest.(check bool) "steps bounded" true (!max_step < 50.0)
+
+let test_step_signal_piecewise () =
+  let rng = Rng.create ~seed:11 in
+  let xs = Source.take (W.step_signal rng ~segment_mean:50 ~noise_stddev:0.0 ()) 2000 in
+  (* With zero noise the signal is exactly piecewise constant: the number
+     of distinct adjacent changes should be near 2000/50. *)
+  let changes = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) <> xs.(i - 1) then incr changes
+  done;
+  Alcotest.(check bool) "few changes" true (!changes < 120);
+  Alcotest.(check bool) "some changes" true (!changes > 5)
+
+let test_click_counts_nonneg () =
+  let rng = Rng.create ~seed:13 in
+  let xs = Source.take (W.click_counts rng ()) 2000 in
+  Alcotest.(check bool) "non-negative integers" true
+    (Array.for_all (fun v -> v >= 0.0 && is_integer v) xs)
+
+let test_uniform_noise () =
+  let rng = Rng.create ~seed:17 in
+  let xs = Source.take (W.uniform_noise rng ~lo:0.0 ~hi:100.0) 5000 in
+  Alcotest.(check bool) "bounded" true (Array.for_all (fun v -> v >= 0.0 && v <= 100.0) xs);
+  Alcotest.(check bool) "roughly uniform mean" true (Float.abs (Sh_util.Stats.mean xs -. 50.0) < 3.0)
+
+let test_series_family_shapes () =
+  let rng = Rng.create ~seed:19 in
+  let fam = W.series_family rng ~count:12 ~len:64 ~shapes:3 ~noise:1.0 in
+  Alcotest.(check int) "count" 12 (Array.length fam);
+  Array.iter (fun s -> Alcotest.(check int) "len" 64 (Array.length s)) fam;
+  (* Series sharing a prototype (indices congruent mod shapes) must be far
+     closer than series from different prototypes, on average. *)
+  let dist a b =
+    let acc = ref 0.0 in
+    Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) ** 2.0)) a;
+    sqrt !acc
+  in
+  let same = dist fam.(0) fam.(3) and diff = dist fam.(0) fam.(1) in
+  Alcotest.(check bool) "ground truth separation" true (same *. 3.0 < diff)
+
+let test_step_family_structure () =
+  let rng = Rng.create ~seed:23 in
+  let fam = W.step_family rng ~count:10 ~len:128 ~shapes:2 ~steps:6 ~noise:0.0 in
+  Alcotest.(check int) "count" 10 (Array.length fam);
+  (* noiseless copies of the same prototype are identical *)
+  Alcotest.(check (array (float 1e-9))) "same prototype" fam.(0) fam.(2);
+  (* a noiseless prototype has at most steps distinct adjacent changes *)
+  let changes = ref 0 in
+  for i = 1 to 127 do
+    if fam.(0).(i) <> fam.(0).(i - 1) then incr changes
+  done;
+  Alcotest.(check bool) "piecewise constant" true (!changes <= 5)
+
+let test_step_family_separation () =
+  let rng = Rng.create ~seed:24 in
+  let fam = W.step_family rng ~count:8 ~len:256 ~shapes:4 ~steps:8 ~noise:2.0 in
+  let dist a b =
+    let acc = ref 0.0 in
+    Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) ** 2.0)) a;
+    sqrt !acc
+  in
+  let same = dist fam.(0) fam.(4) and diff = dist fam.(0) fam.(1) in
+  Alcotest.(check bool) "same shape much closer" true (same *. 3.0 < diff)
+
+let test_series_family_validation () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.check_raises "bad sizes"
+    (Invalid_argument "Workloads.series_family: all sizes must be positive") (fun () ->
+      ignore (W.series_family rng ~count:0 ~len:4 ~shapes:1 ~noise:0.0))
+
+let () =
+  Alcotest.run "sh_gen"
+    [
+      ( "source",
+        [
+          Alcotest.test_case "of_array cycles" `Quick test_source_of_array_cycles;
+          Alcotest.test_case "combinators" `Quick test_source_combinators;
+          Alcotest.test_case "drop" `Quick test_source_drop;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "file comments" `Quick test_file_comments;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "network deterministic" `Quick test_network_deterministic;
+          Alcotest.test_case "network bounds" `Quick test_network_bounds_and_integers;
+          Alcotest.test_case "network varies" `Quick test_network_not_constant;
+          Alcotest.test_case "random walk" `Quick test_random_walk;
+          Alcotest.test_case "step signal" `Quick test_step_signal_piecewise;
+          Alcotest.test_case "click counts" `Quick test_click_counts_nonneg;
+          Alcotest.test_case "uniform noise" `Quick test_uniform_noise;
+          Alcotest.test_case "series family" `Quick test_series_family_shapes;
+          Alcotest.test_case "step family structure" `Quick test_step_family_structure;
+          Alcotest.test_case "step family separation" `Quick test_step_family_separation;
+          Alcotest.test_case "series family validation" `Quick test_series_family_validation;
+        ] );
+    ]

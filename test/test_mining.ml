@@ -1,0 +1,221 @@
+module CD = Sh_mining.Change_detector
+module KM = Sh_mining.Stream_kmeans
+module HH = Sh_mining.Heavy_hitters
+module Rng = Sh_util.Rng
+
+(* -------------------------------------------------------- change detector *)
+
+let test_cd_stable_on_stationary () =
+  let cd = CD.create ~window:128 ~buckets:8 ~epsilon:0.2 ~threshold:30.0 () in
+  let rng = Rng.create ~seed:1 in
+  let drifted = ref false in
+  for _ = 1 to 2000 do
+    match CD.push cd (100.0 +. Rng.gaussian rng ~mean:0.0 ~stddev:5.0) with
+    | CD.Stable -> ()
+    | CD.Drift _ -> drifted := true
+  done;
+  Alcotest.(check bool) "no drift on stationary stream" false !drifted
+
+let test_cd_detects_level_shift () =
+  let cd = CD.create ~window:128 ~buckets:8 ~epsilon:0.2 ~threshold:30.0 () in
+  let rng = Rng.create ~seed:2 in
+  let first_alert = ref None in
+  for t = 1 to 3000 do
+    let base = if t <= 1500 then 100.0 else 400.0 in
+    (match CD.push cd (base +. Rng.gaussian rng ~mean:0.0 ~stddev:5.0) with
+    | CD.Stable -> ()
+    | CD.Drift _ -> if !first_alert = None then first_alert := Some t)
+  done;
+  match !first_alert with
+  | None -> Alcotest.fail "level shift missed"
+  | Some t ->
+    Alcotest.(check bool)
+      (Printf.sprintf "alert at t=%d shortly after the shift" t)
+      true
+      (t > 1500 && t < 1500 + 300)
+
+let test_cd_validation () =
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Change_detector.create: threshold must be > 0") (fun () ->
+      ignore (CD.create ~window:16 ~buckets:2 ~epsilon:0.1 ~threshold:0.0 ()))
+
+let test_cd_last_distance_tracks () =
+  let cd = CD.create ~window:64 ~buckets:4 ~epsilon:0.2 ~threshold:1e9 ~check_every:16 () in
+  Helpers.check_close "initial distance" 0.0 (CD.last_distance cd);
+  (* stop while the recent window is post-shift and the reference window
+     still straddles it, so the evaluated distance is large *)
+  for t = 1 to 288 do
+    ignore (CD.push cd (if t <= 200 then 0.0 else 100.0))
+  done;
+  Alcotest.(check bool) "distance grew across the shift" true (CD.last_distance cd > 10.0);
+  Alcotest.(check int) "points counted" 288 (CD.points_seen cd)
+
+(* --------------------------------------------------------- stream k-means *)
+
+(* Three well-separated Gaussian blobs in 2D. *)
+let blob_stream ~seed ~n =
+  let rng = Rng.create ~seed in
+  let centres = [| (0.0, 0.0); (100.0, 0.0); (0.0, 100.0) |] in
+  Array.init n (fun i ->
+      let cx, cy = centres.(i mod 3) in
+      [| cx +. Rng.gaussian rng ~mean:0.0 ~stddev:3.0; cy +. Rng.gaussian rng ~mean:0.0 ~stddev:3.0 |])
+
+let test_kmeans_offline_blobs () =
+  let points = blob_stream ~seed:3 ~n:600 in
+  let centres = KM.kmeans (Rng.create ~seed:4) ~k:3 points in
+  Alcotest.(check int) "three centres" 3 (Array.length centres);
+  (* every centre should sit near one blob centre *)
+  Array.iter
+    (fun (c, w) ->
+      let near (x, y) = Float.abs (c.(0) -. x) < 10.0 && Float.abs (c.(1) -. y) < 10.0 in
+      Alcotest.(check bool) "centre near a blob" true
+        (near (0.0, 0.0) || near (100.0, 0.0) || near (0.0, 100.0));
+      Alcotest.(check bool) "weight positive" true (w > 0.0))
+    centres
+
+let test_stream_kmeans_matches_batch_quality () =
+  let points = blob_stream ~seed:5 ~n:3000 in
+  let stream = KM.create (Rng.create ~seed:6) ~k:3 ~dim:2 ~chunk_size:200 in
+  Array.iter (KM.add stream) points;
+  let stream_cost = KM.cost stream points in
+  (* batch baseline on the full data *)
+  let batch = KM.kmeans (Rng.create ~seed:7) ~k:3 points in
+  let batch_centres = Array.map fst batch in
+  let batch_cost =
+    Array.fold_left
+      (fun acc p ->
+        let best = ref infinity in
+        Array.iter
+          (fun c ->
+            let d =
+              ((p.(0) -. c.(0)) *. (p.(0) -. c.(0))) +. ((p.(1) -. c.(1)) *. (p.(1) -. c.(1)))
+            in
+            if d < !best then best := d)
+          batch_centres;
+        acc +. !best)
+      0.0 points
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stream cost %.0f within 2x of batch %.0f" stream_cost batch_cost)
+    true
+    (stream_cost <= (2.0 *. batch_cost) +. 1e-6)
+
+let test_stream_kmeans_assign () =
+  let stream = KM.create (Rng.create ~seed:8) ~k:3 ~dim:2 ~chunk_size:100 in
+  Array.iter (KM.add stream) (blob_stream ~seed:9 ~n:900);
+  (* points from the same blob must map to the same cluster *)
+  let a1 = KM.assign stream [| 0.0; 1.0 |] and a2 = KM.assign stream [| 2.0; -1.0 |] in
+  let b1 = KM.assign stream [| 99.0; 1.0 |] in
+  Alcotest.(check int) "same blob, same cluster" a1 a2;
+  Alcotest.(check bool) "different blobs differ" true (a1 <> b1)
+
+let test_stream_kmeans_bounded_memory () =
+  let stream = KM.create (Rng.create ~seed:10) ~k:4 ~dim:2 ~chunk_size:64 in
+  Array.iter (KM.add stream) (blob_stream ~seed:11 ~n:20_000);
+  Alcotest.(check bool) "centroids capped at k" true (Array.length (KM.centroids stream) <= 4);
+  Alcotest.(check int) "points counted" 20_000 (KM.points_seen stream)
+
+let test_stream_kmeans_validation () =
+  Alcotest.check_raises "chunk < k"
+    (Invalid_argument "Stream_kmeans.create: chunk_size must be >= k") (fun () ->
+      ignore (KM.create (Rng.create ~seed:1) ~k:5 ~dim:2 ~chunk_size:3));
+  let s = KM.create (Rng.create ~seed:1) ~k:2 ~dim:2 ~chunk_size:10 in
+  Alcotest.check_raises "dim mismatch" (Invalid_argument "Stream_kmeans.add: dimension mismatch")
+    (fun () -> KM.add s [| 1.0 |]);
+  Alcotest.check_raises "assign before data"
+    (Invalid_argument "Stream_kmeans.assign: no points seen") (fun () ->
+      ignore (KM.assign s [| 0.0; 0.0 |]))
+
+(* ---------------------------------------------------------- heavy hitters *)
+
+let test_hh_exact_when_small () =
+  let h = HH.create ~capacity:10 in
+  List.iter (fun v -> HH.add h v) [ 1.0; 2.0; 1.0; 3.0; 1.0; 2.0 ];
+  Alcotest.(check int) "count of 1" 3 (HH.estimate h 1.0);
+  Alcotest.(check int) "count of 2" 2 (HH.estimate h 2.0);
+  Alcotest.(check int) "total" 6 (HH.total h)
+
+let test_hh_guarantee () =
+  (* value 7 occurs 30% of the time among uniform noise; a capacity-9
+     summary must retain it with estimate within n/10 of truth *)
+  let h = HH.create ~capacity:9 in
+  let rng = Rng.create ~seed:12 in
+  let n = 10_000 in
+  let true_sevens = ref 0 in
+  for _ = 1 to n do
+    if Rng.float rng 1.0 < 0.3 then begin
+      incr true_sevens;
+      HH.add h 7.0
+    end
+    else HH.add h (Float.of_int (100 + Rng.int rng 1000))
+  done;
+  let est = HH.estimate h 7.0 in
+  Alcotest.(check bool) "estimate never exceeds truth" true (est <= !true_sevens);
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %d within n/(k+1) of truth %d" est !true_sevens)
+    true
+    (!true_sevens - est <= n / 10);
+  (* and it must appear in the heavy hitters at threshold 0.15 *)
+  Alcotest.(check bool) "reported as heavy" true
+    (List.mem_assoc 7.0 (HH.heavy_hitters h ~threshold:0.15))
+
+let test_hh_batched_counts () =
+  let h = HH.create ~capacity:4 in
+  HH.add ~count:100 h 1.0;
+  HH.add ~count:50 h 2.0;
+  Alcotest.(check int) "batched count" 100 (HH.estimate h 1.0);
+  Alcotest.(check int) "total" 150 (HH.total h)
+
+let test_hh_tracked_sorted () =
+  let h = HH.create ~capacity:8 in
+  List.iter (fun v -> HH.add h v) [ 5.0; 5.0; 5.0; 2.0; 2.0; 9.0 ];
+  match HH.tracked h with
+  | (v1, c1) :: (v2, c2) :: _ ->
+    Alcotest.(check (pair (float 0.0) int)) "most frequent first" (5.0, 3) (v1, c1);
+    Alcotest.(check (pair (float 0.0) int)) "second" (2.0, 2) (v2, c2)
+  | _ -> Alcotest.fail "expected at least two tracked values"
+
+let prop_hh_underestimates =
+  Helpers.qcheck_case ~count:50 ~name:"MG estimates never exceed true counts"
+    QCheck2.Gen.(
+      let* values = list_size (int_range 1 500) (int_range 0 20) in
+      let* cap = int_range 1 8 in
+      return (values, cap))
+    (fun (values, cap) ->
+      let h = HH.create ~capacity:cap in
+      List.iter (fun v -> HH.add h (Float.of_int v)) values;
+      let n = List.length values in
+      List.for_all
+        (fun v ->
+          let truth = List.length (List.filter (( = ) v) values) in
+          let est = HH.estimate h (Float.of_int v) in
+          est <= truth && truth - est <= n / (cap + 1))
+        (List.sort_uniq compare values))
+
+let () =
+  Alcotest.run "sh_mining"
+    [
+      ( "change_detector",
+        [
+          Alcotest.test_case "stable" `Quick test_cd_stable_on_stationary;
+          Alcotest.test_case "detects shift" `Quick test_cd_detects_level_shift;
+          Alcotest.test_case "validation" `Quick test_cd_validation;
+          Alcotest.test_case "distance tracking" `Quick test_cd_last_distance_tracks;
+        ] );
+      ( "stream_kmeans",
+        [
+          Alcotest.test_case "offline blobs" `Quick test_kmeans_offline_blobs;
+          Alcotest.test_case "stream vs batch" `Quick test_stream_kmeans_matches_batch_quality;
+          Alcotest.test_case "assign" `Quick test_stream_kmeans_assign;
+          Alcotest.test_case "bounded memory" `Quick test_stream_kmeans_bounded_memory;
+          Alcotest.test_case "validation" `Quick test_stream_kmeans_validation;
+        ] );
+      ( "heavy_hitters",
+        [
+          Alcotest.test_case "exact small" `Quick test_hh_exact_when_small;
+          Alcotest.test_case "guarantee" `Quick test_hh_guarantee;
+          Alcotest.test_case "batched" `Quick test_hh_batched_counts;
+          Alcotest.test_case "sorted" `Quick test_hh_tracked_sorted;
+          prop_hh_underestimates;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+module Grid = Sh_multidim.Grid
+module Mhist = Sh_multidim.Mhist
+module Rng = Sh_util.Rng
+
+let gen_grid =
+  QCheck2.Gen.(
+    let* rows = int_range 1 8 in
+    let* cols = int_range 1 8 in
+    let* flat = array_size (return (rows * cols)) (int_range 0 50) in
+    return (Array.init rows (fun r -> Array.init cols (fun c -> Float.of_int flat.((r * cols) + c)))))
+
+let naive_block_sum cells r0 c0 r1 c1 =
+  let acc = ref 0.0 in
+  for r = r0 to r1 do
+    for c = c0 to c1 do
+      acc := !acc +. cells.(r).(c)
+    done
+  done;
+  !acc
+
+(* ----------------------------------------------------------------- Grid *)
+
+let test_grid_basics () =
+  let g = Grid.make [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check int) "rows" 2 (Grid.rows g);
+  Alcotest.(check int) "cols" 2 (Grid.cols g);
+  Helpers.check_close "total" 10.0 (Grid.range_sum g ~r0:0 ~c0:0 ~r1:1 ~c1:1);
+  Helpers.check_close "cell" 3.0 (Grid.range_sum g ~r0:1 ~c0:0 ~r1:1 ~c1:0);
+  Helpers.check_close "row" 7.0 (Grid.range_sum g ~r0:1 ~c0:0 ~r1:1 ~c1:1);
+  Helpers.check_close "empty" 0.0 (Grid.range_sum g ~r0:1 ~c0:1 ~r1:0 ~c1:0);
+  Helpers.check_close "mean" 2.5 (Grid.mean g ~r0:0 ~c0:0 ~r1:1 ~c1:1)
+
+let test_grid_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Grid.make: empty grid") (fun () ->
+      ignore (Grid.make [||]));
+  Alcotest.check_raises "ragged" (Invalid_argument "Grid.make: ragged grid") (fun () ->
+      ignore (Grid.make [| [| 1.0 |]; [| 1.0; 2.0 |] |]));
+  let g = Grid.make [| [| 1.0 |] |] in
+  Alcotest.check_raises "oob" (Invalid_argument "Grid: block out of bounds") (fun () ->
+      ignore (Grid.range_sum g ~r0:0 ~c0:0 ~r1:1 ~c1:0))
+
+let prop_grid_matches_naive =
+  Helpers.qcheck_case ~count:60 ~name:"2-D range sums match naive" gen_grid (fun cells ->
+      let g = Grid.make cells in
+      let nr = Array.length cells and nc = Array.length cells.(0) in
+      let ok = ref true in
+      for r0 = 0 to nr - 1 do
+        for r1 = r0 to nr - 1 do
+          for c0 = 0 to nc - 1 do
+            for c1 = c0 to nc - 1 do
+              if
+                not
+                  (Helpers.close ~eps:1e-6
+                     (Grid.range_sum g ~r0 ~c0 ~r1 ~c1)
+                     (naive_block_sum cells r0 c0 r1 c1))
+              then ok := false
+            done
+          done
+        done
+      done;
+      !ok)
+
+let prop_grid_sse_nonneg_and_zero_on_constant =
+  Helpers.qcheck_case ~count:40 ~name:"block SSE is non-negative; zero for constant blocks"
+    gen_grid
+    (fun cells ->
+      let g = Grid.make cells in
+      let nr = Array.length cells and nc = Array.length cells.(0) in
+      let constant = Grid.make (Array.make_matrix nr nc 3.0) in
+      Grid.sse g ~r0:0 ~c0:0 ~r1:(nr - 1) ~c1:(nc - 1) >= 0.0
+      && Helpers.close (Grid.sse constant ~r0:0 ~c0:0 ~r1:(nr - 1) ~c1:(nc - 1)) 0.0)
+
+(* ---------------------------------------------------------------- Mhist *)
+
+(* A grid with four constant quadrants: 4 buckets should be exact. *)
+let quadrant_grid n a b c d =
+  Array.init (2 * n) (fun r ->
+      Array.init (2 * n) (fun col ->
+          match (r < n, col < n) with
+          | true, true -> a
+          | true, false -> b
+          | false, true -> c
+          | false, false -> d))
+
+let test_mhist_quadrants_exact () =
+  let cells = quadrant_grid 4 1.0 5.0 9.0 13.0 in
+  let h = Mhist.build cells ~buckets:4 in
+  Alcotest.(check int) "4 buckets" 4 (Mhist.bucket_count h);
+  Helpers.check_close "exact" 0.0 (Mhist.sse h cells);
+  Helpers.check_close "quadrant value" 13.0 (Mhist.point_estimate h ~row:7 ~col:7)
+
+let test_mhist_single_bucket () =
+  let cells = [| [| 1.0; 3.0 |]; [| 5.0; 7.0 |] |] in
+  let h = Mhist.build cells ~buckets:1 in
+  Alcotest.(check int) "1 bucket" 1 (Mhist.bucket_count h);
+  Helpers.check_close "mean everywhere" 4.0 (Mhist.point_estimate h ~row:0 ~col:1)
+
+let test_mhist_range_sum () =
+  let cells = quadrant_grid 2 1.0 5.0 9.0 13.0 in
+  let h = Mhist.build cells ~buckets:4 in
+  (* exact partition -> exact range sums *)
+  Helpers.check_close "full" (naive_block_sum cells 0 0 3 3)
+    (Mhist.range_sum_estimate h ~r0:0 ~c0:0 ~r1:3 ~c1:3);
+  Helpers.check_close "straddling" (naive_block_sum cells 1 1 2 2)
+    (Mhist.range_sum_estimate h ~r0:1 ~c0:1 ~r1:2 ~c1:2)
+
+let prop_mhist_tiles_and_respects_budget =
+  Helpers.qcheck_case ~count:40 ~name:"MHIST tiles the grid within budget"
+    QCheck2.Gen.(
+      let* cells = gen_grid in
+      let* b = int_range 1 10 in
+      return (cells, b))
+    (fun (cells, b) ->
+      let h = Mhist.build cells ~buckets:b in
+      let nr = Array.length cells and nc = Array.length cells.(0) in
+      (* budget respected *)
+      Mhist.bucket_count h <= b
+      (* every cell covered exactly once: area adds up and point_estimate
+         never hits the unreachable branch *)
+      && Array.fold_left
+           (fun acc bk ->
+             acc + ((bk.Mhist.r1 - bk.Mhist.r0 + 1) * (bk.Mhist.c1 - bk.Mhist.c0 + 1)))
+           0 h.Mhist.buckets
+         = nr * nc
+      &&
+      (let ok = ref true in
+       for r = 0 to nr - 1 do
+         for c = 0 to nc - 1 do
+           ignore (Mhist.point_estimate h ~row:r ~col:c)
+         done
+       done;
+       !ok))
+
+let prop_mhist_more_buckets_no_worse =
+  Helpers.qcheck_case ~count:30 ~name:"more buckets never increase MHIST SSE" gen_grid
+    (fun cells ->
+      let sse b = Mhist.sse (Mhist.build cells ~buckets:b) cells in
+      sse 8 <= sse 4 +. 1e-6 && sse 4 <= sse 2 +. 1e-6 && sse 2 <= sse 1 +. 1e-6)
+
+let test_mhist_beats_independence_assumption () =
+  (* Perfectly correlated attributes: all mass in the (low, low) and
+     (high, high) quadrants.  The attribute-value-independence estimate
+     (row marginal x column marginal) halves the top-left quadrant's mass;
+     MHIST's joint buckets capture it exactly — the point of [PI97]. *)
+  let n = 8 in
+  let cells = quadrant_grid n 100.0 0.0 0.0 100.0 in
+  let h = Mhist.build cells ~buckets:4 in
+  let size = 2 * n in
+  let total = naive_block_sum cells 0 0 (size - 1) (size - 1) in
+  let row_m = naive_block_sum cells 0 0 (n - 1) (size - 1) /. total in
+  let col_m = naive_block_sum cells 0 0 (size - 1) (n - 1) /. total in
+  let independence = row_m *. col_m *. total in
+  let truth = naive_block_sum cells 0 0 (n - 1) (n - 1) in
+  let mhist = Mhist.range_sum_estimate h ~r0:0 ~c0:0 ~r1:(n - 1) ~c1:(n - 1) in
+  Helpers.check_close "joint buckets are exact here" truth mhist;
+  Alcotest.(check bool)
+    (Printf.sprintf "independence %.0f misses truth %.0f" independence truth)
+    true
+    (Float.abs (mhist -. truth) < Float.abs (independence -. truth))
+
+let test_mhist_validation () =
+  Alcotest.check_raises "bad budget" (Invalid_argument "Mhist.build: buckets must be >= 1")
+    (fun () -> ignore (Mhist.build [| [| 1.0 |] |] ~buckets:0));
+  let h = Mhist.build [| [| 1.0 |] |] ~buckets:1 in
+  Alcotest.check_raises "oob point" (Invalid_argument "Mhist.point_estimate: cell out of bounds")
+    (fun () -> ignore (Mhist.point_estimate h ~row:1 ~col:0))
+
+let () =
+  Alcotest.run "sh_multidim"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "basics" `Quick test_grid_basics;
+          Alcotest.test_case "validation" `Quick test_grid_validation;
+          prop_grid_matches_naive;
+          prop_grid_sse_nonneg_and_zero_on_constant;
+        ] );
+      ( "mhist",
+        [
+          Alcotest.test_case "quadrants exact" `Quick test_mhist_quadrants_exact;
+          Alcotest.test_case "single bucket" `Quick test_mhist_single_bucket;
+          Alcotest.test_case "range sums" `Quick test_mhist_range_sum;
+          Alcotest.test_case "beats independence" `Quick test_mhist_beats_independence_assumption;
+          Alcotest.test_case "validation" `Quick test_mhist_validation;
+          prop_mhist_tiles_and_respects_budget;
+          prop_mhist_more_buckets_no_worse;
+        ] );
+    ]

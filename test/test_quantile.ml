@@ -1,0 +1,229 @@
+module Gk = Sh_quantile.Gk
+module Reservoir = Sh_quantile.Reservoir
+module Rng = Sh_util.Rng
+
+(* True rank of the answer among the data (count of values <= answer). *)
+let true_rank data v = Array.fold_left (fun acc x -> if x <= v then acc + 1 else acc) 0 data
+
+let count_eq data v = Array.fold_left (fun acc x -> if x = v then acc + 1 else acc) 0 data
+
+let check_rank_guarantee ~eps data =
+  let g = Gk.create ~epsilon:eps in
+  Array.iter (Gk.insert g) data;
+  let n = Array.length data in
+  let allow = (eps *. Float.of_int n) +. 1.0 in
+  List.for_all
+    (fun phi ->
+      let v = Gk.quantile g phi in
+      let target = Float.of_int (max 1 (int_of_float (ceil (phi *. Float.of_int n)))) in
+      let r = Float.of_int (true_rank data v) in
+      (* v's rank interval must intersect [target - allow, target + allow]:
+         since values can repeat, accept if the rank of v is within the
+         allowance of the target. *)
+      Float.abs (r -. target) <= allow +. Float.of_int (count_eq data v))
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
+let test_gk_validation () =
+  Alcotest.check_raises "epsilon too big" (Invalid_argument "Gk.create: epsilon must be in (0, 1)")
+    (fun () -> ignore (Gk.create ~epsilon:1.0));
+  let g = Gk.create ~epsilon:0.1 in
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Gk.quantile: empty summary") (fun () ->
+      ignore (Gk.quantile g 0.5));
+  Gk.insert g 1.0;
+  Alcotest.check_raises "phi oob" (Invalid_argument "Gk.quantile: phi out of [0, 1]") (fun () ->
+      ignore (Gk.quantile g 1.5))
+
+let test_gk_exact_small () =
+  let g = Gk.create ~epsilon:0.05 in
+  List.iter (Gk.insert g) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  Alcotest.(check int) "count" 5 (Gk.count g);
+  Helpers.check_close "min" 1.0 (Gk.quantile g 0.0);
+  Helpers.check_close "max" 5.0 (Gk.quantile g 1.0);
+  Helpers.check_close "median" 3.0 (Gk.quantile g 0.5)
+
+let test_gk_sorted_stream () =
+  let data = Array.init 5000 Float.of_int in
+  Alcotest.(check bool) "guarantee on sorted data" true (check_rank_guarantee ~eps:0.02 data)
+
+let test_gk_reverse_stream () =
+  let data = Array.init 5000 (fun i -> Float.of_int (5000 - i)) in
+  Alcotest.(check bool) "guarantee on reverse-sorted data" true (check_rank_guarantee ~eps:0.02 data)
+
+let prop_gk_rank_guarantee =
+  Helpers.qcheck_case ~count:25 ~name:"GK epsilon-rank guarantee on random streams"
+    QCheck2.Gen.(
+      let* n = int_range 50 2000 in
+      let* ints = array_size (return n) (int_range 0 10_000) in
+      let* eps = oneofl [ 0.01; 0.05; 0.1 ] in
+      return (Array.map Float.of_int ints, eps))
+    (fun (data, eps) -> check_rank_guarantee ~eps data)
+
+let test_gk_space_sublinear () =
+  let g = Gk.create ~epsilon:0.01 in
+  let rng = Rng.create ~seed:21 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    Gk.insert g (Rng.float rng 1.0)
+  done;
+  (* Space O((1/eps) log (eps n)); generous constant. *)
+  let bound = int_of_float (30.0 /. 0.01) in
+  Alcotest.(check bool)
+    (Printf.sprintf "summary size %d stays far below n" (Gk.size g))
+    true
+    (Gk.size g < bound)
+
+let test_gk_rank_bounds () =
+  let g = Gk.create ~epsilon:0.1 in
+  Array.iter (Gk.insert g) (Array.init 100 Float.of_int);
+  let lo, hi = Gk.rank_bounds g 50.0 in
+  Alcotest.(check bool) "bounds order" true (lo <= hi);
+  Alcotest.(check bool) "enclose true rank 51" true (lo <= 51 + 10 && hi >= 51 - 10)
+
+(* ------------------------------------------------------------------ MRL *)
+
+module Mrl = Sh_quantile.Mrl
+
+let test_mrl_exact_small () =
+  let m = Mrl.create ~buffer_size:16 in
+  List.iter (Mrl.insert m) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  Alcotest.(check int) "count" 5 (Mrl.count m);
+  Helpers.check_close "median exact while unbuffered" 3.0 (Mrl.quantile m 0.5);
+  Helpers.check_close "min" 1.0 (Mrl.quantile m 0.0);
+  Helpers.check_close "max" 5.0 (Mrl.quantile m 1.0)
+
+let mrl_rank_check ~data ~buffer_size =
+  let m = Mrl.create ~buffer_size in
+  Array.iter (Mrl.insert m) data;
+  let n = Array.length data in
+  List.for_all
+    (fun phi ->
+      let v = Mrl.quantile m phi in
+      let target = Float.of_int (max 1 (int_of_float (ceil (phi *. Float.of_int n)))) in
+      let r = Float.of_int (true_rank data v) in
+      (* allow the structure's own error bound, pending-buffer slack, and
+         value multiplicity *)
+      Float.abs (r -. target)
+      <= Float.of_int (Mrl.rank_error_bound m + buffer_size + count_eq data v + 1))
+    [ 0.0; 0.1; 0.5; 0.9; 1.0 ]
+
+let test_mrl_rank_bound_random () =
+  let rng = Rng.create ~seed:41 in
+  let data = Array.init 20_000 (fun _ -> Rng.float rng 1e6) in
+  Alcotest.(check bool) "rank error within bound" true (mrl_rank_check ~data ~buffer_size:256)
+
+let test_mrl_rank_bound_sorted () =
+  let data = Array.init 10_000 Float.of_int in
+  Alcotest.(check bool) "sorted stream" true (mrl_rank_check ~data ~buffer_size:128)
+
+let test_mrl_space_sublinear () =
+  let m = Mrl.create ~buffer_size:128 in
+  let rng = Rng.create ~seed:42 in
+  for _ = 1 to 100_000 do
+    Mrl.insert m (Rng.float rng 1.0)
+  done;
+  (* ~ buffer_size x log2(n / buffer_size) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "size %d well below n" (Mrl.size m))
+    true
+    (Mrl.size m <= 128 * 16)
+
+let test_mrl_validation () =
+  Alcotest.check_raises "buffer size" (Invalid_argument "Mrl.create: buffer_size must be >= 2")
+    (fun () -> ignore (Mrl.create ~buffer_size:1));
+  let m = Mrl.create ~buffer_size:4 in
+  Alcotest.check_raises "empty" (Invalid_argument "Mrl.quantile: empty summary") (fun () ->
+      ignore (Mrl.quantile m 0.5));
+  Alcotest.check_raises "nan" (Invalid_argument "Mrl.insert: non-finite value") (fun () ->
+      Mrl.insert m Float.nan)
+
+let prop_mrl_monotone_in_phi =
+  Helpers.qcheck_case ~count:30 ~name:"MRL quantiles are monotone in phi"
+    QCheck2.Gen.(
+      let* n = int_range 10 2000 in
+      let* ints = array_size (return n) (int_range 0 1000) in
+      return (Array.map Float.of_int ints))
+    (fun data ->
+      let m = Mrl.create ~buffer_size:32 in
+      Array.iter (Mrl.insert m) data;
+      let qs = List.map (Mrl.quantile m) [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+      let rec mono = function a :: b :: rest -> a <= b && mono (b :: rest) | _ -> true in
+      mono qs)
+
+(* ------------------------------------------------------------ Reservoir *)
+
+let test_reservoir_small_stream () =
+  let r = Reservoir.create (Rng.create ~seed:1) ~size:10 in
+  List.iter (Reservoir.add r) [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check int) "seen" 3 (Reservoir.seen r);
+  Alcotest.(check int) "sample size" 3 (Array.length (Reservoir.sample r));
+  Helpers.check_close "mean exact when sample = stream" 2.0 (Reservoir.mean r);
+  Helpers.check_close "sum estimate exact" 6.0 (Reservoir.sum_estimate r)
+
+let test_reservoir_fixed_size () =
+  let r = Reservoir.create (Rng.create ~seed:2) ~size:50 in
+  for i = 1 to 10_000 do
+    Reservoir.add r (Float.of_int i)
+  done;
+  Alcotest.(check int) "sample capped" 50 (Array.length (Reservoir.sample r))
+
+let test_reservoir_unbiased_mean () =
+  (* Average the estimator over many independent reservoirs. *)
+  let trials = 300 in
+  let acc = ref 0.0 in
+  for t = 1 to trials do
+    let r = Reservoir.create (Rng.create ~seed:t) ~size:32 in
+    for i = 1 to 1000 do
+      Reservoir.add r (Float.of_int (i mod 100))
+    done;
+    acc := !acc +. Reservoir.mean r
+  done;
+  let avg = !acc /. Float.of_int trials in
+  (* true mean of (i mod 100) over 1..1000 is 49.5 *)
+  Alcotest.(check bool) "unbiased within noise" true (Float.abs (avg -. 49.5) < 2.0)
+
+let test_reservoir_membership () =
+  let r = Reservoir.create (Rng.create ~seed:3) ~size:5 in
+  for i = 1 to 1000 do
+    Reservoir.add r (Float.of_int i)
+  done;
+  Alcotest.(check bool) "samples come from the stream" true
+    (Array.for_all (fun v -> v >= 1.0 && v <= 1000.0 && Float.is_integer v) (Reservoir.sample r))
+
+let test_reservoir_validation () =
+  Alcotest.check_raises "bad size" (Invalid_argument "Reservoir.create: size must be >= 1")
+    (fun () -> ignore (Reservoir.create (Rng.create ~seed:1) ~size:0));
+  let r = Reservoir.create (Rng.create ~seed:1) ~size:3 in
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Reservoir.quantile: empty reservoir")
+    (fun () -> ignore (Reservoir.quantile r 0.5))
+
+let () =
+  Alcotest.run "sh_quantile"
+    [
+      ( "gk",
+        [
+          Alcotest.test_case "validation" `Quick test_gk_validation;
+          Alcotest.test_case "exact small" `Quick test_gk_exact_small;
+          Alcotest.test_case "sorted stream" `Quick test_gk_sorted_stream;
+          Alcotest.test_case "reverse stream" `Quick test_gk_reverse_stream;
+          Alcotest.test_case "space sublinear" `Quick test_gk_space_sublinear;
+          Alcotest.test_case "rank bounds" `Quick test_gk_rank_bounds;
+          prop_gk_rank_guarantee;
+        ] );
+      ( "mrl",
+        [
+          Alcotest.test_case "exact small" `Quick test_mrl_exact_small;
+          Alcotest.test_case "rank bound random" `Quick test_mrl_rank_bound_random;
+          Alcotest.test_case "rank bound sorted" `Quick test_mrl_rank_bound_sorted;
+          Alcotest.test_case "space sublinear" `Quick test_mrl_space_sublinear;
+          Alcotest.test_case "validation" `Quick test_mrl_validation;
+          prop_mrl_monotone_in_phi;
+        ] );
+      ( "reservoir",
+        [
+          Alcotest.test_case "small stream" `Quick test_reservoir_small_stream;
+          Alcotest.test_case "fixed size" `Quick test_reservoir_fixed_size;
+          Alcotest.test_case "unbiased mean" `Quick test_reservoir_unbiased_mean;
+          Alcotest.test_case "membership" `Quick test_reservoir_membership;
+          Alcotest.test_case "validation" `Quick test_reservoir_validation;
+        ] );
+    ]

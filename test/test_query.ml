@@ -1,0 +1,147 @@
+module P = Sh_prefix.Prefix_sums
+module V = Sh_histogram.Vopt
+module Syn = Sh_wavelet.Synopsis
+module E = Sh_query.Estimator
+module W = Sh_query.Workload
+module Ev = Sh_query.Evaluate
+
+let data = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 |]
+
+let test_exact_estimator () =
+  let e = E.exact (P.make data) in
+  Alcotest.(check int) "n" 8 e.E.n;
+  Helpers.check_close "point" 3.0 (e.E.point 3);
+  Helpers.check_close "range" 9.0 (e.E.range_sum ~lo:2 ~hi:4);
+  Helpers.check_close "avg" 3.0 (E.range_avg e ~lo:2 ~hi:4)
+
+let test_of_series () =
+  let e = E.of_series ~name:"x" [| 10.0; 20.0 |] in
+  Alcotest.(check string) "name" "x" e.E.name;
+  Helpers.check_close "sum" 30.0 (e.E.range_sum ~lo:1 ~hi:2)
+
+let test_histogram_estimator_matches_histogram () =
+  let h = V.build data ~buckets:3 in
+  let e = E.of_histogram h in
+  for lo = 1 to 8 do
+    for hi = lo to 8 do
+      Helpers.check_close "range matches"
+        (Sh_histogram.Histogram.range_sum_estimate h ~lo ~hi)
+        (e.E.range_sum ~lo ~hi)
+    done
+  done
+
+let test_streaming_wavelet_estimator () =
+  let sw = Sh_wavelet.Streaming.create ~budget:8 in
+  Array.iter (Sh_wavelet.Streaming.push sw) data;
+  let e = E.of_streaming_wavelet sw in
+  Alcotest.(check int) "n" 8 e.E.n;
+  Helpers.check_close "point matches module"
+    (Sh_wavelet.Streaming.point_estimate sw 3)
+    (e.E.point 3);
+  Helpers.check_close "range matches module"
+    (Sh_wavelet.Streaming.range_sum_estimate sw ~lo:2 ~hi:6)
+    (e.E.range_sum ~lo:2 ~hi:6)
+
+let test_wavelet_estimator_matches_synopsis () =
+  let s = Syn.build data ~coeffs:4 in
+  let e = E.of_wavelet s in
+  Helpers.check_close "point" (Syn.point_estimate s 5) (e.E.point 5);
+  Helpers.check_close "range" (Syn.range_sum_estimate s ~lo:2 ~hi:7) (e.E.range_sum ~lo:2 ~hi:7)
+
+let test_workload_bounds () =
+  let rng = Helpers.rng ~seed:31 in
+  let qs = W.random_ranges rng ~n:100 ~count:1000 in
+  Alcotest.(check int) "count" 1000 (Array.length qs);
+  Array.iter
+    (fun { W.lo; hi } ->
+      Alcotest.(check bool) "valid range" true (1 <= lo && lo <= hi && hi <= 100))
+    qs
+
+let test_workload_spans_capped () =
+  let rng = Helpers.rng ~seed:32 in
+  let qs = W.random_ranges_span rng ~n:100 ~count:500 ~max_span:5 in
+  Array.iter
+    (fun { W.lo; hi } -> Alcotest.(check bool) "span <= 5" true (hi - lo + 1 <= 5))
+    qs
+
+let test_workload_deterministic () =
+  let a = W.random_ranges (Helpers.rng ~seed:7) ~n:50 ~count:100 in
+  let b = W.random_ranges (Helpers.rng ~seed:7) ~n:50 ~count:100 in
+  Alcotest.(check bool) "same seed same workload" true (a = b)
+
+let test_points_bounds () =
+  let rng = Helpers.rng ~seed:33 in
+  let ps = W.random_points rng ~n:10 ~count:200 in
+  Array.iter (fun p -> Alcotest.(check bool) "in range" true (p >= 1 && p <= 10)) ps
+
+let test_evaluate_exact_is_zero_error () =
+  let truth = E.exact (P.make data) in
+  let qs = W.random_ranges (Helpers.rng ~seed:1) ~n:8 ~count:50 in
+  let s = Ev.range_sum_errors ~truth truth qs in
+  Helpers.check_close "mae 0" 0.0 s.Sh_util.Metrics.mae;
+  Helpers.check_close "max 0" 0.0 s.Sh_util.Metrics.max_abs
+
+let test_evaluate_known_error () =
+  let truth = E.exact (P.make data) in
+  let shifted = E.of_series (Array.map (fun v -> v +. 1.0) data) in
+  let qs = [| { W.lo = 1; hi = 4 } |] in
+  let s = Ev.range_sum_errors ~truth shifted qs in
+  (* Each point over-estimates by 1, so the length-4 range is off by 4. *)
+  Helpers.check_close "mae" 4.0 s.Sh_util.Metrics.mae;
+  let pe = Ev.point_errors ~truth shifted [| 1; 5 |] in
+  Helpers.check_close "point mae" 1.0 pe.Sh_util.Metrics.mae;
+  let ae = Ev.range_avg_errors ~truth shifted qs in
+  Helpers.check_close "avg mae" 1.0 ae.Sh_util.Metrics.mae
+
+let test_evaluate_incompatible () =
+  let a = E.of_series [| 1.0 |] and b = E.of_series [| 1.0; 2.0 |] in
+  Alcotest.check_raises "different ranges"
+    (Invalid_argument "Evaluate: estimators cover different index ranges") (fun () ->
+      ignore (Ev.range_sum_errors ~truth:a b [||]))
+
+let prop_better_synopsis_never_loses_to_worse =
+  (* A histogram with more buckets cannot have (meaningfully) larger SSE;
+     check the query-error summary follows on random workloads. *)
+  Helpers.qcheck_case ~count:30 ~name:"more buckets does not hurt range-sum RMSE much"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:16 ~max_len:64 ~vmax:500 () in
+      return data)
+    (fun data ->
+      let n = Array.length data in
+      let p = P.make data in
+      let truth = E.exact p in
+      let qs = W.random_ranges (Helpers.rng ~seed:5) ~n ~count:200 in
+      let rmse b =
+        let h = V.build_prefix p ~buckets:b in
+        (Ev.range_sum_errors ~truth (E.of_histogram h) qs).Sh_util.Metrics.rmse
+      in
+      (* Allow a small tolerance: query error is not exactly monotone in
+         bucket count, but B = n must be exact. *)
+      rmse n <= 1e-6 && rmse (max 1 (n / 2)) <= rmse 1 +. 1e-6)
+
+let () =
+  Alcotest.run "sh_query"
+    [
+      ( "estimator",
+        [
+          Alcotest.test_case "exact" `Quick test_exact_estimator;
+          Alcotest.test_case "of_series" `Quick test_of_series;
+          Alcotest.test_case "histogram" `Quick test_histogram_estimator_matches_histogram;
+          Alcotest.test_case "wavelet" `Quick test_wavelet_estimator_matches_synopsis;
+          Alcotest.test_case "streaming wavelet" `Quick test_streaming_wavelet_estimator;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "bounds" `Quick test_workload_bounds;
+          Alcotest.test_case "span cap" `Quick test_workload_spans_capped;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "points" `Quick test_points_bounds;
+        ] );
+      ( "evaluate",
+        [
+          Alcotest.test_case "zero error" `Quick test_evaluate_exact_is_zero_error;
+          Alcotest.test_case "known error" `Quick test_evaluate_known_error;
+          Alcotest.test_case "incompatible" `Quick test_evaluate_incompatible;
+          prop_better_synopsis_never_loses_to_worse;
+        ] );
+    ]
