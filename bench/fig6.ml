@@ -109,14 +109,9 @@ let construction ~eps scale =
         :: List.map
              (fun buckets ->
                let fw = FW.create ~window ~buckets ~epsilon:eps in
-               let (), dt =
-                 Report.time (fun () ->
-                     Array.iteri
-                       (fun i v ->
-                         FW.push fw v;
-                         if (i + 1) mod cfg.Bench_config.t_refresh_every = 0 then FW.refresh fw)
-                       data)
-               in
+               FW.set_refresh_policy fw
+                 (Stream_histogram.Params.Every cfg.Bench_config.t_refresh_every);
+               let (), dt = Report.time (fun () -> Array.iter (FW.push fw) data) in
                Report.fmt_time dt)
              cfg.Bench_config.t_bucket_list)
       cfg.Bench_config.t_windows

@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- fig6a fig6c       # selected experiments
      dune exec bench/main.exe -- --scale small     # smoke-test sizes
      dune exec bench/main.exe -- --scale full all  # closest to paper sizes
+     dune exec bench/main.exe -- --json BENCH_fixed_window.json micro-fw
 
    Experiments (see DESIGN.md section 3 for the per-experiment index):
      fig6a fig6b fig6c fig6d      Figure 6 of the paper
@@ -30,15 +31,18 @@ let experiments : (string * (Bench_config.scale -> unit)) list =
     ("ext-synopses", Extensions.synopses);
     ("ext-selectivity", Extensions.selectivity);
     ("micro", Micro.run);
+    ("micro-fw", Micro.run_fw);
   ]
 
 let usage () =
-  Printf.printf "usage: main.exe [--scale small|default|full] [experiment...]\n";
+  Printf.printf "usage: main.exe [--scale small|default|full] [--json FILE] [experiment...]\n";
   Printf.printf "experiments: all %s\n" (String.concat " " (List.map fst experiments));
+  Printf.printf "--json FILE  write machine-readable results of the selected experiments\n";
   exit 1
 
 let () =
   let scale = ref Bench_config.Default in
+  let json_file = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -47,12 +51,23 @@ let () =
       | Some sc -> scale := sc
       | None -> usage ());
       parse rest
+    | "--json" :: f :: rest ->
+      json_file := Some f;
+      parse rest
     | ("-h" | "--help") :: _ -> usage ()
     | name :: rest ->
       selected := name :: !selected;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* fail on an unwritable --json path now, not after minutes of benching *)
+  (match !json_file with
+  | Some path -> (
+    try close_out (open_out path)
+    with Sys_error msg ->
+      Printf.eprintf "cannot write --json file: %s\n" msg;
+      exit 1)
+  | None -> ());
   let names =
     match List.rev !selected with
     | [] | [ "all" ] -> List.map fst experiments
@@ -77,4 +92,9 @@ let () =
         Printf.printf "unknown experiment: %s\n" name;
         usage ())
     names;
+  (match !json_file with
+  | Some path ->
+    Report.json_out ~path;
+    Printf.printf "\nwrote machine-readable results to %s\n" path
+  | None -> ());
   Printf.printf "\ntotal elapsed: %s\n" (Report.fmt_time (Unix.gettimeofday () -. t0))

@@ -113,7 +113,15 @@ let query_ops =
            ignore (Syn.range_sum_estimate s ~lo ~hi:(lo + 90))));
   ]
 
-let run_group ~quota tests =
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+(* Run a bechamel group and return [(name, ns/op)] rows, sorted by name. *)
+let measure_group ~quota tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
@@ -129,19 +137,120 @@ let run_group ~quota tests =
       in
       rows := (name, est) :: !rows)
     results;
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  List.sort (fun (a, _) (b, _) -> compare a b) !rows
+
+let run_group ~quota tests =
   Report.table ~headers:[ "operation"; "time/op" ]
-    (List.map
-       (fun (name, ns) ->
-         let pretty =
-           if Float.is_nan ns then "n/a"
-           else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
-           else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
-           else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-           else Printf.sprintf "%.2f s" (ns /. 1e9)
-         in
-         [ name; pretty ])
-       sorted)
+    (List.map (fun (name, ns) -> [ name; pretty_ns ns ]) (measure_group ~quota tests))
+
+(* --------------------------- cold vs warm fixed-window refresh head-to-head
+
+   The warm-start rebuild (hint-seeded boundary searches + double-buffered
+   lists) must beat a cold rebuild on both wall-clock and HERROR
+   evaluations; this experiment measures both and feeds BENCH_fixed_window
+   .json via --json so the speedup is tracked across PRs. *)
+
+let fw_refresh_pair ~window ~buckets ~epsilon =
+  let mk ~kind ~op =
+    let data = network ~seed:21 ~len:(2 * window) in
+    let next = feeder data in
+    let fw = FW.create ~window ~buckets ~epsilon in
+    Array.iter (FW.push fw) data;
+    FW.refresh fw;
+    Test.make
+      ~name:(Printf.sprintf "fw.refresh.%s n=%d B=%d eps=%g" kind window buckets epsilon)
+      (Staged.stage (fun () -> op fw (next ())))
+  in
+  [
+    mk ~kind:"warm" ~op:(fun fw v -> FW.push_and_refresh fw v);
+    mk ~kind:"cold" ~op:(fun fw v ->
+        FW.push fw v;
+        FW.refresh ~cold:true fw);
+  ]
+
+(* Per-arrival work counters for one slide each way, from identical states. *)
+let fw_eval_stats ~window ~buckets ~epsilon ~pushes =
+  let data = network ~seed:22 ~len:(window + pushes) in
+  let run ~cold =
+    let fw = FW.create ~window ~buckets ~epsilon in
+    for i = 0 to window - 1 do
+      FW.push fw data.(i)
+    done;
+    FW.refresh fw;
+    let before = FW.work_counters fw in
+    for i = window to window + pushes - 1 do
+      FW.push fw data.(i);
+      FW.refresh ~cold fw
+    done;
+    let after = FW.work_counters fw in
+    let per field = Float.of_int field /. Float.of_int pushes in
+    ( per (after.FW.herror_evaluations - before.FW.herror_evaluations),
+      per (after.FW.search_steps - before.FW.search_steps),
+      after.FW.hint_hits - before.FW.hint_hits,
+      after.FW.hint_misses - before.FW.hint_misses )
+  in
+  (run ~cold:false, run ~cold:true)
+
+let run_fw scale =
+  Report.section "BENCH-MICRO-FW: cold vs warm fixed-window refresh";
+  let quota, windows, counter_window, pushes =
+    match scale with
+    | Bench_config.Small -> (0.25, [ 256; 1024 ], 1024, 4)
+    | Bench_config.Default -> (0.5, [ 256; 1024; 4096 ], 4096, 8)
+    | Bench_config.Full -> (1.0, [ 256; 1024; 4096 ], 4096, 8)
+  in
+  let buckets = 8 and epsilon = 0.5 in
+  let rows =
+    measure_group ~quota
+      (List.concat_map (fun w -> fw_refresh_pair ~window:w ~buckets ~epsilon) windows)
+  in
+  Report.table ~headers:[ "operation"; "time/op" ]
+    (List.map (fun (name, ns) -> [ name; pretty_ns ns ]) rows);
+  let cb = 16 and ce = 0.1 in
+  let (w_evals, w_steps, w_hits, w_misses), (c_evals, c_steps, _, _) =
+    fw_eval_stats ~window:counter_window ~buckets:cb ~epsilon:ce ~pushes
+  in
+  Report.note "per push_and_refresh at n=%d B=%d eps=%g over %d arrivals:" counter_window cb ce
+    pushes;
+  Report.table
+    ~headers:[ "rebuild"; "herror evals/push"; "search steps/push"; "hint hits"; "hint misses" ]
+    [
+      [ "warm"; Report.fmt_g w_evals; Report.fmt_g w_steps; string_of_int w_hits;
+        string_of_int w_misses ];
+      [ "cold"; Report.fmt_g c_evals; Report.fmt_g c_steps; "-"; "-" ];
+    ];
+  Report.note "eval reduction: %.2fx" (c_evals /. w_evals);
+  let bench_json =
+    Report.Jlist
+      (List.map
+         (fun (name, ns) -> Report.Jobj [ ("name", Report.Jstring name); ("ns_per_op", Report.Jfloat ns) ])
+         rows)
+  in
+  let side evals steps extra =
+    Report.Jobj
+      ([ ("herror_evals_per_push", Report.Jfloat evals);
+         ("search_steps_per_push", Report.Jfloat steps) ]
+      @ extra)
+  in
+  Report.json_add "fixed_window"
+    (Report.Jobj
+       [
+         ("bench_params", Report.Jobj [ ("buckets", Report.Jint buckets); ("epsilon", Report.Jfloat epsilon) ]);
+         ("benchmarks", bench_json);
+         ( "work_counters",
+           Report.Jobj
+             [
+               ("window", Report.Jint counter_window);
+               ("buckets", Report.Jint cb);
+               ("epsilon", Report.Jfloat ce);
+               ("pushes", Report.Jint pushes);
+               ( "warm",
+                 side w_evals w_steps
+                   [ ("hint_hits", Report.Jint w_hits); ("hint_misses", Report.Jint w_misses) ] );
+               ("cold", side c_evals c_steps []);
+               ("eval_reduction", Report.Jfloat (c_evals /. w_evals));
+             ] );
+       ])
 
 let run scale =
   Report.section "BENCH-MICRO: per-operation costs (bechamel, OLS estimate)";

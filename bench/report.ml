@@ -34,6 +34,85 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* ------------------------------------------------ machine-readable output
+
+   Experiments push (key, value) pairs into an accumulator as they run;
+   main.exe dumps the collected object when --json FILE is given.  A tiny
+   hand-rolled serializer keeps the harness dependency-free. *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jint of int
+  | Jfloat of float
+  | Jstring of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec json_to_buf buf ~indent j =
+  let pad n = String.make n ' ' in
+  match j with
+  | Jnull -> Buffer.add_string buf "null"
+  | Jbool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Jint i -> Buffer.add_string buf (string_of_int i)
+  | Jfloat f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    else Buffer.add_string buf "null"
+  | Jstring s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape_string s))
+  | Jlist [] -> Buffer.add_string buf "[]"
+  | Jlist items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        json_to_buf buf ~indent:(indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Jobj [] -> Buffer.add_string buf "{}"
+  | Jobj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_string buf (Printf.sprintf "\"%s\": " (escape_string k));
+        json_to_buf buf ~indent:(indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 1024 in
+  json_to_buf buf ~indent:0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let json_acc : (string * json) list ref = ref []
+let json_add key value = json_acc := (key, value) :: !json_acc
+
+let json_out ~path =
+  let oc = open_out path in
+  output_string oc (json_to_string (Jobj (List.rev !json_acc)));
+  close_out oc
+
 let fmt_time seconds =
   if seconds < 1e-3 then Printf.sprintf "%.1f us" (seconds *. 1e6)
   else if seconds < 1.0 then Printf.sprintf "%.2f ms" (seconds *. 1e3)

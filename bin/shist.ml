@@ -134,9 +134,27 @@ let stream_cmd =
   let report =
     Arg.(value & opt int 1000 & info [ "report-every" ] ~docv:"K" ~doc:"Report every K points.")
   in
-  let run file window buckets epsilon report =
+  let policy_conv =
+    let parse s =
+      match Stream_histogram.Params.policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "bad refresh policy %S (eager | lazy | every:K)" s))
+    in
+    Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Stream_histogram.Params.policy_to_string p))
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Stream_histogram.Params.Lazy
+      & info [ "refresh" ] ~docv:"POLICY"
+          ~doc:
+            "Arrival-time rebuild policy: $(b,eager) rebuilds on every point (the paper's cost \
+             model), $(b,lazy) only at queries, $(b,every:K) amortises bulk loads over K points.")
+  in
+  let run file window buckets epsilon report policy =
     let data = Source.of_file file in
     let fw = FW.create ~window ~buckets ~epsilon in
+    FW.set_refresh_policy fw policy;
     Array.iteri
       (fun i v ->
         FW.push fw v;
@@ -148,12 +166,16 @@ let stream_cmd =
         end)
       data;
     let c = FW.work_counters fw in
-    Printf.printf "done: %d refreshes, %d herror evaluations, %d intervals built\n"
-      c.FW.refreshes c.FW.herror_evaluations c.FW.intervals_built
+    Printf.printf "done (%s): %d refreshes (%d warm, %d cold), %d herror evaluations, %d intervals built\n"
+      (Stream_histogram.Params.policy_to_string policy)
+      c.FW.refreshes c.FW.warm_refreshes c.FW.cold_refreshes c.FW.herror_evaluations
+      c.FW.intervals_built;
+    Printf.printf "warm-start: %d search steps, %d hint hits / %d misses\n"
+      c.FW.search_steps c.FW.hint_hits c.FW.hint_misses
   in
   Cmd.v
     (Cmd.info "stream" ~doc:"Maintain a fixed-window histogram over a stream file")
-    Term.(const run $ file_arg 0 $ window $ buckets_arg $ epsilon_arg $ report)
+    Term.(const run $ file_arg 0 $ window $ buckets_arg $ epsilon_arg $ report $ policy)
 
 (* ------------------------------------------------------------ query *)
 

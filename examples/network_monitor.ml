@@ -23,6 +23,9 @@ let minutes m = 60 * m (* one sample per second *)
 let () =
   let window = minutes 60 in
   let fw = FW.create ~window ~buckets:48 ~epsilon:0.1 in
+  (* rebuild the synopsis every 20 minutes so it never goes too stale between
+     operator queries; queries themselves always force a fresh one *)
+  FW.set_refresh_policy fw (Stream_histogram.Params.Every (minutes 20));
   (* the monitor also keeps the raw hour so this demo can show true errors *)
   let raw = RB.create ~capacity:window in
 
@@ -57,4 +60,8 @@ let () =
   done;
   let c = FW.work_counters fw in
   Printf.printf "maintenance: %d interval-list refreshes over %d samples\n" c.FW.refreshes
-    (minutes 180)
+    (minutes 180);
+  Printf.printf "warm-start: %d of %d boundary hints exact (%d herror evaluations total)\n"
+    c.FW.hint_hits
+    (c.FW.hint_hits + c.FW.hint_misses)
+    c.FW.herror_evaluations

@@ -10,18 +10,46 @@ type entry = { a_idx : int; a_herror : float; b_idx : int; b_herror : float }
 
 type work_counters = {
   herror_evaluations : int;
+  cold_evaluations : int;
+  warm_evaluations : int;
   intervals_built : int;
   refreshes : int;
+  cold_refreshes : int;
+  warm_refreshes : int;
+  search_steps : int;
+  hint_hits : int;
+  hint_misses : int;
 }
+
+(* Which activity an HERROR evaluation is charged to: list rebuilds with /
+   without warm-start hints, or query-time reads. *)
+type mode = Cold_rebuild | Warm_rebuild | Query
 
 type t = {
   params : Params.t;
   sp : Sliding_prefix.t;
-  queues : entry Vec.t array; (* queues.(k-1) holds the level-k list, k = 1..B-1 *)
+  (* Double buffer: [queues.(k-1)] holds the level-k list for the window as
+     of the last refresh; [prev_queues.(k-1)] the one before, kept so warm
+     rebuilds can seed boundary searches from the previous boundaries.  The
+     two arrays are swapped at every refresh instead of reallocating. *)
+  mutable queues : entry Vec.t array;
+  mutable prev_queues : entry Vec.t array;
   mutable dirty : bool;
+  mutable policy : Params.refresh_policy;
+  mutable slide : int; (* evictions since the last refresh: how far the
+                          prev_queues coordinates have shifted *)
+  mutable pushes_since_refresh : int;
+  mutable mode : mode;
   mutable evals : int;
+  mutable cold_evals : int;
+  mutable warm_evals : int;
   mutable built : int;
   mutable refreshes : int;
+  mutable cold_refreshes : int;
+  mutable warm_refreshes : int;
+  mutable steps : int;
+  mutable hits : int;
+  mutable misses : int;
 }
 
 let create_with_delta ~window ~buckets ~epsilon ~delta =
@@ -31,10 +59,22 @@ let create_with_delta ~window ~buckets ~epsilon ~delta =
     params;
     sp = Sliding_prefix.create ~capacity:window ();
     queues = Array.init (max 1 (buckets - 1)) (fun _ -> Vec.create ());
+    prev_queues = Array.init (max 1 (buckets - 1)) (fun _ -> Vec.create ());
     dirty = true;
+    policy = params.Params.policy;
+    slide = 0;
+    pushes_since_refresh = 0;
+    mode = Query;
     evals = 0;
+    cold_evals = 0;
+    warm_evals = 0;
     built = 0;
     refreshes = 0;
+    cold_refreshes = 0;
+    warm_refreshes = 0;
+    steps = 0;
+    hits = 0;
+    misses = 0;
   }
 
 let create ~window ~buckets ~epsilon =
@@ -45,62 +85,171 @@ let window t = Sliding_prefix.capacity t.sp
 let buckets t = t.params.Params.buckets
 let epsilon t = t.params.Params.epsilon
 let length t = Sliding_prefix.length t.sp
+let refresh_policy t = t.policy
 
-let push t v =
-  if not (Float.is_finite v) then invalid_arg "Fixed_window.push: non-finite value";
-  Sliding_prefix.push t.sp v;
-  t.dirty <- true
+let set_refresh_policy t policy =
+  (* Reuse the Params validation (rejects [Every k] with k < 1). *)
+  t.policy <- (Params.with_policy t.params policy).Params.policy
 
-let push_batch t vs = Array.iter (push t) vs
-
-(* Approximate HERROR[x, k] for the current window, reading the level-(k-1)
-   list.  Candidates are the objective evaluated at list endpoints b < x,
-   plus — when the interval covering x-1 extends to or past x — that
-   interval's endpoint herror standing in for the "split at x-1" candidate
-   (monotonicity makes it an upper bound on HERROR[x-1, k-1], and the
-   interval invariant keeps it within (1 + delta) of it). *)
-let eval_herror t ~k ~x =
+let count_eval t =
   t.evals <- t.evals + 1;
+  match t.mode with
+  | Cold_rebuild -> t.cold_evals <- t.cold_evals + 1
+  | Warm_rebuild -> t.warm_evals <- t.warm_evals + 1
+  | Query -> ()
+
+(* Candidate scan shared by [eval_herror] and [best_split]: the approximate
+   HERROR[x, k] for the current window, read off the level-(k-1) list, with
+   the split position achieving it.  Requires k >= 2 and k < x.
+
+   Candidates are the objective evaluated at list endpoints b < x, plus —
+   when the interval covering x-1 extends to or past x — that interval's
+   endpoint herror standing in for the "split at x-1" candidate
+   (monotonicity makes it an upper bound on HERROR[x-1, k-1], and the
+   interval invariant keeps it within (1 + delta) of it).
+
+   Both ends of the scan are pruned by binary search instead of walking the
+   list from entry 0: the covering entry is located directly on the sorted
+   b_idx field, and — seeding the running best with its proxy candidate —
+   entries whose SQERROR term alone already reaches that bound are skipped
+   (SQERROR(b+1, x) only shrinks along the list, so they form a prefix). *)
+let scan_candidates t ~k ~x =
+  let q = t.queues.(k - 2) in
+  let len = Vec.length q in
+  let steps = ref 0 in
+  let cover = Vec.binary_search q ~f:(fun e -> incr steps; e.b_idx >= x) in
+  let best = ref infinity in
+  let best_i = ref (x - 1) in
+  (if cover < len then begin
+     let e = Vec.get q cover in
+     if e.a_idx <= x - 1 then begin
+       best := e.b_herror;
+       best_i := x - 1
+     end
+   end);
+  let first =
+    if cover = 0 || !best = infinity then 0
+    else
+      Vec.binary_search q ~lo:0 ~hi:cover ~f:(fun e ->
+          incr steps;
+          Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x < !best)
+  in
+  t.steps <- t.steps + !steps;
+  let i = ref first in
+  let continue = ref true in
+  while !continue && !i < cover do
+    let e = Vec.get q !i in
+    (* Early exit: stored herror values are non-decreasing along the list,
+       so once one alone reaches the current best, no later candidate
+       (herror + non-negative SQERROR) can improve it. *)
+    if e.b_herror >= !best then continue := false
+    else begin
+      let cand = e.b_herror +. Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x in
+      if cand < !best then begin
+        best := cand;
+        best_i := e.b_idx
+      end;
+      incr i
+    end
+  done;
+  (!best, !best_i)
+
+(* Approximate HERROR[x, k] for the current window. *)
+let eval_herror t ~k ~x =
+  count_eval t;
   if x <= 0 then 0.0
   else if k >= x then 0.0 (* x points in >= x buckets: zero error *)
   else if k = 1 then Sliding_prefix.sqerror t.sp ~lo:1 ~hi:x
   else begin
-    let q = t.queues.(k - 2) in
-    let best = ref infinity in
-    let i = ref 0 in
-    let len = Vec.length q in
-    let continue = ref true in
-    while !continue && !i < len do
-      let e = Vec.get q !i in
-      if e.b_idx <= x - 1 then begin
-        (* Early exit: stored herror values are non-decreasing along the
-           list, so once one alone reaches the current best, no later
-           candidate (herror + non-negative SQERROR) can improve it.  The
-           covering interval's proxy candidate cannot improve either: its
-           value is a later herror. *)
-        if e.b_herror >= !best then continue := false
-        else begin
-          let cand = e.b_herror +. Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x in
-          if cand < !best then best := cand;
-          incr i
-        end
-      end
-      else begin
-        (* e is the interval covering x-1 (and beyond). *)
-        if e.a_idx <= x - 1 && e.b_herror < !best then best := e.b_herror;
-        continue := false
-      end
-    done;
-    if !best = infinity then 0.0 else !best
+    let best, _ = scan_candidates t ~k ~x in
+    if best = infinity then 0.0 else best
   end
 
+(* Largest c in [start, hi] with HERROR[c, k] <= threshold, and its herror.
+   HERROR[., k] is non-decreasing in x, and the predicate holds at [start]
+   (its herror defines the threshold), so the boundary is well defined and
+   any bracketing strategy finds the same c.  Without a hint this is the
+   plain binary search of CreateList (Figure 5); with one, a gallop outward
+   from the hinted position brackets the boundary in O(log distance)
+   evaluations — a near-perfect hint (the common case between consecutive
+   arrivals) costs O(1) instead of O(log n). *)
+let find_boundary t ~k ~start ~hi ~threshold ~h_start ~hint =
+  let probe x =
+    t.steps <- t.steps + 1;
+    eval_herror t ~k ~x
+  in
+  (* Largest good position in [lo, hi]; [h_lo] is HERROR[lo, k]. *)
+  let bisect ~lo ~h_lo ~hi =
+    let lo = ref lo and hi = ref hi and h = ref h_lo in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      let hm = probe mid in
+      if hm <= threshold then begin
+        lo := mid;
+        h := hm
+      end
+      else hi := mid - 1
+    done;
+    (!lo, !h)
+  in
+  match hint with
+  | None -> bisect ~lo:start ~h_lo:h_start ~hi
+  | Some g0 ->
+    let g = max start (min hi g0) in
+    let h_g = if g = start then h_start else probe g in
+    let c, h_c =
+      if h_g <= threshold then begin
+        (* Boundary at or past g: gallop right for the first bad position. *)
+        let off = ref 1 and lo = ref g and h_lo = ref h_g and bad = ref (-1) in
+        while !bad < 0 && g + !off <= hi do
+          let p = g + !off in
+          let hp = probe p in
+          if hp <= threshold then begin
+            lo := p;
+            h_lo := hp;
+            off := 2 * !off
+          end
+          else bad := p
+        done;
+        bisect ~lo:!lo ~h_lo:!h_lo ~hi:(if !bad < 0 then hi else !bad - 1)
+      end
+      else begin
+        (* Boundary strictly before g: gallop left for a good position. *)
+        let off = ref 1 and bad = ref g and lo = ref (-1) and h_lo = ref h_start in
+        while !lo < 0 && g - !off > start do
+          let p = g - !off in
+          let hp = probe p in
+          if hp <= threshold then begin
+            lo := p;
+            h_lo := hp
+          end
+          else begin
+            bad := p;
+            off := 2 * !off
+          end
+        done;
+        let lo, h_lo = if !lo < 0 then (start, h_start) else (!lo, !h_lo) in
+        bisect ~lo ~h_lo ~hi:(!bad - 1)
+      end
+    in
+    if c = g0 then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+    (c, h_c)
+
 (* CreateList (Figure 5): cover [1 .. n] with maximal intervals whose
-   HERROR[., k] spread stays within (1 + delta), found by binary search. *)
-let create_list t ~k =
+   HERROR[., k] spread stays within (1 + delta).  A warm rebuild seeds each
+   boundary search from the previous refresh's boundary over the same
+   stream points (the prev_queues entry covering this interval's start,
+   shifted back by the window slide); the search result is independent of
+   the seed, so warm and cold rebuilds produce identical lists. *)
+let create_list t ~k ~warm =
   let q = t.queues.(k - 1) in
   Vec.clear q;
   let n = length t in
   let delta = t.params.Params.delta in
+  let prev = t.prev_queues.(k - 1) in
+  let plen = if warm then Vec.length prev else 0 in
+  let slide = t.slide in
+  let pcur = ref 0 in
   let a = ref 1 in
   while !a <= n do
     let start = !a in
@@ -113,31 +262,58 @@ let create_list t ~k =
     else begin
       let h_start = eval_herror t ~k ~x:start in
       let threshold = (1.0 +. delta) *. h_start in
-      (* Largest c in [start, n] with HERROR[c, k] <= threshold; c = start
-         always qualifies. *)
-      let lo = ref start and hi = ref n in
-      while !lo < !hi do
-        let mid = (!lo + !hi + 1) / 2 in
-        if eval_herror t ~k ~x:mid <= threshold then lo := mid else hi := mid - 1
-      done;
-      let c = !lo in
-      let h_c = if c = start then h_start else eval_herror t ~k ~x:c in
+      let hint =
+        if plen = 0 then None
+        else begin
+          let old_start = start + slide in
+          while !pcur < plen && (Vec.get prev !pcur).b_idx < old_start do
+            incr pcur
+          done;
+          if !pcur < plen then Some ((Vec.get prev !pcur).b_idx - slide) else None
+        end
+      in
+      let c, h_c = find_boundary t ~k ~start ~hi:n ~threshold ~h_start ~hint in
       Vec.push q { a_idx = start; a_herror = h_start; b_idx = c; b_herror = h_c };
       t.built <- t.built + 1;
       a := c + 1
     end
   done
 
-let refresh t =
+let refresh ?(cold = false) t =
   if t.dirty then begin
+    (* Swap buffers: the lists of the last refresh become the warm-start
+       hints, their buffers the target of this rebuild. *)
+    let tmp = t.queues in
+    t.queues <- t.prev_queues;
+    t.prev_queues <- tmp;
+    let warm = not cold in
+    t.mode <- (if warm then Warm_rebuild else Cold_rebuild);
     let b = buckets t in
     if length t > 0 then
       for k = 1 to b - 1 do
-        create_list t ~k
+        create_list t ~k ~warm
       done;
+    t.mode <- Query;
     t.dirty <- false;
-    t.refreshes <- t.refreshes + 1
+    t.slide <- 0;
+    t.pushes_since_refresh <- 0;
+    t.refreshes <- t.refreshes + 1;
+    if warm then t.warm_refreshes <- t.warm_refreshes + 1
+    else t.cold_refreshes <- t.cold_refreshes + 1
   end
+
+let push t v =
+  if not (Float.is_finite v) then invalid_arg "Fixed_window.push: non-finite value";
+  if Sliding_prefix.length t.sp = Sliding_prefix.capacity t.sp then t.slide <- t.slide + 1;
+  Sliding_prefix.push t.sp v;
+  t.dirty <- true;
+  t.pushes_since_refresh <- t.pushes_since_refresh + 1;
+  match t.policy with
+  | Params.Eager -> refresh t
+  | Params.Lazy -> ()
+  | Params.Every k -> if t.pushes_since_refresh >= k then refresh t
+
+let push_batch t vs = Array.iter (push t) vs
 
 let push_and_refresh t v =
   push t v;
@@ -157,34 +333,9 @@ let herror t ~k ~x =
    [1 .. x]: the argmin counterpart of [eval_herror].  Returns the chosen
    i (last bucket is [i+1 .. x]), in [1 .. x-1]. *)
 let best_split t ~k ~x =
-  let q = t.queues.(k - 2) in
-  let best = ref infinity in
-  let best_i = ref (x - 1) in
-  let i = ref 0 in
-  let len = Vec.length q in
-  let continue = ref true in
-  while !continue && !i < len do
-    let e = Vec.get q !i in
-    if e.b_idx <= x - 1 then begin
-      if e.b_herror >= !best then continue := false
-      else begin
-        let cand = e.b_herror +. Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x in
-        if cand < !best then begin
-          best := cand;
-          best_i := e.b_idx
-        end;
-        incr i
-      end
-    end
-    else begin
-      if e.a_idx <= x - 1 && e.b_herror < !best then begin
-        best := e.b_herror;
-        best_i := x - 1
-      end;
-      continue := false
-    end
-  done;
-  !best_i
+  count_eval t;
+  let _, i = scan_candidates t ~k ~x in
+  i
 
 let current_histogram t =
   refresh t;
@@ -220,8 +371,26 @@ let current_histogram t =
   Histogram.make ~n (Array.mapi bucket_of ends)
 
 let work_counters t =
-  { herror_evaluations = t.evals; intervals_built = t.built; refreshes = t.refreshes }
+  {
+    herror_evaluations = t.evals;
+    cold_evaluations = t.cold_evals;
+    warm_evaluations = t.warm_evals;
+    intervals_built = t.built;
+    refreshes = t.refreshes;
+    cold_refreshes = t.cold_refreshes;
+    warm_refreshes = t.warm_refreshes;
+    search_steps = t.steps;
+    hint_hits = t.hits;
+    hint_misses = t.misses;
+  }
 
 let interval_counts t =
   refresh t;
   Array.map Vec.length t.queues
+
+let intervals t ~k =
+  if k < 1 || k > buckets t - 1 then invalid_arg "Fixed_window.intervals: k out of range";
+  refresh t;
+  Array.map
+    (fun e -> (e.a_idx, e.a_herror, e.b_idx, e.b_herror))
+    (Vec.to_array t.queues.(k - 1))

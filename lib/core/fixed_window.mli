@@ -17,17 +17,32 @@
 
     {2 Maintenance modes}
 
-    {!push} is cheap: it only advances the window and its prefix sums.  The
-    interval lists are (re)built lazily by the first query after a push, or
-    eagerly by {!refresh} / {!push_and_refresh} — the latter matches the
-    paper's cost model of doing the full per-point work on every arrival. *)
+    {!push} honours the {!Params.refresh_policy} the maintainer was created
+    with: [Lazy] (the default) only advances the window and its prefix
+    sums, leaving the interval lists to the first query; [Eager] rebuilds
+    them on every arrival (the paper's cost model); [Every k] rebuilds on
+    every k-th arrival, amortising bulk loads.  {!refresh} /
+    {!push_and_refresh} rebuild unconditionally.
+
+    {2 Warm-start rebuilds}
+
+    Between consecutive arrivals the window shifts by at most one point, so
+    the previous lists' interval boundaries are near-perfect predictors of
+    the new ones.  {!refresh} therefore keeps the last refresh's lists in a
+    double buffer and seeds each CreateList boundary search from the
+    corresponding previous boundary (shifted by the window slide), using a
+    gallop-then-bisect search bracketed around the hint.  Because HERROR is
+    non-decreasing in x, the search result is independent of the seed: warm
+    and cold rebuilds produce identical lists, and [refresh ~cold:true]
+    stays available as the correctness oracle (see DESIGN.md section 7). *)
 
 type t
 
 val create : window:int -> buckets:int -> epsilon:float -> t
 (** A maintainer for the last [window] points with [buckets] buckets and
-    precision [epsilon].  Raises [Invalid_argument] on non-positive
-    arguments. *)
+    precision [epsilon], under the default [Lazy] refresh policy
+    ({!set_refresh_policy} changes it).  Raises [Invalid_argument] on
+    non-positive arguments. *)
 
 val create_with_delta : window:int -> buckets:int -> epsilon:float -> delta:float -> t
 (** Like {!create} with an explicit interval slack (ablation hook). *)
@@ -38,19 +53,29 @@ val epsilon : t -> float
 val length : t -> int
 (** Points currently in the window ([<= window]). *)
 
+val refresh_policy : t -> Params.refresh_policy
+
+val set_refresh_policy : t -> Params.refresh_policy -> unit
+(** Change the arrival-time rebuild policy; takes effect from the next
+    {!push}.  Raises [Invalid_argument] on [Every k] with [k < 1]. *)
+
 val push : t -> float -> unit
 (** Ingest the next stream point (evicting the oldest once the window is
-    full) without rebuilding the interval lists. *)
+    full), then rebuild the interval lists if the refresh policy calls for
+    it. *)
 
 val push_batch : t -> float array -> unit
-(** Batched arrivals (footnote 2 of the paper): ingest many points with a
-    single deferred list rebuild.  Equivalent to pushing each point, but
-    makes the batch cost explicit: O(batch) plus one refresh at the next
-    query. *)
+(** Batched arrivals (footnote 2 of the paper): ingest many points.  Under
+    the default [Lazy] policy this defers the single list rebuild to the
+    next query, making the batch cost explicit: O(batch) plus one
+    refresh. *)
 
-val refresh : t -> unit
+val refresh : ?cold:bool -> t -> unit
 (** Rebuild the interval lists for the current window contents; no-op when
-    they are already current. *)
+    they are already current.  [~cold:true] ignores the previous lists and
+    rebuilds from scratch with full-range binary searches — the correctness
+    oracle for the default warm-start rebuild, which produces identical
+    lists in fewer HERROR evaluations. *)
 
 val push_and_refresh : t -> float -> unit
 (** [push] then [refresh]: the paper's per-point maintenance. *)
@@ -76,15 +101,28 @@ val herror : t -> k:int -> x:int -> float
 (** {2 Introspection} *)
 
 type work_counters = {
-  herror_evaluations : int; (** HERROR evaluations since creation *)
+  herror_evaluations : int; (** HERROR evaluations since creation (all modes) *)
+  cold_evaluations : int;   (** evaluations spent in cold list rebuilds *)
+  warm_evaluations : int;   (** evaluations spent in warm-start list rebuilds *)
   intervals_built : int;    (** interval-list entries created since creation *)
   refreshes : int;          (** list rebuilds performed *)
+  cold_refreshes : int;     (** rebuilds that ignored the previous lists *)
+  warm_refreshes : int;     (** rebuilds seeded from the previous lists *)
+  search_steps : int;       (** probe steps across all binary / gallop searches *)
+  hint_hits : int;          (** boundary searches where the hinted boundary was exact *)
+  hint_misses : int;        (** hinted boundary searches that had to move *)
 }
 
 val work_counters : t -> work_counters
 (** Cumulative work counters, used by the complexity benchmarks to check
-    the per-point cost grows polylogarithmically in the window length. *)
+    the per-point cost grows polylogarithmically in the window length and
+    by the regression tests pinning the warm-start speedup. *)
 
 val interval_counts : t -> int array
 (** Number of intervals currently held per level k = 1 .. B-1; the paper
     bounds each by O((B / epsilon) log n).  Refreshes if needed. *)
+
+val intervals : t -> k:int -> (int * float * int * float) array
+(** The level-k interval list as [(a_idx, a_herror, b_idx, b_herror)]
+    tuples, oldest-first.  Requires [1 <= k <= buckets - 1].  Refreshes if
+    needed.  Validation hook for the warm-vs-cold equivalence tests. *)

@@ -28,6 +28,16 @@ let last t =
 
 let clear t = t.len <- 0
 
+let binary_search ?(lo = 0) ?(hi = -1) t ~f =
+  let hi = if hi < 0 then t.len else hi in
+  if lo < 0 || hi > t.len || lo > hi then invalid_arg "Vec.binary_search: bad range";
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if f t.data.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f t.data.(i)

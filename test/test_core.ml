@@ -240,6 +240,151 @@ let test_fw_interval_count_bound () =
     (fun c -> Alcotest.(check bool) "interval count bounded" true (c <= bound))
     (FW.interval_counts fw)
 
+(* ------------------------------------------------ warm-start maintenance *)
+
+(* The warm-start rebuild seeds its boundary searches from the previous
+   lists but must land on exactly the boundaries a cold full-binary-search
+   rebuild finds (HERROR is monotone in x, so the search result is seed
+   independent).  Drive warm and cold twins through identical streams and
+   compare the complete interval lists after every single push. *)
+let prop_warm_equals_cold =
+  Helpers.qcheck_case ~count:20 ~name:"warm-start lists identical to cold rebuild after every push"
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* workload = oneofl [ `Network; `Gauss_mix ] in
+      let* window = oneofl [ 7; 16; 32 ] in
+      let* b = int_range 2 6 in
+      let* eps = oneofl [ 0.05; 0.1; 0.5 ] in
+      return (seed, workload, window, b, eps))
+    (fun (seed, workload, window, b, eps) ->
+      let module Wk = Sh_gen.Workloads in
+      let module Source = Sh_gen.Source in
+      let rng = Sh_util.Rng.create ~seed in
+      let source =
+        match workload with
+        | `Network -> Wk.network rng Wk.default_network
+        | `Gauss_mix -> Wk.step_signal rng () (* Gaussian noise around mixed levels *)
+      in
+      let data = Source.take source (3 * window) in
+      let warm = FW.create ~window ~buckets:b ~epsilon:eps in
+      let cold = FW.create ~window ~buckets:b ~epsilon:eps in
+      let ok = ref true in
+      Array.iter
+        (fun v ->
+          FW.push warm v;
+          FW.refresh warm;
+          FW.push cold v;
+          FW.refresh ~cold:true cold;
+          for k = 1 to b - 1 do
+            if FW.intervals warm ~k <> FW.intervals cold ~k then ok := false
+          done;
+          if FW.current_error warm <> FW.current_error cold then ok := false;
+          if
+            H.to_series (FW.current_histogram warm) <> H.to_series (FW.current_histogram cold)
+          then ok := false)
+        data;
+      let wc = FW.work_counters warm and cc = FW.work_counters cold in
+      (* modes charged to the right counters *)
+      if wc.FW.cold_refreshes <> 0 || cc.FW.warm_refreshes <> 0 then ok := false;
+      !ok)
+
+(* The quantified speedup of this PR: at the ISSUE's reference configuration
+   the warm-start rebuild must spend at least 3x fewer HERROR evaluations
+   per arrival than a cold rebuild of the same window. *)
+let test_fw_warm_speedup () =
+  let window = 4096 and buckets = 16 and epsilon = 0.1 in
+  let pushes = 3 in
+  let module Wk = Sh_gen.Workloads in
+  let module Source = Sh_gen.Source in
+  let data =
+    Source.take (Wk.network (Sh_util.Rng.create ~seed:7) Wk.default_network) (window + pushes)
+  in
+  let per_push ~cold =
+    let fw = FW.create ~window ~buckets ~epsilon in
+    for i = 0 to window - 1 do
+      FW.push fw data.(i)
+    done;
+    FW.refresh fw;
+    let before = (FW.work_counters fw).FW.herror_evaluations in
+    for i = window to window + pushes - 1 do
+      FW.push fw data.(i);
+      FW.refresh ~cold fw
+    done;
+    let fw_counters = FW.work_counters fw in
+    (fw_counters.FW.herror_evaluations - before, fw_counters)
+  in
+  let warm_evals, warm_c = per_push ~cold:false in
+  let cold_evals, _ = per_push ~cold:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "herror evals reduced >= 3x (cold %d vs warm %d per %d pushes)" cold_evals
+       warm_evals pushes)
+    true
+    (cold_evals >= 3 * warm_evals);
+  (* the warm rebuilds overwhelmingly land exactly on the hinted boundary *)
+  Alcotest.(check bool) "hints mostly hit" true (warm_c.FW.hint_hits > warm_c.FW.hint_misses)
+
+(* ------------------------------------------------------- refresh policy *)
+
+let test_fw_policy_eager () =
+  let fw = FW.create ~window:16 ~buckets:3 ~epsilon:0.2 in
+  FW.set_refresh_policy fw Stream_histogram.Params.Eager;
+  Alcotest.(check bool) "policy readable" true
+    (FW.refresh_policy fw = Stream_histogram.Params.Eager);
+  for i = 1 to 20 do
+    FW.push fw (Float.of_int ((i * 7) mod 13))
+  done;
+  Alcotest.(check int) "one rebuild per arrival" 20 (FW.work_counters fw).FW.refreshes
+
+let test_fw_policy_every () =
+  let fw = FW.create ~window:16 ~buckets:3 ~epsilon:0.2 in
+  FW.set_refresh_policy fw (Stream_histogram.Params.Every 4);
+  for i = 1 to 10 do
+    FW.push fw (Float.of_int ((i * 7) mod 13))
+  done;
+  (* rebuilds at arrivals 4 and 8 only *)
+  Alcotest.(check int) "amortised rebuilds" 2 (FW.work_counters fw).FW.refreshes;
+  (* a query still forces a rebuild of the pending tail *)
+  ignore (FW.current_error fw);
+  Alcotest.(check int) "query refreshes the tail" 3 (FW.work_counters fw).FW.refreshes
+
+let test_fw_policy_matches_lazy () =
+  (* All policies maintain the same window, so queries agree exactly. *)
+  let data = Array.init 90 (fun i -> Float.of_int ((i * 41) mod 67)) in
+  let mk policy =
+    let fw = FW.create ~window:24 ~buckets:4 ~epsilon:0.1 in
+    FW.set_refresh_policy fw policy;
+    Array.iter (FW.push fw) data;
+    fw
+  in
+  let reference = mk Stream_histogram.Params.Lazy in
+  List.iter
+    (fun policy ->
+      let fw = mk policy in
+      Helpers.check_close "same error" (FW.current_error reference) (FW.current_error fw);
+      Alcotest.(check (array (float 0.0)))
+        "same histogram"
+        (H.to_series (FW.current_histogram reference))
+        (H.to_series (FW.current_histogram fw)))
+    [ Stream_histogram.Params.Eager; Stream_histogram.Params.Every 5 ]
+
+let test_fw_policy_validation () =
+  let fw = FW.create ~window:8 ~buckets:2 ~epsilon:0.1 in
+  Alcotest.check_raises "Every 0 rejected" (Invalid_argument "Params: Every period must be >= 1")
+    (fun () -> FW.set_refresh_policy fw (Stream_histogram.Params.Every 0))
+
+let test_best_split_counted () =
+  (* current_histogram's split recovery performs candidate evaluations; they
+     must show up in work_counters like any other herror evaluation. *)
+  let fw = FW.create ~window:32 ~buckets:4 ~epsilon:0.2 in
+  for i = 1 to 32 do
+    FW.push fw (Float.of_int ((i * 29) mod 17))
+  done;
+  FW.refresh fw;
+  let before = (FW.work_counters fw).FW.herror_evaluations in
+  ignore (FW.current_histogram fw);
+  let after = (FW.work_counters fw).FW.herror_evaluations in
+  Alcotest.(check bool) "best_split evaluations counted" true (after > before)
+
 (* -------------------------------------------------------- agglomerative *)
 
 let test_ag_accessors () =
@@ -427,6 +572,16 @@ let () =
           prop_fw_guarantee;
           prop_fw_guarantee_while_sliding;
           prop_fw_herror_brackets_exact;
+        ] );
+      ( "warm_start",
+        [
+          prop_warm_equals_cold;
+          Alcotest.test_case "3x fewer herror evals" `Quick test_fw_warm_speedup;
+          Alcotest.test_case "policy eager" `Quick test_fw_policy_eager;
+          Alcotest.test_case "policy every" `Quick test_fw_policy_every;
+          Alcotest.test_case "policies agree" `Quick test_fw_policy_matches_lazy;
+          Alcotest.test_case "policy validation" `Quick test_fw_policy_validation;
+          Alcotest.test_case "best_split counted" `Quick test_best_split_counted;
         ] );
       ( "agglomerative",
         [

@@ -139,6 +139,40 @@ let test_sliding_rebase_precision () =
   Helpers.check_close ~eps:1e-9 "sum exact" 14.0 (SP.range_sum sp ~lo:1 ~hi:4);
   Helpers.check_close ~eps:1e-9 "sqsum exact" 54.0 (SP.range_sqsum sp ~lo:1 ~hi:4)
 
+let test_sliding_drift_regression () =
+  (* The warm-start fixed-window path leans harder on the ring arithmetic:
+     stream >= 100x the capacity through a small window and assert sqerror
+     never drifts more than 1e-6 (relative) from a direct recomputation on
+     the raw window — at the default rebase period and at the worst case
+     rebase_every = 1. *)
+  let cap = 8 in
+  let total = 120 * cap in
+  (* fractional values with a slow upward trend stress cancellation in the
+     cumulative sums more than small integers do *)
+  let value i = (Float.of_int ((i * 37) mod 101) /. 7.0) +. (Float.of_int i *. 0.25) in
+  let run ?rebase_every label =
+    let sp = SP.create ?rebase_every ~capacity:cap () in
+    let raw = Array.make cap 0.0 in
+    for i = 0 to total - 1 do
+      SP.push sp (value i);
+      raw.((i mod cap)) <- value i;
+      let len = SP.length sp in
+      (* window oldest-first: positions i-len+1 .. i of the stream *)
+      let window = Array.init len (fun j -> raw.((i - len + 1 + j) mod cap)) in
+      for lo = 1 to len do
+        for hi = lo to len do
+          let expect = Helpers.naive_sqerror window lo hi in
+          let got = SP.sqerror sp ~lo ~hi in
+          if not (Helpers.close ~eps:1e-6 expect got) then
+            Alcotest.failf "%s: sqerror drifted at t=%d [%d,%d]: expected %.12g, got %.12g"
+              label i lo hi expect got
+        done
+      done
+    done
+  in
+  run "default rebase";
+  run ~rebase_every:1 "rebase_every=1"
+
 let () =
   Alcotest.run "sh_prefix"
     [
@@ -158,6 +192,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_sliding_basic;
           Alcotest.test_case "bounds" `Quick test_sliding_bounds;
           Alcotest.test_case "rebase precision" `Quick test_sliding_rebase_precision;
+          Alcotest.test_case "drift regression" `Quick test_sliding_drift_regression;
           prop_sliding_matches_naive;
         ] );
     ]
