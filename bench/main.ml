@@ -32,6 +32,7 @@ let experiments : (string * (Bench_config.scale -> unit)) list =
     ("ext-selectivity", Extensions.selectivity);
     ("micro", Micro.run);
     ("micro-fw", Micro.run_fw);
+    ("micro-obs", Micro.run_obs);
   ]
 
 let usage () =

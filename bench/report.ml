@@ -113,6 +113,35 @@ let json_out ~path =
   output_string oc (json_to_string (Jobj (List.rev !json_acc)));
   close_out oc
 
+(* Snapshot of the telemetry registry in the accumulator's json type, so
+   BENCH_*.json carries the work counters behind each timing row. *)
+let registry_json () =
+  let module M = Sh_obs.Metric in
+  let module R = Sh_obs.Registry in
+  let series m value_fields =
+    let labels = R.metric_labels m in
+    Jobj
+      (("name", Jstring (R.metric_name m))
+       :: (if labels = [] then []
+           else [ ("labels", Jobj (List.map (fun (k, v) -> (k, Jstring v)) labels)) ])
+      @ value_fields)
+  in
+  Jlist
+    (List.map
+       (fun m ->
+         match m with
+         | R.Counter c -> series m [ ("type", Jstring "counter"); ("value", Jint (M.value c)) ]
+         | R.Gauge g -> series m [ ("type", Jstring "gauge"); ("value", Jfloat (M.gvalue g)) ]
+         | R.Histogram h ->
+           series m
+             [
+               ("type", Jstring "histogram");
+               ("count", Jint (M.hcount h));
+               ("sum", Jfloat (M.hsum h));
+               ("mean", Jfloat (M.hmean h));
+             ])
+       (R.snapshot ()))
+
 let fmt_time seconds =
   if seconds < 1e-3 then Printf.sprintf "%.1f us" (seconds *. 1e6)
   else if seconds < 1.0 then Printf.sprintf "%.2f ms" (seconds *. 1e3)

@@ -24,6 +24,7 @@ module Syn = Sh_wavelet.Synopsis
 module E = Sh_query.Estimator
 module Q = Sh_query.Workload
 module Ev = Sh_query.Evaluate
+module O = Sh_obs.Obs
 
 (* ------------------------------------------------------- common args *)
 
@@ -38,6 +39,52 @@ let epsilon_arg =
 
 let file_arg p =
   Arg.(required & pos p (some string) None & info [] ~docv:"FILE" ~doc:"Data file, one value per line.")
+
+(* ---------------------------------------------------- telemetry args *)
+
+let metrics_arg =
+  let fmt_conv =
+    let parse s =
+      match O.format_of_string s with
+      | Some f -> Ok f
+      | None -> Error (`Msg (Printf.sprintf "bad metrics format %S (text | json | prom)" s))
+    in
+    Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (O.format_to_string f))
+  in
+  Arg.(
+    value
+    & opt (some fmt_conv) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Enable telemetry and dump the metric registry on exit: $(b,text) aligned dump, \
+           $(b,json) JSON lines (one series per line), $(b,prom) Prometheus text exposition.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Enable span tracing and write the trace as JSON lines to $(docv) on exit.")
+
+(* Enable telemetry for the duration of [f] when either flag is given;
+   spans get a real wall clock instead of the Sys.time default.  Metrics
+   go to stdout after the command's own output, the trace to its file,
+   even when [f] raises. *)
+let with_obs metrics trace_out f =
+  if metrics <> None || trace_out <> None then begin
+    O.set_enabled true;
+    O.set_clock Unix.gettimeofday
+  end;
+  let finish () =
+    (match metrics with None -> () | Some fmt -> print_string (O.render fmt));
+    match trace_out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (O.render_trace ());
+      close_out oc
+  in
+  Fun.protect ~finally:finish f
 
 (* --------------------------------------------------------- generate *)
 
@@ -151,7 +198,8 @@ let stream_cmd =
             "Arrival-time rebuild policy: $(b,eager) rebuilds on every point (the paper's cost \
              model), $(b,lazy) only at queries, $(b,every:K) amortises bulk loads over K points.")
   in
-  let run file window buckets epsilon report policy =
+  let run file window buckets epsilon report policy metrics trace_out =
+    with_obs metrics trace_out @@ fun () ->
     let data = Source.of_file file in
     let fw = FW.create ~window ~buckets ~epsilon in
     FW.set_refresh_policy fw policy;
@@ -175,7 +223,9 @@ let stream_cmd =
   in
   Cmd.v
     (Cmd.info "stream" ~doc:"Maintain a fixed-window histogram over a stream file")
-    Term.(const run $ file_arg 0 $ window $ buckets_arg $ epsilon_arg $ report $ policy)
+    Term.(
+      const run $ file_arg 0 $ window $ buckets_arg $ epsilon_arg $ report $ policy
+      $ metrics_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------ query *)
 
@@ -183,7 +233,8 @@ let query_cmd =
   let queries =
     Arg.(value & opt int 1000 & info [ "q"; "queries" ] ~docv:"Q" ~doc:"Number of random range-sum queries.")
   in
-  let run file buckets epsilon queries seed =
+  let run file buckets epsilon queries seed metrics trace_out =
+    with_obs metrics trace_out @@ fun () ->
     let data = Source.of_file file in
     let n = Array.length data in
     let p = P.make data in
@@ -202,7 +253,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Compare synopses on random range-sum queries over a data file")
-    Term.(const run $ file_arg 0 $ buckets_arg $ epsilon_arg $ queries $ seed_arg)
+    Term.(
+      const run $ file_arg 0 $ buckets_arg $ epsilon_arg $ queries $ seed_arg $ metrics_arg
+      $ trace_out_arg)
 
 (* ------------------------------------------------------ selectivity *)
 
@@ -214,7 +267,8 @@ let selectivity_cmd =
       & info [ "p"; "predicates" ] ~docv:"LO:HI,..."
           ~doc:"Comma-separated value ranges to estimate selectivity for.")
   in
-  let run file buckets preds =
+  let run file buckets preds metrics trace_out =
+    with_obs metrics trace_out @@ fun () ->
     let data = Source.of_file file in
     let n = Array.length data in
     let module VH = Sh_selectivity.Value_histogram in
@@ -240,7 +294,7 @@ let selectivity_cmd =
   in
   Cmd.v
     (Cmd.info "selectivity" ~doc:"Value-histogram selectivity estimates over a data file")
-    Term.(const run $ file_arg 0 $ buckets_arg $ preds)
+    Term.(const run $ file_arg 0 $ buckets_arg $ preds $ metrics_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------ heavy *)
 
@@ -251,7 +305,8 @@ let heavy_cmd =
   let threshold =
     Arg.(value & opt float 0.01 & info [ "t"; "threshold" ] ~docv:"F" ~doc:"Frequency threshold.")
   in
-  let run file capacity threshold =
+  let run file capacity threshold metrics trace_out =
+    with_obs metrics trace_out @@ fun () ->
     let data = Source.of_file file in
     let h = Sh_mining.Heavy_hitters.create ~capacity in
     Array.iter (Sh_mining.Heavy_hitters.add h) data;
@@ -264,7 +319,7 @@ let heavy_cmd =
   in
   Cmd.v
     (Cmd.info "heavy" ~doc:"Misra-Gries heavy hitters of a data file")
-    Term.(const run $ file_arg 0 $ capacity $ threshold)
+    Term.(const run $ file_arg 0 $ capacity $ threshold $ metrics_arg $ trace_out_arg)
 
 (* -------------------------------------------------------- quantiles *)
 

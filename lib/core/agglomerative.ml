@@ -1,5 +1,7 @@
 module Histogram = Sh_histogram.Histogram
 module Vec = Sh_util.Vec
+module Obs = Sh_obs.Obs
+module M = Sh_obs.Metric
 
 (* One interval of a level-k queue.  The right endpoint [idx] slides
    forward while HERROR[idx, k] stays within (1 + delta) of the value at
@@ -15,6 +17,13 @@ type entry = {
   a_herror : float;
 }
 
+type work_counters = {
+  pushes : int;
+  candidate_evaluations : int;
+  intervals_built : int;
+  intervals_extended : int;
+}
+
 type t = {
   params : Params.t;
   queues : entry Vec.t array; (* queues.(k-1) is the level-k queue, k = 1 .. B-1 *)
@@ -23,10 +32,16 @@ type t = {
   mutable sum : float;
   mutable sqsum : float;
   mutable last_error : float; (* HERROR[n, B] from the latest push *)
+  c_pushes : M.counter;
+  c_cand : M.counter;
+  c_built : M.counter;
+  c_extended : M.counter;
 }
 
 let create_with_delta ~buckets ~epsilon ~delta =
   let params = Params.make_with_delta ~buckets ~epsilon ~delta in
+  let labels = [ ("instance", Obs.instance "ag") ] in
+  let c name = Obs.counter ~labels name in
   {
     params;
     queues = Array.init (max 0 (buckets - 1)) (fun _ -> Vec.create ());
@@ -35,6 +50,10 @@ let create_with_delta ~buckets ~epsilon ~delta =
     sum = 0.0;
     sqsum = 0.0;
     last_error = 0.0;
+    c_pushes = c "ag.pushes";
+    c_cand = c "ag.candidate_evals";
+    c_built = c "ag.intervals_built";
+    c_extended = c "ag.intervals_extended";
   }
 
 let create ~buckets ~epsilon =
@@ -54,6 +73,7 @@ let sqerror_from e ~idx ~sum ~sqsum =
 
 let push t v =
   if not (Float.is_finite v) then invalid_arg "Agglomerative.push: non-finite value";
+  M.incr t.c_pushes;
   t.n <- t.n + 1;
   t.sum <- t.sum +. v;
   t.sqsum <- t.sqsum +. (v *. v);
@@ -75,6 +95,7 @@ let push t v =
       let continue = ref true in
       while !continue && !i < len do
         let e = Vec.get q !i in
+        M.incr t.c_cand;
         if e.herror >= !best then continue := false
         else begin
           if e.idx <= n - 1 then begin
@@ -93,6 +114,7 @@ let push t v =
   for k = 1 to b - 1 do
     let q = t.queues.(k - 1) in
     let fresh () =
+      M.incr t.c_built;
       Vec.push q
         {
           idx = n;
@@ -108,6 +130,7 @@ let push t v =
       let last = Vec.last q in
       if t.herr.(k) > (1.0 +. delta) *. last.a_herror then fresh ()
       else begin
+        M.incr t.c_extended;
         last.idx <- n;
         last.sum <- t.sum;
         last.sqsum <- t.sqsum;
@@ -126,6 +149,7 @@ let current_error t = t.last_error
    queues, whose intervals are finer early in the stream. *)
 let current_histogram t =
   if t.n = 0 then invalid_arg "Agglomerative.current_histogram: empty stream";
+  Obs.with_span "ag.histogram" @@ fun () ->
   let bucket_between e_lo ~idx ~sum =
     let lo = e_lo.idx + 1 in
     let len = Float.of_int (idx - e_lo.idx) in
@@ -170,3 +194,11 @@ let current_histogram t =
 
 let space_in_entries t = Array.fold_left (fun acc q -> acc + Vec.length q) 0 t.queues
 let interval_counts t = Array.map Vec.length t.queues
+
+let work_counters t =
+  {
+    pushes = M.value t.c_pushes;
+    candidate_evaluations = M.value t.c_cand;
+    intervals_built = M.value t.c_built;
+    intervals_extended = M.value t.c_extended;
+  }

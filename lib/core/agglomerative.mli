@@ -44,3 +44,20 @@ val space_in_entries : t -> int
 
 val interval_counts : t -> int array
 (** Entries per level k = 1 .. B-1. *)
+
+(** {2 Introspection} *)
+
+type work_counters = {
+  pushes : int;  (** stream points ingested *)
+  candidate_evaluations : int;
+      (** level-(k-1) queue entries examined across all per-push HERROR
+          minimisations — the algorithm's dominant cost term *)
+  intervals_built : int;  (** queue entries created *)
+  intervals_extended : int;
+      (** pushes absorbed by extending an existing interval in place *)
+}
+
+val work_counters : t -> work_counters
+(** Cumulative per-instance work accounting, backed by the shared
+    {!Sh_obs} registry (series [ag.*{instance="ag<i>"}]) — the
+    agglomerative counterpart of [Fixed_window.work_counters]. *)

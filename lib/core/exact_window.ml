@@ -1,24 +1,46 @@
 module RB = Sh_window.Ring_buffer
 module P = Sh_prefix.Prefix_sums
+module Obs = Sh_obs.Obs
+module M = Sh_obs.Metric
 
-type t = { ring : RB.t; buckets : int; scratch : float array }
+type t = {
+  ring : RB.t;
+  buckets : int;
+  scratch : float array;
+  c_pushes : M.counter;
+  c_rebuilds : M.counter;
+}
 
 let create ~window ~buckets =
   if buckets < 1 then invalid_arg "Exact_window.create: buckets must be >= 1";
-  { ring = RB.create ~capacity:window; buckets; scratch = Array.make window 0.0 }
+  let labels = [ ("instance", Obs.instance "ew") ] in
+  {
+    ring = RB.create ~capacity:window;
+    buckets;
+    scratch = Array.make window 0.0;
+    c_pushes = Obs.counter ~labels "ew.pushes";
+    c_rebuilds = Obs.counter ~labels "ew.rebuilds";
+  }
 
 let window t = RB.capacity t.ring
 let buckets t = t.buckets
 let length t = RB.length t.ring
+
 let push t v =
   if not (Float.is_finite v) then invalid_arg "Exact_window.push: non-finite value";
+  M.incr t.c_pushes;
   RB.push t.ring v
 
+(* The exact baseline recomputes prefix sums of the whole window per
+   query — the O(n) cost the streaming algorithm avoids; spanned so the
+   trace shows where baseline time goes. *)
 let prefix t =
   let n = RB.length t.ring in
   if n = 0 then invalid_arg "Exact_window.current_histogram: empty window";
-  RB.blit_to t.ring t.scratch;
-  P.of_sub t.scratch ~pos:0 ~len:n
+  Obs.with_span "ew.rebuild" (fun () ->
+      M.incr t.c_rebuilds;
+      RB.blit_to t.ring t.scratch;
+      P.of_sub t.scratch ~pos:0 ~len:n)
 
 let current_histogram t = Sh_histogram.Vopt.build_prefix (prefix t) ~buckets:t.buckets
 let current_error t = Sh_histogram.Vopt.optimal_error (prefix t) ~buckets:t.buckets

@@ -1,6 +1,8 @@
 module Sliding_prefix = Sh_prefix.Sliding_prefix
 module Histogram = Sh_histogram.Histogram
 module Vec = Sh_util.Vec
+module Obs = Sh_obs.Obs
+module M = Sh_obs.Metric
 
 (* One interval [a_idx .. b_idx] of a level-k list.  Within the interval the
    (non-decreasing) function HERROR[., k] varies by at most a (1 + delta)
@@ -40,21 +42,29 @@ type t = {
                           prev_queues coordinates have shifted *)
   mutable pushes_since_refresh : int;
   mutable mode : mode;
-  mutable evals : int;
-  mutable cold_evals : int;
-  mutable warm_evals : int;
-  mutable built : int;
-  mutable refreshes : int;
-  mutable cold_refreshes : int;
-  mutable warm_refreshes : int;
-  mutable steps : int;
-  mutable hits : int;
-  mutable misses : int;
+  (* Work accounting lives in per-instance registry counters (labelled
+     instance="fw<i>") so the same tallies back work_counters, the
+     exposition sinks, and per-span deltas.  The handles are registered
+     once at creation; recording is a single int store, unconditionally
+     live (see Sh_obs.Obs on the overhead model). *)
+  c_evals : M.counter;
+  c_cold_evals : M.counter;
+  c_warm_evals : M.counter;
+  c_built : M.counter;
+  c_refreshes : M.counter;
+  c_cold_refreshes : M.counter;
+  c_warm_refreshes : M.counter;
+  c_steps : M.counter;
+  c_hits : M.counter;
+  c_misses : M.counter;
+  g_length : M.gauge;
 }
 
 let create_with_delta ~window ~buckets ~epsilon ~delta =
   let params = Params.make_with_delta ~buckets ~epsilon ~delta in
   if window < 1 then invalid_arg "Fixed_window.create: window must be >= 1";
+  let labels = [ ("instance", Obs.instance "fw") ] in
+  let c name = Obs.counter ~labels name in
   {
     params;
     sp = Sliding_prefix.create ~capacity:window ();
@@ -65,16 +75,17 @@ let create_with_delta ~window ~buckets ~epsilon ~delta =
     slide = 0;
     pushes_since_refresh = 0;
     mode = Query;
-    evals = 0;
-    cold_evals = 0;
-    warm_evals = 0;
-    built = 0;
-    refreshes = 0;
-    cold_refreshes = 0;
-    warm_refreshes = 0;
-    steps = 0;
-    hits = 0;
-    misses = 0;
+    c_evals = c "fw.herror_evals";
+    c_cold_evals = c "fw.cold_evals";
+    c_warm_evals = c "fw.warm_evals";
+    c_built = c "fw.intervals_built";
+    c_refreshes = c "fw.refreshes";
+    c_cold_refreshes = c "fw.cold_refreshes";
+    c_warm_refreshes = c "fw.warm_refreshes";
+    c_steps = c "fw.search_steps";
+    c_hits = c "fw.hint_hits";
+    c_misses = c "fw.hint_misses";
+    g_length = Obs.gauge ~labels "fw.window_length";
   }
 
 let create ~window ~buckets ~epsilon =
@@ -92,10 +103,10 @@ let set_refresh_policy t policy =
   t.policy <- (Params.with_policy t.params policy).Params.policy
 
 let count_eval t =
-  t.evals <- t.evals + 1;
+  M.incr t.c_evals;
   match t.mode with
-  | Cold_rebuild -> t.cold_evals <- t.cold_evals + 1
-  | Warm_rebuild -> t.warm_evals <- t.warm_evals + 1
+  | Cold_rebuild -> M.incr t.c_cold_evals
+  | Warm_rebuild -> M.incr t.c_warm_evals
   | Query -> ()
 
 (* Candidate scan shared by [eval_herror] and [best_split]: the approximate
@@ -134,7 +145,7 @@ let scan_candidates t ~k ~x =
           incr steps;
           Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x < !best)
   in
-  t.steps <- t.steps + !steps;
+  M.add t.c_steps !steps;
   let i = ref first in
   let continue = ref true in
   while !continue && !i < cover do
@@ -175,7 +186,7 @@ let eval_herror t ~k ~x =
    arrivals) costs O(1) instead of O(log n). *)
 let find_boundary t ~k ~start ~hi ~threshold ~h_start ~hint =
   let probe x =
-    t.steps <- t.steps + 1;
+    M.incr t.c_steps;
     eval_herror t ~k ~x
   in
   (* Largest good position in [lo, hi]; [h_lo] is HERROR[lo, k]. *)
@@ -232,7 +243,7 @@ let find_boundary t ~k ~start ~hi ~threshold ~h_start ~hint =
         bisect ~lo ~h_lo ~hi:(!bad - 1)
       end
     in
-    if c = g0 then t.hits <- t.hits + 1 else t.misses <- t.misses + 1;
+    if c = g0 then M.incr t.c_hits else M.incr t.c_misses;
     (c, h_c)
 
 (* CreateList (Figure 5): cover [1 .. n] with maximal intervals whose
@@ -256,7 +267,7 @@ let create_list t ~k ~warm =
     if start = n then begin
       let h = eval_herror t ~k ~x:start in
       Vec.push q { a_idx = start; a_herror = h; b_idx = start; b_herror = h };
-      t.built <- t.built + 1;
+      M.incr t.c_built;
       a := n + 1
     end
     else begin
@@ -274,38 +285,38 @@ let create_list t ~k ~warm =
       in
       let c, h_c = find_boundary t ~k ~start ~hi:n ~threshold ~h_start ~hint in
       Vec.push q { a_idx = start; a_herror = h_start; b_idx = c; b_herror = h_c };
-      t.built <- t.built + 1;
+      M.incr t.c_built;
       a := c + 1
     end
   done
 
 let refresh ?(cold = false) t =
-  if t.dirty then begin
-    (* Swap buffers: the lists of the last refresh become the warm-start
-       hints, their buffers the target of this rebuild. *)
-    let tmp = t.queues in
-    t.queues <- t.prev_queues;
-    t.prev_queues <- tmp;
-    let warm = not cold in
-    t.mode <- (if warm then Warm_rebuild else Cold_rebuild);
-    let b = buckets t in
-    if length t > 0 then
-      for k = 1 to b - 1 do
-        create_list t ~k ~warm
-      done;
-    t.mode <- Query;
-    t.dirty <- false;
-    t.slide <- 0;
-    t.pushes_since_refresh <- 0;
-    t.refreshes <- t.refreshes + 1;
-    if warm then t.warm_refreshes <- t.warm_refreshes + 1
-    else t.cold_refreshes <- t.cold_refreshes + 1
-  end
+  if t.dirty then
+    Obs.with_span "fw.refresh" (fun () ->
+        (* Swap buffers: the lists of the last refresh become the warm-start
+           hints, their buffers the target of this rebuild. *)
+        let tmp = t.queues in
+        t.queues <- t.prev_queues;
+        t.prev_queues <- tmp;
+        let warm = not cold in
+        t.mode <- (if warm then Warm_rebuild else Cold_rebuild);
+        let b = buckets t in
+        if length t > 0 then
+          for k = 1 to b - 1 do
+            create_list t ~k ~warm
+          done;
+        t.mode <- Query;
+        t.dirty <- false;
+        t.slide <- 0;
+        t.pushes_since_refresh <- 0;
+        M.incr t.c_refreshes;
+        if warm then M.incr t.c_warm_refreshes else M.incr t.c_cold_refreshes)
 
 let push t v =
   if not (Float.is_finite v) then invalid_arg "Fixed_window.push: non-finite value";
   if Sliding_prefix.length t.sp = Sliding_prefix.capacity t.sp then t.slide <- t.slide + 1;
   Sliding_prefix.push t.sp v;
+  M.set t.g_length (Float.of_int (Sliding_prefix.length t.sp));
   t.dirty <- true;
   t.pushes_since_refresh <- t.pushes_since_refresh + 1;
   match t.policy with
@@ -341,6 +352,7 @@ let current_histogram t =
   refresh t;
   let n = length t in
   if n = 0 then invalid_arg "Fixed_window.current_histogram: empty window";
+  Obs.with_span "fw.histogram" @@ fun () ->
   let b = buckets t in
   (* Recover right endpoints top-down: split off the last bucket at each
      level, then recurse on the remaining prefix with one fewer bucket. *)
@@ -370,18 +382,20 @@ let current_histogram t =
   in
   Histogram.make ~n (Array.mapi bucket_of ends)
 
+(* Compatibility view over the registry-backed counters: same record, same
+   values as the pre-registry private fields. *)
 let work_counters t =
   {
-    herror_evaluations = t.evals;
-    cold_evaluations = t.cold_evals;
-    warm_evaluations = t.warm_evals;
-    intervals_built = t.built;
-    refreshes = t.refreshes;
-    cold_refreshes = t.cold_refreshes;
-    warm_refreshes = t.warm_refreshes;
-    search_steps = t.steps;
-    hint_hits = t.hits;
-    hint_misses = t.misses;
+    herror_evaluations = M.value t.c_evals;
+    cold_evaluations = M.value t.c_cold_evals;
+    warm_evaluations = M.value t.c_warm_evals;
+    intervals_built = M.value t.c_built;
+    refreshes = M.value t.c_refreshes;
+    cold_refreshes = M.value t.c_cold_refreshes;
+    warm_refreshes = M.value t.c_warm_refreshes;
+    search_steps = M.value t.c_steps;
+    hint_hits = M.value t.c_hits;
+    hint_misses = M.value t.c_misses;
   }
 
 let interval_counts t =

@@ -1,27 +1,55 @@
+module Obs = Sh_obs.Obs
+module M = Sh_obs.Metric
+
+type work_counters = {
+  observations : int;
+  adds : int;
+  decrement_rounds : int;
+  evictions : int;
+}
+
 type t = {
   capacity : int;
   counters : (float, int ref) Hashtbl.t;
-  mutable total : int;
+  (* Work accounting in per-instance registry series (hh.*{instance=...}),
+     replacing the private total field: the stream length is now the
+     hh.observations counter, shared with the exposition sinks. *)
+  c_observations : M.counter;
+  c_adds : M.counter;
+  c_rounds : M.counter;
+  c_evictions : M.counter;
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Heavy_hitters.create: capacity must be >= 1";
-  { capacity; counters = Hashtbl.create (2 * capacity); total = 0 }
+  let labels = [ ("instance", Obs.instance "hh") ] in
+  let c name = Obs.counter ~labels name in
+  {
+    capacity;
+    counters = Hashtbl.create (2 * capacity);
+    c_observations = c "hh.observations";
+    c_adds = c "hh.adds";
+    c_rounds = c "hh.decrement_rounds";
+    c_evictions = c "hh.evictions";
+  }
 
 (* Misra-Gries decrement step: when a new value needs a slot and all
    [capacity] slots are taken, decrement every counter and evict zeros. *)
 let make_room t =
+  M.incr t.c_rounds;
   let victims = ref [] in
   Hashtbl.iter
     (fun v c ->
       decr c;
       if !c <= 0 then victims := v :: !victims)
     t.counters;
+  M.add t.c_evictions (List.length !victims);
   List.iter (Hashtbl.remove t.counters) !victims
 
 let add ?(count = 1) t v =
   if count < 1 then invalid_arg "Heavy_hitters.add: count must be >= 1";
-  t.total <- t.total + count;
+  M.incr t.c_adds;
+  M.add t.c_observations count;
   match Hashtbl.find_opt t.counters v with
   | Some c -> c := !c + count
   | None ->
@@ -43,7 +71,7 @@ let add ?(count = 1) t v =
       done
     end
 
-let total t = t.total
+let total t = M.value t.c_observations
 
 let estimate t v = match Hashtbl.find_opt t.counters v with Some c -> !c | None -> 0
 
@@ -52,5 +80,13 @@ let tracked t =
   List.sort (fun (_, c1) (_, c2) -> compare c2 c1) entries
 
 let heavy_hitters t ~threshold =
-  let cutoff = threshold *. Float.of_int t.total in
+  let cutoff = threshold *. Float.of_int (total t) in
   List.filter (fun (_, c) -> Float.of_int c >= cutoff) (tracked t)
+
+let work_counters t =
+  {
+    observations = M.value t.c_observations;
+    adds = M.value t.c_adds;
+    decrement_rounds = M.value t.c_rounds;
+    evictions = M.value t.c_evictions;
+  }

@@ -30,3 +30,18 @@ val heavy_hitters : t -> threshold:float -> (float * int) list
 
 val tracked : t -> (float * int) list
 (** Full summary contents, most frequent first. *)
+
+(** {2 Introspection} *)
+
+type work_counters = {
+  observations : int;  (** stream length so far — equals {!total} *)
+  adds : int;  (** {!add} calls *)
+  decrement_rounds : int;  (** Misra-Gries decrement steps performed *)
+  evictions : int;  (** counters dropped at zero during those steps *)
+}
+
+val work_counters : t -> work_counters
+(** Cumulative per-instance work accounting, backed by the shared
+    {!Sh_obs} registry (series [hh.*{instance="hh<i>"}]) rather than
+    private fields — the same accessor shape as
+    [Fixed_window.work_counters]. *)

@@ -1,0 +1,13 @@
+(* Global on/off switch and injectable clock shared by the span tracer.
+   Kept in its own module so both the recording side (Span) and the facade
+   (Obs) can reach it without a dependency cycle. *)
+
+let enabled = ref false
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+(* The default clock is the portable [Sys.time] (CPU seconds); callers that
+   link unix inject [Unix.gettimeofday], tests inject a fake. *)
+let clock : (unit -> float) ref = ref Sys.time
+let set_clock f = clock := f
+let now () = !clock ()

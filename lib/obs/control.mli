@@ -1,0 +1,22 @@
+(** Runtime switches for the telemetry subsystem.
+
+    [enabled] gates everything with a per-event cost beyond a single
+    machine-word write: span tracing and histogram observations.  Counters
+    and gauges stay live even when disabled — they are single int/float
+    stores and double as the algorithms' work-accounting state (see
+    {!Fixed_window.work_counters}), which must keep counting regardless of
+    whether telemetry is being collected. *)
+
+val enabled : bool ref
+(** Exposed as a [ref] so hot paths can read it with one load; prefer
+    {!is_enabled} elsewhere. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val set_clock : (unit -> float) -> unit
+(** Inject the wall clock used for span timing, in seconds.  Defaults to
+    [Sys.time] (CPU seconds); binaries that link unix should inject
+    [Unix.gettimeofday]. *)
+
+val now : unit -> float

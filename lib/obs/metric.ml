@@ -1,0 +1,66 @@
+type labels = (string * string) list
+
+type counter = { c_name : string; c_labels : labels; mutable c_value : int }
+type gauge = { g_name : string; g_labels : labels; mutable g_value : float }
+
+(* Log-scale histogram: bucket [i] counts observations v with
+   le(i-1) < v <= le(i) where le(i) = 2^(i - bucket_offset); the last
+   bucket is the +infinity overflow.  [observe] is O(1) via frexp. *)
+let bucket_count = 64
+let bucket_offset = 40
+
+type histogram = {
+  h_name : string;
+  h_labels : labels;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs: counters are monotone, negative increment";
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+
+let set g v = g.g_value <- v
+let gadd g v = g.g_value <- g.g_value +. v
+let gincr g = g.g_value <- g.g_value +. 1.0
+let gvalue g = g.g_value
+
+let bucket_index v =
+  if v <= 0.0 then 0
+  else begin
+    let m, e = Float.frexp v in
+    (* frexp: v = m * 2^e with m in [0.5, 1); an exact power of two
+       (m = 0.5) sits on its bucket's inclusive upper bound. *)
+    let e = if m = 0.5 then e - 1 else e in
+    if e < -bucket_offset then 0
+    else if e >= bucket_count - 1 - bucket_offset then bucket_count - 1
+    else e + bucket_offset
+  end
+
+let bucket_le i =
+  if i < 0 || i >= bucket_count then invalid_arg "Obs: bucket index out of range";
+  if i = bucket_count - 1 then infinity else Float.ldexp 1.0 (i - bucket_offset)
+
+let observe h v =
+  if !Control.enabled then begin
+    h.h_buckets.(bucket_index v) <- h.h_buckets.(bucket_index v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v
+  end
+
+let hcount h = h.h_count
+let hsum h = h.h_sum
+let hmean h = if h.h_count = 0 then 0.0 else h.h_sum /. Float.of_int h.h_count
+
+(* Cumulative count of observations <= bucket_le i, Prometheus-style. *)
+let cumulative h i =
+  let acc = ref 0 in
+  for j = 0 to i do
+    acc := !acc + h.h_buckets.(j)
+  done;
+  !acc

@@ -1,0 +1,65 @@
+(** Metric primitives: named counters, gauges, and log-scale histograms.
+
+    Values are created through {!Registry} (get-or-create by name and
+    label set); handles are plain mutable records so the record operations
+    compile to one or two machine-word stores — cheap enough to leave on
+    unconditionally in the streaming hot paths.
+
+    Counters and gauges ignore {!Control.enabled}: they double as the
+    algorithms' work-accounting state, which must keep counting when
+    telemetry collection is off.  Histogram {!observe} honours the switch
+    (it is only ever fed derived measurements such as span durations). *)
+
+type labels = (string * string) list
+(** Label pairs, canonically sorted by {!Registry} on registration. *)
+
+type counter = { c_name : string; c_labels : labels; mutable c_value : int }
+type gauge = { g_name : string; g_labels : labels; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_labels : labels;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+(** {2 Counters} — monotone non-negative int *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative increment. *)
+
+val value : counter -> int
+
+(** {2 Gauges} — arbitrary float *)
+
+val set : gauge -> float -> unit
+val gadd : gauge -> float -> unit
+val gincr : gauge -> unit
+val gvalue : gauge -> float
+
+(** {2 Histograms} — base-2 log-scale buckets, O(1) record *)
+
+val bucket_count : int
+(** Number of buckets including the final +infinity overflow bucket. *)
+
+val bucket_le : int -> float
+(** Inclusive upper bound of bucket [i]: [2^(i - 40)] for
+    [i < bucket_count - 1], [infinity] for the last.  Bucket 0 also absorbs
+    everything below its bound (including zero and negatives). *)
+
+val bucket_index : float -> int
+(** The bucket whose [(le (i-1), le i]] range contains the value; exact
+    powers of two land on their inclusive upper bound. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation — O(1).  No-op while {!Control.enabled} is
+    false. *)
+
+val hcount : histogram -> int
+val hsum : histogram -> float
+val hmean : histogram -> float
+val cumulative : histogram -> int -> int
+(** Observations in buckets [0 .. i], i.e. the Prometheus cumulative count
+    for [le = bucket_le i]. *)

@@ -1,0 +1,61 @@
+(* Facade over the telemetry subsystem: the one module instrumented code
+   and binaries interact with. *)
+
+let set_enabled = Control.set_enabled
+let enabled = Control.is_enabled
+let set_clock = Control.set_clock
+let now = Control.now
+
+let counter = Registry.counter
+let gauge = Registry.gauge
+let histogram = Registry.histogram
+let with_span = Span.with_span
+
+(* Per-structure instance names: "fw0", "fw1", ... per prefix, so every
+   live structure exports its own label-distinguished series. *)
+let instance_seq : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+let instance prefix =
+  let r =
+    match Hashtbl.find_opt instance_seq prefix with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace instance_seq prefix r;
+      r
+  in
+  let id = !r in
+  incr r;
+  prefix ^ string_of_int id
+
+type format = Text | Json | Prom
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "prom" | "prometheus" -> Some Prom
+  | _ -> None
+
+let format_to_string = function Text -> "text" | Json -> "json" | Prom -> "prom"
+
+let render fmt =
+  let buf = Buffer.create 4096 in
+  (match fmt with
+  | Text -> Sink.text buf
+  | Json -> Sink.json_lines buf
+  | Prom -> Sink.prometheus buf);
+  Buffer.contents buf
+
+let render_trace () =
+  let buf = Buffer.create 4096 in
+  Sink.trace_json_lines buf;
+  Buffer.contents buf
+
+let reset () =
+  Registry.reset ();
+  Span.clear ()
+
+let clear () =
+  Registry.clear ();
+  Span.clear ();
+  Hashtbl.reset instance_seq

@@ -1,0 +1,113 @@
+type metric =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Metric.histogram
+
+(* Key = name + canonically sorted labels, flattened with unprintable
+   separators so distinct label sets cannot collide. *)
+let key name labels =
+  let buf = Buffer.create (String.length name + 16) in
+  Buffer.add_string buf name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\x01';
+      Buffer.add_string buf v)
+    labels;
+  Buffer.contents buf
+
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let validate_name name =
+  if String.length name = 0 then invalid_arg "Obs: empty metric name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Obs: bad metric name %S (use [a-zA-Z0-9_.])" name))
+    name;
+  match name.[0] with
+  | '0' .. '9' | '.' -> invalid_arg (Printf.sprintf "Obs: metric name %S must start with a letter" name)
+  | _ -> ()
+
+let canonical labels = List.sort compare labels
+
+let get_or_register ~name ~labels ~found ~make =
+  validate_name name;
+  let labels = canonical labels in
+  let k = key name labels in
+  match Hashtbl.find_opt table k with
+  | Some m -> found m
+  | None ->
+    let m, v = make labels in
+    Hashtbl.replace table k m;
+    v
+
+let type_clash name =
+  invalid_arg (Printf.sprintf "Obs: metric %S already registered with a different type" name)
+
+let counter ?(labels = []) name =
+  get_or_register ~name ~labels
+    ~found:(function Counter c -> c | _ -> type_clash name)
+    ~make:(fun labels ->
+      let c = { Metric.c_name = name; c_labels = labels; c_value = 0 } in
+      (Counter c, c))
+
+let gauge ?(labels = []) name =
+  get_or_register ~name ~labels
+    ~found:(function Gauge g -> g | _ -> type_clash name)
+    ~make:(fun labels ->
+      let g = { Metric.g_name = name; g_labels = labels; g_value = 0.0 } in
+      (Gauge g, g))
+
+let histogram ?(labels = []) name =
+  get_or_register ~name ~labels
+    ~found:(function Histogram h -> h | _ -> type_clash name)
+    ~make:(fun labels ->
+      let h =
+        {
+          Metric.h_name = name;
+          h_labels = labels;
+          h_buckets = Array.make Metric.bucket_count 0;
+          h_count = 0;
+          h_sum = 0.0;
+        }
+      in
+      (Histogram h, h))
+
+let find ?(labels = []) name = Hashtbl.find_opt table (key name (canonical labels))
+
+let iter f = Hashtbl.iter (fun _ m -> f m) table
+
+let metric_name = function
+  | Counter c -> c.Metric.c_name
+  | Gauge g -> g.Metric.g_name
+  | Histogram h -> h.Metric.h_name
+
+let metric_labels = function
+  | Counter c -> c.Metric.c_labels
+  | Gauge g -> g.Metric.g_labels
+  | Histogram h -> h.Metric.h_labels
+
+let snapshot () =
+  let all = Hashtbl.fold (fun _ m acc -> m :: acc) table [] in
+  List.sort
+    (fun a b ->
+      match compare (metric_name a) (metric_name b) with
+      | 0 -> compare (metric_labels a) (metric_labels b)
+      | c -> c)
+    all
+
+let series_count () = Hashtbl.length table
+
+let reset () =
+  iter (function
+    | Counter c -> c.Metric.c_value <- 0
+    | Gauge g -> g.Metric.g_value <- 0.0
+    | Histogram h ->
+      Array.fill h.Metric.h_buckets 0 Metric.bucket_count 0;
+      h.Metric.h_count <- 0;
+      h.Metric.h_sum <- 0.0)
+
+let clear () = Hashtbl.reset table

@@ -1,0 +1,205 @@
+(* Exposition of the registry and the span trace in three formats: an
+   aligned human-readable dump, JSON lines (one object per series /
+   event), and Prometheus text format.  All sinks render the same
+   Registry.snapshot order, so diffs between dumps are meaningful. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else "null"
+
+(* ------------------------------------------------------------- text *)
+
+let labels_to_string = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+let text buf =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let series = Registry.snapshot () in
+  let counters = List.filter_map (function Registry.Counter c -> Some c | _ -> None) series in
+  let gauges = List.filter_map (function Registry.Gauge g -> Some g | _ -> None) series in
+  let hists = List.filter_map (function Registry.Histogram h -> Some h | _ -> None) series in
+  if counters <> [] then begin
+    line "counters:";
+    List.iter
+      (fun (c : Metric.counter) ->
+        line "  %-48s %d" (c.Metric.c_name ^ labels_to_string c.Metric.c_labels) c.Metric.c_value)
+      counters
+  end;
+  if gauges <> [] then begin
+    line "gauges:";
+    List.iter
+      (fun (g : Metric.gauge) ->
+        line "  %-48s %g" (g.Metric.g_name ^ labels_to_string g.Metric.g_labels) g.Metric.g_value)
+      gauges
+  end;
+  if hists <> [] then begin
+    line "histograms:";
+    List.iter
+      (fun (h : Metric.histogram) ->
+        line "  %-48s count=%d sum=%g mean=%g"
+          (h.Metric.h_name ^ labels_to_string h.Metric.h_labels)
+          (Metric.hcount h) (Metric.hsum h) (Metric.hmean h))
+      hists
+  end;
+  if Span.trace_length () > 0 || Span.dropped_events () > 0 then
+    line "spans: %d traced, %d dropped" (Span.trace_length ()) (Span.dropped_events ())
+
+(* ------------------------------------------------------- JSON lines *)
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) labels)
+  ^ "}"
+
+let json_lines buf =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (function
+      | Registry.Counter c ->
+        line "{\"type\":\"counter\",\"name\":\"%s\",\"labels\":%s,\"value\":%d}"
+          (json_escape c.Metric.c_name) (json_labels c.Metric.c_labels) c.Metric.c_value
+      | Registry.Gauge g ->
+        line "{\"type\":\"gauge\",\"name\":\"%s\",\"labels\":%s,\"value\":%s}"
+          (json_escape g.Metric.g_name) (json_labels g.Metric.g_labels) (json_float g.Metric.g_value)
+      | Registry.Histogram h ->
+        (* only occupied buckets, as (le, non-cumulative count) pairs *)
+        let buckets = ref [] in
+        for i = Metric.bucket_count - 1 downto 0 do
+          if h.Metric.h_buckets.(i) > 0 then
+            buckets :=
+              Printf.sprintf "{\"le\":%s,\"count\":%d}"
+                (let le = Metric.bucket_le i in
+                 if Float.is_finite le then json_float le else "\"+Inf\"")
+                h.Metric.h_buckets.(i)
+              :: !buckets
+        done;
+        line "{\"type\":\"histogram\",\"name\":\"%s\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+          (json_escape h.Metric.h_name) (json_labels h.Metric.h_labels) h.Metric.h_count
+          (json_float h.Metric.h_sum) (String.concat "," !buckets))
+    (Registry.snapshot ())
+
+let trace_json_lines buf =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (ev : Span.event) ->
+      let deltas =
+        String.concat ","
+          (List.map
+             (fun (name, labels, d) ->
+               Printf.sprintf "{\"counter\":\"%s\",\"labels\":%s,\"delta\":%d}" (json_escape name)
+                 (json_labels labels) d)
+             ev.Span.deltas)
+      in
+      line
+        "{\"type\":\"span\",\"seq\":%d,\"name\":\"%s\",\"depth\":%d,\"start_s\":%s,\"duration_s\":%s,\"deltas\":[%s]}"
+        ev.Span.seq (json_escape ev.Span.name) ev.Span.depth (json_float ev.Span.start)
+        (json_float ev.Span.duration) deltas)
+    (Span.trace ())
+
+(* ------------------------------------------------------- Prometheus *)
+
+(* Registry names use dots as namespace separators; Prometheus only
+   allows [a-zA-Z0-9_:]. *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_escape v)) labels)
+    ^ "}"
+
+let prom_float f =
+  if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else Printf.sprintf "%.17g" f
+
+let ends_with ~suffix s =
+  let ls = String.length s and lf = String.length suffix in
+  ls >= lf && String.sub s (ls - lf) lf = suffix
+
+let prometheus buf =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (* snapshot order groups series of a family together, so a TYPE header
+     is emitted exactly once per family *)
+  let last_type_line = ref "" in
+  let type_line family kind =
+    let l = Printf.sprintf "# TYPE %s %s" family kind in
+    if l <> !last_type_line then begin
+      last_type_line := l;
+      line "%s" l
+    end
+  in
+  List.iter
+    (function
+      | Registry.Counter c ->
+        let family =
+          let n = prom_name c.Metric.c_name in
+          if ends_with ~suffix:"_total" n then n else n ^ "_total"
+        in
+        type_line family "counter";
+        line "%s%s %d" family (prom_labels c.Metric.c_labels) c.Metric.c_value
+      | Registry.Gauge g ->
+        let family = prom_name g.Metric.g_name in
+        type_line family "gauge";
+        line "%s%s %s" family (prom_labels g.Metric.g_labels) (prom_float g.Metric.g_value)
+      | Registry.Histogram h ->
+        let family = prom_name h.Metric.h_name in
+        type_line family "histogram";
+        (* cumulative buckets; skip empty ranges but always keep +Inf *)
+        let cum = ref 0 in
+        for i = 0 to Metric.bucket_count - 1 do
+          let n = h.Metric.h_buckets.(i) in
+          cum := !cum + n;
+          if n > 0 && i < Metric.bucket_count - 1 then
+            line "%s_bucket%s %d" family
+              (prom_labels (h.Metric.h_labels @ [ ("le", prom_float (Metric.bucket_le i)) ]))
+              !cum
+        done;
+        line "%s_bucket%s %d" family
+          (prom_labels (h.Metric.h_labels @ [ ("le", "+Inf") ]))
+          h.Metric.h_count;
+        line "%s_sum%s %s" family (prom_labels h.Metric.h_labels) (prom_float h.Metric.h_sum);
+        line "%s_count%s %d" family (prom_labels h.Metric.h_labels) h.Metric.h_count)
+    (Registry.snapshot ())

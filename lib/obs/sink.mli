@@ -1,0 +1,26 @@
+(** Exposition sinks: render the current registry contents (and the span
+    trace) into a caller-supplied [Buffer.t].
+
+    All sinks render series in {!Registry.snapshot} order, so two dumps of
+    the same state are byte-identical and diffs across runs line up. *)
+
+val text : Buffer.t -> unit
+(** Aligned human-readable dump: counters, gauges, histogram summaries,
+    span-trace totals. *)
+
+val json_lines : Buffer.t -> unit
+(** One JSON object per line per series.  Counters/gauges carry [value];
+    histograms carry [count], [sum] and the occupied (le, count) buckets,
+    with the overflow bucket's [le] rendered as the string ["+Inf"]. *)
+
+val trace_json_lines : Buffer.t -> unit
+(** One JSON object per completed span, completion order: name, depth,
+    sequence number, start/duration (clock seconds), counter deltas. *)
+
+val prometheus : Buffer.t -> unit
+(** Prometheus text exposition format.  Dots in registry names become
+    underscores, counter families get a [_total] suffix, histograms emit
+    cumulative [_bucket{le=...}] series plus [_sum]/[_count]. *)
+
+val prom_name : string -> string
+(** The name sanitisation used by {!prometheus} (dots to underscores). *)

@@ -1,0 +1,86 @@
+type event = {
+  name : string;
+  depth : int;
+  seq : int;
+  start : float;
+  duration : float;
+  deltas : (string * Metric.labels * int) list;
+}
+
+(* Completed spans, completion order, bounded: the oldest events are
+   dropped once the buffer holds [capacity] of them. *)
+let events : event Queue.t = Queue.create ()
+let capacity = ref 4096
+let dropped = ref 0
+let depth_ref = ref 0
+let seq_ref = ref 0
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Obs: trace capacity must be >= 1";
+  capacity := n;
+  while Queue.length events > n do
+    ignore (Queue.pop events);
+    incr dropped
+  done
+
+let record ev =
+  if Queue.length events >= !capacity then begin
+    ignore (Queue.pop events);
+    incr dropped
+  end;
+  Queue.push ev events
+
+(* The tracer's own bookkeeping series (span counters, duration
+   histograms) are excluded from per-span counter deltas so a nested span
+   does not show up as work attributed to its parent. *)
+let bookkeeping name =
+  String.length name >= 4 && String.sub name 0 4 = "obs."
+
+let counter_values () =
+  let acc = ref [] in
+  Registry.iter (function
+    | Registry.Counter c when not (bookkeeping c.Metric.c_name) ->
+      acc := (c, c.Metric.c_value) :: !acc
+    | _ -> ());
+  !acc
+
+let with_span name f =
+  if not !Control.enabled then f ()
+  else begin
+    let start = Control.now () in
+    let before = counter_values () in
+    let d = !depth_ref in
+    incr depth_ref;
+    let finish () =
+      decr depth_ref;
+      let duration = Control.now () -. start in
+      Metric.incr (Registry.counter ~labels:[ ("span", name) ] "obs.spans");
+      Metric.observe (Registry.histogram (name ^ "_duration")) duration;
+      let deltas =
+        List.filter_map
+          (fun ((c : Metric.counter), v0) ->
+            if c.Metric.c_value <> v0 then Some (c.Metric.c_name, c.Metric.c_labels, c.Metric.c_value - v0)
+            else None)
+          before
+      in
+      let deltas = List.sort compare deltas in
+      incr seq_ref;
+      record { name; depth = d; seq = !seq_ref; start; duration; deltas }
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let trace () = List.of_seq (Queue.to_seq events)
+let trace_length () = Queue.length events
+let dropped_events () = !dropped
+
+let clear () =
+  Queue.clear events;
+  dropped := 0;
+  seq_ref := 0

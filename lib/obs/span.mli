@@ -1,0 +1,42 @@
+(** Lightweight span tracing.
+
+    [with_span name f] times [f] with the injected {!Control} clock and
+    records a completed-span event carrying the nesting depth at entry, a
+    completion sequence number, and the per-span deltas of every registry
+    counter that moved while the span was open (children included — deltas
+    are inclusive, as in any tracing system).  Each completion also bumps
+    the ["obs.spans"] counter labelled with the span name and feeds the
+    duration into an auto-registered ["<name>_duration"] histogram.
+
+    When {!Control.enabled} is false the entire mechanism reduces to one
+    boolean load before calling [f] — the disabled fast path relied on by
+    the streaming hot paths. *)
+
+type event = {
+  name : string;
+  depth : int;  (** nesting depth at entry; 0 for a top-level span *)
+  seq : int;  (** completion order, 1-based; inner spans complete first *)
+  start : float;  (** clock value at entry *)
+  duration : float;  (** clock delta between entry and exit *)
+  deltas : (string * Metric.labels * int) list;
+      (** counters that changed while the span was open, sorted; the
+          tracer's own ["obs.*"] bookkeeping series are excluded *)
+}
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Exceptions from [f] propagate after the span is recorded. *)
+
+val trace : unit -> event list
+(** Completed spans in completion order (oldest first). *)
+
+val trace_length : unit -> int
+
+val set_capacity : int -> unit
+(** Bound on retained events (default 4096); the oldest are dropped
+    beyond it.  Raises [Invalid_argument] below 1. *)
+
+val dropped_events : unit -> int
+(** Events discarded due to the capacity bound since the last {!clear}. *)
+
+val clear : unit -> unit
+(** Drop all retained events and reset the sequence counter. *)

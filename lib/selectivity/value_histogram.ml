@@ -1,4 +1,11 @@
 module Gk = Sh_quantile.Gk
+module Obs = Sh_obs.Obs
+module M = Sh_obs.Metric
+
+(* Selectivity estimates are issued per query-optimizer probe; the
+   global counters expose probe volume next to build spans. *)
+let c_range_estimates = Obs.counter "sel.range_estimates"
+let c_eq_estimates = Obs.counter "sel.eq_estimates"
 
 type bucket = { lo_v : float; hi_v : float; count : float; distinct : float }
 type t = { total : float; buckets : bucket array }
@@ -32,6 +39,7 @@ let distinct_in_sorted sorted lo_i hi_i =
 let equi_width data ~buckets =
   let n = Array.length data in
   if n = 0 then invalid_arg "Value_histogram.equi_width: empty data";
+  Obs.with_span "sel.equi_width" @@ fun () ->
   let b = max 1 buckets in
   let lo, hi = Sh_util.Stats.min_max data in
   let hi = if hi = lo then lo +. 1.0 else hi in
@@ -78,6 +86,7 @@ let of_boundaries_sorted sorted ~cuts =
 let equi_depth data ~buckets =
   let n = Array.length data in
   if n = 0 then invalid_arg "Value_histogram.equi_depth: empty data";
+  Obs.with_span "sel.equi_depth" @@ fun () ->
   let b = min (max 1 buckets) n in
   let sorted = Array.copy data in
   Array.sort compare sorted;
@@ -107,6 +116,7 @@ let v_optimal data ~buckets ~domain_bins =
   let n = Array.length data in
   if n = 0 then invalid_arg "Value_histogram.v_optimal: empty data";
   if domain_bins < 1 then invalid_arg "Value_histogram.v_optimal: domain_bins must be >= 1";
+  Obs.with_span "sel.v_optimal" @@ fun () ->
   let lo, hi = Sh_util.Stats.min_max data in
   let hi' = if hi = lo then lo +. 1.0 else hi in
   let width = (hi' -. lo) /. Float.of_int domain_bins in
@@ -155,6 +165,7 @@ let overlap_fraction b ~lo ~hi =
   end
 
 let selectivity_range t ~lo ~hi =
+  M.incr c_range_estimates;
   if hi < lo || t.total <= 0.0 then 0.0
   else begin
     let acc = ref 0.0 in
@@ -163,6 +174,7 @@ let selectivity_range t ~lo ~hi =
   end
 
 let selectivity_eq t v =
+  M.incr c_eq_estimates;
   if t.total <= 0.0 then 0.0
   else begin
     let acc = ref 0.0 in

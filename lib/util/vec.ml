@@ -1,5 +1,11 @@
 type 'a t = { mutable data : 'a array; mutable len : int }
 
+(* Backing-array growths across every Vec in the process: steady-state
+   streaming (interval lists cleared and refilled per refresh) must not
+   move this gauge — the window-slide memory-reuse regression test pins
+   that. *)
+let allocations = Sh_obs.Obs.gauge "vec.allocations"
+
 let create () = { data = [||]; len = 0 }
 let length t = t.len
 let is_empty t = t.len = 0
@@ -9,7 +15,8 @@ let push t x =
     let ncap = max 8 (2 * Array.length t.data) in
     let ndata = Array.make ncap x in
     Array.blit t.data 0 ndata 0 t.len;
-    t.data <- ndata
+    t.data <- ndata;
+    Sh_obs.Metric.gincr allocations
   end;
   t.data.(t.len) <- x;
   t.len <- t.len + 1

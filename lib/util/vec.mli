@@ -30,3 +30,8 @@ val binary_search : ?lo:int -> ?hi:int -> 'a t -> f:('a -> bool) -> int
 val iter : ('a -> unit) -> 'a t -> unit
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_array : 'a t -> 'a array
+
+val allocations : Sh_obs.Metric.gauge
+(** Process-wide count of backing-array growths, exported as the
+    ["vec.allocations"] gauge: steady-state streaming (clear-and-refill
+    per refresh) must not move it. *)

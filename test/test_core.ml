@@ -221,6 +221,69 @@ let test_fw_work_counters () =
     (after.FW.herror_evaluations > before.FW.herror_evaluations);
   Alcotest.(check bool) "refreshes counted" true (after.FW.refreshes >= 64)
 
+(* Golden regression for the registry migration: work_counters moved from
+   private mutable int fields to Sh_obs registry-backed series, and these
+   exact values were captured on the pre-migration implementation (network
+   workload seed 5, 300 arrivals).  Any drift means the migration changed
+   what gets counted, not just where it is stored. *)
+let test_fw_work_counters_golden () =
+  let window = 256 and buckets = 8 and epsilon = 0.2 in
+  let module Wk = Sh_gen.Workloads in
+  let module Source = Sh_gen.Source in
+  let data = Source.take (Wk.network (Sh_util.Rng.create ~seed:5) Wk.default_network) 300 in
+  let check_side tag expected c =
+    let got =
+      [
+        c.FW.herror_evaluations; c.FW.cold_evaluations; c.FW.warm_evaluations;
+        c.FW.intervals_built; c.FW.refreshes; c.FW.cold_refreshes; c.FW.warm_refreshes;
+        c.FW.search_steps; c.FW.hint_hits; c.FW.hint_misses;
+      ]
+    in
+    Alcotest.(check (list int)) tag expected got
+  in
+  let warm = FW.create ~window ~buckets ~epsilon in
+  Array.iter (FW.push_and_refresh warm) data;
+  ignore (FW.current_histogram warm);
+  check_side "warm counters match pre-migration golden run"
+    [ 415066; 0; 415059; 174716; 300; 0; 300; 3115309; 170797; 2902 ]
+    (FW.work_counters warm);
+  let cold = FW.create ~window ~buckets ~epsilon in
+  Array.iter (fun v -> FW.push cold v; FW.refresh ~cold:true cold) data;
+  ignore (FW.current_histogram cold);
+  check_side "cold counters match pre-migration golden run"
+    [ 1196240; 1196233; 0; 174716; 300; 300; 0; 9875868; 0; 0 ]
+    (FW.work_counters cold);
+  (* the same numbers must be visible through the shared registry: some
+     fw.herror_evals series carries exactly the warm instance's total *)
+  let found = ref false in
+  Sh_obs.Registry.iter (fun m ->
+      match m with
+      | Sh_obs.Registry.Counter c
+        when c.Sh_obs.Metric.c_name = "fw.herror_evals" && Sh_obs.Metric.value c = 415066 ->
+        found := true
+      | _ -> ());
+  Alcotest.(check bool) "work_counters is a view over registry series" true !found
+
+(* Steady-state sliding must reuse the interval lists' backing arrays:
+   after a warm-up long enough to reach peak capacity, further slides may
+   not grow any Vec in the process. *)
+let test_fw_slide_reuses_memory () =
+  let vec_allocs () =
+    match Sh_obs.Registry.find "vec.allocations" with
+    | Some (Sh_obs.Registry.Gauge g) -> Sh_obs.Metric.gvalue g
+    | _ -> Alcotest.fail "vec.allocations gauge not registered"
+  in
+  let fw = FW.create ~window:64 ~buckets:4 ~epsilon:0.2 in
+  for i = 1 to 256 do
+    FW.push_and_refresh fw (Float.of_int ((i * 37) mod 101))
+  done;
+  let before = vec_allocs () in
+  for i = 257 to 512 do
+    FW.push_and_refresh fw (Float.of_int ((i * 37) mod 101))
+  done;
+  Alcotest.(check (float 0.0)) "no Vec growth across 256 steady-state slides" before
+    (vec_allocs ())
+
 let test_fw_interval_count_bound () =
   (* The paper bounds each list by O((1/delta) log (HERROR)); sanity-check
      with a generous constant. *)
@@ -568,6 +631,8 @@ let () =
           Alcotest.test_case "degenerate sizes" `Quick test_fw_degenerate_sizes;
           Alcotest.test_case "refresh idempotent" `Quick test_fw_refresh_idempotent;
           Alcotest.test_case "work counters" `Quick test_fw_work_counters;
+          Alcotest.test_case "work counters golden" `Quick test_fw_work_counters_golden;
+          Alcotest.test_case "slide reuses memory" `Quick test_fw_slide_reuses_memory;
           Alcotest.test_case "interval bound" `Quick test_fw_interval_count_bound;
           prop_fw_guarantee;
           prop_fw_guarantee_while_sliding;

@@ -175,6 +175,30 @@ let test_hh_tracked_sorted () =
     Alcotest.(check (pair (float 0.0) int)) "second" (2.0, 2) (v2, c2)
   | _ -> Alcotest.fail "expected at least two tracked values"
 
+let test_hh_work_counters () =
+  let h = HH.create ~capacity:2 in
+  HH.add h 1.0;
+  HH.add h 2.0;
+  (* third distinct value with both slots taken: one Misra-Gries decrement
+     round that evicts both zeroed counters *)
+  HH.add h 3.0;
+  let c = HH.work_counters h in
+  Alcotest.(check int) "observations equal total" (HH.total h) c.HH.observations;
+  Alcotest.(check int) "observations" 3 c.HH.observations;
+  Alcotest.(check int) "adds" 3 c.HH.adds;
+  Alcotest.(check int) "decrement rounds" 1 c.HH.decrement_rounds;
+  Alcotest.(check int) "evictions" 2 c.HH.evictions;
+  (* the counters are registry series, like Fixed_window's *)
+  let found = ref false in
+  Sh_obs.Registry.iter (fun m ->
+      match m with
+      | Sh_obs.Registry.Counter cc
+        when cc.Sh_obs.Metric.c_name = "hh.observations"
+             && Sh_obs.Metric.value cc = c.HH.observations ->
+        found := true
+      | _ -> ());
+  Alcotest.(check bool) "observations visible in registry" true !found
+
 let prop_hh_underestimates =
   Helpers.qcheck_case ~count:50 ~name:"MG estimates never exceed true counts"
     QCheck2.Gen.(
@@ -216,6 +240,7 @@ let () =
           Alcotest.test_case "guarantee" `Quick test_hh_guarantee;
           Alcotest.test_case "batched" `Quick test_hh_batched_counts;
           Alcotest.test_case "sorted" `Quick test_hh_tracked_sorted;
+          Alcotest.test_case "work counters" `Quick test_hh_work_counters;
           prop_hh_underestimates;
         ] );
     ]

@@ -1,0 +1,462 @@
+module Obs = Sh_obs.Obs
+module M = Sh_obs.Metric
+module R = Sh_obs.Registry
+module Span = Sh_obs.Span
+module Sink = Sh_obs.Sink
+
+(* Every test starts from an empty registry, telemetry disabled, and the
+   default clock; the registry is global so isolation is explicit. *)
+let clean f () =
+  Obs.clear ();
+  Obs.set_enabled false;
+  Obs.set_clock Sys.time;
+  Span.set_capacity 4096;
+  Fun.protect ~finally:(fun () ->
+      Obs.clear ();
+      Obs.set_enabled false;
+      Obs.set_clock Sys.time)
+    f
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Minimal JSON syntax checker for the json-lines sinks (the toolchain has
+   no JSON library; this accepts exactly the RFC 8259 grammar). *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () = c then advance () else fail () in
+  let lit w = String.iter (fun c -> if peek () = c then advance () else fail ()) w in
+  let str () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then fail ();
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then fail ();
+        advance ();
+        go ()
+      | _ -> advance (); go ()
+    in
+    go ()
+  in
+  let digits () =
+    let d = ref 0 in
+    while (match peek () with '0' .. '9' -> true | _ -> false) do
+      advance ();
+      incr d
+    done;
+    if !d = 0 then fail ()
+  in
+  let number () =
+    if peek () = '-' then advance ();
+    digits ();
+    if peek () = '.' then begin advance (); digits () end;
+    match peek () with
+    | 'e' | 'E' ->
+      advance ();
+      (match peek () with '+' | '-' -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> str ()
+    | 't' -> lit "true"
+    | 'f' -> lit "false"
+    | 'n' -> lit "null"
+    | '-' | '0' .. '9' -> number ()
+    | _ -> fail ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else begin
+      let rec fields () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with ',' -> advance (); fields () | '}' -> advance () | _ -> fail ()
+      in
+      fields ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then advance ()
+    else begin
+      let rec items () =
+        value ();
+        skip_ws ();
+        match peek () with ',' -> advance (); items () | ']' -> advance () | _ -> fail ()
+      in
+      items ()
+    end
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | b -> b
+  | exception Exit -> false
+
+let lines s = List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+
+(* ------------------------------------------------------------- metrics *)
+
+let test_counter_monotone () =
+  let c = Obs.counter "t.count" in
+  Alcotest.(check int) "starts at zero" 0 (M.value c);
+  M.incr c;
+  M.add c 4;
+  Alcotest.(check int) "incr + add" 5 (M.value c);
+  M.add c 0;
+  Alcotest.(check int) "add zero ok" 5 (M.value c);
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Obs: counters are monotone, negative increment") (fun () -> M.add c (-1))
+
+let test_counter_always_live () =
+  (* counters back work_counters: they must count with telemetry off *)
+  Alcotest.(check bool) "telemetry off" false (Obs.enabled ());
+  let c = Obs.counter "t.live" in
+  M.incr c;
+  Alcotest.(check int) "counted while disabled" 1 (M.value c)
+
+let test_gauge_ops () =
+  let g = Obs.gauge "t.gauge" in
+  M.set g 2.5;
+  M.gadd g 1.0;
+  M.gincr g;
+  Alcotest.(check (float 1e-9)) "set/gadd/gincr" 4.5 (M.gvalue g)
+
+let test_histogram_buckets () =
+  (* bucket i covers (2^(i-41), 2^(i-40)]; exact powers of two land on
+     their inclusive upper bound *)
+  Alcotest.(check (float 0.0)) "le of bucket 40 is 1" 1.0 (M.bucket_le 40);
+  Alcotest.(check (float 0.0)) "le of bucket 39 is 1/2" 0.5 (M.bucket_le 39);
+  Alcotest.(check bool) "last le is +Inf" true (M.bucket_le (M.bucket_count - 1) = infinity);
+  Alcotest.(check int) "1.0 -> bucket 40" 40 (M.bucket_index 1.0);
+  Alcotest.(check int) "2.0 -> bucket 41" 41 (M.bucket_index 2.0);
+  Alcotest.(check int) "1.5 -> bucket 41" 41 (M.bucket_index 1.5);
+  Alcotest.(check int) "0.75 -> bucket 40" 40 (M.bucket_index 0.75);
+  Alcotest.(check int) "0.5 -> bucket 39" 39 (M.bucket_index 0.5);
+  Alcotest.(check int) "zero -> bucket 0" 0 (M.bucket_index 0.0);
+  Alcotest.(check int) "negative -> bucket 0" 0 (M.bucket_index (-3.0));
+  Alcotest.(check int) "tiny -> bucket 0" 0 (M.bucket_index 1e-30);
+  Alcotest.(check int) "huge -> overflow bucket" (M.bucket_count - 1) (M.bucket_index 1e30);
+  (* the bound itself is included, the next float is not *)
+  let i = 45 in
+  let le = M.bucket_le i in
+  Alcotest.(check int) "bound inclusive" i (M.bucket_index le);
+  Alcotest.(check int) "next float overflows" (i + 1)
+    (M.bucket_index (Float.succ le))
+
+let test_histogram_observe () =
+  Obs.set_enabled true;
+  let h = Obs.histogram "t.h" in
+  List.iter (M.observe h) [ 1.0; 1.5; 3.0; 1e30 ];
+  Alcotest.(check int) "count" 4 (M.hcount h);
+  Alcotest.(check (float 1e20)) "sum" (1.0 +. 1.5 +. 3.0 +. 1e30) (M.hsum h);
+  Alcotest.(check int) "cumulative at le=1" 1 (M.cumulative h 40);
+  Alcotest.(check int) "cumulative at le=2" 2 (M.cumulative h 41);
+  Alcotest.(check int) "cumulative at le=4" 3 (M.cumulative h 42);
+  Alcotest.(check int) "cumulative at +Inf" 4 (M.cumulative h (M.bucket_count - 1))
+
+let test_histogram_disabled_noop () =
+  let h = Obs.histogram "t.h" in
+  M.observe h 1.0;
+  Alcotest.(check int) "no observations while disabled" 0 (M.hcount h);
+  Alcotest.(check (float 0.0)) "no sum" 0.0 (M.hsum h)
+
+(* ------------------------------------------------------------ registry *)
+
+let test_registry_get_or_create () =
+  let a = Obs.counter "t.c" in
+  let b = Obs.counter "t.c" in
+  Alcotest.(check bool) "same handle" true (a == b);
+  (* label order never distinguishes series *)
+  let l1 = Obs.counter ~labels:[ ("z", "1"); ("a", "2") ] "t.l" in
+  let l2 = Obs.counter ~labels:[ ("a", "2"); ("z", "1") ] "t.l" in
+  Alcotest.(check bool) "labels canonically sorted" true (l1 == l2);
+  let other = Obs.counter ~labels:[ ("a", "3"); ("z", "1") ] "t.l" in
+  Alcotest.(check bool) "different label value, different series" true (not (l1 == other));
+  Alcotest.(check int) "three series" 3 (R.series_count ())
+
+let test_registry_validation () =
+  ignore (Obs.counter "t.c");
+  Alcotest.check_raises "type clash"
+    (Invalid_argument "Obs: metric \"t.c\" already registered with a different type") (fun () ->
+      ignore (Obs.gauge "t.c"));
+  Alcotest.check_raises "bad name"
+    (Invalid_argument "Obs: metric name \"9bad\" must start with a letter") (fun () ->
+      ignore (Obs.counter "9bad"));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Obs: bad metric name \"a b\" (use [a-zA-Z0-9_.])") (fun () ->
+      ignore (Obs.counter "a b"))
+
+let test_registry_snapshot_sorted () =
+  ignore (Obs.counter "t.b");
+  ignore (Obs.counter "t.a");
+  ignore (Obs.counter ~labels:[ ("instance", "x1") ] "t.a");
+  ignore (Obs.counter ~labels:[ ("instance", "x0") ] "t.a");
+  let names = List.map R.metric_name (R.snapshot ()) in
+  Alcotest.(check (list string)) "sorted by name then labels"
+    [ "t.a"; "t.a"; "t.a"; "t.b" ] names;
+  match R.snapshot () with
+  | _unlabelled :: second :: third :: _ ->
+    Alcotest.(check (list (pair string string))) "label order within a name"
+      [ ("instance", "x0") ] (R.metric_labels second);
+    Alcotest.(check (list (pair string string))) "x1 after x0"
+      [ ("instance", "x1") ] (R.metric_labels third)
+  | _ -> Alcotest.fail "expected four series"
+
+let test_registry_reset_and_clear () =
+  Obs.set_enabled true;
+  let c = Obs.counter "t.c" in
+  let g = Obs.gauge "t.g" in
+  let h = Obs.histogram "t.h" in
+  M.add c 7;
+  M.set g 3.0;
+  M.observe h 1.0;
+  Obs.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (M.value c);
+  Alcotest.(check (float 0.0)) "gauge zeroed" 0.0 (M.gvalue g);
+  Alcotest.(check int) "histogram zeroed" 0 (M.hcount h);
+  Alcotest.(check int) "registrations survive reset" 3 (R.series_count ());
+  Alcotest.(check bool) "reset returns the same handle" true (Obs.counter "t.c" == c);
+  M.incr c;
+  Obs.clear ();
+  Alcotest.(check int) "clear drops registrations" 0 (R.series_count ());
+  (* the old handle keeps counting but is detached from the registry *)
+  M.incr c;
+  Alcotest.(check int) "detached handle still counts" 2 (M.value c);
+  Alcotest.(check bool) "re-registration is a fresh series" true (not (Obs.counter "t.c" == c))
+
+let test_instance_names () =
+  Alcotest.(check string) "first" "t0" (Obs.instance "t");
+  Alcotest.(check string) "second" "t1" (Obs.instance "t");
+  Alcotest.(check string) "per-prefix sequence" "u0" (Obs.instance "u");
+  Obs.clear ();
+  Alcotest.(check string) "clear resets sequences" "t0" (Obs.instance "t")
+
+(* --------------------------------------------------------------- spans *)
+
+let test_span_disabled_noop () =
+  let r = Obs.with_span "t.sp" (fun () -> 41 + 1) in
+  Alcotest.(check int) "result passes through" 42 r;
+  Alcotest.(check int) "no events recorded" 0 (Span.trace_length ());
+  Alcotest.(check int) "no series registered" 0 (R.series_count ())
+
+let test_span_nesting () =
+  Obs.set_enabled true;
+  let t = ref 100.0 in
+  Obs.set_clock (fun () -> !t);
+  let c = Obs.counter "t.work" in
+  Obs.with_span "outer" (fun () ->
+      M.incr c;
+      t := !t +. 1.0;
+      Obs.with_span "inner" (fun () ->
+          M.add c 2;
+          t := !t +. 0.25);
+      t := !t +. 1.0);
+  match Span.trace () with
+  | [ inner; outer ] ->
+    Alcotest.(check string) "inner completes first" "inner" inner.Span.name;
+    Alcotest.(check int) "inner seq" 1 inner.Span.seq;
+    Alcotest.(check int) "inner depth" 1 inner.Span.depth;
+    Alcotest.(check (float 1e-9)) "inner start" 101.0 inner.Span.start;
+    Alcotest.(check (float 1e-9)) "inner duration" 0.25 inner.Span.duration;
+    Alcotest.(check string) "outer name" "outer" outer.Span.name;
+    Alcotest.(check int) "outer seq" 2 outer.Span.seq;
+    Alcotest.(check int) "outer depth" 0 outer.Span.depth;
+    Alcotest.(check (float 1e-9)) "outer duration" 2.25 outer.Span.duration;
+    (* deltas are inclusive of children; obs.* bookkeeping is excluded *)
+    Alcotest.(check (list (pair string int)))
+      "inner deltas" [ ("t.work", 2) ]
+      (List.map (fun (n, _, d) -> (n, d)) inner.Span.deltas);
+    Alcotest.(check (list (pair string int)))
+      "outer deltas include child's" [ ("t.work", 3) ]
+      (List.map (fun (n, _, d) -> (n, d)) outer.Span.deltas)
+  | evs -> Alcotest.fail (Printf.sprintf "expected 2 events, got %d" (List.length evs))
+
+let test_span_side_metrics () =
+  Obs.set_enabled true;
+  let t = ref 0.0 in
+  Obs.set_clock (fun () -> !t);
+  Obs.with_span "t.op" (fun () -> t := !t +. 0.5);
+  Obs.with_span "t.op" (fun () -> t := !t +. 0.5);
+  (match R.find ~labels:[ ("span", "t.op") ] "obs.spans" with
+  | Some (R.Counter c) -> Alcotest.(check int) "span completions counted" 2 (M.value c)
+  | _ -> Alcotest.fail "obs.spans{span=t.op} missing");
+  match R.find "t.op_duration" with
+  | Some (R.Histogram h) ->
+    Alcotest.(check int) "durations observed" 2 (M.hcount h);
+    Alcotest.(check (float 1e-9)) "durations summed" 1.0 (M.hsum h)
+  | _ -> Alcotest.fail "t.op_duration histogram missing"
+
+let test_span_exception () =
+  Obs.set_enabled true;
+  Alcotest.check_raises "exception propagates" Exit (fun () ->
+      Obs.with_span "t.fail" (fun () -> raise Exit));
+  Alcotest.(check int) "failed span still recorded" 1 (Span.trace_length ());
+  Alcotest.(check int) "depth unwound: next span is top-level" 0
+    (Obs.with_span "t.after" (fun () -> ());
+     match List.rev (Span.trace ()) with
+     | ev :: _ -> ev.Span.depth
+     | [] -> -1)
+
+let test_span_capacity () =
+  Obs.set_enabled true;
+  Span.set_capacity 3;
+  for i = 1 to 5 do
+    Obs.with_span (Printf.sprintf "t.s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "bounded" 3 (Span.trace_length ());
+  Alcotest.(check int) "drops counted" 2 (Span.dropped_events ());
+  Alcotest.(check (list string)) "oldest dropped first" [ "t.s3"; "t.s4"; "t.s5" ]
+    (List.map (fun e -> e.Span.name) (Span.trace ()));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Obs: trace capacity must be >= 1") (fun () -> Span.set_capacity 0)
+
+(* --------------------------------------------------------------- sinks *)
+
+let populate () =
+  Obs.set_enabled true;
+  let t = ref 0.0 in
+  Obs.set_clock (fun () -> !t);
+  let c = Obs.counter ~labels:[ ("instance", "fw0") ] "fw.herror_evals" in
+  M.add c 123;
+  let g = Obs.gauge "vec.allocations" in
+  M.set g 4.0;
+  M.observe (Obs.histogram "t.big") 1e30;
+  (* occupies the overflow bucket *)
+  Obs.with_span "fw.refresh" (fun () ->
+      M.add c 7;
+      t := !t +. 0.5)
+
+let test_text_sink () =
+  populate ();
+  let buf = Buffer.create 256 in
+  Sink.text buf;
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "counter line" true
+    (contains out "fw.herror_evals{instance=\"fw0\"}");
+  Alcotest.(check bool) "value" true (contains out "130");
+  Alcotest.(check bool) "gauge line" true (contains out "vec.allocations");
+  Alcotest.(check bool) "histogram summary" true (contains out "fw.refresh_duration")
+
+let test_json_lines_sink () =
+  populate ();
+  let buf = Buffer.create 256 in
+  Sink.json_lines buf;
+  let out = Buffer.contents buf in
+  let ls = lines out in
+  Alcotest.(check bool) "several series" true (List.length ls >= 4);
+  List.iter
+    (fun l -> Alcotest.(check bool) (Printf.sprintf "valid JSON: %s" l) true (json_valid l))
+    ls;
+  Alcotest.(check bool) "counter series present" true
+    (List.exists (fun l -> contains l "\"fw.herror_evals\"" && contains l "130") ls);
+  Alcotest.(check bool) "histogram overflow bucket le is the string +Inf" true
+    (List.exists (fun l -> contains l "\"+Inf\"") ls)
+
+let test_trace_sink () =
+  populate ();
+  let buf = Buffer.create 256 in
+  Sink.trace_json_lines buf;
+  let ls = lines (Buffer.contents buf) in
+  Alcotest.(check int) "one event" 1 (List.length ls);
+  let l = List.hd ls in
+  Alcotest.(check bool) "valid JSON" true (json_valid l);
+  Alcotest.(check bool) "span name" true (contains l "\"fw.refresh\"");
+  Alcotest.(check bool) "deltas carried" true (contains l "\"delta\":7")
+
+let test_prometheus_sink () =
+  populate ();
+  let buf = Buffer.create 256 in
+  Sink.prometheus buf;
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "counter family typed" true
+    (contains out "# TYPE fw_herror_evals_total counter");
+  Alcotest.(check bool) "counter sample with labels" true
+    (contains out "fw_herror_evals_total{instance=\"fw0\"} 130");
+  Alcotest.(check bool) "gauge sample" true (contains out "\nvec_allocations 4");
+  Alcotest.(check bool) "histogram typed" true
+    (contains out "# TYPE fw_refresh_duration histogram");
+  Alcotest.(check bool) "cumulative buckets" true
+    (contains out "fw_refresh_duration_bucket{le=\"0.5\"} 1");
+  Alcotest.(check bool) "+Inf bucket always present" true
+    (contains out "fw_refresh_duration_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool) "sum and count" true
+    (contains out "fw_refresh_duration_sum 0.5"
+    && contains out "fw_refresh_duration_count 1");
+  Alcotest.(check bool) "span completions exported" true
+    (contains out "obs_spans_total{span=\"fw.refresh\"} 1");
+  Alcotest.(check string) "prom_name sanitisation" "fw_herror_evals"
+    (Sink.prom_name "fw.herror_evals")
+
+let test_render_facade () =
+  populate ();
+  List.iter
+    (fun (s, fmt) ->
+      Alcotest.(check bool) (s ^ " round-trips") true (Obs.format_of_string s = Some fmt);
+      Alcotest.(check bool) (s ^ " renders") true (String.length (Obs.render fmt) > 0))
+    [ ("text", Obs.Text); ("json", Obs.Json); ("prom", Obs.Prom) ];
+  Alcotest.(check bool) "prometheus alias" true (Obs.format_of_string "prometheus" = Some Obs.Prom);
+  Alcotest.(check bool) "unknown rejected" true (Obs.format_of_string "xml" = None);
+  Alcotest.(check bool) "trace renders" true (String.length (Obs.render_trace ()) > 0)
+
+let () =
+  Alcotest.run "sh_obs"
+    [
+      ( "metric",
+        [
+          Alcotest.test_case "counter monotone" `Quick (clean test_counter_monotone);
+          Alcotest.test_case "counter always live" `Quick (clean test_counter_always_live);
+          Alcotest.test_case "gauge ops" `Quick (clean test_gauge_ops);
+          Alcotest.test_case "histogram buckets" `Quick (clean test_histogram_buckets);
+          Alcotest.test_case "histogram observe" `Quick (clean test_histogram_observe);
+          Alcotest.test_case "histogram disabled no-op" `Quick (clean test_histogram_disabled_noop);
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get-or-create" `Quick (clean test_registry_get_or_create);
+          Alcotest.test_case "validation" `Quick (clean test_registry_validation);
+          Alcotest.test_case "snapshot sorted" `Quick (clean test_registry_snapshot_sorted);
+          Alcotest.test_case "reset and clear" `Quick (clean test_registry_reset_and_clear);
+          Alcotest.test_case "instance names" `Quick (clean test_instance_names);
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled no-op" `Quick (clean test_span_disabled_noop);
+          Alcotest.test_case "nesting" `Quick (clean test_span_nesting);
+          Alcotest.test_case "side metrics" `Quick (clean test_span_side_metrics);
+          Alcotest.test_case "exception" `Quick (clean test_span_exception);
+          Alcotest.test_case "capacity" `Quick (clean test_span_capacity);
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "text" `Quick (clean test_text_sink);
+          Alcotest.test_case "json lines" `Quick (clean test_json_lines_sink);
+          Alcotest.test_case "trace json lines" `Quick (clean test_trace_sink);
+          Alcotest.test_case "prometheus" `Quick (clean test_prometheus_sink);
+          Alcotest.test_case "render facade" `Quick (clean test_render_facade);
+        ] );
+    ]

@@ -213,6 +213,22 @@ let vec_matches_list =
       List.iter (Vec.push v) xs;
       Array.to_list (Vec.to_array v) = xs)
 
+let test_vec_allocation_gauge () =
+  let allocs () = Sh_obs.Metric.gvalue Vec.allocations in
+  let v = Vec.create () in
+  let before = allocs () in
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  (* capacities 8, 16, 32, 64, 128 *)
+  Alcotest.(check (float 0.0)) "growths counted" (before +. 5.0) (allocs ());
+  (* clear keeps the backing array: refilling to the same length is free *)
+  Vec.clear v;
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  Alcotest.(check (float 0.0)) "clear + refill reuses capacity" (before +. 5.0) (allocs ())
+
 let () =
   Alcotest.run "sh_util"
     [
@@ -250,5 +266,10 @@ let () =
           Alcotest.test_case "validation" `Quick test_metrics_validation;
         ] );
       ("heap", [ Alcotest.test_case "basics" `Quick test_heap_basics; heap_sorts ]);
-      ("vec", [ Alcotest.test_case "basics" `Quick test_vec_basics; vec_matches_list ]);
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "allocation gauge" `Quick test_vec_allocation_gauge;
+          vec_matches_list;
+        ] );
     ]
