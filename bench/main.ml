@@ -33,6 +33,7 @@ let experiments : (string * (Bench_config.scale -> unit)) list =
     ("micro", Micro.run);
     ("micro-fw", Micro.run_fw);
     ("micro-obs", Micro.run_obs);
+    ("micro-par", Micro.run_par);
   ]
 
 let usage () =

@@ -315,6 +315,99 @@ let run_obs scale =
          ("enabled_over_disabled", Report.Jfloat (mean enabled /. mean disabled));
        ])
 
+(* ------------------------------ parallel multi-stream ingest scaling
+
+   Shard independence means the engine's answers cannot change with the
+   pool size (property-tested in test_par); this experiment measures what
+   does change: wall-clock throughput of batched ingest + refresh sweeps
+   as the domain pool grows.  Speedups need real cores — the JSON records
+   the host's recommended domain count so runs from single-core containers
+   are legible (there, extra domains only add synchronisation cost). *)
+
+module Pool = Sh_par.Domain_pool
+module SE = Sh_par.Shard_engine
+
+(* Pre-generated rounds of (key, value) arrivals, round-robin over shards,
+   each shard's values drawn from its own split_ix-derived source — the
+   same data for every pool size, so only wall-clock varies. *)
+let par_round_data ~shards ~batch ~rounds ~seed =
+  let root = Rng.create ~seed in
+  let sources =
+    Array.init shards (fun k -> Wk.network (Rng.split_ix root k) Wk.default_network)
+  in
+  Array.init rounds (fun _ ->
+      Array.init batch (fun i ->
+          let k = i mod shards in
+          (k, sources.(k) ())))
+
+let run_par scale =
+  Report.section "BENCH-PARALLEL: sharded multi-stream ingest across a domain pool";
+  let shards, window, buckets, epsilon, batch, rounds, domain_counts =
+    match scale with
+    | Bench_config.Small -> (16, 512, 8, 0.5, 256, 2, [ 1; 2 ])
+    | Bench_config.Default | Bench_config.Full -> (16, 4096, 16, 0.1, 1024, 2, [ 1; 2; 4; 8 ])
+  in
+  let prefill = (par_round_data ~shards ~batch:(shards * window) ~rounds:1 ~seed:31).(0) in
+  let round_data = par_round_data ~shards ~batch ~rounds ~seed:32 in
+  let measure ~domains ~cold =
+    Pool.with_pool ~domains (fun pool ->
+        let eng =
+          SE.create ~policy:Stream_histogram.Params.Lazy ~pool ~shards ~window ~buckets
+            ~epsilon ()
+        in
+        (* steady state before the clock starts: windows full, lists warm *)
+        SE.ingest eng prefill;
+        SE.refresh_all eng;
+        let t0 = Unix.gettimeofday () in
+        Array.iter
+          (fun b ->
+            SE.ingest eng b;
+            SE.refresh_all ~cold eng)
+          round_data;
+        let dt = Unix.gettimeofday () -. t0 in
+        Float.of_int (batch * rounds) /. dt)
+  in
+  let rows =
+    List.map
+      (fun d -> (d, measure ~domains:d ~cold:false, measure ~domains:d ~cold:true))
+      domain_counts
+  in
+  let warm1, cold1 = match rows with (_, w, c) :: _ -> (w, c) | [] -> (Float.nan, Float.nan) in
+  Report.note "S=%d shards, window n=%d, B=%d, eps=%g; %d rounds of %d-point batches, each \
+               followed by a full refresh sweep" shards window buckets epsilon rounds batch;
+  Report.note "host recommended domain count: %d" (Domain.recommended_domain_count ());
+  Report.table
+    ~headers:[ "domains"; "warm pts/s"; "speedup"; "cold pts/s"; "speedup" ]
+    (List.map
+       (fun (d, w, c) ->
+         [ string_of_int d; Printf.sprintf "%.0f" w; Printf.sprintf "%.2fx" (w /. warm1);
+           Printf.sprintf "%.0f" c; Printf.sprintf "%.2fx" (c /. cold1) ])
+       rows);
+  Report.json_add "parallel"
+    (Report.Jobj
+       [
+         ("shards", Report.Jint shards);
+         ("window", Report.Jint window);
+         ("buckets", Report.Jint buckets);
+         ("epsilon", Report.Jfloat epsilon);
+         ("batch", Report.Jint batch);
+         ("rounds", Report.Jint rounds);
+         ("recommended_domain_count", Report.Jint (Domain.recommended_domain_count ()));
+         ( "scaling",
+           Report.Jlist
+             (List.map
+                (fun (d, w, c) ->
+                  Report.Jobj
+                    [
+                      ("domains", Report.Jint d);
+                      ("warm_points_per_sec", Report.Jfloat w);
+                      ("warm_speedup_vs_1", Report.Jfloat (w /. warm1));
+                      ("cold_points_per_sec", Report.Jfloat c);
+                      ("cold_speedup_vs_1", Report.Jfloat (c /. cold1));
+                    ])
+                rows) );
+       ])
+
 let run scale =
   Report.section "BENCH-MICRO: per-operation costs (bechamel, OLS estimate)";
   let quota, fw_windows =

@@ -7,7 +7,8 @@
      query        answer range-sum queries approximately and report error
      quantiles    one-pass GK quantile summary of a data file
      selectivity  value-histogram selectivity estimates
-     heavy        Misra-Gries heavy hitters *)
+     heavy        Misra-Gries heavy hitters
+     serve        multi-stream sharded ingest across a domain pool *)
 
 open Cmdliner
 
@@ -25,6 +26,8 @@ module E = Sh_query.Estimator
 module Q = Sh_query.Workload
 module Ev = Sh_query.Evaluate
 module O = Sh_obs.Obs
+module Pool = Sh_par.Domain_pool
+module SE = Sh_par.Shard_engine
 
 (* ------------------------------------------------------- common args *)
 
@@ -85,6 +88,14 @@ let with_obs metrics trace_out f =
       close_out oc
   in
   Fun.protect ~finally:finish f
+
+let policy_conv =
+  let parse s =
+    match Stream_histogram.Params.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "bad refresh policy %S (eager | lazy | every:K)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Stream_histogram.Params.policy_to_string p))
 
 (* --------------------------------------------------------- generate *)
 
@@ -180,14 +191,6 @@ let stream_cmd =
   in
   let report =
     Arg.(value & opt int 1000 & info [ "report-every" ] ~docv:"K" ~doc:"Report every K points.")
-  in
-  let policy_conv =
-    let parse s =
-      match Stream_histogram.Params.policy_of_string s with
-      | Some p -> Ok p
-      | None -> Error (`Msg (Printf.sprintf "bad refresh policy %S (eager | lazy | every:K)" s))
-    in
-    Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Stream_histogram.Params.policy_to_string p))
   in
   let policy =
     Arg.(
@@ -321,6 +324,103 @@ let heavy_cmd =
     (Cmd.info "heavy" ~doc:"Misra-Gries heavy hitters of a data file")
     Term.(const run $ file_arg 0 $ capacity $ threshold $ metrics_arg $ trace_out_arg)
 
+(* ------------------------------------------------------------ serve *)
+
+let serve_cmd =
+  let shards =
+    Arg.(value & opt int 16 & info [ "s"; "shards" ] ~docv:"S" ~doc:"Independent stream keys.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "d"; "domains" ] ~docv:"N"
+          ~doc:"Domain-pool size; 1 runs every shard inline (the sequential baseline).")
+  in
+  let count =
+    Arg.(value & opt int 100_000 & info [ "n"; "count" ] ~docv:"N" ~doc:"Total points across all streams.")
+  in
+  let batch =
+    Arg.(value & opt int 512 & info [ "batch" ] ~docv:"B" ~doc:"Arrivals ingested per batch.")
+  in
+  let window =
+    Arg.(value & opt int 1024 & info [ "window" ] ~docv:"W" ~doc:"Sliding window length per stream.")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv (Stream_histogram.Params.Every 256)
+      & info [ "refresh" ] ~docv:"POLICY" ~doc:"Per-shard rebuild policy: eager | lazy | every:K.")
+  in
+  let dist =
+    Arg.(
+      value
+      & opt (enum [ ("uniform", `Uniform); ("zipf", `Zipf); ("roundrobin", `RoundRobin) ]) `Uniform
+      & info [ "dist" ] ~docv:"DIST"
+          ~doc:"Key distribution across shards: $(b,uniform), $(b,zipf) (skewed hot shards), \
+                $(b,roundrobin) (perfectly balanced).")
+  in
+  let skew =
+    Arg.(value & opt float 1.1 & info [ "skew" ] ~docv:"A" ~doc:"Zipf skew (with --dist zipf).")
+  in
+  let run shards domains count batch window buckets epsilon policy dist skew seed metrics trace_out =
+    with_obs metrics trace_out @@ fun () ->
+    if batch < 1 then invalid_arg "serve: --batch must be >= 1";
+    let root = Rng.create ~seed in
+    (* Every shard owns a deterministic value stream derived from the root
+       seed and its key alone (split_ix), so a run is reproducible for any
+       --domains and any key distribution. *)
+    let sources =
+      Array.init shards (fun k -> Wk.network (Rng.split_ix root k) Wk.default_network)
+    in
+    let key_rng = Rng.split_ix root shards in
+    let rr = ref 0 in
+    let next_key =
+      match dist with
+      | `Uniform -> fun () -> Rng.int key_rng shards
+      | `Zipf -> fun () -> Rng.zipf key_rng ~n:shards ~skew - 1
+      | `RoundRobin ->
+        fun () ->
+          let k = !rr in
+          rr := (k + 1) mod shards;
+          k
+    in
+    Pool.with_pool ~domains @@ fun pool ->
+    let eng = SE.create ~policy ~pool ~shards ~window ~buckets ~epsilon () in
+    let t0 = Unix.gettimeofday () in
+    let remaining = ref count in
+    while !remaining > 0 do
+      let b = min batch !remaining in
+      let arrivals =
+        Array.init b (fun _ ->
+            let k = next_key () in
+            (k, sources.(k) ()))
+      in
+      SE.ingest eng arrivals;
+      remaining := !remaining - b
+    done;
+    SE.refresh_all eng;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Printf.printf "serve: %d points, %d batches of <=%d over %d shards, %d domains (%s)\n"
+      (SE.total_points eng) (SE.batches eng) batch shards domains
+      (Stream_histogram.Params.policy_to_string policy);
+    Printf.printf "elapsed %.3fs  throughput %.0f points/s\n" elapsed
+      (Float.of_int count /. Float.max elapsed 1e-9);
+    let tot_refreshes, tot_intervals =
+      SE.fold eng ~init:(0, 0) ~f:(fun (r, iv) key fw ->
+          let c = FW.work_counters fw in
+          Printf.printf "  key %3d: n=%d herror=%.6g refreshes=%d (%d warm)\n" key (FW.length fw)
+            (FW.current_error fw) c.FW.refreshes c.FW.warm_refreshes;
+          (r + c.FW.refreshes, iv + c.FW.intervals_built))
+    in
+    Printf.printf "total: %d refreshes, %d intervals built\n" tot_refreshes tot_intervals
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Ingest many independent streams in parallel across a sharded domain pool")
+    Term.(
+      const run $ shards $ domains $ count $ batch $ window $ buckets_arg $ epsilon_arg $ policy
+      $ dist $ skew $ seed_arg $ metrics_arg $ trace_out_arg)
+
 (* -------------------------------------------------------- quantiles *)
 
 let quantiles_cmd =
@@ -340,4 +440,4 @@ let quantiles_cmd =
 let () =
   let doc = "streaming histogram toolkit (Guha & Koudas, ICDE 2002 reproduction)" in
   let info = Cmd.info "shist" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; stream_cmd; query_cmd; quantiles_cmd; selectivity_cmd; heavy_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; stream_cmd; query_cmd; quantiles_cmd; selectivity_cmd; heavy_cmd; serve_cmd ]))

@@ -64,11 +64,20 @@ val push : t -> float -> unit
     full), then rebuild the interval lists if the refresh policy calls for
     it. *)
 
+val push_many : t -> float array -> unit
+(** Batched arrivals (footnote 2 of the paper): append every point to the
+    sliding prefix first, then rebuild at most once, per the refresh
+    policy — the batch cost is O(batch) plus one refresh, and the
+    warm-start machinery amortises across the whole batch.  Bookkeeping
+    counts each batched point exactly like a single arrival ([Every k]
+    periods include them); a batch that crosses a refresh boundary
+    rebuilds once at the batch end rather than mid-batch, so query results
+    are identical to repeated {!push} while arrival-time work is not.
+    Raises [Invalid_argument] on non-finite values, before ingesting
+    anything. *)
+
 val push_batch : t -> float array -> unit
-(** Batched arrivals (footnote 2 of the paper): ingest many points.  Under
-    the default [Lazy] policy this defers the single list rebuild to the
-    next query, making the batch cost explicit: O(batch) plus one
-    refresh. *)
+(** Alias of {!push_many} (historical name). *)
 
 val refresh : ?cold:bool -> t -> unit
 (** Rebuild the interval lists for the current window contents; no-op when
@@ -117,6 +126,17 @@ val work_counters : t -> work_counters
 (** Cumulative work counters, used by the complexity benchmarks to check
     the per-point cost grows polylogarithmically in the window length and
     by the regression tests pinning the warm-start speedup. *)
+
+val pending_pushes : t -> int
+(** Points ingested since the last refresh — the count an [Every k] policy
+    compares against [k].  Introspection for the batch-bookkeeping tests. *)
+
+val slide_since_refresh : t -> int
+(** Evictions since the last refresh: how far the previous lists'
+    coordinates have shifted (the warm-start hint offset). *)
+
+val needs_refresh : t -> bool
+(** Whether the interval lists are stale relative to the window. *)
 
 val interval_counts : t -> int array
 (** Number of intervals currently held per level k = 1 .. B-1; the paper

@@ -1,13 +1,19 @@
 (* Global on/off switch and injectable clock shared by the span tracer.
    Kept in its own module so both the recording side (Span) and the facade
-   (Obs) can reach it without a dependency cycle. *)
+   (Obs) can reach it without a dependency cycle.
 
-let enabled = ref false
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+   [enabled] is an [Atomic.t] so parallel shard domains (lib/par) read and
+   toggle it without a data race; the disabled fast path stays a single
+   atomic load, which on every major platform compiles to the same plain
+   load the old [bool ref] cost. *)
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
 
 (* The default clock is the portable [Sys.time] (CPU seconds); callers that
-   link unix inject [Unix.gettimeofday], tests inject a fake. *)
+   link unix inject [Unix.gettimeofday], tests inject a fake.  Set at
+   startup, before domains are spawned. *)
 let clock : (unit -> float) ref = ref Sys.time
 let set_clock f = clock := f
 let now () = !clock ()

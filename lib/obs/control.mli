@@ -7,9 +7,10 @@
     {!Fixed_window.work_counters}), which must keep counting regardless of
     whether telemetry is being collected. *)
 
-val enabled : bool ref
-(** Exposed as a [ref] so hot paths can read it with one load; prefer
-    {!is_enabled} elsewhere. *)
+val enabled : bool Atomic.t
+(** Exposed directly so hot paths can read it with one atomic load (a
+    plain load on the usual platforms); prefer {!is_enabled} elsewhere.
+    Atomic so parallel domains observe toggles without a data race. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
@@ -17,6 +18,7 @@ val is_enabled : unit -> bool
 val set_clock : (unit -> float) -> unit
 (** Inject the wall clock used for span timing, in seconds.  Defaults to
     [Sys.time] (CPU seconds); binaries that link unix should inject
-    [Unix.gettimeofday]. *)
+    [Unix.gettimeofday].  Not synchronised: set it at startup, before any
+    domains are spawned. *)
 
 val now : unit -> float

@@ -1,11 +1,21 @@
 type labels = (string * string) list
 
-type counter = { c_name : string; c_labels : labels; mutable c_value : int }
-type gauge = { g_name : string; g_labels : labels; mutable g_value : float }
+(* Counters and gauges sit on [Atomic.t] cells: instrumented structures now
+   run inside pool domains (lib/par), and a fetch-and-add is the cheapest
+   primitive that loses no increments under concurrent bumping.  On one
+   domain it is still a single read-modify-write instruction, which is what
+   keeps the telemetry overhead budget (<3%, see EXPERIMENTS.md) intact. *)
+type counter = { c_name : string; c_labels : labels; c_value : int Atomic.t }
+type gauge = { g_name : string; g_labels : labels; g_value : float Atomic.t }
 
 (* Log-scale histogram: bucket [i] counts observations v with
    le(i-1) < v <= le(i) where le(i) = 2^(i - bucket_offset); the last
-   bucket is the +infinity overflow.  [observe] is O(1) via frexp. *)
+   bucket is the +infinity overflow.  [observe] is O(1) via frexp.
+
+   Histograms keep plain mutable fields: every in-tree [observe] happens
+   under the span tracer's lock (see Span), and they are off unless
+   telemetry is enabled.  Unsynchronised concurrent [observe] from user
+   code may lose observations but never corrupts memory. *)
 let bucket_count = 64
 let bucket_offset = 40
 
@@ -17,18 +27,24 @@ type histogram = {
   mutable h_sum : float;
 }
 
-let incr c = c.c_value <- c.c_value + 1
+let incr c = Atomic.incr c.c_value
 
 let add c n =
   if n < 0 then invalid_arg "Obs: counters are monotone, negative increment";
-  c.c_value <- c.c_value + n
+  ignore (Atomic.fetch_and_add c.c_value n)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 
-let set g v = g.g_value <- v
-let gadd g v = g.g_value <- g.g_value +. v
-let gincr g = g.g_value <- g.g_value +. 1.0
-let gvalue g = g.g_value
+let set g v = Atomic.set g.g_value v
+
+(* Retry loop: [compare_and_set] on the exact boxed float we read succeeds
+   iff no other domain stored in between. *)
+let rec gadd g v =
+  let cur = Atomic.get g.g_value in
+  if not (Atomic.compare_and_set g.g_value cur (cur +. v)) then gadd g v
+
+let gincr g = gadd g 1.0
+let gvalue g = Atomic.get g.g_value
 
 let bucket_index v =
   if v <= 0.0 then 0
@@ -47,7 +63,7 @@ let bucket_le i =
   if i = bucket_count - 1 then infinity else Float.ldexp 1.0 (i - bucket_offset)
 
 let observe h v =
-  if !Control.enabled then begin
+  if Atomic.get Control.enabled then begin
     h.h_buckets.(bucket_index v) <- h.h_buckets.(bucket_index v) + 1;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v

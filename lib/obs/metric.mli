@@ -1,20 +1,25 @@
 (** Metric primitives: named counters, gauges, and log-scale histograms.
 
     Values are created through {!Registry} (get-or-create by name and
-    label set); handles are plain mutable records so the record operations
-    compile to one or two machine-word stores — cheap enough to leave on
+    label set); handles are records whose value cells are [Atomic.t], so
+    counters and gauges are safe to bump from any number of domains
+    without losing increments (lib/par runs instrumented structures on a
+    domain pool).  On a single domain the operations are one
+    read-modify-write instruction — still cheap enough to leave on
     unconditionally in the streaming hot paths.
 
     Counters and gauges ignore {!Control.enabled}: they double as the
     algorithms' work-accounting state, which must keep counting when
     telemetry collection is off.  Histogram {!observe} honours the switch
-    (it is only ever fed derived measurements such as span durations). *)
+    (it is only ever fed derived measurements such as span durations) and
+    is the one primitive that is not lock-free safe: all in-tree observes
+    go through the span tracer, which serialises them. *)
 
 type labels = (string * string) list
 (** Label pairs, canonically sorted by {!Registry} on registration. *)
 
-type counter = { c_name : string; c_labels : labels; mutable c_value : int }
-type gauge = { g_name : string; g_labels : labels; mutable g_value : float }
+type counter = { c_name : string; c_labels : labels; c_value : int Atomic.t }
+type gauge = { g_name : string; g_labels : labels; g_value : float Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -24,7 +29,7 @@ type histogram = {
   mutable h_sum : float;
 }
 
-(** {2 Counters} — monotone non-negative int *)
+(** {2 Counters} — monotone non-negative int, atomic *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -32,10 +37,13 @@ val add : counter -> int -> unit
 
 val value : counter -> int
 
-(** {2 Gauges} — arbitrary float *)
+(** {2 Gauges} — arbitrary float, atomic *)
 
 val set : gauge -> float -> unit
 val gadd : gauge -> float -> unit
+(** Atomic read-modify-write (CAS retry loop), so concurrent adds from
+    several domains are all reflected. *)
+
 val gincr : gauge -> unit
 val gvalue : gauge -> float
 
@@ -55,7 +63,8 @@ val bucket_index : float -> int
 
 val observe : histogram -> float -> unit
 (** Record one observation — O(1).  No-op while {!Control.enabled} is
-    false. *)
+    false.  Not atomic: serialise concurrent observers externally (the
+    span tracer already does). *)
 
 val hcount : histogram -> int
 val hsum : histogram -> float

@@ -12,10 +12,13 @@ let histogram = Registry.histogram
 let with_span = Span.with_span
 
 (* Per-structure instance names: "fw0", "fw1", ... per prefix, so every
-   live structure exports its own label-distinguished series. *)
+   live structure exports its own label-distinguished series.  Mutexed so
+   structures created from parallel domains never share a name. *)
 let instance_seq : (string, int ref) Hashtbl.t = Hashtbl.create 8
+let instance_m = Mutex.create ()
 
 let instance prefix =
+  Mutex.lock instance_m;
   let r =
     match Hashtbl.find_opt instance_seq prefix with
     | Some r -> r
@@ -26,6 +29,7 @@ let instance prefix =
   in
   let id = !r in
   incr r;
+  Mutex.unlock instance_m;
   prefix ^ string_of_int id
 
 type format = Text | Json | Prom
@@ -58,4 +62,6 @@ let reset () =
 let clear () =
   Registry.clear ();
   Span.clear ();
-  Hashtbl.reset instance_seq
+  Mutex.lock instance_m;
+  Hashtbl.reset instance_seq;
+  Mutex.unlock instance_m

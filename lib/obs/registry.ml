@@ -17,7 +17,22 @@ let key name labels =
     labels;
   Buffer.contents buf
 
+(* All table access goes through [lock]: get-or-create races from parallel
+   domains (two shards registering the same series name) must agree on one
+   handle.  Registration happens at structure-creation time, never on the
+   recording hot paths, so the mutex is uncontended in steady state. *)
 let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
 
 let validate_name name =
   if String.length name = 0 then invalid_arg "Obs: empty metric name";
@@ -37,12 +52,13 @@ let get_or_register ~name ~labels ~found ~make =
   validate_name name;
   let labels = canonical labels in
   let k = key name labels in
-  match Hashtbl.find_opt table k with
-  | Some m -> found m
-  | None ->
-    let m, v = make labels in
-    Hashtbl.replace table k m;
-    v
+  locked (fun () ->
+      match Hashtbl.find_opt table k with
+      | Some m -> found m
+      | None ->
+        let m, v = make labels in
+        Hashtbl.replace table k m;
+        v)
 
 let type_clash name =
   invalid_arg (Printf.sprintf "Obs: metric %S already registered with a different type" name)
@@ -51,14 +67,14 @@ let counter ?(labels = []) name =
   get_or_register ~name ~labels
     ~found:(function Counter c -> c | _ -> type_clash name)
     ~make:(fun labels ->
-      let c = { Metric.c_name = name; c_labels = labels; c_value = 0 } in
+      let c = { Metric.c_name = name; c_labels = labels; c_value = Atomic.make 0 } in
       (Counter c, c))
 
 let gauge ?(labels = []) name =
   get_or_register ~name ~labels
     ~found:(function Gauge g -> g | _ -> type_clash name)
     ~make:(fun labels ->
-      let g = { Metric.g_name = name; g_labels = labels; g_value = 0.0 } in
+      let g = { Metric.g_name = name; g_labels = labels; g_value = Atomic.make 0.0 } in
       (Gauge g, g))
 
 let histogram ?(labels = []) name =
@@ -76,9 +92,13 @@ let histogram ?(labels = []) name =
       in
       (Histogram h, h))
 
-let find ?(labels = []) name = Hashtbl.find_opt table (key name (canonical labels))
+let find ?(labels = []) name =
+  let k = key name (canonical labels) in
+  locked (fun () -> Hashtbl.find_opt table k)
 
-let iter f = Hashtbl.iter (fun _ m -> f m) table
+(* Iteration holds the lock: [f] must not register or look up metrics (the
+   mutex is not reentrant).  Every in-tree caller only reads values. *)
+let iter f = locked (fun () -> Hashtbl.iter (fun _ m -> f m) table)
 
 let metric_name = function
   | Counter c -> c.Metric.c_name
@@ -91,7 +111,7 @@ let metric_labels = function
   | Histogram h -> h.Metric.h_labels
 
 let snapshot () =
-  let all = Hashtbl.fold (fun _ m acc -> m :: acc) table [] in
+  let all = locked (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) table []) in
   List.sort
     (fun a b ->
       match compare (metric_name a) (metric_name b) with
@@ -99,15 +119,18 @@ let snapshot () =
       | c -> c)
     all
 
-let series_count () = Hashtbl.length table
+let series_count () = locked (fun () -> Hashtbl.length table)
 
 let reset () =
-  iter (function
-    | Counter c -> c.Metric.c_value <- 0
-    | Gauge g -> g.Metric.g_value <- 0.0
-    | Histogram h ->
-      Array.fill h.Metric.h_buckets 0 Metric.bucket_count 0;
-      h.Metric.h_count <- 0;
-      h.Metric.h_sum <- 0.0)
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | Counter c -> Atomic.set c.Metric.c_value 0
+          | Gauge g -> Atomic.set g.Metric.g_value 0.0
+          | Histogram h ->
+            Array.fill h.Metric.h_buckets 0 Metric.bucket_count 0;
+            h.Metric.h_count <- 0;
+            h.Metric.h_sum <- 0.0)
+        table)
 
-let clear () = Hashtbl.reset table
+let clear () = locked (fun () -> Hashtbl.reset table)

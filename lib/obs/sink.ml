@@ -42,14 +42,14 @@ let text buf =
     line "counters:";
     List.iter
       (fun (c : Metric.counter) ->
-        line "  %-48s %d" (c.Metric.c_name ^ labels_to_string c.Metric.c_labels) c.Metric.c_value)
+        line "  %-48s %d" (c.Metric.c_name ^ labels_to_string c.Metric.c_labels) (Metric.value c))
       counters
   end;
   if gauges <> [] then begin
     line "gauges:";
     List.iter
       (fun (g : Metric.gauge) ->
-        line "  %-48s %g" (g.Metric.g_name ^ labels_to_string g.Metric.g_labels) g.Metric.g_value)
+        line "  %-48s %g" (g.Metric.g_name ^ labels_to_string g.Metric.g_labels) (Metric.gvalue g))
       gauges
   end;
   if hists <> [] then begin
@@ -78,10 +78,10 @@ let json_lines buf =
     (function
       | Registry.Counter c ->
         line "{\"type\":\"counter\",\"name\":\"%s\",\"labels\":%s,\"value\":%d}"
-          (json_escape c.Metric.c_name) (json_labels c.Metric.c_labels) c.Metric.c_value
+          (json_escape c.Metric.c_name) (json_labels c.Metric.c_labels) (Metric.value c)
       | Registry.Gauge g ->
         line "{\"type\":\"gauge\",\"name\":\"%s\",\"labels\":%s,\"value\":%s}"
-          (json_escape g.Metric.g_name) (json_labels g.Metric.g_labels) (json_float g.Metric.g_value)
+          (json_escape g.Metric.g_name) (json_labels g.Metric.g_labels) (json_float (Metric.gvalue g))
       | Registry.Histogram h ->
         (* only occupied buckets, as (le, non-cumulative count) pairs *)
         let buckets = ref [] in
@@ -179,11 +179,11 @@ let prometheus buf =
           if ends_with ~suffix:"_total" n then n else n ^ "_total"
         in
         type_line family "counter";
-        line "%s%s %d" family (prom_labels c.Metric.c_labels) c.Metric.c_value
+        line "%s%s %d" family (prom_labels c.Metric.c_labels) (Metric.value c)
       | Registry.Gauge g ->
         let family = prom_name g.Metric.g_name in
         type_line family "gauge";
-        line "%s%s %s" family (prom_labels g.Metric.g_labels) (prom_float g.Metric.g_value)
+        line "%s%s %s" family (prom_labels g.Metric.g_labels) (prom_float (Metric.gvalue g))
       | Registry.Histogram h ->
         let family = prom_name h.Metric.h_name in
         type_line family "histogram";

@@ -8,21 +8,39 @@ type event = {
 }
 
 (* Completed spans, completion order, bounded: the oldest events are
-   dropped once the buffer holds [capacity] of them. *)
+   dropped once the buffer holds [capacity] of them.  The buffer, the
+   capacity, the drop count and the sequence counter are shared across
+   domains and protected by [m]; nesting depth is domain-local (a span
+   opened on one pool domain is not a child of an unrelated span on
+   another). *)
 let events : event Queue.t = Queue.create ()
 let capacity = ref 4096
 let dropped = ref 0
-let depth_ref = ref 0
 let seq_ref = ref 0
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let set_capacity n =
   if n < 1 then invalid_arg "Obs: trace capacity must be >= 1";
-  capacity := n;
-  while Queue.length events > n do
-    ignore (Queue.pop events);
-    incr dropped
-  done
+  locked (fun () ->
+      capacity := n;
+      while Queue.length events > n do
+        ignore (Queue.pop events);
+        incr dropped
+      done)
 
+(* Call only with [m] held. *)
 let record ev =
   if Queue.length events >= !capacity then begin
     ignore (Queue.pop events);
@@ -40,32 +58,38 @@ let counter_values () =
   let acc = ref [] in
   Registry.iter (function
     | Registry.Counter c when not (bookkeeping c.Metric.c_name) ->
-      acc := (c, c.Metric.c_value) :: !acc
+      acc := (c, Atomic.get c.Metric.c_value) :: !acc
     | _ -> ());
   !acc
 
 let with_span name f =
-  if not !Control.enabled then f ()
+  if not (Atomic.get Control.enabled) then f ()
   else begin
     let start = Control.now () in
     let before = counter_values () in
-    let d = !depth_ref in
-    incr depth_ref;
+    let depth = Domain.DLS.get depth_key in
+    let d = !depth in
+    incr depth;
     let finish () =
-      decr depth_ref;
+      decr depth;
       let duration = Control.now () -. start in
       Metric.incr (Registry.counter ~labels:[ ("span", name) ] "obs.spans");
-      Metric.observe (Registry.histogram (name ^ "_duration")) duration;
+      let h = Registry.histogram (name ^ "_duration") in
       let deltas =
         List.filter_map
           (fun ((c : Metric.counter), v0) ->
-            if c.Metric.c_value <> v0 then Some (c.Metric.c_name, c.Metric.c_labels, c.Metric.c_value - v0)
+            let v = Atomic.get c.Metric.c_value in
+            if v <> v0 then Some (c.Metric.c_name, c.Metric.c_labels, v - v0)
             else None)
           before
       in
       let deltas = List.sort compare deltas in
-      incr seq_ref;
-      record { name; depth = d; seq = !seq_ref; start; duration; deltas }
+      locked (fun () ->
+          (* histogram observes are serialised here — the one non-atomic
+             metric write (see Metric.observe) *)
+          Metric.observe h duration;
+          incr seq_ref;
+          record { name; depth = d; seq = !seq_ref; start; duration; deltas })
     in
     match f () with
     | r ->
@@ -76,11 +100,12 @@ let with_span name f =
       raise e
   end
 
-let trace () = List.of_seq (Queue.to_seq events)
-let trace_length () = Queue.length events
-let dropped_events () = !dropped
+let trace () = locked (fun () -> List.of_seq (Queue.to_seq events))
+let trace_length () = locked (fun () -> Queue.length events)
+let dropped_events () = locked (fun () -> !dropped)
 
 let clear () =
-  Queue.clear events;
-  dropped := 0;
-  seq_ref := 0
+  locked (fun () ->
+      Queue.clear events;
+      dropped := 0;
+      seq_ref := 0)

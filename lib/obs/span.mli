@@ -10,11 +10,19 @@
 
     When {!Control.enabled} is false the entire mechanism reduces to one
     boolean load before calling [f] — the disabled fast path relied on by
-    the streaming hot paths. *)
+    the streaming hot paths.
+
+    Domain-safety: the event buffer and sequence counter are protected by
+    a mutex, and nesting depth is domain-local, so spans opened on
+    parallel pool domains (lib/par) record correctly and never corrupt the
+    trace.  Counter deltas are computed from the shared registry, so a
+    span that runs concurrently with work on other domains attributes
+    their increments to itself — deltas are exact on a single domain and
+    an upper bound under parallelism. *)
 
 type event = {
   name : string;
-  depth : int;  (** nesting depth at entry; 0 for a top-level span *)
+  depth : int;  (** nesting depth at entry on its domain; 0 for top-level *)
   seq : int;  (** completion order, 1-based; inner spans complete first *)
   start : float;  (** clock value at entry *)
   duration : float;  (** clock delta between entry and exit *)

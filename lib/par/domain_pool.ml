@@ -1,0 +1,180 @@
+(* Fixed-size domain pool on stdlib Domain/Mutex/Condition only (the
+   toolchain has no domainslib).
+
+   [create ~domains:n] spawns n - 1 worker domains; the caller is the
+   n-th worker.  Tasks live in one shared FIFO guarded by a mutex and a
+   condition.  Submitters always help: [await] drains the queue while its
+   promise is pending, so a pool of 1 domain degenerates to plain inline
+   execution (no workers, no context switches) and a task submitted from
+   inside a task cannot deadlock the pool.  Results and exceptions travel
+   through promises; [run] re-raises the first failure after the whole
+   batch has settled, so shared state is never abandoned mid-batch. *)
+
+type task = unit -> unit
+
+type t = {
+  domains : int;
+  q : task Queue.t;
+  m : Mutex.t;
+  work : Condition.t; (* signalled on enqueue and on shutdown *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  c_tasks : Sh_obs.Metric.counter;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a promise = { pm : Mutex.t; pc : Condition.t; mutable state : 'a state }
+
+let domains t = t.domains
+
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.q && not pool.stopping do
+      Condition.wait pool.work pool.m
+    done;
+    match Queue.take_opt pool.q with
+    | Some task ->
+      Mutex.unlock pool.m;
+      task ();
+      loop ()
+    | None ->
+      (* stopping and drained *)
+      Mutex.unlock pool.m
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains must be >= 1";
+  let pool =
+    {
+      domains;
+      q = Queue.create ();
+      m = Mutex.create ();
+      work = Condition.create ();
+      stopping = false;
+      workers = [];
+      c_tasks = Sh_obs.Obs.counter "pool.tasks";
+    }
+  in
+  pool.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let enqueue pool task =
+  Mutex.lock pool.m;
+  if pool.stopping then begin
+    Mutex.unlock pool.m;
+    invalid_arg "Domain_pool: pool is shut down"
+  end;
+  Queue.push task pool.q;
+  Condition.signal pool.work;
+  Mutex.unlock pool.m
+
+let async pool f =
+  let p = { pm = Mutex.create (); pc = Condition.create (); state = Pending } in
+  enqueue pool (fun () ->
+      let result = try Done (f ()) with e -> Failed e in
+      Sh_obs.Metric.incr pool.c_tasks;
+      Mutex.lock p.pm;
+      p.state <- result;
+      Condition.broadcast p.pc;
+      Mutex.unlock p.pm);
+  p
+
+(* Steal one task from the pool queue, if any. *)
+let try_help pool =
+  Mutex.lock pool.m;
+  let task = Queue.take_opt pool.q in
+  Mutex.unlock pool.m;
+  match task with
+  | Some task ->
+    task ();
+    true
+  | None -> false
+
+let peek p =
+  Mutex.lock p.pm;
+  let s = p.state in
+  Mutex.unlock p.pm;
+  s
+
+let await pool p =
+  (* Help run queued tasks while the promise is pending: guarantees
+     progress with zero workers (domains = 1) and keeps the caller busy
+     instead of blocked while workers finish the tail of a batch. *)
+  let rec drive () =
+    match peek p with
+    | Done v -> v
+    | Failed e -> raise e
+    | Pending ->
+      if try_help pool then drive ()
+      else begin
+        (* queue empty: the task is running on a worker (or is this very
+           promise being resolved) — block until resolved *)
+        Mutex.lock p.pm;
+        while p.state = Pending do
+          Condition.wait p.pc p.pm
+        done;
+        Mutex.unlock p.pm;
+        drive ()
+      end
+  in
+  drive ()
+
+let run pool thunks =
+  let promises = Array.map (fun f -> async pool f) thunks in
+  (* Settle every promise before surfacing a failure: a partial batch must
+     not leave tasks mutating shared state after run returns. *)
+  let first_error = ref None in
+  let results =
+    Array.map
+      (fun p ->
+        match await pool p with
+        | v -> Some v
+        | exception e ->
+          if !first_error = None then first_error := Some e;
+          None)
+      promises
+  in
+  match !first_error with
+  | Some e -> raise e
+  | None -> Array.map Option.get results
+
+let parallel_for ?chunk pool ~start ~finish body =
+  if finish >= start then begin
+    let n = finish - start + 1 in
+    let chunk =
+      match chunk with
+      | Some c ->
+        if c < 1 then invalid_arg "Domain_pool.parallel_for: chunk must be >= 1";
+        c
+      | None ->
+        (* ~4 chunks per domain: enough slack for dynamic load balance,
+           few enough that per-task overhead stays negligible *)
+        max 1 ((n + (4 * pool.domains) - 1) / (4 * pool.domains))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    ignore
+      (run pool
+         (Array.init nchunks (fun ci ->
+              fun () ->
+               let lo = start + (ci * chunk) in
+               let hi = min finish (lo + chunk - 1) in
+               for i = lo to hi do
+                 body i
+               done)))
+  end
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  let ws = pool.workers in
+  pool.stopping <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m;
+  List.iter Domain.join ws
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

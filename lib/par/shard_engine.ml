@@ -1,0 +1,118 @@
+module FW = Stream_histogram.Fixed_window
+module Params = Stream_histogram.Params
+module Obs = Sh_obs.Obs
+module M = Sh_obs.Metric
+
+(* One shard = one independent fixed-window summary.  The mutex is the
+   shard's ownership token: every touch of [fw] — batched ingest on a pool
+   domain, refresh, queries — holds it.  Shards never share mutable state
+   with each other (the histograms are per-shard, the telemetry counters
+   per-instance and atomic), so there is no histogram-level locking and no
+   lock ordering to get wrong: at most one shard lock is held at a time. *)
+type shard = { fw : FW.t; lock : Mutex.t }
+
+type t = {
+  pool : Domain_pool.t;
+  shards : shard array;
+  c_points : M.counter;
+  c_batches : M.counter;
+  c_refreshes : M.counter;
+}
+
+let create ?policy ~pool ~shards ~window ~buckets ~epsilon () =
+  if shards < 1 then invalid_arg "Shard_engine.create: shards must be >= 1";
+  let labels = [ ("instance", Obs.instance "se") ] in
+  let mk _ =
+    let fw = FW.create ~window ~buckets ~epsilon in
+    (match policy with Some p -> FW.set_refresh_policy fw p | None -> ());
+    { fw; lock = Mutex.create () }
+  in
+  {
+    pool;
+    (* sequential creation: instance-name allocation stays deterministic
+       (fw0, fw1, ... in key order) regardless of the pool size *)
+    shards = Array.init shards mk;
+    c_points = Obs.counter ~labels "engine.points";
+    c_batches = Obs.counter ~labels "engine.batches";
+    c_refreshes = Obs.counter ~labels "engine.refresh_sweeps";
+  }
+
+let shard_count t = Array.length t.shards
+
+let check_key t key =
+  if key < 0 || key >= Array.length t.shards then
+    invalid_arg (Printf.sprintf "Shard_engine: key %d out of range [0, %d)" key (Array.length t.shards))
+
+let with_shard t key f =
+  check_key t key;
+  let s = t.shards.(key) in
+  Mutex.lock s.lock;
+  match f s.fw with
+  | v ->
+    Mutex.unlock s.lock;
+    v
+  | exception e ->
+    Mutex.unlock s.lock;
+    raise e
+
+(* Route a batch: bucket the values by key (two counting passes, no
+   per-pair allocation), then run one task per non-empty shard on the
+   pool.  Each task calls the shard's [push_many], so the per-batch
+   refresh amortisation of the sequential path carries over unchanged —
+   the parallelism is purely across shards. *)
+let ingest t batch =
+  let nb = Array.length batch in
+  if nb > 0 then begin
+    let s = Array.length t.shards in
+    Array.iter (fun (k, _) -> check_key t k) batch;
+    let counts = Array.make s 0 in
+    Array.iter (fun (k, _) -> counts.(k) <- counts.(k) + 1) batch;
+    let groups = Array.map (fun c -> Array.make c 0.0) counts in
+    let fill = Array.make s 0 in
+    Array.iter
+      (fun (k, v) ->
+        groups.(k).(fill.(k)) <- v;
+        fill.(k) <- fill.(k) + 1)
+      batch;
+    let touched = ref [] in
+    for k = s - 1 downto 0 do
+      if counts.(k) > 0 then touched := k :: !touched
+    done;
+    let tasks =
+      Array.of_list
+        (List.map
+           (fun k () -> with_shard t k (fun fw -> FW.push_many fw groups.(k)))
+           !touched)
+    in
+    ignore (Domain_pool.run t.pool tasks);
+    M.add t.c_points nb;
+    M.incr t.c_batches
+  end
+
+(* Rebuild every stale shard's interval lists across the pool: the batched
+   refresh.  One task per shard — shard costs are similar, and the pool
+   queue load-balances the remainder. *)
+let refresh_all ?(cold = false) t =
+  Obs.with_span "engine.refresh_all" (fun () ->
+      let tasks =
+        Array.mapi
+          (fun k _ -> fun () -> with_shard t k (fun fw -> FW.refresh ~cold fw))
+          t.shards
+      in
+      ignore (Domain_pool.run t.pool tasks);
+      M.incr t.c_refreshes)
+
+let pool t = t.pool
+let length t ~key = with_shard t key FW.length
+let current_error t ~key = with_shard t key FW.current_error
+let current_histogram t ~key = with_shard t key FW.current_histogram
+let herror t ~key ~k ~x = with_shard t key (fun fw -> FW.herror fw ~k ~x)
+let work_counters t ~key = with_shard t key FW.work_counters
+
+let total_points t = M.value t.c_points
+let batches t = M.value t.c_batches
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun k _ -> acc := with_shard t k (fun fw -> f !acc k fw)) t.shards;
+  !acc

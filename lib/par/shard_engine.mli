@@ -1,0 +1,69 @@
+(** Sharded multi-stream engine: S independent fixed-window summaries
+    (one per stream key), batched parallel ingest, batched refresh.
+
+    This is the multi-tenant regime of the ROADMAP north star: maintaining
+    one windowed epsilon-approximate histogram per key (tenant, sensor,
+    router port ...) at line rate.  Shards are fully independent — the
+    paper's per-stream algorithm (Theorem 1) needs no cross-stream state —
+    so the engine needs no histogram-level locking: a batch is routed by
+    key, each touched shard becomes one task on the {!Domain_pool}, and a
+    per-shard mutex is the entire ownership discipline.
+
+    Results are bit-identical to driving one sequential
+    {!Stream_histogram.Fixed_window.t} per key with the same per-key
+    subsequences (property-tested for domain counts 1, 2 and 4): shard
+    independence means parallel execution changes only wall-clock, never
+    answers. *)
+
+type t
+
+val create :
+  ?policy:Stream_histogram.Params.refresh_policy ->
+  pool:Domain_pool.t ->
+  shards:int ->
+  window:int ->
+  buckets:int ->
+  epsilon:float ->
+  unit ->
+  t
+(** An engine of [shards] summaries ([>= 1]), each a fixed-window
+    maintainer with the given window/buckets/epsilon and refresh [policy]
+    (default [Lazy]).  Stream keys are [0 .. shards - 1].  The pool is
+    borrowed, not owned: several engines may share one pool, and
+    {!Domain_pool.shutdown} remains the caller's job. *)
+
+val shard_count : t -> int
+val pool : t -> Domain_pool.t
+
+val ingest : t -> (int * float) array -> unit
+(** Route one batch of [(key, value)] arrivals to their shards and ingest
+    each shard's sub-batch with [push_many] — one pool task per touched
+    shard, refresh policy applied per shard per batch.  Raises
+    [Invalid_argument] (before ingesting anything) if any key is out of
+    range or any value non-finite. *)
+
+val refresh_all : ?cold:bool -> t -> unit
+(** Rebuild every stale shard's interval lists across the pool — the
+    batched counterpart of {!Stream_histogram.Fixed_window.refresh};
+    [~cold:true] forces from-scratch rebuilds (the correctness oracle). *)
+
+(** {2 Per-key queries} — each locks its shard, so they may race freely
+    with {!ingest} of other keys (and serialise with ingest of the same
+    key). *)
+
+val length : t -> key:int -> int
+val current_error : t -> key:int -> float
+val current_histogram : t -> key:int -> Sh_histogram.Histogram.t
+val herror : t -> key:int -> k:int -> x:int -> float
+val work_counters : t -> key:int -> Stream_histogram.Fixed_window.work_counters
+
+val fold : t -> init:'a -> f:('a -> int -> Stream_histogram.Fixed_window.t -> 'a) -> 'a
+(** Fold over shards in key order, holding each shard's lock in turn
+    while [f] runs on it.  [f] must not call back into the engine. *)
+
+(** {2 Introspection} *)
+
+val total_points : t -> int
+(** Points ingested since creation (also the ["engine.points"] series). *)
+
+val batches : t -> int

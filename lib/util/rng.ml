@@ -42,6 +42,24 @@ let split t =
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
 
+(* Indexed split for sharded parallel workloads: child [i] is a pure
+   function of the parent's current state and [i], and the parent is NOT
+   advanced — so shard i's stream is the same whether the shards are
+   created in any order, from any domain, or in any count.  The parent
+   state is folded into one word (rotations keep all four words
+   influential) and perturbed by the index times the splitmix64 golden
+   gamma, then expanded through splitmix64 like [create]. *)
+let split_ix t i =
+  if i < 0 then invalid_arg "Rng.split_ix: index must be >= 0";
+  let open Int64 in
+  let mix = logxor (logxor t.s0 (rotl t.s1 17)) (logxor (rotl t.s2 33) (rotl t.s3 49)) in
+  let state = ref (add mix (mul (of_int (i + 1)) 0x9E3779B97F4A7C15L)) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling on the top 62 bits (OCaml's native int is 63-bit,

@@ -20,6 +20,14 @@ val split : t -> t
 (** [split t] derives a new, statistically independent generator from [t],
     advancing [t].  Used to give each sub-workload its own stream. *)
 
+val split_ix : t -> int -> t
+(** [split_ix t i] derives the [i]-th child generator ([i >= 0]) as a pure
+    function of [t]'s current state and [i], without advancing [t]:
+    children of distinct indices are statistically independent, and shard
+    [i] receives the same stream no matter how many shards exist, in what
+    order they are created, or how work is spread over domains — the
+    reproducibility contract of the parallel generators (lib/par). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

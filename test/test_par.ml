@@ -1,0 +1,382 @@
+(* lib/par: domain pool semantics, shard-engine == sequential equivalence,
+   push_many == push, and multi-domain telemetry safety.
+
+   Domain counts default to {1, 2, 4}; the CI multicore smoke overrides
+   them via SH_TEST_DOMAINS (comma-separated) to exercise specific pool
+   sizes on multi-core runners. *)
+
+module Pool = Sh_par.Domain_pool
+module SE = Sh_par.Shard_engine
+module FW = Stream_histogram.Fixed_window
+module Params = Stream_histogram.Params
+module H = Sh_histogram.Histogram
+module Rng = Sh_util.Rng
+module M = Sh_obs.Metric
+module Obs = Sh_obs.Obs
+
+let domain_counts =
+  match Sys.getenv_opt "SH_TEST_DOMAINS" with
+  | None | Some "" -> [ 1; 2; 4 ]
+  | Some s ->
+    List.filter_map int_of_string_opt (String.split_on_char ',' s)
+
+(* ---------------------------------------------------------- domain pool *)
+
+let test_pool_validation () =
+  Alcotest.check_raises "domains >= 1" (Invalid_argument "Domain_pool.create: domains must be >= 1")
+    (fun () -> ignore (Pool.create ~domains:0));
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check int) "domains accessor" 2 (Pool.domains pool))
+
+let test_pool_run_results_in_order () =
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          let results = Pool.run pool (Array.init 37 (fun i -> fun () -> i * i)) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "squares in order, %d domains" d)
+            (Array.init 37 (fun i -> i * i))
+            results))
+    domain_counts
+
+let test_pool_async_await () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let p = Pool.async pool (fun () -> 6 * 7) in
+      Alcotest.(check int) "await" 42 (Pool.await pool p);
+      Alcotest.(check int) "await is idempotent" 42 (Pool.await pool p))
+
+let test_pool_exception_propagates () =
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          let hit = Atomic.make 0 in
+          let tasks =
+            Array.init 8 (fun i ->
+                fun () ->
+                 if i = 3 then raise Exit;
+                 Atomic.incr hit)
+          in
+          (match Pool.run pool tasks with
+          | _ -> Alcotest.fail "expected Exit"
+          | exception Exit -> ());
+          (* every non-failing task still ran: run settles the batch *)
+          Alcotest.(check int)
+            (Printf.sprintf "batch settled, %d domains" d)
+            7 (Atomic.get hit)))
+    domain_counts
+
+let test_pool_parallel_for () =
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          let n = 1000 in
+          let marks = Array.make n 0 in
+          Pool.parallel_for pool ~start:0 ~finish:(n - 1) (fun i ->
+              marks.(i) <- marks.(i) + 1);
+          Alcotest.(check (array int))
+            (Printf.sprintf "each index exactly once, %d domains" d)
+            (Array.make n 1) marks;
+          (* empty and singleton ranges *)
+          Pool.parallel_for pool ~start:5 ~finish:4 (fun _ -> Alcotest.fail "empty range ran");
+          let one = ref 0 in
+          Pool.parallel_for pool ~start:9 ~finish:9 (fun i -> one := i);
+          Alcotest.(check int) "singleton range" 9 !one))
+    domain_counts
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown" (Invalid_argument "Domain_pool: pool is shut down")
+    (fun () -> ignore (Pool.async pool (fun () -> ())))
+
+(* ------------------------------------------------- split_ix determinism *)
+
+let test_split_ix_deterministic () =
+  let draws rng = Array.init 8 (fun _ -> Rng.bits64 rng) in
+  let root () = Rng.create ~seed:99 in
+  let a = draws (Rng.split_ix (root ()) 3) in
+  (* deriving other children first, or in another order, must not change
+     child 3 — and must not advance the parent *)
+  let r = root () in
+  let _ = Rng.split_ix r 7 in
+  let _ = Rng.split_ix r 0 in
+  let b = draws (Rng.split_ix r 3) in
+  Alcotest.(check (array int64)) "child independent of sibling order" a b;
+  let c = draws r in
+  let d = draws (root ()) in
+  Alcotest.(check (array int64)) "parent not advanced" d c;
+  Alcotest.(check bool) "distinct children differ" true
+    (draws (Rng.split_ix (root ()) 1) <> draws (Rng.split_ix (root ()) 2));
+  Alcotest.check_raises "negative index" (Invalid_argument "Rng.split_ix: index must be >= 0")
+    (fun () -> ignore (Rng.split_ix (root ()) (-1)))
+
+(* --------------------------------------- engine == sequential reference *)
+
+let policies = [ Params.Lazy; Params.Eager; Params.Every 3 ]
+
+(* Drive a Shard_engine and one plain Fixed_window per key with identical
+   per-key data, then compare every observable: lengths, herror, and full
+   histogram series. *)
+let engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon ~policy ~batches =
+  Pool.with_pool ~domains (fun pool ->
+      let eng = SE.create ~policy ~pool ~shards ~window ~buckets ~epsilon () in
+      let refs =
+        Array.init shards (fun _ ->
+            let fw = FW.create ~window ~buckets ~epsilon in
+            FW.set_refresh_policy fw policy;
+            fw)
+      in
+      List.iter
+        (fun batch ->
+          SE.ingest eng batch;
+          (* reference: same per-key subsequences, same batched entry *)
+          Array.iteri
+            (fun k _ ->
+              let sub =
+                Array.of_list
+                  (List.filter_map
+                     (fun (k', v) -> if k' = k then Some v else None)
+                     (Array.to_list batch))
+              in
+              FW.push_many refs.(k) sub)
+            refs)
+        batches;
+      let ok = ref true in
+      Array.iteri
+        (fun k fw ->
+          if SE.length eng ~key:k <> FW.length fw then ok := false;
+          if FW.length fw > 0 then begin
+            let he = SE.current_error eng ~key:k and hr = FW.current_error fw in
+            if not (Helpers.close he hr) then ok := false;
+            let se = H.to_series (SE.current_histogram eng ~key:k) in
+            let sr = H.to_series (FW.current_histogram fw) in
+            if se <> sr then ok := false
+          end)
+        refs;
+      !ok)
+
+let prop_engine_equals_sequential =
+  Helpers.qcheck_case ~count:25 ~name:"Shard_engine == one sequential Fixed_window per key"
+    QCheck2.Gen.(
+      let* shards = int_range 1 9 in
+      let* window = int_range 4 48 in
+      let* buckets = int_range 2 4 in
+      let* policy = oneofl policies in
+      let* nbatches = int_range 1 6 in
+      let* batches =
+        list_size (return nbatches)
+          (list_size (int_range 0 40) (pair (int_range 0 (shards - 1)) (int_range 0 200)))
+      in
+      return (shards, window, buckets, policy, batches))
+    (fun (shards, window, buckets, policy, batches) ->
+      let batches =
+        List.map
+          (fun b -> Array.of_list (List.map (fun (k, v) -> (k, Float.of_int v)) b))
+          batches
+      in
+      List.for_all
+        (fun domains ->
+          engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon:0.1 ~policy
+            ~batches)
+        domain_counts)
+
+let prop_push_many_equals_push =
+  Helpers.qcheck_case ~count:40 ~name:"push_many == repeated push (same query results)"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:1 ~max_len:120 ~vmax:500 () in
+      let* window = int_range 2 40 in
+      let* buckets = int_range 2 4 in
+      let* policy = oneofl policies in
+      let* cut = int_range 0 (Array.length data) in
+      return (data, window, buckets, policy, cut))
+    (fun (data, window, buckets, policy, cut) ->
+      let mk () =
+        let fw = FW.create ~window ~buckets ~epsilon:0.2 in
+        FW.set_refresh_policy fw policy;
+        fw
+      in
+      let single = mk () and batched = mk () in
+      Array.iter (FW.push single) data;
+      (* split into two batches at an arbitrary cut to also cover batch
+         boundaries that straddle refresh periods *)
+      FW.push_many batched (Array.sub data 0 cut);
+      FW.push_many batched (Array.sub data cut (Array.length data - cut));
+      FW.length single = FW.length batched
+      && Helpers.close (FW.current_error single) (FW.current_error batched)
+      && H.to_series (FW.current_histogram single) = H.to_series (FW.current_histogram batched))
+
+(* Pinned bookkeeping for a batch that straddles an [Every k] refresh
+   boundary: the batch counts every point, triggers exactly one rebuild at
+   the batch end, and resets the period. *)
+let test_push_many_every_k_bookkeeping () =
+  let fw = FW.create ~window:4 ~buckets:2 ~epsilon:0.5 in
+  FW.set_refresh_policy fw (Params.Every 4);
+  List.iter (FW.push fw) [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check int) "3 pending before batch" 3 (FW.pending_pushes fw);
+  Alcotest.(check int) "no refresh yet" 0 (FW.work_counters fw).FW.refreshes;
+  Alcotest.(check bool) "dirty before batch" true (FW.needs_refresh fw);
+  (* batch of 3 crosses the k=4 boundary at its first point; the window
+     (capacity 4) evicts on the last two points *)
+  FW.push_many fw [| 4.0; 5.0; 6.0 |];
+  Alcotest.(check int) "one refresh for the whole batch" 1 (FW.work_counters fw).FW.refreshes;
+  Alcotest.(check int) "period reset at batch end" 0 (FW.pending_pushes fw);
+  Alcotest.(check int) "slide reset by refresh" 0 (FW.slide_since_refresh fw);
+  Alcotest.(check bool) "clean after batched refresh" false (FW.needs_refresh fw);
+  (* short follow-up batch: counted, under period, no rebuild *)
+  FW.push_many fw [| 7.0; 8.0 |];
+  Alcotest.(check int) "2 pending after follow-up" 2 (FW.pending_pushes fw);
+  Alcotest.(check int) "evictions tracked" 2 (FW.slide_since_refresh fw);
+  Alcotest.(check bool) "dirty again" true (FW.needs_refresh fw);
+  Alcotest.(check int) "still one refresh" 1 (FW.work_counters fw).FW.refreshes;
+  (* empty batch is a no-op *)
+  FW.push_many fw [||];
+  Alcotest.(check int) "empty batch ignored" 2 (FW.pending_pushes fw);
+  Alcotest.check_raises "non-finite rejected before ingest"
+    (Invalid_argument "Fixed_window.push_many: non-finite value") (fun () ->
+      FW.push_many fw [| 9.0; Float.nan |]);
+  Alcotest.(check int) "rejected batch ingested nothing" 2 (FW.pending_pushes fw)
+
+(* ------------------------------------------------ engine odds and ends *)
+
+let test_engine_validation () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.check_raises "shards >= 1"
+        (Invalid_argument "Shard_engine.create: shards must be >= 1") (fun () ->
+          ignore (SE.create ~pool ~shards:0 ~window:8 ~buckets:2 ~epsilon:0.1 ()));
+      let eng = SE.create ~pool ~shards:4 ~window:8 ~buckets:2 ~epsilon:0.1 () in
+      Alcotest.(check int) "shard count" 4 (SE.shard_count eng);
+      Alcotest.check_raises "key out of range"
+        (Invalid_argument "Shard_engine: key 4 out of range [0, 4)") (fun () ->
+          SE.ingest eng [| (4, 1.0) |]);
+      (* the rejected batch must not have ingested its valid prefix *)
+      Alcotest.(check int) "nothing ingested" 0 (SE.total_points eng);
+      Alcotest.(check int) "shard untouched" 0 (SE.length eng ~key:0))
+
+let test_engine_refresh_all_and_counters () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let eng = SE.create ~pool ~shards:3 ~window:16 ~buckets:3 ~epsilon:0.2 () in
+      let batch =
+        Array.init 60 (fun i -> (i mod 3, Float.of_int ((i * 13) mod 97)))
+      in
+      SE.ingest eng batch;
+      Alcotest.(check int) "points counted" 60 (SE.total_points eng);
+      Alcotest.(check int) "one batch" 1 (SE.batches eng);
+      Array.iter
+        (fun k -> Alcotest.(check int) (Printf.sprintf "shard %d length" k) 16 (SE.length eng ~key:k))
+        [| 0; 1; 2 |];
+      SE.refresh_all eng;
+      Array.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d clean" k)
+            false
+            (SE.fold eng ~init:false ~f:(fun acc k' fw ->
+                 if k = k' then FW.needs_refresh fw else acc)))
+        [| 0; 1; 2 |];
+      (* cold refresh is the oracle: answers must not move *)
+      let errs = Array.init 3 (fun k -> SE.current_error eng ~key:k) in
+      SE.refresh_all ~cold:true eng;
+      Array.iteri
+        (fun k e ->
+          Helpers.check_close (Printf.sprintf "cold refresh agrees, shard %d" k) e
+            (SE.current_error eng ~key:k))
+        errs)
+
+(* ------------------------------------------- telemetry under parallelism *)
+
+let test_counter_no_lost_increments () =
+  let c = Obs.counter "par.stress.counter" in
+  let before = M.value c in
+  let per_domain = 50_000 and nd = 4 in
+  let ds =
+    List.init nd (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              M.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no increments lost across 4 domains" (before + (nd * per_domain))
+    (M.value c)
+
+let test_gauge_no_lost_adds () =
+  let g = Obs.gauge "par.stress.gauge" in
+  let before = M.gvalue g in
+  let per_domain = 20_000 and nd = 4 in
+  let ds =
+    List.init nd (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              M.gadd g 1.0
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check (float 0.0)) "no gauge adds lost across 4 domains"
+    (before +. Float.of_int (nd * per_domain))
+    (M.gvalue g)
+
+let test_registry_get_or_create_race () =
+  let per_domain = 1_000 and nd = 4 in
+  let ds =
+    List.init nd (fun _ ->
+        Domain.spawn (fun () ->
+            (* get-or-create from every domain: all must agree on one series *)
+            let c = Obs.counter "par.stress.race" in
+            for _ = 1 to per_domain do
+              M.incr c
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "one series, all increments" (nd * per_domain)
+    (M.value (Obs.counter "par.stress.race"))
+
+let test_spans_across_domains () =
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      let before = Sh_obs.Span.trace_length () in
+      let nd = 4 and per_domain = 50 in
+      let ds =
+        List.init nd (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  Obs.with_span "par.stress.span" (fun () -> ())
+                done))
+      in
+      List.iter Domain.join ds;
+      Alcotest.(check int) "every span recorded" (before + (nd * per_domain))
+        (Sh_obs.Span.trace_length ()))
+
+let () =
+  Alcotest.run "sh_par"
+    [
+      ( "domain_pool",
+        [
+          Alcotest.test_case "validation" `Quick test_pool_validation;
+          Alcotest.test_case "run keeps order" `Quick test_pool_run_results_in_order;
+          Alcotest.test_case "async/await" `Quick test_pool_async_await;
+          Alcotest.test_case "exceptions propagate" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "parallel_for covers range" `Quick test_pool_parallel_for;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
+        ] );
+      ("rng", [ Alcotest.test_case "split_ix deterministic" `Quick test_split_ix_deterministic ]);
+      ( "shard_engine",
+        [
+          prop_engine_equals_sequential;
+          prop_push_many_equals_push;
+          Alcotest.test_case "push_many Every-k bookkeeping" `Quick
+            test_push_many_every_k_bookkeeping;
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+          Alcotest.test_case "refresh_all + counters" `Quick test_engine_refresh_all_and_counters;
+        ] );
+      ( "obs_domain_safety",
+        [
+          Alcotest.test_case "counter stress" `Quick test_counter_no_lost_increments;
+          Alcotest.test_case "gauge stress" `Quick test_gauge_no_lost_adds;
+          Alcotest.test_case "registry race" `Quick test_registry_get_or_create_race;
+          Alcotest.test_case "spans across domains" `Quick test_spans_across_domains;
+        ] );
+    ]
