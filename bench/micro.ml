@@ -168,11 +168,26 @@ let fw_refresh_pair ~window ~buckets ~epsilon =
         FW.refresh ~cold:true fw);
   ]
 
-(* Per-arrival work counters for one slide each way, from identical states. *)
+(* Per-arrival work counters for one slide each way, from identical
+   states.  Three regimes share the same data: warm with the HERROR memo
+   on (the production path), warm with the memo off (what every probe
+   would cost if executed), and cold.  [steps] counts only executed probe
+   steps, so warm-memo-on steps < warm-memo-off steps is the memo win. *)
+type eval_stats = {
+  evals : float;       (* logical HERROR evaluations / push (memo hits included) *)
+  steps : float;       (* executed search steps / push *)
+  scan : float;        (* subset of [steps] inside candidate scans / push *)
+  hits : int;          (* boundary-hint hits over the whole run *)
+  misses : int;
+  memo_probes : int;
+  memo_hits : int;
+}
+
 let fw_eval_stats ~window ~buckets ~epsilon ~pushes =
   let data = network ~seed:22 ~len:(window + pushes) in
-  let run ~cold =
+  let run ~cold ~memo =
     let fw = FW.create ~window ~buckets ~epsilon in
+    FW.set_memoisation fw memo;
     for i = 0 to window - 1 do
       FW.push fw data.(i)
     done;
@@ -183,13 +198,54 @@ let fw_eval_stats ~window ~buckets ~epsilon ~pushes =
       FW.refresh ~cold fw
     done;
     let after = FW.work_counters fw in
-    let per field = Float.of_int field /. Float.of_int pushes in
-    ( per (after.FW.herror_evaluations - before.FW.herror_evaluations),
-      per (after.FW.search_steps - before.FW.search_steps),
-      after.FW.hint_hits - before.FW.hint_hits,
-      after.FW.hint_misses - before.FW.hint_misses )
+    let per f = Float.of_int (f after - f before) /. Float.of_int pushes in
+    {
+      evals = per (fun c -> c.FW.herror_evaluations);
+      steps = per (fun c -> c.FW.search_steps);
+      scan = per (fun c -> c.FW.scan_steps);
+      hits = after.FW.hint_hits - before.FW.hint_hits;
+      misses = after.FW.hint_misses - before.FW.hint_misses;
+      memo_probes = after.FW.memo_probes - before.FW.memo_probes;
+      memo_hits = after.FW.memo_hits - before.FW.memo_hits;
+    }
   in
-  (run ~cold:false, run ~cold:true)
+  (run ~cold:false ~memo:true, run ~cold:false ~memo:false, run ~cold:true ~memo:true)
+
+(* ------------------------------------ steady-state allocation per push
+
+   The SoA kernel owns every buffer it touches (interval columns, memo
+   table, refresh scratch), so after warm-up a push + warm refresh should
+   allocate almost nothing on the minor heap — the committed budget below
+   is the CI regression gate (ci.yml fails the bench-smoke job when the
+   measured figure exceeds it by more than 25%).  Measured at a fixed
+   configuration regardless of --scale so the JSON is comparable across
+   runs; the floor is ~2 words/push for the boxed float crossing the
+   [push] boundary. *)
+let alloc_window = 1024
+let alloc_buckets = 8
+let alloc_epsilon = 0.5
+let budget_words_per_push = 64.0
+
+let fw_alloc_stats ~pushes ~cold =
+  let window = alloc_window in
+  let warmup = 2 * window in
+  let data = network ~seed:23 ~len:(window + warmup + pushes) in
+  let fw = FW.create ~window ~buckets:alloc_buckets ~epsilon:alloc_epsilon in
+  for i = 0 to window - 1 do
+    FW.push fw data.(i)
+  done;
+  FW.refresh fw;
+  (* warm-up slides: let the pooled buffers reach their steady-state sizes *)
+  for i = window to window + warmup - 1 do
+    FW.push fw data.(i);
+    FW.refresh ~cold fw
+  done;
+  let w0 = Gc.minor_words () in
+  for i = window + warmup to window + warmup + pushes - 1 do
+    FW.push fw data.(i);
+    FW.refresh ~cold fw
+  done;
+  (Gc.minor_words () -. w0) /. Float.of_int pushes
 
 let run_fw scale =
   Report.section "BENCH-MICRO-FW: cold vs warm fixed-window refresh";
@@ -207,30 +263,62 @@ let run_fw scale =
   Report.table ~headers:[ "operation"; "time/op" ]
     (List.map (fun (name, ns) -> [ name; pretty_ns ns ]) rows);
   let cb = 16 and ce = 0.1 in
-  let (w_evals, w_steps, w_hits, w_misses), (c_evals, c_steps, _, _) =
+  let warm, warm_nomemo, cold =
     fw_eval_stats ~window:counter_window ~buckets:cb ~epsilon:ce ~pushes
+  in
+  let hit_rate s =
+    if s.memo_probes = 0 then 0.0
+    else Float.of_int s.memo_hits /. Float.of_int s.memo_probes
   in
   Report.note "per push_and_refresh at n=%d B=%d eps=%g over %d arrivals:" counter_window cb ce
     pushes;
   Report.table
-    ~headers:[ "rebuild"; "herror evals/push"; "search steps/push"; "hint hits"; "hint misses" ]
+    ~headers:
+      [ "rebuild"; "herror evals/push"; "search steps/push"; "scan steps/push"; "hint hits";
+        "hint misses"; "memo hit rate" ]
     [
-      [ "warm"; Report.fmt_g w_evals; Report.fmt_g w_steps; string_of_int w_hits;
-        string_of_int w_misses ];
-      [ "cold"; Report.fmt_g c_evals; Report.fmt_g c_steps; "-"; "-" ];
+      [ "warm (memo)"; Report.fmt_g warm.evals; Report.fmt_g warm.steps; Report.fmt_g warm.scan;
+        string_of_int warm.hits; string_of_int warm.misses;
+        Printf.sprintf "%.3f" (hit_rate warm) ];
+      [ "warm (no memo)"; Report.fmt_g warm_nomemo.evals; Report.fmt_g warm_nomemo.steps;
+        Report.fmt_g warm_nomemo.scan; string_of_int warm_nomemo.hits;
+        string_of_int warm_nomemo.misses; "-" ];
+      [ "cold"; Report.fmt_g cold.evals; Report.fmt_g cold.steps; Report.fmt_g cold.scan;
+        "-"; "-"; Printf.sprintf "%.3f" (hit_rate cold) ];
     ];
-  Report.note "eval reduction: %.2fx" (c_evals /. w_evals);
+  Report.note "eval reduction (cold/warm): %.2fx; memo step reduction (no-memo/memo): %.2fx"
+    (cold.evals /. warm.evals)
+    (warm_nomemo.steps /. warm.steps);
+  let alloc_pushes = match scale with Bench_config.Small -> 128 | _ -> 256 in
+  let warm_words = fw_alloc_stats ~pushes:alloc_pushes ~cold:false in
+  let cold_words = fw_alloc_stats ~pushes:alloc_pushes ~cold:true in
+  Report.note "steady-state minor words/push at n=%d B=%d eps=%g over %d pushes:" alloc_window
+    alloc_buckets alloc_epsilon alloc_pushes;
+  Report.table
+    ~headers:[ "rebuild"; "minor words/push"; "budget" ]
+    [
+      [ "warm"; Report.fmt_g warm_words; Report.fmt_g budget_words_per_push ];
+      [ "cold"; Report.fmt_g cold_words; "-" ];
+    ];
   let bench_json =
     Report.Jlist
       (List.map
          (fun (name, ns) -> Report.Jobj [ ("name", Report.Jstring name); ("ns_per_op", Report.Jfloat ns) ])
          rows)
   in
-  let side evals steps extra =
+  let side s extra =
     Report.Jobj
-      ([ ("herror_evals_per_push", Report.Jfloat evals);
-         ("search_steps_per_push", Report.Jfloat steps) ]
+      ([ ("herror_evals_per_push", Report.Jfloat s.evals);
+         ("search_steps_per_push", Report.Jfloat s.steps);
+         ("scan_steps_per_push", Report.Jfloat s.scan) ]
       @ extra)
+  in
+  let memo_fields s =
+    [
+      ("memo_probes", Report.Jint s.memo_probes);
+      ("memo_hits", Report.Jint s.memo_hits);
+      ("memo_hit_rate", Report.Jfloat (hit_rate s));
+    ]
   in
   Report.json_add "fixed_window"
     (Report.Jobj
@@ -246,10 +334,28 @@ let run_fw scale =
                ("epsilon", Report.Jfloat ce);
                ("pushes", Report.Jint pushes);
                ( "warm",
-                 side w_evals w_steps
-                   [ ("hint_hits", Report.Jint w_hits); ("hint_misses", Report.Jint w_misses) ] );
-               ("cold", side c_evals c_steps []);
-               ("eval_reduction", Report.Jfloat (c_evals /. w_evals));
+                 side warm
+                   ([ ("hint_hits", Report.Jint warm.hits);
+                      ("hint_misses", Report.Jint warm.misses) ]
+                   @ memo_fields warm) );
+               ( "warm_no_memo",
+                 side warm_nomemo
+                   [ ("hint_hits", Report.Jint warm_nomemo.hits);
+                     ("hint_misses", Report.Jint warm_nomemo.misses) ] );
+               ("cold", side cold (memo_fields cold));
+               ("eval_reduction", Report.Jfloat (cold.evals /. warm.evals));
+               ("memo_step_reduction", Report.Jfloat (warm_nomemo.steps /. warm.steps));
+             ] );
+         ( "alloc",
+           Report.Jobj
+             [
+               ("window", Report.Jint alloc_window);
+               ("buckets", Report.Jint alloc_buckets);
+               ("epsilon", Report.Jfloat alloc_epsilon);
+               ("pushes", Report.Jint alloc_pushes);
+               ("budget_words_per_push", Report.Jfloat budget_words_per_push);
+               ("warm_words_per_push", Report.Jfloat warm_words);
+               ("cold_words_per_push", Report.Jfloat cold_words);
              ] );
        ])
 

@@ -93,7 +93,10 @@ let policy_conv =
   let parse s =
     match Stream_histogram.Params.policy_of_string s with
     | Some p -> Ok p
-    | None -> Error (`Msg (Printf.sprintf "bad refresh policy %S (eager | lazy | every:K)" s))
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "bad refresh policy %S (eager | lazy | every:K with K >= 1)" s))
   in
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Stream_histogram.Params.policy_to_string p))
 
@@ -199,7 +202,8 @@ let stream_cmd =
       & info [ "refresh" ] ~docv:"POLICY"
           ~doc:
             "Arrival-time rebuild policy: $(b,eager) rebuilds on every point (the paper's cost \
-             model), $(b,lazy) only at queries, $(b,every:K) amortises bulk loads over K points.")
+             model), $(b,lazy) only at queries, $(b,every:K) with K >= 1 amortises bulk loads \
+             over K points ($(b,every:1) matches eager's cadence).")
   in
   let run file window buckets epsilon report policy metrics trace_out =
     with_obs metrics trace_out @@ fun () ->
@@ -221,8 +225,12 @@ let stream_cmd =
       (Stream_histogram.Params.policy_to_string policy)
       c.FW.refreshes c.FW.warm_refreshes c.FW.cold_refreshes c.FW.herror_evaluations
       c.FW.intervals_built;
-    Printf.printf "warm-start: %d search steps, %d hint hits / %d misses\n"
-      c.FW.search_steps c.FW.hint_hits c.FW.hint_misses
+    Printf.printf "warm-start: %d search steps (%d in candidate scans), %d hint hits / %d misses\n"
+      c.FW.search_steps c.FW.scan_steps c.FW.hint_hits c.FW.hint_misses;
+    if c.FW.memo_probes > 0 then
+      Printf.printf "herror memo: %d hits / %d probes (%.1f%% hit rate)\n" c.FW.memo_hits
+        c.FW.memo_probes
+        (100.0 *. Float.of_int c.FW.memo_hits /. Float.of_int c.FW.memo_probes)
   in
   Cmd.v
     (Cmd.info "stream" ~doc:"Maintain a fixed-window histogram over a stream file")
@@ -349,7 +357,8 @@ let serve_cmd =
     Arg.(
       value
       & opt policy_conv (Stream_histogram.Params.Every 256)
-      & info [ "refresh" ] ~docv:"POLICY" ~doc:"Per-shard rebuild policy: eager | lazy | every:K.")
+      & info [ "refresh" ] ~docv:"POLICY"
+          ~doc:"Per-shard rebuild policy: eager | lazy | every:K (K >= 1).")
   in
   let dist =
     Arg.(

@@ -7,6 +7,14 @@ type t = {
   ring : RB.t;
   buckets : int;
   scratch : float array;
+  (* Query scratch, reused across calls: the prefix-sum pair is refilled
+     in place once the window length stabilises, and the O(n^2 B) DP runs
+     inside one owned workspace — per-query allocation is just the result
+     histogram.  [prefix_cache] is keyed by window length because a
+     Prefix_sums.t has a fixed length; while the window is still filling
+     each new length allocates one last time. *)
+  vopt : Sh_histogram.Vopt.scratch;
+  mutable prefix_cache : P.t option;
   c_pushes : M.counter;
   c_rebuilds : M.counter;
 }
@@ -18,6 +26,8 @@ let create ~window ~buckets =
     ring = RB.create ~capacity:window;
     buckets;
     scratch = Array.make window 0.0;
+    vopt = Sh_histogram.Vopt.scratch ();
+    prefix_cache = None;
     c_pushes = Obs.counter ~labels "ew.pushes";
     c_rebuilds = Obs.counter ~labels "ew.rebuilds";
   }
@@ -40,7 +50,17 @@ let prefix t =
   Obs.with_span "ew.rebuild" (fun () ->
       M.incr t.c_rebuilds;
       RB.blit_to t.ring t.scratch;
-      P.of_sub t.scratch ~pos:0 ~len:n)
+      match t.prefix_cache with
+      | Some p when P.length p = n ->
+        P.refill_sub p t.scratch ~pos:0 ~len:n;
+        p
+      | _ ->
+        let p = P.of_sub t.scratch ~pos:0 ~len:n in
+        t.prefix_cache <- Some p;
+        p)
 
-let current_histogram t = Sh_histogram.Vopt.build_prefix (prefix t) ~buckets:t.buckets
-let current_error t = Sh_histogram.Vopt.optimal_error (prefix t) ~buckets:t.buckets
+let current_histogram t =
+  Sh_histogram.Vopt.build_prefix_with t.vopt (prefix t) ~buckets:t.buckets
+
+let current_error t =
+  Sh_histogram.Vopt.optimal_error_with t.vopt (prefix t) ~buckets:t.buckets

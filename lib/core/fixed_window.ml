@@ -1,14 +1,26 @@
 module Sliding_prefix = Sh_prefix.Sliding_prefix
 module Histogram = Sh_histogram.Histogram
-module Vec = Sh_util.Vec
+module Soa = Sh_util.Soa
+module Intmemo = Sh_util.Intmemo
 module Obs = Sh_obs.Obs
 module M = Sh_obs.Metric
 
-(* One interval [a_idx .. b_idx] of a level-k list.  Within the interval the
-   (non-decreasing) function HERROR[., k] varies by at most a (1 + delta)
-   factor: herror values are stored at both ends, and candidates are
-   evaluated at right endpoints only (Section 4.2.1 of the paper). *)
-type entry = { a_idx : int; a_herror : float; b_idx : int; b_herror : float }
+(* The level-k list covers [1 .. n] with intervals [a_idx .. b_idx] inside
+   which the (non-decreasing) function HERROR[., k] varies by at most a
+   (1 + delta) factor: herror values are stored at both ends, and
+   candidates are evaluated at right endpoints only (Section 4.2.1).
+
+   Lists are stored struct-of-arrays (Soa): column layout below.  Rows
+   live in flat int/float arrays, so a refresh that clears and refills
+   every list allocates nothing once the columns reach steady capacity —
+   the boxed-record representation this replaced allocated one record per
+   interval per rebuild. *)
+let col_a = 0 (* int col: a_idx    *)
+let col_b = 1 (* int col: b_idx    *)
+let col_ha = 0 (* float col: a_herror *)
+let col_hb = 1 (* float col: b_herror *)
+
+let new_list () = Soa.create ~fcols:2 ~icols:2 ()
 
 type work_counters = {
   herror_evaluations : int;
@@ -19,13 +31,28 @@ type work_counters = {
   cold_refreshes : int;
   warm_refreshes : int;
   search_steps : int;
+  scan_steps : int;
   hint_hits : int;
   hint_misses : int;
+  memo_probes : int;
+  memo_hits : int;
 }
 
 (* Which activity an HERROR evaluation is charged to: list rebuilds with /
    without warm-start hints, or query-time reads. *)
 type mode = Cold_rebuild | Warm_rebuild | Query
+
+(* Slots of the float scratch column (see [fs] below): unboxed out-params
+   for the hot internal calls, which would otherwise box a float (or a
+   tuple) per return.  Mixed records box float fields on every store, so
+   the scratch lives in a flat float array instead. *)
+let fs_eval = 0 (* eval_herror_into result              *)
+let fs_scan = 1 (* scan_candidates best candidate value *)
+let fs_bnd = 2 (* find_boundary herror at the boundary *)
+let fs_tmp = 3 (* sqerror_into scratch inside scans    *)
+let fs_hstart = 4 (* find_boundary in-param: HERROR at the interval start *)
+let fs_thresh = 5 (* find_boundary in-param: (1 + delta) * h_start        *)
+let fs_len = 6
 
 type t = {
   params : Params.t;
@@ -34,8 +61,21 @@ type t = {
      of the last refresh; [prev_queues.(k-1)] the one before, kept so warm
      rebuilds can seed boundary searches from the previous boundaries.  The
      two arrays are swapped at every refresh instead of reallocating. *)
-  mutable queues : entry Vec.t array;
-  mutable prev_queues : entry Vec.t array;
+  mutable queues : Soa.t array;
+  mutable prev_queues : Soa.t array;
+  (* Per-refresh HERROR memo: caches eval_herror results under packed
+     (k, x) int keys for the duration of one refresh generation, so
+     gallop/bisect searches never re-pay for a position another search of
+     the same rebuild (or a query against the same window) already
+     evaluated.  Owned by [t] — part of the reusable refresh arena. *)
+  memo : Intmemo.t;
+  memo_stride : int; (* key = x * memo_stride + k, stride = buckets + 1 *)
+  mutable memo_on : bool;  (* master switch (set_memoisation)          *)
+  mutable use_memo : bool; (* consulted by eval_herror_into            *)
+  fs : float array; (* float out-param scratch, see fs_* slots *)
+  mutable scan_best_i : int; (* scan_candidates argmin out-param  *)
+  mutable bnd_c : int;       (* find_boundary boundary out-param  *)
+  mutable gauge_len : int;   (* last length stored in g_length    *)
   mutable dirty : bool;
   mutable policy : Params.refresh_policy;
   mutable slide : int; (* evictions since the last refresh: how far the
@@ -55,9 +95,13 @@ type t = {
   c_cold_refreshes : M.counter;
   c_warm_refreshes : M.counter;
   c_steps : M.counter;
+  c_scan_steps : M.counter;
   c_hits : M.counter;
   c_misses : M.counter;
+  c_memo_probes : M.counter;
+  c_memo_hits : M.counter;
   g_length : M.gauge;
+  g_alloc : M.gauge;
 }
 
 let create_with_delta ~window ~buckets ~epsilon ~delta =
@@ -68,8 +112,16 @@ let create_with_delta ~window ~buckets ~epsilon ~delta =
   {
     params;
     sp = Sliding_prefix.create ~capacity:window ();
-    queues = Array.init (max 1 (buckets - 1)) (fun _ -> Vec.create ());
-    prev_queues = Array.init (max 1 (buckets - 1)) (fun _ -> Vec.create ());
+    queues = Array.init (max 1 (buckets - 1)) (fun _ -> new_list ());
+    prev_queues = Array.init (max 1 (buckets - 1)) (fun _ -> new_list ());
+    memo = Intmemo.create ();
+    memo_stride = buckets + 1;
+    memo_on = true;
+    use_memo = true;
+    fs = Array.make fs_len 0.0;
+    scan_best_i = 0;
+    bnd_c = 0;
+    gauge_len = -1;
     dirty = true;
     policy = params.Params.policy;
     slide = 0;
@@ -83,9 +135,13 @@ let create_with_delta ~window ~buckets ~epsilon ~delta =
     c_cold_refreshes = c "fw.cold_refreshes";
     c_warm_refreshes = c "fw.warm_refreshes";
     c_steps = c "fw.search_steps";
+    c_scan_steps = c "fw.scan_steps";
     c_hits = c "fw.hint_hits";
     c_misses = c "fw.hint_misses";
+    c_memo_probes = c "fw.memo_probes";
+    c_memo_hits = c "fw.memo_hits";
     g_length = Obs.gauge ~labels "fw.window_length";
+    g_alloc = Obs.gauge ~labels "fw.alloc_words_per_push";
   }
 
 let create ~window ~buckets ~epsilon =
@@ -100,6 +156,11 @@ let refresh_policy t = t.policy
 let pending_pushes t = t.pushes_since_refresh
 let slide_since_refresh t = t.slide
 let needs_refresh t = t.dirty
+let memoisation t = t.memo_on
+
+let set_memoisation t on =
+  t.memo_on <- on;
+  t.use_memo <- on
 
 let set_refresh_policy t policy =
   (* Reuse the Params validation (rejects [Every k] with k < 1). *)
@@ -112,9 +173,12 @@ let count_eval t =
   | Warm_rebuild -> M.incr t.c_warm_evals
   | Query -> ()
 
-(* Candidate scan shared by [eval_herror] and [best_split]: the approximate
-   HERROR[x, k] for the current window, read off the level-(k-1) list, with
-   the split position achieving it.  Requires k >= 2 and k < x.
+(* Candidate scan shared by [eval_herror_into] and [best_split]: the
+   approximate HERROR[x, k] for the current window, read off the
+   level-(k-1) list, with the split position achieving it.  Requires
+   k >= 2 and k < x.  Writes the best value to [fs.(fs_scan)] and its
+   split position to [scan_best_i] (out-params: a tuple return would box
+   the float on every evaluation).
 
    Candidates are the objective evaluated at list endpoints b < x, plus —
    when the interval covering x-1 extends to or past x — that interval's
@@ -124,130 +188,206 @@ let count_eval t =
 
    Both ends of the scan are pruned by binary search instead of walking the
    list from entry 0: the covering entry is located directly on the sorted
-   b_idx field, and — seeding the running best with its proxy candidate —
+   b_idx column, and — seeding the running best with its proxy candidate —
    entries whose SQERROR term alone already reaches that bound are skipped
-   (SQERROR(b+1, x) only shrinks along the list, so they form a prefix). *)
+   (SQERROR(b+1, x) only shrinks along the list, so they form a prefix).
+
+   Steps of both binary searches land in fw.search_steps (the legacy
+   total) and, separately, fw.scan_steps — so rebuild-probe work and
+   scan-internal work can be told apart (see work_counters). *)
 let scan_candidates t ~k ~x =
   let q = t.queues.(k - 2) in
-  let len = Vec.length q in
+  let len = Soa.length q in
+  let a_idx = Soa.icol q col_a and b_idx = Soa.icol q col_b in
+  let b_her = Soa.fcol q col_hb in
   let steps = ref 0 in
-  let cover = Vec.binary_search q ~f:(fun e -> incr steps; e.b_idx >= x) in
+  (* covering entry: first row with b_idx >= x *)
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr steps;
+    if Array.unsafe_get b_idx mid >= x then hi := mid else lo := mid + 1
+  done;
+  let cover = !lo in
   let best = ref infinity in
   let best_i = ref (x - 1) in
-  (if cover < len then begin
-     let e = Vec.get q cover in
-     if e.a_idx <= x - 1 then begin
-       best := e.b_herror;
-       best_i := x - 1
-     end
-   end);
+  if cover < len && Array.unsafe_get a_idx cover <= x - 1 then begin
+    best := Array.unsafe_get b_her cover;
+    best_i := x - 1
+  end;
+  (* SQERROR values flow through [fs.(fs_tmp)] (sqerror_into) rather than
+     function returns: under -opaque a cross-module float return is a
+     fresh boxed float per probe, which was the bulk of the kernel's
+     remaining allocation. *)
   let first =
     if cover = 0 || !best = infinity then 0
-    else
-      Vec.binary_search q ~lo:0 ~hi:cover ~f:(fun e ->
-          incr steps;
-          Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x < !best)
+    else begin
+      let lo = ref 0 and hi = ref cover in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        incr steps;
+        Sliding_prefix.sqerror_into t.sp ~lo:(Array.unsafe_get b_idx mid + 1) ~hi:x
+          t.fs fs_tmp;
+        if t.fs.(fs_tmp) < !best then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
   in
   M.add t.c_steps !steps;
+  M.add t.c_scan_steps !steps;
   let i = ref first in
   let continue = ref true in
   while !continue && !i < cover do
-    let e = Vec.get q !i in
+    let bh = Array.unsafe_get b_her !i in
     (* Early exit: stored herror values are non-decreasing along the list,
        so once one alone reaches the current best, no later candidate
        (herror + non-negative SQERROR) can improve it. *)
-    if e.b_herror >= !best then continue := false
+    if bh >= !best then continue := false
     else begin
-      let cand = e.b_herror +. Sliding_prefix.sqerror t.sp ~lo:(e.b_idx + 1) ~hi:x in
+      let b = Array.unsafe_get b_idx !i in
+      Sliding_prefix.sqerror_into t.sp ~lo:(b + 1) ~hi:x t.fs fs_tmp;
+      let cand = bh +. t.fs.(fs_tmp) in
       if cand < !best then begin
         best := cand;
-        best_i := e.b_idx
+        best_i := b
       end;
       incr i
     end
   done;
-  (!best, !best_i)
+  t.fs.(fs_scan) <- !best;
+  t.scan_best_i <- !best_i
 
-(* Approximate HERROR[x, k] for the current window. *)
-let eval_herror t ~k ~x =
+(* Approximate HERROR[x, k] for the current window, written to
+   [fs.(fs_eval)].  When memoisation is on, the scan is paid at most once
+   per (k, x) per refresh generation: the memo caches the final value, and
+   every evaluation still counts in fw.herror_evals (the legacy meaning —
+   logical evaluations requested, hits included), with fw.memo_probes /
+   fw.memo_hits recording the dedup separately. *)
+let eval_herror_into t ~k ~x =
   count_eval t;
-  if x <= 0 then 0.0
-  else if k >= x then 0.0 (* x points in >= x buckets: zero error *)
-  else if k = 1 then Sliding_prefix.sqerror t.sp ~lo:1 ~hi:x
+  if x <= 0 then t.fs.(fs_eval) <- 0.0
+  else if k >= x then t.fs.(fs_eval) <- 0.0 (* x points in >= x buckets: zero error *)
+  else if k = 1 then Sliding_prefix.sqerror_into t.sp ~lo:1 ~hi:x t.fs fs_eval
+  else if t.use_memo then begin
+    M.incr t.c_memo_probes;
+    let key = (x * t.memo_stride) + k in
+    let slot = Intmemo.find_slot t.memo key in
+    if slot >= 0 then begin
+      M.incr t.c_memo_hits;
+      t.fs.(fs_eval) <- Array.unsafe_get (Intmemo.vals t.memo) slot
+    end
+    else begin
+      scan_candidates t ~k ~x;
+      let best = t.fs.(fs_scan) in
+      let v = if best = infinity then 0.0 else best in
+      (* reserve + raw store rather than Intmemo.add: the float stays
+         unboxed on its way into the value column. *)
+      let s = Intmemo.reserve t.memo key in
+      Array.unsafe_set (Intmemo.vals t.memo) s v;
+      t.fs.(fs_eval) <- v
+    end
+  end
   else begin
-    let best, _ = scan_candidates t ~k ~x in
-    if best = infinity then 0.0 else best
+    scan_candidates t ~k ~x;
+    let best = t.fs.(fs_scan) in
+    t.fs.(fs_eval) <- (if best = infinity then 0.0 else best)
   end
 
-(* Largest c in [start, hi] with HERROR[c, k] <= threshold, and its herror.
-   HERROR[., k] is non-decreasing in x, and the predicate holds at [start]
-   (its herror defines the threshold), so the boundary is well defined and
-   any bracketing strategy finds the same c.  Without a hint this is the
-   plain binary search of CreateList (Figure 5); with one, a gallop outward
-   from the hinted position brackets the boundary in O(log distance)
+(* Largest c in [start, hi] with HERROR[c, k] <= threshold; writes c to
+   [bnd_c] and its herror to [fs.(fs_bnd)].  The float inputs arrive via
+   scratch slots — [fs.(fs_hstart)] holds HERROR[start, k], [fs.(fs_thresh)]
+   the threshold — because float arguments to a non-inlined call are boxed
+   at every call site.  HERROR[., k] is non-decreasing
+   in x, and the predicate holds at [start] (its herror defines the
+   threshold), so the boundary is well defined and any bracketing strategy
+   finds the same c.  Without a hint ([hint = min_int]) this is the plain
+   binary search of CreateList (Figure 5); with one, a gallop outward from
+   the hinted position brackets the boundary in O(log distance)
    evaluations — a near-perfect hint (the common case between consecutive
-   arrivals) costs O(1) instead of O(log n). *)
-let find_boundary t ~k ~start ~hi ~threshold ~h_start ~hint =
-  let probe x =
+   arrivals) costs O(1) instead of O(log n).
+
+   The shared bisect runs over refs seeded per branch; every probe is one
+   fw.search_steps increment plus one eval_herror (identical to the
+   pre-SoA implementation, so step counts match it exactly when
+   memoisation is off). *)
+let find_boundary t ~k ~start ~hi ~hint =
+  let h_start = t.fs.(fs_hstart) in
+  let threshold = t.fs.(fs_thresh) in
+  (* bisect bracket: largest good position in [b_lo, b_hi], with b_h =
+     HERROR[b_lo, k] already known. *)
+  let b_lo = ref start and b_hi = ref hi and b_h = ref h_start in
+  (if hint <> min_int then begin
+     let g = max start (min hi hint) in
+     let h_g =
+       if g = start then h_start
+       else begin
+         M.incr t.c_steps;
+         eval_herror_into t ~k ~x:g;
+         t.fs.(fs_eval)
+       end
+     in
+     if h_g <= threshold then begin
+       (* Boundary at or past g: gallop right for the first bad position. *)
+       let off = ref 1 and lo = ref g and h_lo = ref h_g and bad = ref (-1) in
+       while !bad < 0 && g + !off <= hi do
+         let p = g + !off in
+         M.incr t.c_steps;
+         eval_herror_into t ~k ~x:p;
+         let hp = t.fs.(fs_eval) in
+         if hp <= threshold then begin
+           lo := p;
+           h_lo := hp;
+           off := 2 * !off
+         end
+         else bad := p
+       done;
+       b_lo := !lo;
+       b_h := !h_lo;
+       b_hi := if !bad < 0 then hi else !bad - 1
+     end
+     else begin
+       (* Boundary strictly before g: gallop left for a good position. *)
+       let off = ref 1 and bad = ref g and lo = ref (-1) and h_lo = ref h_start in
+       while !lo < 0 && g - !off > start do
+         let p = g - !off in
+         M.incr t.c_steps;
+         eval_herror_into t ~k ~x:p;
+         let hp = t.fs.(fs_eval) in
+         if hp <= threshold then begin
+           lo := p;
+           h_lo := hp
+         end
+         else begin
+           bad := p;
+           off := 2 * !off
+         end
+       done;
+       if !lo < 0 then begin
+         b_lo := start;
+         b_h := h_start
+       end
+       else begin
+         b_lo := !lo;
+         b_h := !h_lo
+       end;
+       b_hi := !bad - 1
+     end
+   end);
+  while !b_lo < !b_hi do
+    let mid = (!b_lo + !b_hi + 1) / 2 in
     M.incr t.c_steps;
-    eval_herror t ~k ~x
-  in
-  (* Largest good position in [lo, hi]; [h_lo] is HERROR[lo, k]. *)
-  let bisect ~lo ~h_lo ~hi =
-    let lo = ref lo and hi = ref hi and h = ref h_lo in
-    while !lo < !hi do
-      let mid = (!lo + !hi + 1) / 2 in
-      let hm = probe mid in
-      if hm <= threshold then begin
-        lo := mid;
-        h := hm
-      end
-      else hi := mid - 1
-    done;
-    (!lo, !h)
-  in
-  match hint with
-  | None -> bisect ~lo:start ~h_lo:h_start ~hi
-  | Some g0 ->
-    let g = max start (min hi g0) in
-    let h_g = if g = start then h_start else probe g in
-    let c, h_c =
-      if h_g <= threshold then begin
-        (* Boundary at or past g: gallop right for the first bad position. *)
-        let off = ref 1 and lo = ref g and h_lo = ref h_g and bad = ref (-1) in
-        while !bad < 0 && g + !off <= hi do
-          let p = g + !off in
-          let hp = probe p in
-          if hp <= threshold then begin
-            lo := p;
-            h_lo := hp;
-            off := 2 * !off
-          end
-          else bad := p
-        done;
-        bisect ~lo:!lo ~h_lo:!h_lo ~hi:(if !bad < 0 then hi else !bad - 1)
-      end
-      else begin
-        (* Boundary strictly before g: gallop left for a good position. *)
-        let off = ref 1 and bad = ref g and lo = ref (-1) and h_lo = ref h_start in
-        while !lo < 0 && g - !off > start do
-          let p = g - !off in
-          let hp = probe p in
-          if hp <= threshold then begin
-            lo := p;
-            h_lo := hp
-          end
-          else begin
-            bad := p;
-            off := 2 * !off
-          end
-        done;
-        let lo, h_lo = if !lo < 0 then (start, h_start) else (!lo, !h_lo) in
-        bisect ~lo ~h_lo ~hi:(!bad - 1)
-      end
-    in
-    if c = g0 then M.incr t.c_hits else M.incr t.c_misses;
-    (c, h_c)
+    eval_herror_into t ~k ~x:mid;
+    let hm = t.fs.(fs_eval) in
+    if hm <= threshold then begin
+      b_lo := mid;
+      b_h := hm
+    end
+    else b_hi := mid - 1
+  done;
+  if hint <> min_int then
+    if !b_lo = hint then M.incr t.c_hits else M.incr t.c_misses;
+  t.bnd_c <- !b_lo;
+  t.fs.(fs_bnd) <- !b_h
 
 (* CreateList (Figure 5): cover [1 .. n] with maximal intervals whose
    HERROR[., k] spread stays within (1 + delta).  A warm rebuild seeds each
@@ -257,69 +397,110 @@ let find_boundary t ~k ~start ~hi ~threshold ~h_start ~hint =
    the seed, so warm and cold rebuilds produce identical lists. *)
 let create_list t ~k ~warm =
   let q = t.queues.(k - 1) in
-  Vec.clear q;
+  Soa.clear q;
   let n = length t in
   let delta = t.params.Params.delta in
   let prev = t.prev_queues.(k - 1) in
-  let plen = if warm then Vec.length prev else 0 in
+  let plen = if warm then Soa.length prev else 0 in
+  let prev_b = Soa.icol prev col_b in
   let slide = t.slide in
   let pcur = ref 0 in
+  (* Rows are written through the raw column arrays (re-fetched after each
+     add_row, which may grow them): Soa.set_f would box its float argument
+     at every cross-module call. *)
   let a = ref 1 in
   while !a <= n do
     let start = !a in
     if start = n then begin
-      let h = eval_herror t ~k ~x:start in
-      Vec.push q { a_idx = start; a_herror = h; b_idx = start; b_herror = h };
+      eval_herror_into t ~k ~x:start;
+      let r = Soa.add_row q in
+      (Soa.icol q col_a).(r) <- start;
+      (Soa.icol q col_b).(r) <- start;
+      (Soa.fcol q col_ha).(r) <- t.fs.(fs_eval);
+      (Soa.fcol q col_hb).(r) <- t.fs.(fs_eval);
       M.incr t.c_built;
       a := n + 1
     end
     else begin
-      let h_start = eval_herror t ~k ~x:start in
-      let threshold = (1.0 +. delta) *. h_start in
+      eval_herror_into t ~k ~x:start;
+      t.fs.(fs_hstart) <- t.fs.(fs_eval);
+      t.fs.(fs_thresh) <- (1.0 +. delta) *. t.fs.(fs_eval);
       let hint =
-        if plen = 0 then None
+        if plen = 0 then min_int
         else begin
           let old_start = start + slide in
-          while !pcur < plen && (Vec.get prev !pcur).b_idx < old_start do
+          while !pcur < plen && Array.unsafe_get prev_b !pcur < old_start do
             incr pcur
           done;
-          if !pcur < plen then Some ((Vec.get prev !pcur).b_idx - slide) else None
+          if !pcur < plen then Array.unsafe_get prev_b !pcur - slide else min_int
         end
       in
-      let c, h_c = find_boundary t ~k ~start ~hi:n ~threshold ~h_start ~hint in
-      Vec.push q { a_idx = start; a_herror = h_start; b_idx = c; b_herror = h_c };
+      find_boundary t ~k ~start ~hi:n ~hint;
+      let c = t.bnd_c in
+      let r = Soa.add_row q in
+      (Soa.icol q col_a).(r) <- start;
+      (Soa.icol q col_b).(r) <- c;
+      (Soa.fcol q col_ha).(r) <- t.fs.(fs_hstart);
+      (Soa.fcol q col_hb).(r) <- t.fs.(fs_bnd);
       M.incr t.c_built;
       a := c + 1
     end
   done
 
-let refresh ?(cold = false) t =
-  if t.dirty then
-    Obs.with_span "fw.refresh" (fun () ->
-        (* Swap buffers: the lists of the last refresh become the warm-start
-           hints, their buffers the target of this rebuild. *)
-        let tmp = t.queues in
-        t.queues <- t.prev_queues;
-        t.prev_queues <- tmp;
-        let warm = not cold in
-        t.mode <- (if warm then Warm_rebuild else Cold_rebuild);
-        let b = buckets t in
-        if length t > 0 then
-          for k = 1 to b - 1 do
-            create_list t ~k ~warm
-          done;
-        t.mode <- Query;
-        t.dirty <- false;
-        t.slide <- 0;
-        t.pushes_since_refresh <- 0;
-        M.incr t.c_refreshes;
-        if warm then M.incr t.c_warm_refreshes else M.incr t.c_cold_refreshes)
+let do_refresh t ~warm =
+  (* Swap buffers: the lists of the last refresh become the warm-start
+     hints, their buffers the target of this rebuild. *)
+  let tmp = t.queues in
+  t.queues <- t.prev_queues;
+  t.prev_queues <- tmp;
+  (* O(1) memo clear: a new generation invalidates every cached HERROR
+     without touching the arena. *)
+  Intmemo.next_generation t.memo;
+  t.mode <- (if warm then Warm_rebuild else Cold_rebuild);
+  let b = buckets t in
+  if length t > 0 then
+    for k = 1 to b - 1 do
+      create_list t ~k ~warm
+    done;
+  t.mode <- Query;
+  t.dirty <- false;
+  t.slide <- 0;
+  t.pushes_since_refresh <- 0;
+  M.incr t.c_refreshes;
+  if warm then M.incr t.c_warm_refreshes else M.incr t.c_cold_refreshes
+
+let refresh ?(cold = false) ?memo t =
+  if t.dirty then begin
+    let warm = not cold in
+    t.use_memo <- (match memo with None -> t.memo_on | Some m -> m);
+    if Obs.enabled () then begin
+      (* fw.alloc_words_per_push: minor-heap words this rebuild cost per
+         pending arrival.  Only maintained while telemetry is collecting —
+         the gauge write itself boxes a float, which the allocation-free
+         steady state must not pay unconditionally. *)
+      let pushes = Float.of_int (max 1 t.pushes_since_refresh) in
+      let w0 = Gc.minor_words () in
+      Obs.with_span "fw.refresh" (fun () -> do_refresh t ~warm);
+      M.set t.g_alloc ((Gc.minor_words () -. w0) /. pushes)
+    end
+    else do_refresh t ~warm;
+    (* Queries against the unchanged window may keep hitting this
+       generation's memo (values stay valid until the next rebuild). *)
+    t.use_memo <- t.memo_on
+  end
 
 let push t v =
   if not (Float.is_finite v) then invalid_arg "Fixed_window.push: non-finite value";
   if Sliding_prefix.length t.sp = Sliding_prefix.capacity t.sp then t.slide <- t.slide + 1;
   Sliding_prefix.push t.sp v;
-  M.set t.g_length (Float.of_int (Sliding_prefix.length t.sp));
+  let len = Sliding_prefix.length t.sp in
+  if len <> t.gauge_len then begin
+    (* Gauge stores box their float; once the window is full the length is
+       constant, so skipping the redundant store keeps steady-state push
+       allocation at zero. *)
+    t.gauge_len <- len;
+    M.set t.g_length (Float.of_int len)
+  end;
   t.dirty <- true;
   t.pushes_since_refresh <- t.pushes_since_refresh + 1;
   match t.policy with
@@ -338,26 +519,34 @@ let push t v =
    amortisation this entry point exists for.  Queries observe identical
    results either way, since a refresh depends only on the current window
    contents (pinned by the test suite's push_many ≡ push property). *)
-let push_many t vs =
-  if Array.length vs > 0 then begin
-    Array.iter
-      (fun v ->
-        if not (Float.is_finite v) then invalid_arg "Fixed_window.push_many: non-finite value")
-      vs;
-    Array.iter
-      (fun v ->
-        if Sliding_prefix.length t.sp = Sliding_prefix.capacity t.sp then t.slide <- t.slide + 1;
-        Sliding_prefix.push t.sp v)
-      vs;
-    M.set t.g_length (Float.of_int (Sliding_prefix.length t.sp));
+let push_slice_named t vs ~pos ~len ~name =
+  if pos < 0 || len < 0 || pos + len > Array.length vs then
+    invalid_arg ("Fixed_window." ^ name ^ ": slice out of bounds");
+  if len > 0 then begin
+    for i = pos to pos + len - 1 do
+      if not (Float.is_finite vs.(i)) then
+        invalid_arg ("Fixed_window." ^ name ^ ": non-finite value")
+    done;
+    for i = pos to pos + len - 1 do
+      if Sliding_prefix.length t.sp = Sliding_prefix.capacity t.sp then
+        t.slide <- t.slide + 1;
+      Sliding_prefix.push t.sp vs.(i)
+    done;
+    let n = Sliding_prefix.length t.sp in
+    if n <> t.gauge_len then begin
+      t.gauge_len <- n;
+      M.set t.g_length (Float.of_int n)
+    end;
     t.dirty <- true;
-    t.pushes_since_refresh <- t.pushes_since_refresh + Array.length vs;
+    t.pushes_since_refresh <- t.pushes_since_refresh + len;
     match t.policy with
     | Params.Eager -> refresh t
     | Params.Lazy -> ()
     | Params.Every k -> if t.pushes_since_refresh >= k then refresh t
   end
 
+let push_slice t vs ~pos ~len = push_slice_named t vs ~pos ~len ~name:"push_slice"
+let push_many t vs = push_slice_named t vs ~pos:0 ~len:(Array.length vs) ~name:"push_many"
 let push_batch = push_many
 
 let push_and_refresh t v =
@@ -366,21 +555,24 @@ let push_and_refresh t v =
 
 let current_error t =
   refresh t;
-  eval_herror t ~k:(buckets t) ~x:(length t)
+  eval_herror_into t ~k:(buckets t) ~x:(length t);
+  t.fs.(fs_eval)
 
 let herror t ~k ~x =
   if k < 1 || k > buckets t then invalid_arg "Fixed_window.herror: k out of range";
   if x < 0 || x > length t then invalid_arg "Fixed_window.herror: x out of range";
   refresh t;
-  eval_herror t ~k ~x
+  eval_herror_into t ~k ~x;
+  t.fs.(fs_eval)
 
 (* Best split position for the last bucket of a k-bucket histogram of
-   [1 .. x]: the argmin counterpart of [eval_herror].  Returns the chosen
-   i (last bucket is [i+1 .. x]), in [1 .. x-1]. *)
+   [1 .. x]: the argmin counterpart of [eval_herror_into].  Returns the
+   chosen i (last bucket is [i+1 .. x]), in [1 .. x-1].  Runs the scan
+   directly — the memo caches only values, not argmins. *)
 let best_split t ~k ~x =
   count_eval t;
-  let _, i = scan_candidates t ~k ~x in
-  i
+  scan_candidates t ~k ~x;
+  t.scan_best_i
 
 let current_histogram t =
   refresh t;
@@ -428,17 +620,23 @@ let work_counters t =
     cold_refreshes = M.value t.c_cold_refreshes;
     warm_refreshes = M.value t.c_warm_refreshes;
     search_steps = M.value t.c_steps;
+    scan_steps = M.value t.c_scan_steps;
     hint_hits = M.value t.c_hits;
     hint_misses = M.value t.c_misses;
+    memo_probes = M.value t.c_memo_probes;
+    memo_hits = M.value t.c_memo_hits;
   }
 
 let interval_counts t =
   refresh t;
-  Array.map Vec.length t.queues
+  Array.map Soa.length t.queues
 
 let intervals t ~k =
   if k < 1 || k > buckets t - 1 then invalid_arg "Fixed_window.intervals: k out of range";
   refresh t;
-  Array.map
-    (fun e -> (e.a_idx, e.a_herror, e.b_idx, e.b_herror))
-    (Vec.to_array t.queues.(k - 1))
+  let q = t.queues.(k - 1) in
+  Array.init (Soa.length q) (fun i ->
+      ( Soa.get_i q ~col:col_a i,
+        Soa.get_f q ~col:col_ha i,
+        Soa.get_i q ~col:col_b i,
+        Soa.get_f q ~col:col_hb i ))

@@ -34,7 +34,21 @@
     gallop-then-bisect search bracketed around the hint.  Because HERROR is
     non-decreasing in x, the search result is independent of the seed: warm
     and cold rebuilds produce identical lists, and [refresh ~cold:true]
-    stays available as the correctness oracle (see DESIGN.md section 7). *)
+    stays available as the correctness oracle (see DESIGN.md section 7).
+
+    {2 Allocation-free kernel}
+
+    The hot path is (amortised) allocation-free: interval lists live in
+    struct-of-arrays stores ({!Sh_util.Soa}) rather than boxed-record
+    vectors, rebuild scratch (double buffers, memo table, float out-param
+    slots) is owned by [t] and reused across refreshes, and HERROR
+    evaluations are deduplicated through a per-refresh memo table
+    ({!Sh_util.Intmemo}) cleared in O(1) by generation stamp.  Once the
+    backing arrays reach steady capacity, a push + warm refresh allocates
+    ~zero minor-heap words (pinned by the allocation-budget test; see
+    DESIGN.md section 10).  [refresh ~memo:false] disables the memo for
+    one rebuild — with it, the probe sequence is identical to the pre-memo
+    kernel, which the golden step-count tests rely on. *)
 
 type t
 
@@ -79,12 +93,29 @@ val push_many : t -> float array -> unit
 val push_batch : t -> float array -> unit
 (** Alias of {!push_many} (historical name). *)
 
-val refresh : ?cold:bool -> t -> unit
+val push_slice : t -> float array -> pos:int -> len:int -> unit
+(** {!push_many} over the sub-array [\[pos, pos + len)] without copying it
+    out — the zero-allocation batch entry point (used by the sharded
+    engine to feed per-shard slices from a pooled buffer).  Raises
+    [Invalid_argument] on a slice out of bounds or a non-finite value in
+    the slice (before ingesting anything). *)
+
+val refresh : ?cold:bool -> ?memo:bool -> t -> unit
 (** Rebuild the interval lists for the current window contents; no-op when
     they are already current.  [~cold:true] ignores the previous lists and
     rebuilds from scratch with full-range binary searches — the correctness
     oracle for the default warm-start rebuild, which produces identical
-    lists in fewer HERROR evaluations. *)
+    lists in fewer HERROR evaluations.  [~memo] overrides the
+    {!set_memoisation} setting for this one rebuild: [~memo:false] is the
+    second oracle, re-evaluating every HERROR probe so step counters match
+    the pre-memo kernel exactly. *)
+
+val set_memoisation : t -> bool -> unit
+(** Enable / disable the per-refresh HERROR memo (default on).  Purely a
+    performance toggle: results are bit-identical either way. *)
+
+val memoisation : t -> bool
+(** Current {!set_memoisation} setting. *)
 
 val push_and_refresh : t -> float -> unit
 (** [push] then [refresh]: the paper's per-point maintenance. *)
@@ -117,9 +148,14 @@ type work_counters = {
   refreshes : int;          (** list rebuilds performed *)
   cold_refreshes : int;     (** rebuilds that ignored the previous lists *)
   warm_refreshes : int;     (** rebuilds seeded from the previous lists *)
-  search_steps : int;       (** probe steps across all binary / gallop searches *)
+  search_steps : int;       (** probe steps across all binary / gallop searches
+                                actually executed (memo hits skip their steps) *)
+  scan_steps : int;         (** the subset of [search_steps] spent inside the
+                                candidate-scan binary searches *)
   hint_hits : int;          (** boundary searches where the hinted boundary was exact *)
   hint_misses : int;        (** hinted boundary searches that had to move *)
+  memo_probes : int;        (** HERROR evaluations that consulted the memo table *)
+  memo_hits : int;          (** memo probes answered from the table (scan skipped) *)
 }
 
 val work_counters : t -> work_counters

@@ -1,17 +1,48 @@
 module Prefix_sums = Sh_prefix.Prefix_sums
 
-(* Run the DP up to [buckets] rows.  Returns the final HERROR row and, when
-   [record_choices], the argmin table used to backtrack bucket boundaries.
-   Row k is HERROR[., k]; only two float rows are live at a time. *)
-let dp prefix ~buckets ~record_choices =
+(* Reusable DP workspace: the O(n^2 B) oracle used to reallocate its two
+   float rows and the choice matrix on every invocation, which dominates
+   the allocation profile of the exact baseline when it is queried per
+   arrival.  Callers that query repeatedly own one [scratch] and use the
+   [_with] variants; buffers grow to the largest (n, b) seen and are then
+   reused verbatim.  The one-shot API below allocates a fresh workspace
+   per call, exactly as before. *)
+type scratch = {
+  mutable prev : float array;        (* row k-1 of HERROR, length >= n+1 *)
+  mutable cur : float array;         (* row k under construction         *)
+  mutable choices : int array array; (* argmin table for backtracking    *)
+  sq : float array;                  (* sqerror_into out-param cell      *)
+}
+
+let scratch () = { prev = [||]; cur = [||]; choices = [||]; sq = Array.make 1 0.0 }
+
+let ensure_rows s n =
+  if Array.length s.prev < n + 1 then begin
+    s.prev <- Array.make (n + 1) 0.0;
+    s.cur <- Array.make (n + 1) 0.0
+  end
+
+let ensure_choices s ~b ~n =
+  if
+    Array.length s.choices < b + 1
+    || Array.length s.choices.(0) < n + 1
+  then s.choices <- Array.make_matrix (b + 1) (n + 1) 0
+
+(* Run the DP up to [buckets] rows inside [s].  Returns min(buckets, n);
+   the final HERROR row is left in [s.prev] (entries 0 .. n) and, when
+   [record_choices], the argmin table in [s.choices].  Row k is
+   HERROR[., k]; only two float rows are live at a time.  Reused buffers
+   may be longer than needed — every cell read is written first. *)
+let dp_with s prefix ~buckets ~record_choices =
   let n = Prefix_sums.length prefix in
   if buckets < 1 then invalid_arg "Vopt: buckets must be >= 1";
   let b = min buckets n in
-  let prev = Array.make (n + 1) 0.0 in
-  let cur = Array.make (n + 1) 0.0 in
-  let choices = if record_choices then Array.make_matrix (b + 1) (n + 1) 0 else [||] in
+  ensure_rows s n;
+  if record_choices then ensure_choices s ~b ~n;
+  let prev = s.prev and cur = s.cur and choices = s.choices and sq = s.sq in
+  prev.(0) <- 0.0;
   for j = 1 to n do
-    prev.(j) <- Prefix_sums.sqerror prefix ~lo:1 ~hi:j
+    Prefix_sums.sqerror_into prefix ~lo:1 ~hi:j prev j
   done;
   for k = 2 to b do
     for j = 0 to n do
@@ -23,7 +54,8 @@ let dp prefix ~buckets ~record_choices =
       let best = ref infinity in
       let best_i = ref (k - 1) in
       for i = k - 1 to j - 1 do
-        let cost = prev.(i) +. Prefix_sums.sqerror prefix ~lo:(i + 1) ~hi:j in
+        Prefix_sums.sqerror_into prefix ~lo:(i + 1) ~hi:j sq 0;
+        let cost = prev.(i) +. sq.(0) in
         if cost < !best then begin
           best := cost;
           best_i := i
@@ -34,31 +66,36 @@ let dp prefix ~buckets ~record_choices =
     done;
     Array.blit cur 0 prev 0 (n + 1)
   done;
-  (prev, choices, b)
+  b
 
-let optimal_error prefix ~buckets =
+let optimal_error_with s prefix ~buckets =
   let n = Prefix_sums.length prefix in
   if buckets >= n then 0.0
   else begin
-    let row, _, _ = dp prefix ~buckets ~record_choices:false in
-    row.(n)
+    let _b = dp_with s prefix ~buckets ~record_choices:false in
+    s.prev.(n)
   end
 
-let herror_row prefix ~buckets =
-  let row, _, _ = dp prefix ~buckets ~record_choices:false in
-  row
-
-let build_prefix prefix ~buckets =
+let build_prefix_with s prefix ~buckets =
   let n = Prefix_sums.length prefix in
-  let _, choices, b = dp prefix ~buckets ~record_choices:true in
+  let b = dp_with s prefix ~buckets ~record_choices:true in
   (* Walk the choice table backwards to recover the right endpoints. *)
   let boundaries = Array.make b 0 in
   boundaries.(b - 1) <- n;
   let j = ref n in
   for k = b downto 2 do
-    j := choices.(k).(!j);
+    j := s.choices.(k).(!j);
     boundaries.(k - 2) <- !j
   done;
   Histogram.of_boundaries prefix ~boundaries
 
+let optimal_error prefix ~buckets = optimal_error_with (scratch ()) prefix ~buckets
+
+let herror_row prefix ~buckets =
+  let s = scratch () in
+  let _b = dp_with s prefix ~buckets ~record_choices:false in
+  (* the fresh scratch sizes prev at exactly n + 1, the documented shape *)
+  s.prev
+
+let build_prefix prefix ~buckets = build_prefix_with (scratch ()) prefix ~buckets
 let build values ~buckets = build_prefix (Prefix_sums.make values) ~buckets

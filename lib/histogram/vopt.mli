@@ -22,3 +22,24 @@ val herror_row : Sh_prefix.Prefix_sums.t -> buckets:int -> float array
     buckets\] for j in 0..n (h.(0) = 0) — the error of optimally
     histogramming each prefix.  Exposed for the monotonicity property tests
     and as an oracle for the streaming algorithms. *)
+
+(** {2 Scratch-reusing variants}
+
+    The DP allocates two length-(n+1) float rows plus, when backtracking,
+    a (b+1) x (n+1) choice matrix.  A caller that runs the oracle
+    repeatedly (the exact-baseline window maintainer, benchmark sweeps)
+    owns one {!scratch} and calls the [_with] variants: buffers grow to
+    the largest problem seen, then every further run is allocation-free up
+    to the result histogram.  Results are identical to the one-shot API. *)
+
+type scratch
+(** Reusable DP workspace.  Not domain-safe: one scratch per domain. *)
+
+val scratch : unit -> scratch
+(** A fresh empty workspace (buffers grow on first use). *)
+
+val optimal_error_with : scratch -> Sh_prefix.Prefix_sums.t -> buckets:int -> float
+(** {!optimal_error} reusing the given workspace. *)
+
+val build_prefix_with : scratch -> Sh_prefix.Prefix_sums.t -> buckets:int -> Histogram.t
+(** {!build_prefix} reusing the given workspace. *)

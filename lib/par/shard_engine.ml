@@ -14,6 +14,19 @@ type shard = { fw : FW.t; lock : Mutex.t }
 type t = {
   pool : Domain_pool.t;
   shards : shard array;
+  (* Routing arena, reused across batches (the engine used to allocate
+     counts / groups / fill arrays and one closure per touched shard per
+     batch): [counts] is the per-shard sub-batch size of the batch being
+     ingested, [group_data.(k)] the per-shard value buffer (capacity
+     doubling, never shrinks), and the task arrays are built once at
+     creation.  The arena makes [ingest] single-producer: concurrent
+     [ingest] calls on the same engine would race on it (queries and
+     [refresh_all] remain safe alongside, per the shard locks). *)
+  counts : int array;
+  group_data : float array array;
+  ingest_tasks : (unit -> unit) array;
+  warm_tasks : (unit -> unit) array;
+  cold_tasks : (unit -> unit) array;
   c_points : M.counter;
   c_batches : M.counter;
   c_refreshes : M.counter;
@@ -27,11 +40,40 @@ let create ?policy ~pool ~shards ~window ~buckets ~epsilon () =
     (match policy with Some p -> FW.set_refresh_policy fw p | None -> ());
     { fw; lock = Mutex.create () }
   in
+  (* sequential creation: instance-name allocation stays deterministic
+     (fw0, fw1, ... in key order) regardless of the pool size *)
+  let shard_arr = Array.init shards mk in
+  let counts = Array.make shards 0 in
+  let group_data = Array.make shards [||] in
+  let locked sh f =
+    Mutex.lock sh.lock;
+    match f sh.fw with
+    | () -> Mutex.unlock sh.lock
+    | exception e ->
+      Mutex.unlock sh.lock;
+      raise e
+  in
+  (* The prebuilt task closures capture the shard and the arena cells
+     directly, so a batch submits the same immutable task array every
+     time; a task for a shard the batch doesn't touch is a no-op. *)
+  let ingest_task k =
+    let sh = shard_arr.(k) in
+    fun () ->
+      let c = counts.(k) in
+      if c > 0 then locked sh (fun fw -> FW.push_slice fw group_data.(k) ~pos:0 ~len:c)
+  in
+  let refresh_task ~cold k =
+    let sh = shard_arr.(k) in
+    fun () -> locked sh (fun fw -> FW.refresh ~cold fw)
+  in
   {
     pool;
-    (* sequential creation: instance-name allocation stays deterministic
-       (fw0, fw1, ... in key order) regardless of the pool size *)
-    shards = Array.init shards mk;
+    shards = shard_arr;
+    counts;
+    group_data;
+    ingest_tasks = Array.init shards ingest_task;
+    warm_tasks = Array.init shards (refresh_task ~cold:false);
+    cold_tasks = Array.init shards (refresh_task ~cold:true);
     c_points = Obs.counter ~labels "engine.points";
     c_batches = Obs.counter ~labels "engine.batches";
     c_refreshes = Obs.counter ~labels "engine.refresh_sweeps";
@@ -55,36 +97,42 @@ let with_shard t key f =
     Mutex.unlock s.lock;
     raise e
 
-(* Route a batch: bucket the values by key (two counting passes, no
-   per-pair allocation), then run one task per non-empty shard on the
-   pool.  Each task calls the shard's [push_many], so the per-batch
-   refresh amortisation of the sequential path carries over unchanged —
-   the parallelism is purely across shards. *)
+(* Route a batch: bucket the values by key into the per-shard arena
+   buffers (two counting passes, no per-pair allocation), then run the
+   prebuilt task array on the pool — each touched shard ingests its slice
+   via [push_slice], so the per-batch refresh amortisation of the
+   sequential path carries over unchanged; the parallelism is purely
+   across shards.  Steady state allocates nothing per batch beyond the
+   pool's own submission bookkeeping: the value buffers double to the
+   largest sub-batch seen and are then reused. *)
 let ingest t batch =
   let nb = Array.length batch in
   if nb > 0 then begin
     let s = Array.length t.shards in
-    Array.iter (fun (k, _) -> check_key t k) batch;
-    let counts = Array.make s 0 in
-    Array.iter (fun (k, _) -> counts.(k) <- counts.(k) + 1) batch;
-    let groups = Array.map (fun c -> Array.make c 0.0) counts in
-    let fill = Array.make s 0 in
-    Array.iter
-      (fun (k, v) ->
-        groups.(k).(fill.(k)) <- v;
-        fill.(k) <- fill.(k) + 1)
-      batch;
-    let touched = ref [] in
-    for k = s - 1 downto 0 do
-      if counts.(k) > 0 then touched := k :: !touched
+    for i = 0 to nb - 1 do
+      let k, v = batch.(i) in
+      check_key t k;
+      if not (Float.is_finite v) then invalid_arg "Shard_engine.ingest: non-finite value"
     done;
-    let tasks =
-      Array.of_list
-        (List.map
-           (fun k () -> with_shard t k (fun fw -> FW.push_many fw groups.(k)))
-           !touched)
-    in
-    ignore (Domain_pool.run t.pool tasks);
+    let counts = t.counts in
+    Array.fill counts 0 s 0;
+    for i = 0 to nb - 1 do
+      let k, _ = batch.(i) in
+      counts.(k) <- counts.(k) + 1
+    done;
+    for k = 0 to s - 1 do
+      if Array.length t.group_data.(k) < counts.(k) then
+        t.group_data.(k) <-
+          Array.make (max counts.(k) (2 * Array.length t.group_data.(k))) 0.0
+    done;
+    (* second pass refills counts as fill cursors, then restores them *)
+    Array.fill counts 0 s 0;
+    for i = 0 to nb - 1 do
+      let k, v = batch.(i) in
+      t.group_data.(k).(counts.(k)) <- v;
+      counts.(k) <- counts.(k) + 1
+    done;
+    ignore (Domain_pool.run t.pool t.ingest_tasks);
     M.add t.c_points nb;
     M.incr t.c_batches
   end
@@ -94,12 +142,7 @@ let ingest t batch =
    queue load-balances the remainder. *)
 let refresh_all ?(cold = false) t =
   Obs.with_span "engine.refresh_all" (fun () ->
-      let tasks =
-        Array.mapi
-          (fun k _ -> fun () -> with_shard t k (fun fw -> FW.refresh ~cold fw))
-          t.shards
-      in
-      ignore (Domain_pool.run t.pool tasks);
+      ignore (Domain_pool.run t.pool (if cold then t.cold_tasks else t.warm_tasks));
       M.incr t.c_refreshes)
 
 let pool t = t.pool

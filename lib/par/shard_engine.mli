@@ -37,10 +37,14 @@ val pool : t -> Domain_pool.t
 
 val ingest : t -> (int * float) array -> unit
 (** Route one batch of [(key, value)] arrivals to their shards and ingest
-    each shard's sub-batch with [push_many] — one pool task per touched
-    shard, refresh policy applied per shard per batch.  Raises
-    [Invalid_argument] (before ingesting anything) if any key is out of
-    range or any value non-finite. *)
+    each shard's sub-batch with [push_slice] — one pool task per shard
+    (untouched shards no-op), refresh policy applied per shard per batch.
+    Routing runs through a per-engine arena of reusable buffers, so a
+    steady-state batch allocates nothing beyond pool submission; the same
+    arena makes ingest single-producer — at most one [ingest] per engine
+    at a time (queries and {!refresh_all} may still run concurrently).
+    Raises [Invalid_argument] (before ingesting anything) if any key is
+    out of range or any value non-finite. *)
 
 val refresh_all : ?cold:bool -> t -> unit
 (** Rebuild every stale shard's interval lists across the pool — the

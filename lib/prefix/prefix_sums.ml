@@ -17,17 +17,35 @@ let make values = of_sub values ~pos:0 ~len:(Array.length values)
 
 let length t = Array.length t.sum - 1
 
-let check t ~lo ~hi =
+(* In-place refill for repeated queries over same-length windows: the
+   exact-baseline maintainer recomputes prefix sums of its whole window on
+   every query, and reusing the two arrays keeps that recomputation
+   allocation-free once the window is full. *)
+let refill_sub t values ~pos ~len =
+  if len <> length t then invalid_arg "Prefix_sums.refill_sub: length mismatch";
+  if pos < 0 || pos + len > Array.length values then
+    invalid_arg "Prefix_sums.refill_sub: slice out of bounds";
+  let sum = t.sum and sqsum = t.sqsum in
+  for i = 1 to len do
+    let v = values.(pos + i - 1) in
+    sum.(i) <- sum.(i - 1) +. v;
+    sqsum.(i) <- sqsum.(i - 1) +. (v *. v)
+  done
+
+(* The query chain is [@inline]-annotated for in-module callers
+   (sqerror_into below); see Sliding_prefix on why cross-module calls
+   still box their float results under -opaque. *)
+let[@inline] check t ~lo ~hi =
   if lo < 1 || hi > length t then invalid_arg "Prefix_sums: range out of bounds"
 
-let range_sum t ~lo ~hi =
+let[@inline] range_sum t ~lo ~hi =
   if lo > hi then 0.0
   else begin
     check t ~lo ~hi;
     t.sum.(hi) -. t.sum.(lo - 1)
   end
 
-let range_sqsum t ~lo ~hi =
+let[@inline] range_sqsum t ~lo ~hi =
   if lo > hi then 0.0
   else begin
     check t ~lo ~hi;
@@ -38,11 +56,18 @@ let range_mean t ~lo ~hi =
   if lo > hi then 0.0
   else range_sum t ~lo ~hi /. Float.of_int (hi - lo + 1)
 
-let sqerror t ~lo ~hi =
+let[@inline] sqerror t ~lo ~hi =
   if lo > hi then 0.0
   else begin
     let s = range_sum t ~lo ~hi in
     let q = range_sqsum t ~lo ~hi in
     let n = Float.of_int (hi - lo + 1) in
-    Float.max 0.0 (q -. (s *. s /. n))
+    (* branch instead of Float.max: identical on non-NaN data (the only
+       kind reaching the clamp) and it keeps the result unboxed. *)
+    let d = q -. (s *. s /. n) in
+    if d > 0.0 then d else 0.0
   end
+
+(* Out-param variant for allocation-free callers (the DP inner loop):
+   stores SQERROR into [dst.(i)] without boxing the result. *)
+let sqerror_into t ~lo ~hi dst i = dst.(i) <- sqerror t ~lo ~hi

@@ -17,6 +17,13 @@ val of_sub : float array -> pos:int -> len:int -> t
 (** [of_sub values ~pos ~len] preprocesses the slice
     [values.(pos .. pos+len-1)] without copying it twice. *)
 
+val refill_sub : t -> float array -> pos:int -> len:int -> unit
+(** [refill_sub t values ~pos ~len] recomputes [t] in place over a new
+    slice of exactly [length t] points, reusing the backing arrays — the
+    allocation-free path for maintainers that re-preprocess a fixed-size
+    window per query.  Raises [Invalid_argument] when [len <> length t] or
+    the slice is out of bounds. *)
+
 val length : t -> int
 (** Number of data points n. *)
 
@@ -34,3 +41,8 @@ val sqerror : t -> lo:int -> hi:int -> float
 (** SQERROR(lo, hi) of Equation 2: the SSE of representing the range by its
     mean.  Clamped to be non-negative (floating-point round-off can push the
     algebraic form slightly below zero). *)
+
+val sqerror_into : t -> lo:int -> hi:int -> float array -> int -> unit
+(** [sqerror_into t ~lo ~hi dst i] stores {!sqerror}[ t ~lo ~hi] into
+    [dst.(i)] without boxing the result — for callers (the V-optimal DP
+    inner loop) that must not allocate per evaluation. *)

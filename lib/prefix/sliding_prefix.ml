@@ -26,8 +26,15 @@ let capacity t = t.cap
 let length t = t.count
 
 (* Ring slot of the cumulative value for window-relative index i,
-   where i = 0 is the sentinel just before the window's oldest point. *)
-let slot t i = (t.pos - t.count + i + (2 * (t.cap + 1))) mod (t.cap + 1)
+   where i = 0 is the sentinel just before the window's oldest point.
+
+   The query chain below (slot / check / range_sum / range_sqsum /
+   sqerror) is [@inline]-annotated: these run once per probe of the
+   fixed-window search kernel, and without inlining each call boxes its
+   float return (no flambda), which is the bulk of the kernel's
+   allocation.  Inlined into the caller, the whole computation stays in
+   float registers and the probe loop allocates nothing. *)
+let[@inline] slot t i = (t.pos - t.count + i + (2 * (t.cap + 1))) mod (t.cap + 1)
 
 (* Shift the origin to the start of the current window: subtract the
    sentinel cumulative from every live slot.  Differences are unchanged. *)
@@ -50,17 +57,17 @@ let push t v =
   t.since_rebase <- t.since_rebase + 1;
   if t.since_rebase >= t.rebase_every then rebase t
 
-let check t ~lo ~hi =
+let[@inline] check t ~lo ~hi =
   if lo < 1 || hi > t.count then invalid_arg "Sliding_prefix: range out of bounds"
 
-let range_sum t ~lo ~hi =
+let[@inline] range_sum t ~lo ~hi =
   if lo > hi then 0.0
   else begin
     check t ~lo ~hi;
     t.sum.(slot t hi) -. t.sum.(slot t (lo - 1))
   end
 
-let range_sqsum t ~lo ~hi =
+let[@inline] range_sqsum t ~lo ~hi =
   if lo > hi then 0.0
   else begin
     check t ~lo ~hi;
@@ -71,11 +78,24 @@ let range_mean t ~lo ~hi =
   if lo > hi then 0.0
   else range_sum t ~lo ~hi /. Float.of_int (hi - lo + 1)
 
-let sqerror t ~lo ~hi =
+let[@inline] sqerror t ~lo ~hi =
   if lo > hi then 0.0
   else begin
     let s = range_sum t ~lo ~hi in
     let q = range_sqsum t ~lo ~hi in
     let n = Float.of_int (hi - lo + 1) in
-    Float.max 0.0 (q -. (s *. s /. n))
+    (* branch instead of Float.max: the Stdlib call would box both the
+       argument and the result on this per-probe path (NaN can't reach
+       here — pushes reject non-finite values). *)
+    let d = q -. (s *. s /. n) in
+    if d > 0.0 then d else 0.0
   end
+
+(* Out-param variant for allocation-free callers: dev-profile builds pass
+   -opaque, which strips cross-module Clambda approximations, so the
+   [@inline] annotations above only help callers inside this module — an
+   external [sqerror] call still boxes its float return.  Storing into a
+   caller-owned float array crosses the module boundary with ints only;
+   [sqerror] inlines here (same module), so the value goes from registers
+   straight into the array. *)
+let sqerror_into t ~lo ~hi dst i = dst.(i) <- sqerror t ~lo ~hi

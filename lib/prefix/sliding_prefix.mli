@@ -39,4 +39,11 @@ val range_sqsum : t -> lo:int -> hi:int -> float
 val sqerror : t -> lo:int -> hi:int -> float
 (** SQERROR(lo, hi) over the current window, clamped non-negative. *)
 
+val sqerror_into : t -> lo:int -> hi:int -> float array -> int -> unit
+(** [sqerror_into t ~lo ~hi dst i] stores {!sqerror}[ t ~lo ~hi] into
+    [dst.(i)] without boxing the result — the hot-path variant for callers
+    that must not allocate per query (a cross-module float return is a
+    boxed float under the dev profile's [-opaque]; an int-indexed store
+    into a caller-owned array is not). *)
+
 val range_mean : t -> lo:int -> hi:int -> float

@@ -1,0 +1,50 @@
+(** Open-addressing int-key -> float memo table with O(1) generational
+    clear.
+
+    The per-refresh cache of the fixed-window kernel: keys are single
+    immediate ints (pack composite keys yourself), values are unboxed
+    floats, probing is linear over a power-of-two table kept under 50%
+    load.  {!next_generation} invalidates everything by bumping a stamp —
+    no refill — so a table cleared between refreshes reuses its arena and
+    allocates only on capacity growth (amortised never, in steady state).
+
+    Lookup is split into {!find_slot} / {!get} so the hit path returns the
+    value without boxing an option. *)
+
+type t
+
+val create : ?init_bits:int -> unit -> t
+(** A table of [2^init_bits] slots (default 10).  Raises
+    [Invalid_argument] outside [1 .. 40]. *)
+
+val capacity : t -> int
+val live : t -> int
+(** Entries stored in the current generation. *)
+
+val generation : t -> int
+
+val next_generation : t -> unit
+(** Invalidate every entry in O(1).  Slots and capacity are kept. *)
+
+val find_slot : t -> int -> int
+(** The live slot holding the key, or [-1].  Never allocates. *)
+
+val get : t -> int -> float
+(** Value at a slot returned by {!find_slot} ([>= 0]), valid until the
+    next {!add} or {!next_generation}.  Trusted index — no bounds check. *)
+
+val add : t -> int -> float -> unit
+(** Insert or overwrite: {!reserve} plus the value store.  Amortised O(1);
+    doubling rehashes only the live generation.  Note the float argument
+    crosses the module boundary boxed — allocation-free callers should use
+    {!reserve} / {!vals} instead. *)
+
+val reserve : t -> int -> int
+(** The slot for a key — the live slot already holding it, or a fresh
+    claim (growing if needed).  The caller stores the value into {!vals}
+    at the returned index; an unwritten reserved slot holds a stale value.
+    Never allocates except on growth. *)
+
+val vals : t -> float array
+(** The value column, indexed by {!find_slot} / {!reserve} slots.  Valid
+    until the next growth — re-fetch after any {!reserve} / {!add}. *)

@@ -221,11 +221,14 @@ let test_fw_work_counters () =
     (after.FW.herror_evaluations > before.FW.herror_evaluations);
   Alcotest.(check bool) "refreshes counted" true (after.FW.refreshes >= 64)
 
-(* Golden regression for the registry migration: work_counters moved from
-   private mutable int fields to Sh_obs registry-backed series, and these
-   exact values were captured on the pre-migration implementation (network
-   workload seed 5, 300 arrivals).  Any drift means the migration changed
-   what gets counted, not just where it is stored. *)
+(* Golden regression for the registry migration and the SoA/memo rewrite:
+   work_counters moved from private mutable int fields to Sh_obs
+   registry-backed series, and these exact values were captured on the
+   pre-migration implementation (network workload seed 5, 300 arrivals).
+   The memo-off runs must reproduce them bit-for-bit — the SoA kernel with
+   memoisation disabled executes the exact legacy probe sequence.  Any
+   drift means the rewrite changed what gets counted or probed, not just
+   how lists are stored. *)
 let test_fw_work_counters_golden () =
   let window = 256 and buckets = 8 and epsilon = 0.2 in
   let module Wk = Sh_gen.Workloads in
@@ -242,17 +245,41 @@ let test_fw_work_counters_golden () =
     Alcotest.(check (list int)) tag expected got
   in
   let warm = FW.create ~window ~buckets ~epsilon in
+  FW.set_memoisation warm false;
   Array.iter (FW.push_and_refresh warm) data;
   ignore (FW.current_histogram warm);
   check_side "warm counters match pre-migration golden run"
     [ 415066; 0; 415059; 174716; 300; 0; 300; 3115309; 170797; 2902 ]
     (FW.work_counters warm);
   let cold = FW.create ~window ~buckets ~epsilon in
+  FW.set_memoisation cold false;
   Array.iter (fun v -> FW.push cold v; FW.refresh ~cold:true cold) data;
   ignore (FW.current_histogram cold);
   check_side "cold counters match pre-migration golden run"
     [ 1196240; 1196233; 0; 174716; 300; 300; 0; 9875868; 0; 0 ]
     (FW.work_counters cold);
+  (* Memoisation changes only how much probing is executed, never what is
+     logically evaluated or decided: the memoised run must report the same
+     evaluations, intervals, refreshes, and hint outcomes, with strictly
+     fewer executed search steps and a non-trivial hit rate. *)
+  let memo = FW.create ~window ~buckets ~epsilon in
+  Array.iter (FW.push_and_refresh memo) data;
+  ignore (FW.current_histogram memo);
+  let cm = FW.work_counters memo and cw = FW.work_counters warm in
+  Alcotest.(check (list int)) "memoised run: same logical work as golden"
+    [ cw.FW.herror_evaluations; cw.FW.cold_evaluations; cw.FW.warm_evaluations;
+      cw.FW.intervals_built; cw.FW.refreshes; cw.FW.hint_hits; cw.FW.hint_misses ]
+    [ cm.FW.herror_evaluations; cm.FW.cold_evaluations; cm.FW.warm_evaluations;
+      cm.FW.intervals_built; cm.FW.refreshes; cm.FW.hint_hits; cm.FW.hint_misses ];
+  Alcotest.(check bool) "memoised run executes fewer search steps" true
+    (cm.FW.search_steps < cw.FW.search_steps);
+  Alcotest.(check bool) "memo hits recorded" true (cm.FW.memo_hits > 0);
+  Alcotest.(check bool) "memo hits bounded by probes" true
+    (cm.FW.memo_hits <= cm.FW.memo_probes);
+  Alcotest.(check bool) "scan steps are a subset of search steps" true
+    (cm.FW.scan_steps <= cm.FW.search_steps && cm.FW.scan_steps > 0);
+  Alcotest.(check bool) "memo-off run records no memo probes" true
+    (cw.FW.memo_probes = 0 && cw.FW.memo_hits = 0);
   (* the same numbers must be visible through the shared registry: some
      fw.herror_evals series carries exactly the warm instance's total *)
   let found = ref false in
@@ -266,23 +293,43 @@ let test_fw_work_counters_golden () =
 
 (* Steady-state sliding must reuse the interval lists' backing arrays:
    after a warm-up long enough to reach peak capacity, further slides may
-   not grow any Vec in the process. *)
+   not grow any Soa column in the process (the lists moved from boxed-entry
+   Vecs to struct-of-arrays stores; Soa.allocations is the growth gauge). *)
 let test_fw_slide_reuses_memory () =
-  let vec_allocs () =
-    match Sh_obs.Registry.find "vec.allocations" with
-    | Some (Sh_obs.Registry.Gauge g) -> Sh_obs.Metric.gvalue g
-    | _ -> Alcotest.fail "vec.allocations gauge not registered"
-  in
+  let soa_allocs () = Sh_obs.Metric.gvalue Sh_util.Soa.allocations in
   let fw = FW.create ~window:64 ~buckets:4 ~epsilon:0.2 in
   for i = 1 to 256 do
     FW.push_and_refresh fw (Float.of_int ((i * 37) mod 101))
   done;
-  let before = vec_allocs () in
+  let before = soa_allocs () in
   for i = 257 to 512 do
     FW.push_and_refresh fw (Float.of_int ((i * 37) mod 101))
   done;
-  Alcotest.(check (float 0.0)) "no Vec growth across 256 steady-state slides" before
-    (vec_allocs ())
+  Alcotest.(check (float 0.0)) "no Soa growth across 256 steady-state slides" before
+    (soa_allocs ())
+
+(* The full arena claim: once warm, a push + warm refresh allocates ~zero
+   minor-heap words.  The budget is pinned generously above the measured
+   steady state (~0 words/push) but far below the pre-SoA kernel
+   (~10^5-10^8 words/push) so any boxing creeping back into the hot path
+   trips it immediately.  Telemetry spans stay disabled (their timing
+   closures allocate by design and are off by default). *)
+let test_fw_push_alloc_budget () =
+  let fw = FW.create ~window:256 ~buckets:8 ~epsilon:0.2 in
+  let v i = Float.of_int ((i * 37) mod 101) in
+  for i = 1 to 1024 do
+    FW.push_and_refresh fw (v i)
+  done;
+  let rounds = 256 in
+  let w0 = Gc.minor_words () in
+  for i = 1025 to 1024 + rounds do
+    FW.push_and_refresh fw (v i)
+  done;
+  let per_push = (Gc.minor_words () -. w0) /. Float.of_int rounds in
+  let budget = 64.0 in
+  if per_push > budget then
+    Alcotest.failf "steady-state allocation %.1f words/push exceeds budget %.1f"
+      per_push budget
 
 let test_fw_interval_count_bound () =
   (* The paper bounds each list by O((1/delta) log (HERROR)); sanity-check
@@ -349,6 +396,73 @@ let prop_warm_equals_cold =
       let wc = FW.work_counters warm and cc = FW.work_counters cold in
       (* modes charged to the right counters *)
       if wc.FW.cold_refreshes <> 0 || cc.FW.warm_refreshes <> 0 then ok := false;
+      !ok)
+
+(* The memo caches HERROR values within one refresh generation; hitting it
+   must never change anything observable.  Drive three twins — memoised
+   warm, unmemoised warm, cold — through identical streams over a grid of
+   (window, B, eps) and compare complete interval lists, errors, and
+   histograms after every push.  Bit-equality (<>, not approx) throughout:
+   a memo hit returns the stored double verbatim, so even the floats must
+   match exactly. *)
+let prop_memo_equals_unmemo_equals_cold =
+  Helpers.qcheck_case ~count:20
+    ~name:"memoised == unmemoised == cold lists and answers after every push"
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* workload = oneofl [ `Network; `Gauss_mix ] in
+      let* window = oneofl [ 7; 16; 32; 64 ] in
+      let* b = int_range 2 6 in
+      let* eps = oneofl [ 0.05; 0.1; 0.5 ] in
+      return (seed, workload, window, b, eps))
+    (fun (seed, workload, window, b, eps) ->
+      let module Wk = Sh_gen.Workloads in
+      let module Source = Sh_gen.Source in
+      let rng = Sh_util.Rng.create ~seed in
+      let source =
+        match workload with
+        | `Network -> Wk.network rng Wk.default_network
+        | `Gauss_mix -> Wk.step_signal rng ()
+      in
+      let data = Source.take source (3 * window) in
+      let memo = FW.create ~window ~buckets:b ~epsilon:eps in
+      let plain = FW.create ~window ~buckets:b ~epsilon:eps in
+      let cold = FW.create ~window ~buckets:b ~epsilon:eps in
+      FW.set_memoisation plain false;
+      let ok = ref true in
+      Array.iter
+        (fun v ->
+          FW.push memo v;
+          FW.refresh memo;
+          FW.push plain v;
+          FW.refresh plain;
+          FW.push cold v;
+          FW.refresh ~cold:true ~memo:true cold;
+          for k = 1 to b - 1 do
+            let im = FW.intervals memo ~k in
+            if im <> FW.intervals plain ~k || im <> FW.intervals cold ~k then ok := false
+          done;
+          let em = FW.current_error memo in
+          if em <> FW.current_error plain || em <> FW.current_error cold then ok := false;
+          let hm = H.to_series (FW.current_histogram memo) in
+          if
+            hm <> H.to_series (FW.current_histogram plain)
+            || hm <> H.to_series (FW.current_histogram cold)
+          then ok := false;
+          (* herror reads against the freshly built lists must agree too,
+             including the memo-served repeats *)
+          let x = FW.length memo in
+          for k = 1 to b do
+            let h1 = FW.herror memo ~k ~x in
+            let h2 = FW.herror memo ~k ~x in
+            if h1 <> h2 || h1 <> FW.herror plain ~k ~x || h1 <> FW.herror cold ~k ~x then
+              ok := false
+          done)
+        data;
+      (* the memoised twin must actually have exercised the memo *)
+      let mc = FW.work_counters memo and pc = FW.work_counters plain in
+      if window > 7 && mc.FW.memo_hits = 0 then ok := false;
+      if pc.FW.memo_probes <> 0 then ok := false;
       !ok)
 
 (* The quantified speedup of this PR: at the ISSUE's reference configuration
@@ -434,6 +548,45 @@ let test_fw_policy_validation () =
   let fw = FW.create ~window:8 ~buckets:2 ~epsilon:0.1 in
   Alcotest.check_raises "Every 0 rejected" (Invalid_argument "Params: Every period must be >= 1")
     (fun () -> FW.set_refresh_policy fw (Stream_histogram.Params.Every 0))
+
+(* every:1 is the boundary the CLI help used to leave ambiguous: k = 1 is
+   valid (set_refresh_policy and policy_of_string agree) and degenerates to
+   the Eager cadence — one rebuild per arrival. *)
+let test_fw_policy_every_one () =
+  let module P = Stream_histogram.Params in
+  Alcotest.(check bool) "every:1 parses" true (P.policy_of_string "every:1" = Some (P.Every 1));
+  Alcotest.(check bool) "every:0 rejected by parser" true (P.policy_of_string "every:0" = None);
+  let every1 = FW.create ~window:16 ~buckets:3 ~epsilon:0.2 in
+  FW.set_refresh_policy every1 (P.Every 1);
+  let eager = FW.create ~window:16 ~buckets:3 ~epsilon:0.2 in
+  FW.set_refresh_policy eager P.Eager;
+  for i = 1 to 20 do
+    let v = Float.of_int ((i * 7) mod 13) in
+    FW.push every1 v;
+    FW.push eager v
+  done;
+  Alcotest.(check int) "every:1 rebuilds per arrival" 20 (FW.work_counters every1).FW.refreshes;
+  Alcotest.(check int) "same cadence as eager"
+    (FW.work_counters eager).FW.refreshes
+    (FW.work_counters every1).FW.refreshes
+
+let test_fw_push_slice () =
+  let data = Array.init 100 (fun i -> Float.of_int ((i * 31) mod 57)) in
+  let whole = FW.create ~window:40 ~buckets:4 ~epsilon:0.1 in
+  let sliced = FW.create ~window:40 ~buckets:4 ~epsilon:0.1 in
+  FW.push_many whole data;
+  FW.push_slice sliced data ~pos:0 ~len:30;
+  FW.push_slice sliced data ~pos:30 ~len:70;
+  Helpers.check_close "same error" (FW.current_error whole) (FW.current_error sliced);
+  Alcotest.(check (array (float 0.0)))
+    "same histogram"
+    (H.to_series (FW.current_histogram whole))
+    (H.to_series (FW.current_histogram sliced));
+  Alcotest.check_raises "oob slice" (Invalid_argument "Fixed_window.push_slice: slice out of bounds")
+    (fun () -> FW.push_slice sliced data ~pos:90 ~len:20);
+  Alcotest.check_raises "non-finite rejected"
+    (Invalid_argument "Fixed_window.push_slice: non-finite value") (fun () ->
+      FW.push_slice sliced [| 1.0; Float.nan |] ~pos:0 ~len:2)
 
 let test_best_split_counted () =
   (* current_histogram's split recovery performs candidate evaluations; they
@@ -633,6 +786,7 @@ let () =
           Alcotest.test_case "work counters" `Quick test_fw_work_counters;
           Alcotest.test_case "work counters golden" `Quick test_fw_work_counters_golden;
           Alcotest.test_case "slide reuses memory" `Quick test_fw_slide_reuses_memory;
+          Alcotest.test_case "push allocation budget" `Quick test_fw_push_alloc_budget;
           Alcotest.test_case "interval bound" `Quick test_fw_interval_count_bound;
           prop_fw_guarantee;
           prop_fw_guarantee_while_sliding;
@@ -641,9 +795,12 @@ let () =
       ( "warm_start",
         [
           prop_warm_equals_cold;
+          prop_memo_equals_unmemo_equals_cold;
           Alcotest.test_case "3x fewer herror evals" `Quick test_fw_warm_speedup;
           Alcotest.test_case "policy eager" `Quick test_fw_policy_eager;
           Alcotest.test_case "policy every" `Quick test_fw_policy_every;
+          Alcotest.test_case "policy every:1 boundary" `Quick test_fw_policy_every_one;
+          Alcotest.test_case "push_slice" `Quick test_fw_push_slice;
           Alcotest.test_case "policies agree" `Quick test_fw_policy_matches_lazy;
           Alcotest.test_case "policy validation" `Quick test_fw_policy_validation;
           Alcotest.test_case "best_split counted" `Quick test_best_split_counted;

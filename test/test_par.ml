@@ -126,6 +126,10 @@ let engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon ~policy
         Array.init shards (fun _ ->
             let fw = FW.create ~window ~buckets ~epsilon in
             FW.set_refresh_policy fw policy;
+            (* reference runs unmemoised: the comparison then also proves
+               the engine's memoised, arena-pooled rebuilds answer exactly
+               like the plain re-evaluating kernel *)
+            FW.set_memoisation fw false;
             fw)
       in
       List.iter

@@ -3,6 +3,8 @@ module Stats = Sh_util.Stats
 module Metrics = Sh_util.Metrics
 module Heap = Sh_util.Heap
 module Vec = Sh_util.Vec
+module Soa = Sh_util.Soa
+module Intmemo = Sh_util.Intmemo
 
 (* ------------------------------------------------------------------ Rng *)
 
@@ -229,6 +231,162 @@ let test_vec_allocation_gauge () =
   done;
   Alcotest.(check (float 0.0)) "clear + refill reuses capacity" (before +. 5.0) (allocs ())
 
+(* ------------------------------------------------------------------ Soa *)
+
+let test_soa_basics () =
+  let s = Soa.create ~fcols:2 ~icols:2 () in
+  Alcotest.(check bool) "empty" true (Soa.is_empty s);
+  Alcotest.(check int) "float cols" 2 (Soa.float_cols s);
+  Alcotest.(check int) "int cols" 2 (Soa.int_cols s);
+  for i = 0 to 99 do
+    let r = Soa.add_row s in
+    Alcotest.(check int) "row index" i r;
+    Soa.set_i s ~col:0 r (i * 3);
+    Soa.set_i s ~col:1 r (i * 5);
+    Soa.set_f s ~col:0 r (Float.of_int (i * 7));
+    Soa.set_f s ~col:1 r (Float.of_int (i * 11))
+  done;
+  Alcotest.(check int) "length" 100 (Soa.length s);
+  (* column integrity: growth must preserve every column in lockstep *)
+  for i = 0 to 99 do
+    Alcotest.(check int) "icol 0" (i * 3) (Soa.get_i s ~col:0 i);
+    Alcotest.(check int) "icol 1" (i * 5) (Soa.get_i s ~col:1 i);
+    Alcotest.(check (float 0.0)) "fcol 0" (Float.of_int (i * 7)) (Soa.get_f s ~col:0 i);
+    Alcotest.(check (float 0.0)) "fcol 1" (Float.of_int (i * 11)) (Soa.get_f s ~col:1 i)
+  done;
+  Alcotest.(check bool) "capacity >= length" true (Soa.capacity s >= 100);
+  Soa.clear s;
+  Alcotest.(check bool) "cleared" true (Soa.is_empty s);
+  Alcotest.check_raises "get oob" (Invalid_argument "Soa: row out of bounds") (fun () ->
+      ignore (Soa.get_i s ~col:0 0));
+  Alcotest.check_raises "no columns" (Invalid_argument "Soa.create: need at least one column")
+    (fun () -> ignore (Soa.create ~fcols:0 ~icols:0 ()))
+
+let test_soa_allocation_gauge () =
+  let allocs () = Sh_obs.Metric.gvalue Soa.allocations in
+  let s = Soa.create ~fcols:1 ~icols:1 () in
+  let before = allocs () in
+  for i = 1 to 100 do
+    let r = Soa.add_row s in
+    Soa.set_i s ~col:0 r i;
+    Soa.set_f s ~col:0 r (Float.of_int i)
+  done;
+  (* capacities 8, 16, 32, 64, 128 *)
+  Alcotest.(check (float 0.0)) "growths counted" (before +. 5.0) (allocs ());
+  Soa.clear s;
+  for _ = 1 to 100 do
+    ignore (Soa.add_row s)
+  done;
+  Alcotest.(check (float 0.0)) "clear + refill reuses capacity" (before +. 5.0) (allocs ())
+
+let test_soa_bsearch_ge () =
+  let s = Soa.create ~fcols:0 ~icols:1 () in
+  List.iter
+    (fun x ->
+      let r = Soa.add_row s in
+      Soa.set_i s ~col:0 r x)
+    [ 2; 4; 4; 7; 11 ];
+  Alcotest.(check int) "below all" 0 (Soa.bsearch_ge s ~col:0 1);
+  Alcotest.(check int) "exact" 1 (Soa.bsearch_ge s ~col:0 4);
+  Alcotest.(check int) "between" 3 (Soa.bsearch_ge s ~col:0 5);
+  Alcotest.(check int) "above all" 5 (Soa.bsearch_ge s ~col:0 12);
+  Alcotest.(check int) "sub-range" 3 (Soa.bsearch_ge s ~col:0 ~lo:3 ~hi:5 1);
+  Alcotest.check_raises "bad range" (Invalid_argument "Soa.bsearch_ge: bad range")
+    (fun () -> ignore (Soa.bsearch_ge s ~col:0 ~lo:2 ~hi:1 0))
+
+let soa_matches_reference =
+  Helpers.qcheck_case ~name:"soa columns equal reference arrays"
+    QCheck2.Gen.(list (pair int (float_range (-1000.0) 1000.0)))
+    (fun rows ->
+      let s = Soa.create ~fcols:1 ~icols:1 () in
+      List.iter
+        (fun (i, f) ->
+          let r = Soa.add_row s in
+          Soa.set_i s ~col:0 r i;
+          Soa.set_f s ~col:0 r f)
+        rows;
+      Soa.length s = List.length rows
+      && List.for_all2
+           (fun (i, f) r -> Soa.get_i s ~col:0 r = i && Soa.get_f s ~col:0 r = f)
+           rows
+           (List.init (Soa.length s) Fun.id))
+
+(* -------------------------------------------------------------- Intmemo *)
+
+let test_intmemo_basics () =
+  let m = Intmemo.create ~init_bits:2 () in
+  Alcotest.(check int) "capacity" 4 (Intmemo.capacity m);
+  Alcotest.(check int) "miss" (-1) (Intmemo.find_slot m 42);
+  Intmemo.add m 42 1.5;
+  let s = Intmemo.find_slot m 42 in
+  Alcotest.(check bool) "hit" true (s >= 0);
+  Alcotest.(check (float 0.0)) "value" 1.5 (Intmemo.get m s);
+  Intmemo.add m 42 2.5;
+  Alcotest.(check (float 0.0)) "overwrite" 2.5 (Intmemo.get m (Intmemo.find_slot m 42));
+  Alcotest.(check int) "live" 1 (Intmemo.live m)
+
+let test_intmemo_generation_clear () =
+  let m = Intmemo.create () in
+  for k = 0 to 99 do
+    Intmemo.add m k (Float.of_int k)
+  done;
+  Alcotest.(check int) "live before" 100 (Intmemo.live m);
+  let g = Intmemo.generation m in
+  Intmemo.next_generation m;
+  Alcotest.(check int) "generation bumped" (g + 1) (Intmemo.generation m);
+  Alcotest.(check int) "live reset" 0 (Intmemo.live m);
+  for k = 0 to 99 do
+    Alcotest.(check int) (Printf.sprintf "key %d invalidated" k) (-1) (Intmemo.find_slot m k)
+  done;
+  (* stale slots are reclaimable by the new generation *)
+  Intmemo.add m 7 9.0;
+  Alcotest.(check (float 0.0)) "reinsert after clear" 9.0
+    (Intmemo.get m (Intmemo.find_slot m 7))
+
+let test_intmemo_growth_rehash () =
+  let m = Intmemo.create ~init_bits:1 () in
+  let n = 500 in
+  for k = 0 to n - 1 do
+    Intmemo.add m (k * 7919) (Float.of_int k)
+  done;
+  Alcotest.(check int) "live" n (Intmemo.live m);
+  Alcotest.(check bool) "load stays under 50%" true (Intmemo.capacity m >= 2 * n);
+  for k = 0 to n - 1 do
+    let s = Intmemo.find_slot m (k * 7919) in
+    if s < 0 then Alcotest.failf "key %d lost in growth" k;
+    Alcotest.(check (float 0.0)) "value survives rehash" (Float.of_int k) (Intmemo.get m s)
+  done;
+  Alcotest.check_raises "bad bits" (Invalid_argument "Intmemo.create: bad init_bits")
+    (fun () -> ignore (Intmemo.create ~init_bits:0 ()))
+
+let test_intmemo_reserve_raw () =
+  let m = Intmemo.create () in
+  let s = Intmemo.reserve m 13 in
+  (Intmemo.vals m).(s) <- 3.25;
+  Alcotest.(check int) "reserve finds same slot" s (Intmemo.reserve m 13);
+  Alcotest.(check (float 0.0)) "raw store visible" 3.25 (Intmemo.get m (Intmemo.find_slot m 13));
+  Alcotest.(check int) "live counts reserve once" 1 (Intmemo.live m)
+
+let intmemo_matches_hashtbl =
+  Helpers.qcheck_case ~name:"intmemo equals Hashtbl within a generation"
+    QCheck2.Gen.(list (pair small_int (float_range (-100.0) 100.0)))
+    (fun ops ->
+      let m = Intmemo.create ~init_bits:1 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          Intmemo.add m k v;
+          Hashtbl.replace h k v)
+        ops;
+      Hashtbl.fold
+        (fun k v ok ->
+          ok
+          &&
+          let s = Intmemo.find_slot m k in
+          s >= 0 && Intmemo.get m s = v)
+        h true
+      && Intmemo.live m = Hashtbl.length h)
+
 let () =
   Alcotest.run "sh_util"
     [
@@ -271,5 +429,20 @@ let () =
           Alcotest.test_case "basics" `Quick test_vec_basics;
           Alcotest.test_case "allocation gauge" `Quick test_vec_allocation_gauge;
           vec_matches_list;
+        ] );
+      ( "soa",
+        [
+          Alcotest.test_case "basics" `Quick test_soa_basics;
+          Alcotest.test_case "allocation gauge" `Quick test_soa_allocation_gauge;
+          Alcotest.test_case "bsearch_ge" `Quick test_soa_bsearch_ge;
+          soa_matches_reference;
+        ] );
+      ( "intmemo",
+        [
+          Alcotest.test_case "basics" `Quick test_intmemo_basics;
+          Alcotest.test_case "generation clear" `Quick test_intmemo_generation_clear;
+          Alcotest.test_case "growth rehash" `Quick test_intmemo_growth_rehash;
+          Alcotest.test_case "reserve raw" `Quick test_intmemo_reserve_raw;
+          intmemo_matches_hashtbl;
         ] );
     ]
