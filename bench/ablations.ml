@@ -113,7 +113,7 @@ let rebase scale =
   let rows =
     List.map
       (fun (label, rebase_every) ->
-        let sp = SP.create ~rebase_every ~capacity () in
+        let sp = SP.create_rebasing ~rebase_every ~capacity in
         let ring = RB.create ~capacity in
         let (), dt =
           Report.time (fun () ->

@@ -34,6 +34,7 @@ let experiments : (string * (Bench_config.scale -> unit)) list =
     ("micro-fw", Micro.run_fw);
     ("micro-obs", Micro.run_obs);
     ("micro-par", Micro.run_par);
+    ("micro-persist", Micro.run_persist);
   ]
 
 let usage () =

@@ -47,7 +47,7 @@ let ag_push =
   Test.make ~name:"agglomerative.push B=16" (Staged.stage (fun () -> AG.push ag (next ())))
 
 let sliding_push =
-  let sp = SP.create ~capacity:4096 () in
+  let sp = SP.create ~capacity:4096 in
   let next = feeder (network ~seed:4 ~len:8192) in
   Test.make ~name:"sliding_prefix.push n=4096" (Staged.stage (fun () -> SP.push sp (next ())))
 
@@ -458,8 +458,7 @@ let run_par scale =
   let measure ~domains ~cold =
     Pool.with_pool ~domains (fun pool ->
         let eng =
-          SE.create ~policy:Stream_histogram.Params.Lazy ~pool ~shards ~window ~buckets
-            ~epsilon ()
+          SE.create ~pool ~shards ~window ~buckets ~epsilon
         in
         (* steady state before the clock starts: windows full, lists warm *)
         SE.ingest eng prefill;
@@ -534,3 +533,106 @@ let run scale =
     @ query_ops
   in
   run_group ~quota tests
+
+(* --------------------------------------- snapshot / restore micro costs
+
+   BENCH-MICRO-PERSIST (EXPERIMENTS.md): the durability tax.  Snapshot
+   size should be O(window) — two float arrays of prefix sums plus a few
+   dozen bytes of parameters — and snapshot latency a memcpy-scale walk of
+   that state; restore pays one extra cold refresh to rebuild the interval
+   lists.  The shard-engine rows add the file-backed atomic write path
+   (temp + fsync-free rename on the bench host). *)
+
+module Snapshot = Stream_histogram.Snapshot
+module Persist = Sh_persist.Persist
+
+let timed_ns ~reps f =
+  ignore (f ());
+  (* warmup *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) /. Float.of_int reps *. 1e9
+
+let run_persist scale =
+  Report.section "BENCH-MICRO-PERSIST: snapshot/restore and checkpoint costs";
+  let fw_windows, reps, shards =
+    match scale with
+    | Bench_config.Small -> ([ 256; 1024 ], 20, 8)
+    | Bench_config.Default | Bench_config.Full -> ([ 1024; 4096; 16384 ], 50, 8)
+  in
+  let buckets = 8 and epsilon = 0.5 in
+  let fw_rows =
+    List.map
+      (fun window ->
+        let fw = FW.create ~window ~buckets ~epsilon in
+        Array.iter (FW.push fw) (network ~seed:21 ~len:(window + (window / 2)));
+        FW.refresh fw;
+        let image = Snapshot.Fixed_window.snapshot fw in
+        let snap_ns = timed_ns ~reps (fun () -> Snapshot.Fixed_window.snapshot fw) in
+        let restore_ns = timed_ns ~reps (fun () -> Snapshot.Fixed_window.restore image) in
+        (window, String.length image, snap_ns, restore_ns))
+      fw_windows
+  in
+  let ck_file = Filename.temp_file "shist_bench" ".ckpt" in
+  let engine_row =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove ck_file with Sys_error _ -> ())
+      (fun () ->
+        Pool.with_pool ~domains:1 @@ fun pool ->
+        let window = List.hd (List.rev fw_windows) in
+        let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
+        SE.ingest eng (par_round_data ~shards ~batch:(shards * window) ~rounds:1 ~seed:22).(0);
+        SE.refresh_all eng;
+        let ck_ns = timed_ns ~reps:(max 5 (reps / 5)) (fun () -> SE.checkpoint eng ~file:ck_file) in
+        let rs_ns =
+          timed_ns ~reps:(max 5 (reps / 5)) (fun () -> SE.restore_from ~pool ~file:ck_file)
+        in
+        let bytes = String.length (Persist.read_file ck_file) in
+        (window, bytes, ck_ns, rs_ns))
+  in
+  let bytes_per_point w b = Float.of_int b /. Float.of_int w in
+  Report.note "fixed-window snapshots at B=%d eps=%g (in-memory, %d reps); engine checkpoint \
+               S=%d via temp-file + atomic rename" buckets epsilon reps shards;
+  Report.table
+    ~headers:[ "state"; "bytes"; "bytes/point"; "snapshot"; "restore" ]
+    (List.map
+       (fun (w, b, s, r) ->
+         [ Printf.sprintf "fw n=%d" w; string_of_int b;
+           Printf.sprintf "%.1f" (bytes_per_point w b); pretty_ns s; pretty_ns r ])
+       fw_rows
+    @ [ (let w, b, s, r = engine_row in
+         [ Printf.sprintf "engine S=%d n=%d" shards w; string_of_int b;
+           Printf.sprintf "%.1f" (Float.of_int b /. Float.of_int (shards * w)); pretty_ns s;
+           pretty_ns r ]) ]);
+  Report.json_add "persist"
+    (Report.Jobj
+       [
+         ("buckets", Report.Jint buckets);
+         ("epsilon", Report.Jfloat epsilon);
+         ("reps", Report.Jint reps);
+         ( "fixed_window",
+           Report.Jlist
+             (List.map
+                (fun (w, b, s, r) ->
+                  Report.Jobj
+                    [
+                      ("window", Report.Jint w);
+                      ("snapshot_bytes", Report.Jint b);
+                      ("bytes_per_point", Report.Jfloat (bytes_per_point w b));
+                      ("snapshot_ns", Report.Jfloat s);
+                      ("restore_ns", Report.Jfloat r);
+                    ])
+                fw_rows) );
+         ( "shard_engine",
+           let w, b, s, r = engine_row in
+           Report.Jobj
+             [
+               ("shards", Report.Jint shards);
+               ("window", Report.Jint w);
+               ("checkpoint_bytes", Report.Jint b);
+               ("checkpoint_ns", Report.Jfloat s);
+               ("restore_ns", Report.Jfloat r);
+             ] );
+       ])

@@ -371,9 +371,53 @@ let serve_cmd =
   let skew =
     Arg.(value & opt float 1.1 & info [ "skew" ] ~docv:"A" ~doc:"Zipf skew (with --dist zipf).")
   in
-  let run shards domains count batch window buckets epsilon policy dist skew seed metrics trace_out =
+  let checkpoint_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write an atomic engine checkpoint to $(docv) when the run completes (and \
+             periodically with $(b,--checkpoint-every)).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"Also checkpoint after every K batches (K >= 1; requires $(b,--checkpoint)).")
+  in
+  let restore_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "restore" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a checkpoint: shard count, window geometry and per-shard state come \
+             from $(docv) ($(b,--shards)/$(b,--window) etc. are ignored); the run then ingests \
+             $(b,-n) further points.")
+  in
+  let run shards domains count batch window buckets epsilon policy dist skew seed metrics
+      trace_out checkpoint_file checkpoint_every restore_file =
     with_obs metrics trace_out @@ fun () ->
     if batch < 1 then invalid_arg "serve: --batch must be >= 1";
+    (match checkpoint_every with
+     | Some k when k < 1 -> invalid_arg "serve: --checkpoint-every must be >= 1"
+     | Some _ when checkpoint_file = None ->
+       invalid_arg "serve: --checkpoint-every requires --checkpoint"
+     | _ -> ());
+    Pool.with_pool ~domains @@ fun pool ->
+    let eng =
+      match restore_file with
+      | None -> SE.create ~pool ~shards ~window ~buckets ~epsilon
+      | Some file ->
+        let eng = SE.restore_from ~pool ~file in
+        Printf.printf "restored %d shards (%d points) from %s\n" (SE.shard_count eng)
+          (SE.total_points eng) file;
+        eng
+    in
+    SE.set_refresh_policy eng policy;
+    let shards = SE.shard_count eng in
     let root = Rng.create ~seed in
     (* Every shard owns a deterministic value stream derived from the root
        seed and its key alone (split_ix), so a run is reproducible for any
@@ -393,10 +437,17 @@ let serve_cmd =
           rr := (k + 1) mod shards;
           k
     in
-    Pool.with_pool ~domains @@ fun pool ->
-    let eng = SE.create ~policy ~pool ~shards ~window ~buckets ~epsilon () in
+    let checkpoints = ref 0 in
+    let write_checkpoint () =
+      match checkpoint_file with
+      | None -> ()
+      | Some file ->
+        SE.checkpoint eng ~file;
+        incr checkpoints
+    in
     let t0 = Unix.gettimeofday () in
     let remaining = ref count in
+    let batches_done = ref 0 in
     while !remaining > 0 do
       let b = min batch !remaining in
       let arrivals =
@@ -405,9 +456,17 @@ let serve_cmd =
             (k, sources.(k) ()))
       in
       SE.ingest eng arrivals;
-      remaining := !remaining - b
+      remaining := !remaining - b;
+      incr batches_done;
+      match checkpoint_every with
+      | Some k when !batches_done mod k = 0 -> write_checkpoint ()
+      | _ -> ()
     done;
     SE.refresh_all eng;
+    write_checkpoint ();
+    (match checkpoint_file with
+     | Some file -> Printf.printf "checkpoint: wrote %s (%d write(s))\n" file !checkpoints
+     | None -> ());
     let elapsed = Unix.gettimeofday () -. t0 in
     Printf.printf "serve: %d points, %d batches of <=%d over %d shards, %d domains (%s)\n"
       (SE.total_points eng) (SE.batches eng) batch shards domains
@@ -428,7 +487,8 @@ let serve_cmd =
        ~doc:"Ingest many independent streams in parallel across a sharded domain pool")
     Term.(
       const run $ shards $ domains $ count $ batch $ window $ buckets_arg $ epsilon_arg $ policy
-      $ dist $ skew $ seed_arg $ metrics_arg $ trace_out_arg)
+      $ dist $ skew $ seed_arg $ metrics_arg $ trace_out_arg $ checkpoint_file $ checkpoint_every
+      $ restore_file)
 
 (* -------------------------------------------------------- quantiles *)
 

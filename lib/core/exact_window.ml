@@ -6,6 +6,11 @@ module M = Sh_obs.Metric
 type t = {
   ring : RB.t;
   buckets : int;
+  epsilon : float;
+      (* The DP is exact, so epsilon never changes a result; it is recorded
+         so the baseline answers the same parameter accessors as the
+         approximate maintainers (Summary_intf parity) and survives
+         snapshot round trips. *)
   scratch : float array;
   (* Query scratch, reused across calls: the prefix-sum pair is refilled
      in place once the window length stabilises, and the O(n^2 B) DP runs
@@ -19,21 +24,30 @@ type t = {
   c_rebuilds : M.counter;
 }
 
-let create ~window ~buckets =
+let mk ~ring ~buckets ~epsilon =
   if buckets < 1 then invalid_arg "Exact_window.create: buckets must be >= 1";
+  if not (Float.is_finite epsilon) || epsilon < 0.0 then
+    invalid_arg "Exact_window.create: epsilon must be finite and >= 0";
   let labels = [ ("instance", Obs.instance "ew") ] in
   {
-    ring = RB.create ~capacity:window;
+    ring;
     buckets;
-    scratch = Array.make window 0.0;
+    epsilon;
+    scratch = Array.make (RB.capacity ring) 0.0;
     vopt = Sh_histogram.Vopt.scratch ();
     prefix_cache = None;
     c_pushes = Obs.counter ~labels "ew.pushes";
     c_rebuilds = Obs.counter ~labels "ew.rebuilds";
   }
 
+let create ~window ~buckets ~epsilon =
+  mk ~ring:(RB.create ~capacity:window) ~buckets ~epsilon
+
+let create_legacy ~window ~buckets = create ~window ~buckets ~epsilon:0.0
+
 let window t = RB.capacity t.ring
 let buckets t = t.buckets
+let epsilon t = t.epsilon
 let length t = RB.length t.ring
 
 let push t v =
@@ -64,3 +78,27 @@ let current_histogram t =
 
 let current_error t =
   Sh_histogram.Vopt.optimal_error_with t.vopt (prefix t) ~buckets:t.buckets
+
+(* --- persistence ---------------------------------------------------- *)
+
+module Codec = Sh_persist.Codec
+
+let name = "exact_window"
+let summary_tag = Char.code 'E'
+
+let encode buf t =
+  Codec.put_u8 buf summary_tag;
+  Codec.put_varint buf t.buckets;
+  Codec.put_float buf t.epsilon;
+  RB.encode buf t.ring
+
+let decode r =
+  let tag = Codec.get_u8 r in
+  if tag <> summary_tag then
+    Codec.corruptf "Exact_window.decode: tag %d is not an exact-window payload"
+      tag;
+  let buckets = Codec.get_varint r in
+  let epsilon = Codec.get_float r in
+  let ring = RB.decode r in
+  try mk ~ring ~buckets ~epsilon
+  with Invalid_argument m -> Codec.corruptf "Exact_window.decode: %s" m

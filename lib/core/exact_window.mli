@@ -9,18 +9,46 @@
 
 type t
 
-val create : window:int -> buckets:int -> t
+val create : window:int -> buckets:int -> epsilon:float -> t
+(** The DP is exact, so [epsilon] never changes a result; it is recorded
+    (finite, [>= 0] — pass [0.0] for "exact") so the baseline presents the
+    same {!Summary_intf.S} parameter surface as the approximate
+    maintainers.  Raises [Invalid_argument] on bad geometry. *)
+
+val create_legacy : window:int -> buckets:int -> t
+[@@ocaml.deprecated
+  "use Exact_window.create ~window ~buckets ~epsilon (epsilon:0.0 matches \
+   the old behaviour)"]
+(** Pre-redesign spelling without [epsilon]; kept for one release. *)
 
 val window : t -> int
 val buckets : t -> int
+
+val epsilon : t -> float
+(** The recorded nominal precision (accessor parity; never used by the DP). *)
+
 val length : t -> int
 
 val push : t -> float -> unit
-(** O(1): append to the circular buffer. *)
+(** O(1): append to the circular buffer.  Raises [Invalid_argument] on a
+    non-finite value. *)
 
 val current_histogram : t -> Sh_histogram.Histogram.t
 (** Optimal B-bucket histogram of the current window, recomputed from
     scratch: O(n^2 B).  Raises [Invalid_argument] on an empty window. *)
 
 val current_error : t -> float
-(** The optimal SSE itself. *)
+(** The optimal SSE itself.  Raises [Invalid_argument] on an empty window. *)
+
+(** {2 Persistence} *)
+
+val name : string
+(** ["exact_window"] — the {!Summary_intf.S} family name. *)
+
+val encode : Buffer.t -> t -> unit
+(** Append the snapshot payload (tag, params, raw ring buffer); read-only. *)
+
+val decode : Sh_persist.Codec.reader -> t
+(** Rebuild a baseline from {!encode}'s bytes — the ring is restored
+    verbatim, queries re-run the exact DP as always.  Raises
+    {!Sh_persist.Codec.Corrupt} on malformed input. *)

@@ -104,14 +104,16 @@ type t = {
   g_alloc : M.gauge;
 }
 
-let create_with_delta ~window ~buckets ~epsilon ~delta =
-  let params = Params.make_with_delta ~buckets ~epsilon ~delta in
-  if window < 1 then invalid_arg "Fixed_window.create: window must be >= 1";
+(* Shared constructor: everything but [params] and the prefix-sum state is
+   derived or starts empty, which is also why [decode] below can rebuild a
+   full summary from just those two (plus a cold refresh). *)
+let mk ~params ~sp =
+  let buckets = params.Params.buckets in
   let labels = [ ("instance", Obs.instance "fw") ] in
   let c name = Obs.counter ~labels name in
   {
     params;
-    sp = Sliding_prefix.create ~capacity:window ();
+    sp;
     queues = Array.init (max 1 (buckets - 1)) (fun _ -> new_list ());
     prev_queues = Array.init (max 1 (buckets - 1)) (fun _ -> new_list ());
     memo = Intmemo.create ();
@@ -143,6 +145,11 @@ let create_with_delta ~window ~buckets ~epsilon ~delta =
     g_length = Obs.gauge ~labels "fw.window_length";
     g_alloc = Obs.gauge ~labels "fw.alloc_words_per_push";
   }
+
+let create_with_delta ~window ~buckets ~epsilon ~delta =
+  let params = Params.make_with_delta ~buckets ~epsilon ~delta in
+  if window < 1 then invalid_arg "Fixed_window.create: window must be >= 1";
+  mk ~params ~sp:(Sliding_prefix.create ~capacity:window)
 
 let create ~window ~buckets ~epsilon =
   create_with_delta ~window ~buckets ~epsilon
@@ -640,3 +647,65 @@ let intervals t ~k =
         Soa.get_f q ~col:col_ha i,
         Soa.get_i q ~col:col_b i,
         Soa.get_f q ~col:col_hb i ))
+
+(* --- persistence ---------------------------------------------------- *)
+
+module Codec = Sh_persist.Codec
+
+let name = "fixed_window"
+let summary_tag = Char.code 'F'
+
+(* Snapshots carry only the irreducible state: parameters and the sliding
+   prefix sums (Theorem 1's point — the interval lists are a deterministic
+   function of the window, so [decode] rebuilds them with one cold refresh
+   and the restored summary is indistinguishable from one that never
+   stopped).  Derived scratch (queues, memo, fs) and telemetry counters are
+   deliberately not persisted: counters restart at zero in the fresh
+   process, like every other series in the registry. *)
+let encode buf t =
+  Codec.put_u8 buf summary_tag;
+  Codec.put_float buf t.params.Params.epsilon;
+  Codec.put_float buf t.params.Params.delta;
+  Codec.put_varint buf t.params.Params.buckets;
+  (match t.policy with
+   | Params.Eager -> Codec.put_varint buf 0
+   | Params.Lazy -> Codec.put_varint buf 1
+   | Params.Every k ->
+     Codec.put_varint buf 2;
+     Codec.put_varint buf k);
+  Codec.put_bool buf t.memo_on;
+  Codec.put_varint buf t.pushes_since_refresh;
+  Sliding_prefix.encode buf t.sp
+
+let decode r =
+  let tag = Codec.get_u8 r in
+  if tag <> summary_tag then
+    Codec.corruptf "Fixed_window.decode: tag %d is not a fixed-window payload"
+      tag;
+  let epsilon = Codec.get_float r in
+  let delta = Codec.get_float r in
+  let buckets = Codec.get_varint r in
+  let policy =
+    match Codec.get_varint r with
+    | 0 -> Params.Eager
+    | 1 -> Params.Lazy
+    | 2 -> Params.Every (Codec.get_varint r)
+    | n -> Codec.corruptf "Fixed_window.decode: unknown policy tag %d" n
+  in
+  let memo_on = Codec.get_bool r in
+  let pending = Codec.get_varint r in
+  let sp = Sliding_prefix.decode r in
+  let params =
+    try Params.with_policy (Params.make_with_delta ~buckets ~epsilon ~delta) policy
+    with Invalid_argument m -> Codec.corruptf "Fixed_window.decode: %s" m
+  in
+  let t = mk ~params ~sp in
+  t.policy <- params.Params.policy;
+  set_memoisation t memo_on;
+  (* Rebuild the interval lists from the restored window, then put the
+     arrival-cadence counter back so an [Every k] policy resumes exactly
+     where the snapshot left it. *)
+  t.dirty <- true;
+  refresh ~cold:true t;
+  t.pushes_since_refresh <- pending;
+  t

@@ -182,3 +182,24 @@ val intervals : t -> k:int -> (int * float * int * float) array
 (** The level-k interval list as [(a_idx, a_herror, b_idx, b_herror)]
     tuples, oldest-first.  Requires [1 <= k <= buckets - 1].  Refreshes if
     needed.  Validation hook for the warm-vs-cold equivalence tests. *)
+
+(** {2 Persistence}
+
+    See {!Summary_intf.S}.  Snapshots carry only parameters and the
+    sliding prefix sums — O(window) bytes; {!decode} rebuilds the interval
+    lists with one cold refresh, so the restored summary answers every
+    query bit-identically to one that never stopped (pinned by the
+    round-trip property tests). *)
+
+val name : string
+(** ["fixed_window"] — the {!Summary_intf.S} family name. *)
+
+val encode : Buffer.t -> t -> unit
+(** Append the snapshot payload (tag, params, policy, memoisation flag,
+    arrival cadence, prefix-sum state).  Read-only; O(window) bytes. *)
+
+val decode : Sh_persist.Codec.reader -> t
+(** Rebuild a summary from {!encode}'s bytes: restores params and window
+    state verbatim, performs one eager cold refresh, then restores the
+    [Every k] arrival cadence.  Raises {!Sh_persist.Codec.Corrupt} on
+    malformed input (bad tag, invalid params, inconsistent window). *)

@@ -1,0 +1,50 @@
+module Obs = Sh_obs.Obs
+module M = Sh_obs.Metric
+module C = Sh_persist.Codec
+module Frame = Sh_persist.Frame
+module P = Sh_persist.Persist
+
+(* Signature conformance proofs: breaking any summary away from the shared
+   interface is a compile error here, not a drift discovered later. *)
+module _ : Summary_intf.S with type t = Fixed_window.t = Fixed_window
+module _ : Summary_intf.S with type t = Exact_window.t = Exact_window
+module _ : Summary_intf.S with type t = Agglomerative.t = Agglomerative.Summary
+
+module Make (S : Summary_intf.Persistable) = struct
+  let payload t =
+    let buf = Buffer.create 256 in
+    S.encode buf t;
+    Buffer.contents buf
+
+  let snapshot t =
+    Obs.with_span "persist.snapshot" @@ fun () ->
+    let buf = Buffer.create 256 in
+    Frame.add_header buf;
+    Frame.add_frame buf (payload t);
+    M.incr P.c_snapshots;
+    Buffer.contents buf
+
+  let restore s =
+    Obs.with_span "persist.restore" @@ fun () ->
+    P.rejecting @@ fun () ->
+    let r = C.of_string s in
+    Frame.read_header r;
+    let fr = Frame.read_frame r in
+    let t = S.decode fr in
+    C.expect_end fr ~what:(S.name ^ " payload");
+    C.expect_end r ~what:(S.name ^ " snapshot");
+    M.incr P.c_restores;
+    t
+
+  let save t ~file =
+    Obs.with_span "persist.snapshot" @@ fun () ->
+    P.write_file_atomic ~path:file ~header:(Frame.header_string ())
+      ~frames:[ Frame.frame_string (payload t) ];
+    M.incr P.c_snapshots
+
+  let load ~file = restore (P.read_file file)
+end
+
+module Fixed_window = Make (Fixed_window)
+module Exact_window = Make (Exact_window)
+module Agglomerative = Make (Agglomerative)

@@ -1,0 +1,50 @@
+(** Durable snapshots of summaries: the {!Summary_intf.Persistable}
+    payloads wrapped in the versioned, CRC-guarded {!Sh_persist.Frame}
+    format, with atomic file publication.
+
+    [restore (snapshot t)] is equivalent to never having crashed — pinned
+    bit-identically by the round-trip property tests (see DESIGN.md §11
+    for the crash-consistency argument). *)
+
+module Make (S : Summary_intf.Persistable) : sig
+  val snapshot : S.t -> string
+  (** The complete snapshot image (header + one frame).  Read-only and
+      O(state) — safe to take mid-stream. *)
+
+  val restore : string -> S.t
+  (** Inverse of {!snapshot}.  Raises {!Sh_persist.Persist.Corrupt} on any
+      damage (bad magic, truncation, CRC mismatch, malformed payload,
+      trailing bytes) and {!Sh_persist.Persist.Version_mismatch} on a
+      foreign format version — never returns a silently wrong summary. *)
+
+  val save : S.t -> file:string -> unit
+  (** {!snapshot} written via write-to-temp + atomic rename: a crash mid-
+      save leaves the previous file intact. *)
+
+  val load : file:string -> S.t
+  (** {!restore} of a file's contents.  Raises like {!restore}, plus
+      [Sys_error] if the file cannot be read. *)
+end
+
+(** Pre-applied instances for the core summary types. *)
+
+module Fixed_window : sig
+  val snapshot : Fixed_window.t -> string
+  val restore : string -> Fixed_window.t
+  val save : Fixed_window.t -> file:string -> unit
+  val load : file:string -> Fixed_window.t
+end
+
+module Exact_window : sig
+  val snapshot : Exact_window.t -> string
+  val restore : string -> Exact_window.t
+  val save : Exact_window.t -> file:string -> unit
+  val load : file:string -> Exact_window.t
+end
+
+module Agglomerative : sig
+  val snapshot : Agglomerative.t -> string
+  val restore : string -> Agglomerative.t
+  val save : Agglomerative.t -> file:string -> unit
+  val load : file:string -> Agglomerative.t
+end

@@ -32,17 +32,11 @@ type t = {
   c_refreshes : M.counter;
 }
 
-let create ?policy ~pool ~shards ~window ~buckets ~epsilon () =
-  if shards < 1 then invalid_arg "Shard_engine.create: shards must be >= 1";
+(* Wire an engine around an existing shard array — shared by [create]
+   (fresh summaries) and [restore_from] (decoded ones). *)
+let build ~pool shard_arr =
+  let shards = Array.length shard_arr in
   let labels = [ ("instance", Obs.instance "se") ] in
-  let mk _ =
-    let fw = FW.create ~window ~buckets ~epsilon in
-    (match policy with Some p -> FW.set_refresh_policy fw p | None -> ());
-    { fw; lock = Mutex.create () }
-  in
-  (* sequential creation: instance-name allocation stays deterministic
-     (fw0, fw1, ... in key order) regardless of the pool size *)
-  let shard_arr = Array.init shards mk in
   let counts = Array.make shards 0 in
   let group_data = Array.make shards [||] in
   let locked sh f =
@@ -78,6 +72,14 @@ let create ?policy ~pool ~shards ~window ~buckets ~epsilon () =
     c_batches = Obs.counter ~labels "engine.batches";
     c_refreshes = Obs.counter ~labels "engine.refresh_sweeps";
   }
+
+let create ~pool ~shards ~window ~buckets ~epsilon =
+  if shards < 1 then invalid_arg "Shard_engine.create: shards must be >= 1";
+  (* sequential creation: instance-name allocation stays deterministic
+     (fw0, fw1, ... in key order) regardless of the pool size *)
+  build ~pool
+    (Array.init shards (fun _ ->
+         { fw = FW.create ~window ~buckets ~epsilon; lock = Mutex.create () }))
 
 let shard_count t = Array.length t.shards
 
@@ -159,3 +161,79 @@ let fold t ~init ~f =
   let acc = ref init in
   Array.iteri (fun k _ -> acc := with_shard t k (fun fw -> f !acc k fw)) t.shards;
   !acc
+
+let set_refresh_policy t policy =
+  Array.iteri (fun k _ -> with_shard t k (fun fw -> FW.set_refresh_policy fw policy)) t.shards
+
+let create_legacy ?policy ~pool ~shards ~window ~buckets ~epsilon () =
+  let t = create ~pool ~shards ~window ~buckets ~epsilon in
+  (match policy with Some p -> set_refresh_policy t p | None -> ());
+  t
+
+(* --- persistence ---------------------------------------------------- *)
+
+module Codec = Sh_persist.Codec
+module Frame = Sh_persist.Frame
+module P = Sh_persist.Persist
+
+let engine_tag = Char.code 'S'
+
+let checkpoint t ~file =
+  Obs.with_span "engine.checkpoint" @@ fun () ->
+  let meta = Buffer.create 32 in
+  Codec.put_u8 meta engine_tag;
+  Codec.put_varint meta (Array.length t.shards);
+  Codec.put_varint meta (M.value t.c_points);
+  Codec.put_varint meta (M.value t.c_batches);
+  Codec.put_varint meta (M.value t.c_refreshes);
+  (* Each shard is encoded under its own mutex — the same ownership token
+     as ingest and queries, taken one shard at a time — so every frame is
+     an internally consistent summary and queries keep flowing while the
+     checkpoint walks the shards.  The file itself is assembled in memory
+     and published atomically only after every frame is captured. *)
+  let shard_frames =
+    Array.to_list
+      (Array.mapi
+         (fun k _ ->
+            let payload = Buffer.create 256 in
+            with_shard t k (fun fw -> FW.encode payload fw);
+            Frame.frame_string (Buffer.contents payload))
+         t.shards)
+  in
+  P.write_file_atomic ~path:file ~header:(Frame.header_string ())
+    ~frames:(Frame.frame_string (Buffer.contents meta) :: shard_frames);
+  M.incr P.c_snapshots
+
+let restore_from ~pool ~file =
+  Obs.with_span "engine.restore" @@ fun () ->
+  P.rejecting @@ fun () ->
+  let r = Codec.of_string (P.read_file file) in
+  Frame.read_header r;
+  let meta = Frame.read_frame r in
+  let tag = Codec.get_u8 meta in
+  if tag <> engine_tag then
+    Codec.corruptf "Shard_engine.restore_from: tag %d is not an engine checkpoint"
+      tag;
+  let shards = Codec.get_varint meta in
+  let points = Codec.get_varint meta in
+  let batches = Codec.get_varint meta in
+  let refreshes = Codec.get_varint meta in
+  Codec.expect_end meta ~what:"engine meta frame";
+  if shards < 1 then
+    Codec.corruptf "Shard_engine.restore_from: shard count %d < 1" shards;
+  (* Sequential decode in key order: deterministic instance names, and
+     each shard's cold refresh happens inside FW.decode. *)
+  let shard_arr =
+    Array.init shards (fun _ ->
+        let fr = Frame.read_frame r in
+        let fw = FW.decode fr in
+        Codec.expect_end fr ~what:"shard frame";
+        { fw; lock = Mutex.create () })
+  in
+  Codec.expect_end r ~what:"engine checkpoint";
+  let t = build ~pool shard_arr in
+  M.add t.c_points points;
+  M.add t.c_batches batches;
+  M.add t.c_refreshes refreshes;
+  M.incr P.c_restores;
+  t

@@ -18,6 +18,20 @@
 type t
 
 val create :
+  pool:Domain_pool.t ->
+  shards:int ->
+  window:int ->
+  buckets:int ->
+  epsilon:float ->
+  t
+(** An engine of [shards] summaries ([>= 1]), each a fixed-window
+    maintainer with the given window/buckets/epsilon and the default
+    ([Lazy]) refresh policy — use {!set_refresh_policy} for another.
+    Stream keys are [0 .. shards - 1].  The pool is borrowed, not owned:
+    several engines may share one pool, and {!Domain_pool.shutdown}
+    remains the caller's job. *)
+
+val create_legacy :
   ?policy:Stream_histogram.Params.refresh_policy ->
   pool:Domain_pool.t ->
   shards:int ->
@@ -26,11 +40,14 @@ val create :
   epsilon:float ->
   unit ->
   t
-(** An engine of [shards] summaries ([>= 1]), each a fixed-window
-    maintainer with the given window/buckets/epsilon and refresh [policy]
-    (default [Lazy]).  Stream keys are [0 .. shards - 1].  The pool is
-    borrowed, not owned: several engines may share one pool, and
-    {!Domain_pool.shutdown} remains the caller's job. *)
+[@@ocaml.deprecated
+  "the trailing unit is gone: use Shard_engine.create (and \
+   set_refresh_policy for a non-default policy)"]
+(** Pre-redesign spelling of {!create}; kept for one release. *)
+
+val set_refresh_policy : t -> Stream_histogram.Params.refresh_policy -> unit
+(** Set the arrival-time refresh policy of every shard (locking each in
+    turn).  Raises [Invalid_argument] on [Every k] with [k < 1]. *)
 
 val shard_count : t -> int
 val pool : t -> Domain_pool.t
@@ -71,3 +88,28 @@ val total_points : t -> int
 (** Points ingested since creation (also the ["engine.points"] series). *)
 
 val batches : t -> int
+
+(** {2 Durability}
+
+    A checkpoint is one {!Sh_persist.Frame}-formatted file: header, an
+    engine meta frame (shard count, cumulative counters), then one
+    {!Stream_histogram.Fixed_window} frame per shard.  Files are published
+    with write-to-temp + atomic rename, so a crash during {!checkpoint}
+    always leaves the previous checkpoint readable (proved by the
+    fault-injection suite). *)
+
+val checkpoint : t -> file:string -> unit
+(** Capture every shard (each encoded under its own mutex, one at a time
+    — queries keep running concurrently) and atomically publish the file.
+    Do not run concurrently with {!ingest}: frames are per-shard
+    consistent, but a mid-batch checkpoint would split that batch across
+    the checkpoint boundary. *)
+
+val restore_from : pool:Domain_pool.t -> file:string -> t
+(** Rebuild an engine from a {!checkpoint} file: geometry, per-shard
+    window state (each rebuilt with one cold refresh), policies, and the
+    cumulative {!total_points}/{!batches} counters all come from the file.
+    Raises {!Sh_persist.Persist.Corrupt} on any damaged or truncated file,
+    {!Sh_persist.Persist.Version_mismatch} on a foreign format version,
+    and [Sys_error] if the file cannot be read — never returns a silently
+    wrong engine. *)

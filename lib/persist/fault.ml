@@ -1,0 +1,23 @@
+type injection =
+  | Truncate_at of int
+  | Flip_bit of int
+  | Crash_after_frames of int
+  | Crash_before_rename
+
+exception Injected of string
+
+let current : injection option ref = ref None
+let fired = ref 0
+let arm i = current := Some i
+let disarm () = current := None
+let armed () = !current
+
+let take () =
+  match !current with
+  | None -> None
+  | Some _ as i ->
+    current := None;
+    incr fired;
+    i
+
+let fired_count () = !fired

@@ -1,0 +1,47 @@
+let magic = "SHSB"
+let format_version = 1
+
+let add_header buf =
+  Buffer.add_string buf magic;
+  Codec.put_varint buf format_version
+
+let header_string () =
+  let b = Buffer.create 8 in
+  add_header b;
+  Buffer.contents b
+
+let read_header r =
+  if Codec.remaining r < String.length magic then
+    raise (Codec.Corrupt "missing snapshot header");
+  let m = Codec.get_raw r (String.length magic) in
+  if not (String.equal m magic) then
+    Codec.corruptf "bad magic %S: not a snapshot file" m;
+  let v = Codec.get_varint r in
+  if v <> format_version then
+    raise (Codec.Version_mismatch { found = v; expected = format_version })
+
+let add_frame buf payload =
+  Codec.put_varint buf (String.length payload);
+  Buffer.add_string buf payload;
+  Codec.put_u32 buf (Crc32.string payload)
+
+let frame_string payload =
+  let b = Buffer.create (String.length payload + 8) in
+  add_frame b payload;
+  Buffer.contents b
+
+let read_frame r =
+  let len = Codec.get_varint r in
+  if Codec.remaining r < len + 4 then
+    Codec.corruptf "truncated frame: %d payload + 4 CRC byte(s) declared, %d left"
+      len (Codec.remaining r);
+  let start = Codec.pos r in
+  let payload = Codec.sub_reader r len in
+  let stored = Codec.get_u32 r in
+  let actual = Crc32.sub (Codec.src r) ~pos:start ~len in
+  if stored <> actual then
+    Codec.corruptf "frame CRC mismatch: stored %08x, computed %08x" stored
+      actual;
+  payload
+
+let has_frame r = not (Codec.at_end r)

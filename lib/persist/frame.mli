@@ -1,0 +1,41 @@
+(** Snapshot file framing: a magic + format-version header followed by a
+    sequence of CRC-guarded, length-prefixed frames.
+
+    {v
+    file   := header frame*
+    header := magic "SHSB" (4 bytes) | format_version (varint)
+    frame  := payload_len (varint) | payload bytes | crc32(payload) (u32 LE)
+    v}
+
+    Readers verify the magic, the version, each frame's length against the
+    bytes actually present, and each frame's CRC before handing the payload
+    to a decoder — so a decoder never sees torn or bit-flipped bytes. *)
+
+val magic : string
+(** ["SHSB"] — stream-histogram snapshot binary. *)
+
+val format_version : int
+(** Current on-disk format version.  Bump on any layout change; readers
+    raise {!Codec.Version_mismatch} on anything else (see DESIGN.md §11
+    for the bump policy). *)
+
+val add_header : Buffer.t -> unit
+val header_string : unit -> string
+
+val read_header : Codec.reader -> unit
+(** Verify magic and version.  Raises {!Codec.Corrupt} on a bad magic or
+    truncated header, {!Codec.Version_mismatch} on a foreign version. *)
+
+val add_frame : Buffer.t -> string -> unit
+(** Append one frame wrapping [payload]. *)
+
+val frame_string : string -> string
+(** One frame wrapping [payload], as a standalone string. *)
+
+val read_frame : Codec.reader -> Codec.reader
+(** Read the next frame: verifies length and CRC, advances the outer
+    reader past the frame, and returns a bounded reader over the payload.
+    Raises {!Codec.Corrupt} on truncation or checksum mismatch. *)
+
+val has_frame : Codec.reader -> bool
+(** Whether any bytes remain (a further frame is expected). *)

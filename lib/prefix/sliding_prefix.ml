@@ -8,9 +8,8 @@ type t = {
   mutable since_rebase : int;
 }
 
-let create ?rebase_every ~capacity () =
+let create_rebasing ~rebase_every ~capacity =
   if capacity < 1 then invalid_arg "Sliding_prefix.create: capacity must be >= 1";
-  let rebase_every = match rebase_every with None -> capacity | Some r -> r in
   if rebase_every < 1 then invalid_arg "Sliding_prefix.create: rebase_every must be >= 1";
   {
     cap = capacity;
@@ -21,6 +20,13 @@ let create ?rebase_every ~capacity () =
     count = 0;
     since_rebase = 0;
   }
+
+let create ~capacity = create_rebasing ~rebase_every:capacity ~capacity
+
+let create_legacy ?rebase_every ~capacity () =
+  match rebase_every with
+  | None -> create ~capacity
+  | Some rebase_every -> create_rebasing ~rebase_every ~capacity
 
 let capacity t = t.cap
 let length t = t.count
@@ -99,3 +105,47 @@ let[@inline] sqerror t ~lo ~hi =
    [sqerror] inlines here (same module), so the value goes from registers
    straight into the array. *)
 let sqerror_into t ~lo ~hi dst i = dst.(i) <- sqerror t ~lo ~hi
+
+(* --- persistence ---------------------------------------------------- *)
+
+module C = Sh_persist.Codec
+
+let encode buf t =
+  C.put_varint buf t.cap;
+  C.put_varint buf t.rebase_every;
+  C.put_varint buf t.pos;
+  C.put_varint buf t.count;
+  C.put_varint buf t.since_rebase;
+  C.put_float_array buf t.sum;
+  C.put_float_array buf t.sqsum
+
+let check_finite name a =
+  Array.iter
+    (fun v ->
+       if not (Float.is_finite v) then
+         C.corruptf "Sliding_prefix.decode: non-finite %s entry" name)
+    a
+
+let decode r =
+  let cap = C.get_varint r in
+  let rebase_every = C.get_varint r in
+  let pos = C.get_varint r in
+  let count = C.get_varint r in
+  let since_rebase = C.get_varint r in
+  if cap < 1 then C.corruptf "Sliding_prefix.decode: capacity %d < 1" cap;
+  if rebase_every < 1 then
+    C.corruptf "Sliding_prefix.decode: rebase_every %d < 1" rebase_every;
+  if pos > cap then C.corruptf "Sliding_prefix.decode: pos %d > cap %d" pos cap;
+  if count > cap then
+    C.corruptf "Sliding_prefix.decode: count %d > cap %d" count cap;
+  if since_rebase >= rebase_every then
+    C.corruptf "Sliding_prefix.decode: since_rebase %d >= rebase_every %d"
+      since_rebase rebase_every;
+  let sum = C.get_float_array r in
+  let sqsum = C.get_float_array r in
+  if Array.length sum <> cap + 1 || Array.length sqsum <> cap + 1 then
+    C.corruptf "Sliding_prefix.decode: ring length %d/%d, expected %d"
+      (Array.length sum) (Array.length sqsum) (cap + 1);
+  check_finite "sum" sum;
+  check_finite "sqsum" sqsum;
+  { cap; rebase_every; sum; sqsum; pos; count; since_rebase }

@@ -14,12 +14,22 @@
 
 type t
 
-val create : ?rebase_every:int -> capacity:int -> unit -> t
-(** Window over the last [capacity] points.  [capacity >= 1].
-    [rebase_every] (default [capacity]) controls how often the origin is
-    shifted; larger periods trade fewer O(capacity) rebase passes for more
-    floating-point drift in the stored cumulative sums (exposed for the
-    rebase-period ablation benchmark). *)
+val create : capacity:int -> t
+(** Window over the last [capacity] points, rebased every [capacity]
+    insertions.  [capacity >= 1]. *)
+
+val create_rebasing : rebase_every:int -> capacity:int -> t
+(** Like {!create} with an explicit rebase period: larger periods trade
+    fewer O(capacity) rebase passes for more floating-point drift in the
+    stored cumulative sums (exposed for the rebase-period ablation
+    benchmark).  Both arguments [>= 1]. *)
+
+val create_legacy : ?rebase_every:int -> capacity:int -> unit -> t
+[@@ocaml.deprecated
+  "the trailing unit is gone: use Sliding_prefix.create ~capacity (or \
+   create_rebasing for an explicit period)"]
+(** Pre-redesign spelling with an optional knob and trailing [unit]; kept
+    for one release. *)
 
 val capacity : t -> int
 
@@ -47,3 +57,17 @@ val sqerror_into : t -> lo:int -> hi:int -> float array -> int -> unit
     into a caller-owned array is not). *)
 
 val range_mean : t -> lo:int -> hi:int -> float
+
+(** {2 Persistence} *)
+
+val encode : Buffer.t -> t -> unit
+(** Append the full structure state (capacity, rebase period, cursor, and
+    both cumulative rings) to a snapshot payload.  Read-only: encoding
+    never perturbs the structure. *)
+
+val decode : Sh_persist.Codec.reader -> t
+(** Rebuild a structure from {!encode}'s bytes.  The round trip is
+    bit-identical — every stored cumulative sum is restored verbatim, so
+    subsequent queries and rebase ticks behave exactly as if the process
+    had never stopped.  Raises {!Sh_persist.Codec.Corrupt} on truncated
+    input, non-finite entries, or inconsistent geometry. *)

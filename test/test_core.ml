@@ -703,7 +703,7 @@ module EW = Stream_histogram.Exact_window
 
 let test_ew_matches_vopt_on_window () =
   let data = Array.init 120 (fun i -> Float.of_int ((i * 53) mod 97)) in
-  let ew = EW.create ~window:48 ~buckets:5 in
+  let ew = EW.create ~window:48 ~buckets:5 ~epsilon:0.0 in
   Array.iter (EW.push ew) data;
   let window = Array.sub data (120 - 48) 48 in
   let p = P.make window in
@@ -714,14 +714,14 @@ let test_ew_matches_vopt_on_window () =
 
 let test_ew_is_lower_bound_for_fw () =
   let data = Array.init 200 (fun i -> Float.of_int ((i * 17) mod 211)) in
-  let ew = EW.create ~window:64 ~buckets:4 in
+  let ew = EW.create ~window:64 ~buckets:4 ~epsilon:0.0 in
   let fw = FW.create ~window:64 ~buckets:4 ~epsilon:0.1 in
   Array.iter (fun v -> EW.push ew v; FW.push fw v) data;
   Alcotest.(check bool) "exact <= approximate" true
     (EW.current_error ew <= FW.current_error fw +. 1e-6)
 
 let test_ew_partial_and_empty () =
-  let ew = EW.create ~window:10 ~buckets:2 in
+  let ew = EW.create ~window:10 ~buckets:2 ~epsilon:0.0 in
   Alcotest.check_raises "empty" (Invalid_argument "Exact_window.current_histogram: empty window")
     (fun () -> ignore (EW.current_error ew));
   EW.push ew 5.0;
@@ -732,16 +732,38 @@ let test_ew_partial_and_empty () =
 
 let test_non_finite_rejected () =
   let fw = FW.create ~window:4 ~buckets:2 ~epsilon:0.1 in
-  Alcotest.check_raises "fw nan" (Invalid_argument "Fixed_window.push: non-finite value")
-    (fun () -> FW.push fw Float.nan);
-  Alcotest.check_raises "fw inf" (Invalid_argument "Fixed_window.push: non-finite value")
-    (fun () -> FW.push fw Float.infinity);
+  FW.push fw 1.0;
+  FW.push fw 2.0;
+  let err_before = FW.current_error fw in
+  let hist_before = H.to_series (FW.current_histogram fw) in
+  List.iter
+    (fun (label, v) ->
+      Alcotest.check_raises label (Invalid_argument "Fixed_window.push: non-finite value")
+        (fun () -> FW.push fw v))
+    [ ("fw nan", Float.nan); ("fw inf", Float.infinity); ("fw -inf", Float.neg_infinity) ];
+  (* rejection must happen before any state is touched: the window, its
+     error, and its histogram are exactly as they were *)
+  Alcotest.(check int) "fw length unchanged" 2 (FW.length fw);
+  Helpers.check_close "fw error unchanged" err_before (FW.current_error fw);
+  Alcotest.(check (array (float 0.0)))
+    "fw histogram unchanged" hist_before
+    (H.to_series (FW.current_histogram fw));
   let ag = AG.create ~buckets:2 ~epsilon:0.1 in
-  Alcotest.check_raises "ag nan" (Invalid_argument "Agglomerative.push: non-finite value")
-    (fun () -> AG.push ag Float.nan);
-  let ew = EW.create ~window:4 ~buckets:2 in
-  Alcotest.check_raises "ew nan" (Invalid_argument "Exact_window.push: non-finite value")
-    (fun () -> EW.push ew Float.neg_infinity)
+  AG.push ag 3.0;
+  List.iter
+    (fun (label, v) ->
+      Alcotest.check_raises label (Invalid_argument "Agglomerative.push: non-finite value")
+        (fun () -> AG.push ag v))
+    [ ("ag nan", Float.nan); ("ag inf", Float.infinity); ("ag -inf", Float.neg_infinity) ];
+  Alcotest.(check int) "ag count unchanged" 1 (AG.count ag);
+  let ew = EW.create ~window:4 ~buckets:2 ~epsilon:0.0 in
+  EW.push ew 4.0;
+  List.iter
+    (fun (label, v) ->
+      Alcotest.check_raises label (Invalid_argument "Exact_window.push: non-finite value")
+        (fun () -> EW.push ew v))
+    [ ("ew nan", Float.nan); ("ew inf", Float.infinity); ("ew -inf", Float.neg_infinity) ];
+  Alcotest.(check int) "ew length unchanged" 1 (EW.length ew)
 
 (* ------------------------------------------------- cross-algorithm ties *)
 

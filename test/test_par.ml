@@ -121,7 +121,8 @@ let policies = [ Params.Lazy; Params.Eager; Params.Every 3 ]
    histogram series. *)
 let engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon ~policy ~batches =
   Pool.with_pool ~domains (fun pool ->
-      let eng = SE.create ~policy ~pool ~shards ~window ~buckets ~epsilon () in
+      let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
+      SE.set_refresh_policy eng policy;
       let refs =
         Array.init shards (fun _ ->
             let fw = FW.create ~window ~buckets ~epsilon in
@@ -248,8 +249,8 @@ let test_engine_validation () =
   Pool.with_pool ~domains:1 (fun pool ->
       Alcotest.check_raises "shards >= 1"
         (Invalid_argument "Shard_engine.create: shards must be >= 1") (fun () ->
-          ignore (SE.create ~pool ~shards:0 ~window:8 ~buckets:2 ~epsilon:0.1 ()));
-      let eng = SE.create ~pool ~shards:4 ~window:8 ~buckets:2 ~epsilon:0.1 () in
+          ignore (SE.create ~pool ~shards:0 ~window:8 ~buckets:2 ~epsilon:0.1));
+      let eng = SE.create ~pool ~shards:4 ~window:8 ~buckets:2 ~epsilon:0.1 in
       Alcotest.(check int) "shard count" 4 (SE.shard_count eng);
       Alcotest.check_raises "key out of range"
         (Invalid_argument "Shard_engine: key 4 out of range [0, 4)") (fun () ->
@@ -260,7 +261,7 @@ let test_engine_validation () =
 
 let test_engine_refresh_all_and_counters () =
   Pool.with_pool ~domains:2 (fun pool ->
-      let eng = SE.create ~pool ~shards:3 ~window:16 ~buckets:3 ~epsilon:0.2 () in
+      let eng = SE.create ~pool ~shards:3 ~window:16 ~buckets:3 ~epsilon:0.2 in
       let batch =
         Array.init 60 (fun i -> (i mod 3, Float.of_int ((i * 13) mod 97)))
       in

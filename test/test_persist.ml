@@ -1,0 +1,537 @@
+(* lib/persist + snapshot/restore: codec primitives, frame integrity,
+   round-trip equivalence ("restore == never crashed", bit-identical), and
+   the fault-injection matrix proving every partial or mangled write is
+   either cleanly recovered or loudly rejected with a typed error. *)
+
+module Crc32 = Sh_persist.Crc32
+module Codec = Sh_persist.Codec
+module Frame = Sh_persist.Frame
+module Fault = Sh_persist.Fault
+module P = Sh_persist.Persist
+module FW = Stream_histogram.Fixed_window
+module EW = Stream_histogram.Exact_window
+module AG = Stream_histogram.Agglomerative
+module Snapshot = Stream_histogram.Snapshot
+module Params = Stream_histogram.Params
+module Pool = Sh_par.Domain_pool
+module SE = Sh_par.Shard_engine
+module H = Sh_histogram.Histogram
+module M = Sh_obs.Metric
+
+let domain_counts =
+  match Sys.getenv_opt "SH_TEST_DOMAINS" with
+  | None | Some "" -> [ 1; 2; 4 ]
+  | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+
+let bits = Int64.bits_of_float
+
+(* Restores must fail with a *typed* error — anything else (success, or a
+   stray Failure/Invalid_argument escaping a decoder) is a bug. *)
+let expect_rejected what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Corrupt/Version_mismatch, restore succeeded" what
+  | exception P.Corrupt _ -> ()
+  | exception P.Version_mismatch _ -> ()
+
+let expect_injected what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Fault.Injected" what
+  | exception Fault.Injected _ -> ()
+
+let with_temp_file f =
+  let file = Filename.temp_file "shist_persist" ".snap" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove file with Sys_error _ -> ());
+      try Sys.remove (file ^ ".tmp") with Sys_error _ -> ())
+    (fun () -> f file)
+
+(* ---------------------------------------------------------------- crc32 *)
+
+let test_crc32_vector () =
+  Alcotest.(check int) "reference vector" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  Alcotest.(check int) "sub slice agrees"
+    (Crc32.string "123456789")
+    (Crc32.sub "xx123456789yy" ~pos:2 ~len:9);
+  Alcotest.(check bool) "one flipped byte changes the sum" true
+    (Crc32.string "123456788" <> Crc32.string "123456789")
+
+(* ---------------------------------------------------------------- codec *)
+
+let test_varint_round_trip () =
+  let cases =
+    [ 0; 1; 127; 128; 255; 300; 16383; 16384; 1 lsl 20; (1 lsl 30) + 7; max_int / 2 ]
+  in
+  let buf = Buffer.create 64 in
+  List.iter (Codec.put_varint buf) cases;
+  let r = Codec.of_string (Buffer.contents buf) in
+  List.iter
+    (fun v -> Alcotest.(check int) (Printf.sprintf "varint %d" v) v (Codec.get_varint r))
+    cases;
+  Alcotest.(check bool) "consumed exactly" true (Codec.at_end r);
+  Alcotest.check_raises "negative rejected at write time"
+    (Invalid_argument "Codec.put_varint: negative") (fun () ->
+      Codec.put_varint (Buffer.create 4) (-1))
+
+let test_varint_malformed () =
+  (* truncated: a continuation byte with nothing after it *)
+  expect_rejected "truncated varint" (fun () ->
+      Codec.get_varint (Codec.of_string "\x80"));
+  (* overlong: ten continuation bytes overflow the 62-bit budget *)
+  expect_rejected "overlong varint" (fun () ->
+      Codec.get_varint (Codec.of_string (String.make 10 '\xff')))
+
+let test_float_bit_identical () =
+  let specials =
+    [ 0.0; -0.0; 1.5; -1.5; Float.min_float; Float.max_float; 4.9e-324 (* subnormal *); 1e308 ]
+  in
+  let buf = Buffer.create 64 in
+  List.iter (Codec.put_float buf) specials;
+  let r = Codec.of_string (Buffer.contents buf) in
+  List.iter
+    (fun v ->
+      Alcotest.(check int64)
+        (Printf.sprintf "float %h bit-identical" v)
+        (bits v)
+        (bits (Codec.get_float r)))
+    specials
+
+let test_scalar_round_trips () =
+  let buf = Buffer.create 64 in
+  Codec.put_u8 buf 0xAB;
+  Codec.put_u32 buf 0xDEADBEEF;
+  Codec.put_bool buf true;
+  Codec.put_bool buf false;
+  Codec.put_string buf "hello";
+  Codec.put_string buf "";
+  Codec.put_float_array buf [| 1.0; -2.5; 0.0 |];
+  Codec.put_float_array buf [||];
+  let r = Codec.of_string (Buffer.contents buf) in
+  Alcotest.(check int) "u8" 0xAB (Codec.get_u8 r);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Codec.get_u32 r);
+  Alcotest.(check bool) "true" true (Codec.get_bool r);
+  Alcotest.(check bool) "false" false (Codec.get_bool r);
+  Alcotest.(check string) "string" "hello" (Codec.get_string r);
+  Alcotest.(check string) "empty string" "" (Codec.get_string r);
+  Alcotest.(check (array (float 0.0))) "float array" [| 1.0; -2.5; 0.0 |]
+    (Codec.get_float_array r);
+  Alcotest.(check (array (float 0.0))) "empty float array" [||] (Codec.get_float_array r);
+  Codec.expect_end r ~what:"scalar round trip"
+
+let test_codec_guards () =
+  expect_rejected "bad bool byte" (fun () -> Codec.get_bool (Codec.of_string "\x07"));
+  expect_rejected "truncated float" (fun () -> Codec.get_float (Codec.of_string "\x00\x00"));
+  (* a float-array length far beyond the remaining bytes must be rejected
+     before any allocation-sized-by-attacker happens *)
+  let buf = Buffer.create 8 in
+  Codec.put_varint buf 1_000_000;
+  Buffer.add_string buf "\x00\x00";
+  expect_rejected "float array length beyond input" (fun () ->
+      Codec.get_float_array (Codec.of_string (Buffer.contents buf)));
+  expect_rejected "string length beyond input" (fun () ->
+      Codec.get_string (Codec.of_string "\x05ab"));
+  expect_rejected "trailing bytes" (fun () ->
+      Codec.expect_end (Codec.of_string "x") ~what:"test")
+
+(* ---------------------------------------------------------------- frame *)
+
+let test_header_round_trip () =
+  let r = Codec.of_string (Frame.header_string ()) in
+  Frame.read_header r;
+  Alcotest.(check bool) "header consumed" true (Codec.at_end r)
+
+let test_header_bad_magic () =
+  expect_rejected "bad magic" (fun () ->
+      Frame.read_header (Codec.of_string "NOPE\x01"));
+  expect_rejected "empty input" (fun () -> Frame.read_header (Codec.of_string ""))
+
+let test_header_version_mismatch () =
+  let buf = Buffer.create 8 in
+  Buffer.add_string buf Frame.magic;
+  Codec.put_varint buf (Frame.format_version + 1);
+  match Frame.read_header (Codec.of_string (Buffer.contents buf)) with
+  | () -> Alcotest.fail "foreign version accepted"
+  | exception Codec.Version_mismatch { found; expected } ->
+    Alcotest.(check int) "found" (Frame.format_version + 1) found;
+    Alcotest.(check int) "expected" Frame.format_version expected
+
+let test_frame_round_trip () =
+  let payloads = [ "alpha"; ""; String.make 300 'z' ] in
+  let buf = Buffer.create 64 in
+  List.iter (Frame.add_frame buf) payloads;
+  let r = Codec.of_string (Buffer.contents buf) in
+  List.iter
+    (fun p ->
+      let fr = Frame.read_frame r in
+      Alcotest.(check string) "payload" p (Codec.get_raw fr (String.length p));
+      Codec.expect_end fr ~what:"payload")
+    payloads;
+  Alcotest.(check bool) "no frame left" false (Frame.has_frame r)
+
+let test_frame_damage_detected () =
+  let img = Frame.frame_string "payload bytes here" in
+  (* flip one payload byte: CRC must catch it *)
+  let bad = Bytes.of_string img in
+  Bytes.set bad 3 (Char.chr (Char.code (Bytes.get bad 3) lxor 0x10));
+  expect_rejected "payload bit flip" (fun () ->
+      Frame.read_frame (Codec.of_string (Bytes.to_string bad)));
+  (* truncations at every byte of a short frame *)
+  for k = 0 to String.length img - 1 do
+    expect_rejected
+      (Printf.sprintf "truncated at %d" k)
+      (fun () -> Frame.read_frame (Codec.of_string (String.sub img 0 k)))
+  done
+
+(* ------------------------------------------- summary round trips (qcheck) *)
+
+let policies = [ Params.Lazy; Params.Eager; Params.Every 3 ]
+
+(* Structural equality of two fixed windows, checked *before* any query
+   (queries refresh, which resets the Every-k arrival cadence). *)
+let fw_state_equal a b =
+  FW.length a = FW.length b
+  && FW.window a = FW.window b
+  && FW.buckets a = FW.buckets b
+  && bits (FW.epsilon a) = bits (FW.epsilon b)
+  && FW.refresh_policy a = FW.refresh_policy b
+  && FW.pending_pushes a = FW.pending_pushes b
+  && FW.memoisation a = FW.memoisation b
+
+let fw_answers_equal a b =
+  FW.length a = FW.length b
+  && (FW.length a = 0
+     || bits (FW.current_error a) = bits (FW.current_error b)
+        && H.to_series (FW.current_histogram a) = H.to_series (FW.current_histogram b))
+
+let prop_fixed_window_round_trip =
+  Helpers.qcheck_case ~count:60 ~name:"Fixed_window: restore (snapshot t) == t, bit-identical"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:0 ~max_len:120 ~vmax:500 () in
+      let* window = int_range 2 40 in
+      let* buckets = int_range 2 4 in
+      let* policy = oneofl policies in
+      let* memo = bool in
+      let* cut = int_range 0 (Array.length data) in
+      return (data, window, buckets, policy, memo, cut))
+    (fun (data, window, buckets, policy, memo, cut) ->
+      let fw = FW.create ~window ~buckets ~epsilon:0.1 in
+      FW.set_refresh_policy fw policy;
+      FW.set_memoisation fw memo;
+      let prefix = Array.sub data 0 cut and suffix = Array.sub data cut (Array.length data - cut) in
+      Array.iter (FW.push fw) prefix;
+      let s = Snapshot.Fixed_window.snapshot fw in
+      let r = Snapshot.Fixed_window.restore s in
+      (* snapshot is a pure function of the state, so a restored summary
+         must re-snapshot to the very same bytes *)
+      fw_state_equal fw r
+      && Snapshot.Fixed_window.snapshot r = s
+      && fw_answers_equal fw r
+      && begin
+           (* "equivalent to never having crashed": the restored summary
+              must track the original through arbitrary further arrivals *)
+           Array.iter
+             (fun v ->
+               FW.push fw v;
+               FW.push r v)
+             suffix;
+           fw_answers_equal fw r
+         end)
+
+let prop_exact_window_round_trip =
+  Helpers.qcheck_case ~count:40 ~name:"Exact_window: restore (snapshot t) == t"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:0 ~max_len:40 ~vmax:200 () in
+      let* window = int_range 1 16 in
+      let* buckets = int_range 1 4 in
+      return (data, window, buckets))
+    (fun (data, window, buckets) ->
+      let ew = EW.create ~window ~buckets ~epsilon:0.0 in
+      Array.iter (EW.push ew) data;
+      let s = Snapshot.Exact_window.snapshot ew in
+      let r = Snapshot.Exact_window.restore s in
+      EW.length ew = EW.length r
+      && Snapshot.Exact_window.snapshot r = s
+      && (EW.length ew = 0
+         || bits (EW.current_error ew) = bits (EW.current_error r)
+            && H.to_series (EW.current_histogram ew) = H.to_series (EW.current_histogram r))
+      && begin
+           EW.push ew 7.0;
+           EW.push r 7.0;
+           H.to_series (EW.current_histogram ew) = H.to_series (EW.current_histogram r)
+         end)
+
+let prop_agglomerative_round_trip =
+  Helpers.qcheck_case ~count:40 ~name:"Agglomerative: restore (snapshot t) == t, bit-identical"
+    QCheck2.Gen.(
+      let* data = Helpers.gen_data ~min_len:0 ~max_len:150 ~vmax:500 () in
+      let* buckets = int_range 2 4 in
+      let* cut = int_range 0 (Array.length data) in
+      return (data, buckets, cut))
+    (fun (data, buckets, cut) ->
+      let ag = AG.create ~buckets ~epsilon:0.2 in
+      let prefix = Array.sub data 0 cut and suffix = Array.sub data cut (Array.length data - cut) in
+      Array.iter (AG.push ag) prefix;
+      let s = Snapshot.Agglomerative.snapshot ag in
+      let r = Snapshot.Agglomerative.restore s in
+      let answers_equal a b =
+        AG.count a = AG.count b
+        && bits (AG.current_error a) = bits (AG.current_error b)
+        && AG.space_in_entries a = AG.space_in_entries b
+        && (AG.count a = 0
+           || H.to_series (AG.current_histogram a) = H.to_series (AG.current_histogram b))
+      in
+      AG.window ag = AG.window r
+      && Snapshot.Agglomerative.snapshot r = s
+      && answers_equal ag r
+      && begin
+           Array.iter
+             (fun v ->
+               AG.push ag v;
+               AG.push r v)
+             suffix;
+           answers_equal ag r
+         end)
+
+let test_cross_type_restore_rejected () =
+  let ew = EW.create ~window:8 ~buckets:2 ~epsilon:0.0 in
+  EW.push ew 1.0;
+  let s = Snapshot.Exact_window.snapshot ew in
+  (* well-formed frames, wrong payload tag: typed rejection, not garbage *)
+  expect_rejected "EW snapshot fed to FW restore" (fun () ->
+      Snapshot.Fixed_window.restore s);
+  expect_rejected "EW snapshot fed to AG restore" (fun () ->
+      Snapshot.Agglomerative.restore s);
+  expect_rejected "empty string" (fun () -> Snapshot.Fixed_window.restore "")
+
+let test_save_load_file () =
+  with_temp_file @@ fun file ->
+  let fw = FW.create ~window:16 ~buckets:3 ~epsilon:0.2 in
+  for i = 1 to 50 do
+    FW.push fw (Float.of_int ((i * 13) mod 97))
+  done;
+  Snapshot.Fixed_window.save fw ~file;
+  let r = Snapshot.Fixed_window.load ~file in
+  Alcotest.(check bool) "state equal" true (fw_state_equal fw r);
+  Alcotest.(check bool) "answers equal" true (fw_answers_equal fw r);
+  Alcotest.(check bool) "no temp residue" false (Sys.file_exists (file ^ ".tmp"))
+
+(* -------------------------------------------- shard-engine checkpointing *)
+
+let mk_batch ~shards ~n salt =
+  Array.init n (fun i -> ((i * 7 + salt) mod shards, Float.of_int (((i + salt) * 13) mod 97)))
+
+let engines_equal a b =
+  SE.shard_count a = SE.shard_count b
+  && SE.total_points a = SE.total_points b
+  && SE.batches a = SE.batches b
+  &&
+  let ok = ref true in
+  for k = 0 to SE.shard_count a - 1 do
+    if SE.length a ~key:k <> SE.length b ~key:k then ok := false
+    else if SE.length a ~key:k > 0 then begin
+      if bits (SE.current_error a ~key:k) <> bits (SE.current_error b ~key:k) then ok := false;
+      if H.to_series (SE.current_histogram a ~key:k) <> H.to_series (SE.current_histogram b ~key:k)
+      then ok := false
+    end
+  done;
+  !ok
+
+let test_engine_checkpoint_restore () =
+  List.iter
+    (fun domains ->
+      with_temp_file @@ fun file ->
+      Pool.with_pool ~domains @@ fun pool ->
+      let shards = 5 in
+      let eng = SE.create ~pool ~shards ~window:24 ~buckets:3 ~epsilon:0.2 in
+      SE.set_refresh_policy eng (Params.Every 3);
+      for b = 0 to 5 do
+        SE.ingest eng (mk_batch ~shards ~n:40 b)
+      done;
+      SE.checkpoint eng ~file;
+      let restored = SE.restore_from ~pool ~file in
+      Alcotest.(check bool)
+        (Printf.sprintf "restored == original, %d domains" domains)
+        true (engines_equal eng restored);
+      (* checkpoint of the restored engine must be byte-identical *)
+      with_temp_file (fun file2 ->
+          SE.checkpoint restored ~file:file2;
+          Alcotest.(check string)
+            (Printf.sprintf "re-checkpoint bytes identical, %d domains" domains)
+            (P.read_file file) (P.read_file file2));
+      (* and it must track the original through further ingest *)
+      let more = mk_batch ~shards ~n:60 99 in
+      SE.ingest eng more;
+      SE.ingest restored more;
+      SE.refresh_all eng;
+      SE.refresh_all restored;
+      Alcotest.(check bool)
+        (Printf.sprintf "tracks original after restart, %d domains" domains)
+        true (engines_equal eng restored))
+    domain_counts
+
+(* -------------------------------------------------- fault-injection matrix *)
+
+(* A fixed scenario: checkpoint A is on disk; the engine advances; a fault
+   fires during (or after) the next checkpoint.  Every crash injection must
+   leave checkpoint A restorable and equal to the state it captured; every
+   mangling injection must make restore raise a typed error. *)
+
+let engine_scenario pool =
+  let shards = 4 in
+  let eng = SE.create ~pool ~shards ~window:16 ~buckets:3 ~epsilon:0.2 in
+  for b = 0 to 3 do
+    SE.ingest eng (mk_batch ~shards ~n:30 b)
+  done;
+  eng
+
+let test_fault_crash_matrix () =
+  Pool.with_pool ~domains:2 @@ fun pool ->
+  with_temp_file @@ fun file ->
+  let eng = engine_scenario pool in
+  SE.checkpoint eng ~file;
+  let golden = P.read_file file in
+  let shards = SE.shard_count eng in
+  (* frames in an engine checkpoint: 1 meta + one per shard; probe every
+     crash point, including "crash between last write and rename" *)
+  let crash_points =
+    Fault.Crash_before_rename
+    :: List.init (shards + 3) (fun j -> Fault.Crash_after_frames j)
+  in
+  List.iteri
+    (fun i inj ->
+      (* advance the live engine so the aborted checkpoint would have
+         written different bytes than checkpoint A *)
+      SE.ingest eng (mk_batch ~shards ~n:25 (1000 + i));
+      let fired_before = Fault.fired_count () in
+      Fault.arm inj;
+      expect_injected "crashing checkpoint" (fun () -> SE.checkpoint eng ~file);
+      Alcotest.(check int) "injection consumed" (fired_before + 1) (Fault.fired_count ());
+      Alcotest.(check (option reject)) "slot disarmed" None (Fault.armed ());
+      (* the published file is byte-for-byte checkpoint A... *)
+      Alcotest.(check string)
+        (Printf.sprintf "crash %d left checkpoint A untouched" i)
+        golden (P.read_file file);
+      (* ...and still restores to a working engine *)
+      let r = SE.restore_from ~pool ~file in
+      Alcotest.(check int) "restored shard count" shards (SE.shard_count r))
+    crash_points;
+  (* after all that, an unfaulted checkpoint still works *)
+  SE.checkpoint eng ~file;
+  Alcotest.(check bool) "clean checkpoint after faults" true
+    (engines_equal eng (SE.restore_from ~pool ~file))
+
+let test_fault_mangling_matrix () =
+  Pool.with_pool ~domains:2 @@ fun pool ->
+  with_temp_file @@ fun file ->
+  let eng = engine_scenario pool in
+  SE.checkpoint eng ~file;
+  let len = String.length (P.read_file file) in
+  (* truncation points: header, meta frame, shard frames, final CRC *)
+  let cuts =
+    List.sort_uniq compare
+      [ 0; 1; 3; 4; 5; len / 4; len / 2; (3 * len) / 4; len - 5; len - 1 ]
+  in
+  List.iter
+    (fun k ->
+      if k >= 0 && k < len then begin
+        Fault.arm (Fault.Truncate_at k);
+        (* mangling injections return normally: the damage is the published
+           image, and it must surface at restore time *)
+        SE.checkpoint eng ~file;
+        let rej_before = M.value P.c_corrupt_rejections in
+        expect_rejected
+          (Printf.sprintf "restore of file truncated at %d" k)
+          (fun () -> SE.restore_from ~pool ~file);
+        Alcotest.(check bool)
+          (Printf.sprintf "rejection counted (truncate %d)" k)
+          true
+          (M.value P.c_corrupt_rejections > rej_before)
+      end)
+    cuts;
+  (* bit flips: magic, version, frame length, payload, trailing CRC *)
+  let flips =
+    List.sort_uniq compare
+      [ 0; 8 * 4; (8 * 5) + 2; 8 * (len / 3); 8 * (len / 2); (8 * len) - 1 ]
+  in
+  List.iter
+    (fun i ->
+      if i >= 0 && i < 8 * len then begin
+        Fault.arm (Fault.Flip_bit i);
+        SE.checkpoint eng ~file;
+        expect_rejected
+          (Printf.sprintf "restore of file with bit %d flipped" i)
+          (fun () -> SE.restore_from ~pool ~file)
+      end)
+    flips;
+  (* recovery: the next clean checkpoint heals the damaged file *)
+  SE.checkpoint eng ~file;
+  Alcotest.(check bool) "healed by clean checkpoint" true
+    (engines_equal eng (SE.restore_from ~pool ~file))
+
+let test_fault_save_crash_keeps_old_snapshot () =
+  with_temp_file @@ fun file ->
+  let fw = FW.create ~window:12 ~buckets:2 ~epsilon:0.3 in
+  for i = 1 to 30 do
+    FW.push fw (Float.of_int (i mod 11))
+  done;
+  Snapshot.Fixed_window.save fw ~file;
+  let golden = P.read_file file in
+  FW.push fw 42.0;
+  Fault.arm Fault.Crash_before_rename;
+  expect_injected "crashing save" (fun () -> Snapshot.Fixed_window.save fw ~file);
+  Alcotest.(check string) "old snapshot intact" golden (P.read_file file);
+  let r = Snapshot.Fixed_window.load ~file in
+  Alcotest.(check int) "old state restored" 12 (FW.length r)
+
+let test_fault_disarm () =
+  Fault.arm (Fault.Truncate_at 3);
+  Fault.disarm ();
+  Alcotest.(check (option reject)) "disarmed" None (Fault.armed ());
+  with_temp_file @@ fun file ->
+  let fw = FW.create ~window:4 ~buckets:2 ~epsilon:0.5 in
+  FW.push fw 1.0;
+  Snapshot.Fixed_window.save fw ~file;
+  Alcotest.(check int) "write unaffected after disarm" 1
+    (FW.length (Snapshot.Fixed_window.load ~file))
+
+let () =
+  Alcotest.run "sh_persist"
+    [
+      ("crc32", [ Alcotest.test_case "vectors" `Quick test_crc32_vector ]);
+      ( "codec",
+        [
+          Alcotest.test_case "varint round trip" `Quick test_varint_round_trip;
+          Alcotest.test_case "varint malformed" `Quick test_varint_malformed;
+          Alcotest.test_case "float bit-identical" `Quick test_float_bit_identical;
+          Alcotest.test_case "scalar round trips" `Quick test_scalar_round_trips;
+          Alcotest.test_case "decode guards" `Quick test_codec_guards;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "header round trip" `Quick test_header_round_trip;
+          Alcotest.test_case "bad magic" `Quick test_header_bad_magic;
+          Alcotest.test_case "version mismatch" `Quick test_header_version_mismatch;
+          Alcotest.test_case "frame round trip" `Quick test_frame_round_trip;
+          Alcotest.test_case "damage detected" `Quick test_frame_damage_detected;
+        ] );
+      ( "round_trip",
+        [
+          prop_fixed_window_round_trip;
+          prop_exact_window_round_trip;
+          prop_agglomerative_round_trip;
+          Alcotest.test_case "cross-type rejected" `Quick test_cross_type_restore_rejected;
+          Alcotest.test_case "save/load file" `Quick test_save_load_file;
+        ] );
+      ( "shard_engine",
+        [ Alcotest.test_case "checkpoint/restore at 1,2,4 domains" `Quick
+            test_engine_checkpoint_restore ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash matrix" `Quick test_fault_crash_matrix;
+          Alcotest.test_case "mangling matrix" `Quick test_fault_mangling_matrix;
+          Alcotest.test_case "save crash keeps old file" `Quick
+            test_fault_save_crash_keeps_old_snapshot;
+          Alcotest.test_case "disarm" `Quick test_fault_disarm;
+        ] );
+    ]

@@ -79,7 +79,7 @@ let prop_sqerror_monotone =
 (* -------------------------------------------------------- Sliding_prefix *)
 
 let test_sliding_basic () =
-  let sp = SP.create ~capacity:3 () in
+  let sp = SP.create ~capacity:3 in
   Alcotest.(check int) "capacity" 3 (SP.capacity sp);
   Alcotest.(check int) "empty" 0 (SP.length sp);
   SP.push sp 1.0;
@@ -95,7 +95,7 @@ let test_sliding_basic () =
   Helpers.check_close "sqsum" 25.0 (SP.range_sqsum sp ~lo:2 ~hi:3)
 
 let test_sliding_bounds () =
-  let sp = SP.create ~capacity:2 () in
+  let sp = SP.create ~capacity:2 in
   SP.push sp 1.0;
   Alcotest.check_raises "beyond length" (Invalid_argument "Sliding_prefix: range out of bounds")
     (fun () -> ignore (SP.range_sum sp ~lo:1 ~hi:2))
@@ -109,7 +109,7 @@ let prop_sliding_matches_naive =
       let* stream = array_size (int_range 1 100) (int_range 0 50) in
       return (cap, Array.map Float.of_int stream))
     (fun (cap, stream) ->
-      let sp = SP.create ~capacity:cap () in
+      let sp = SP.create ~capacity:cap in
       let ok = ref true in
       Array.iteri
         (fun i v ->
@@ -131,7 +131,7 @@ let prop_sliding_matches_naive =
 let test_sliding_rebase_precision () =
   (* Large cumulative totals must not corrupt small window sums after many
      pushes: the periodic rebase keeps magnitudes bounded. *)
-  let sp = SP.create ~capacity:4 () in
+  let sp = SP.create ~capacity:4 in
   for i = 1 to 100_000 do
     SP.push sp (Float.of_int (i mod 7))
   done;
@@ -151,7 +151,11 @@ let test_sliding_drift_regression () =
      cumulative sums more than small integers do *)
   let value i = (Float.of_int ((i * 37) mod 101) /. 7.0) +. (Float.of_int i *. 0.25) in
   let run ?rebase_every label =
-    let sp = SP.create ?rebase_every ~capacity:cap () in
+    let sp =
+      match rebase_every with
+      | None -> SP.create ~capacity:cap
+      | Some rebase_every -> SP.create_rebasing ~rebase_every ~capacity:cap
+    in
     let raw = Array.make cap 0.0 in
     for i = 0 to total - 1 do
       SP.push sp (value i);
