@@ -455,11 +455,10 @@ let run_par scale =
   in
   let prefill = (par_round_data ~shards ~batch:(shards * window) ~rounds:1 ~seed:31).(0) in
   let round_data = par_round_data ~shards ~batch ~rounds ~seed:32 in
-  let measure ~domains ~cold =
+  let host_cores = Domain.recommended_domain_count () in
+  let measure ~mode ~domains ~cold =
     Pool.with_pool ~domains (fun pool ->
-        let eng =
-          SE.create ~pool ~shards ~window ~buckets ~epsilon
-        in
+        let eng = SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon in
         (* steady state before the clock starts: windows full, lists warm *)
         SE.ingest eng prefill;
         SE.refresh_all eng;
@@ -472,22 +471,36 @@ let run_par scale =
         let dt = Unix.gettimeofday () -. t0 in
         Float.of_int (batch * rounds) /. dt)
   in
-  let rows =
+  let mode_rows =
     List.map
-      (fun d -> (d, measure ~domains:d ~cold:false, measure ~domains:d ~cold:true))
-      domain_counts
+      (fun mode ->
+        ( mode,
+          List.map
+            (fun d ->
+              (d, measure ~mode ~domains:d ~cold:false, measure ~mode ~domains:d ~cold:true))
+            domain_counts ))
+      [ SE.Locked; SE.Pinned ]
   in
-  let warm1, cold1 = match rows with (_, w, c) :: _ -> (w, c) | [] -> (Float.nan, Float.nan) in
   Report.note "S=%d shards, window n=%d, B=%d, eps=%g; %d rounds of %d-point batches, each \
                followed by a full refresh sweep" shards window buckets epsilon rounds batch;
-  Report.note "host recommended domain count: %d" (Domain.recommended_domain_count ());
+  Report.note "host cores (recommended domain count): %d%s" host_cores
+    (if host_cores < List.fold_left max 1 domain_counts then
+       " — domain counts above this only measure oversubscription"
+     else "");
   Report.table
-    ~headers:[ "domains"; "warm pts/s"; "speedup"; "cold pts/s"; "speedup" ]
-    (List.map
-       (fun (d, w, c) ->
-         [ string_of_int d; Printf.sprintf "%.0f" w; Printf.sprintf "%.2fx" (w /. warm1);
-           Printf.sprintf "%.0f" c; Printf.sprintf "%.2fx" (c /. cold1) ])
-       rows);
+    ~headers:[ "mode"; "domains"; "warm pts/s"; "ns/pt"; "speedup"; "cold pts/s"; "speedup" ]
+    (List.concat_map
+       (fun (mode, rows) ->
+         let warm1, cold1 =
+           match rows with (_, w, c) :: _ -> (w, c) | [] -> (Float.nan, Float.nan)
+         in
+         List.map
+           (fun (d, w, c) ->
+             [ SE.mode_to_string mode; string_of_int d; Printf.sprintf "%.0f" w;
+               Printf.sprintf "%.0f" (1e9 /. w); Printf.sprintf "%.2fx" (w /. warm1);
+               Printf.sprintf "%.0f" c; Printf.sprintf "%.2fx" (c /. cold1) ])
+           rows)
+       mode_rows);
   Report.json_add "parallel"
     (Report.Jobj
        [
@@ -497,20 +510,35 @@ let run_par scale =
          ("epsilon", Report.Jfloat epsilon);
          ("batch", Report.Jint batch);
          ("rounds", Report.Jint rounds);
-         ("recommended_domain_count", Report.Jint (Domain.recommended_domain_count ()));
-         ( "scaling",
+         ("host_cores", Report.Jint host_cores);
+         ("recommended_domain_count", Report.Jint host_cores);
+         ( "modes",
            Report.Jlist
              (List.map
-                (fun (d, w, c) ->
+                (fun (mode, rows) ->
+                  let warm1, cold1 =
+                    match rows with (_, w, c) :: _ -> (w, c) | [] -> (Float.nan, Float.nan)
+                  in
                   Report.Jobj
                     [
-                      ("domains", Report.Jint d);
-                      ("warm_points_per_sec", Report.Jfloat w);
-                      ("warm_speedup_vs_1", Report.Jfloat (w /. warm1));
-                      ("cold_points_per_sec", Report.Jfloat c);
-                      ("cold_speedup_vs_1", Report.Jfloat (c /. cold1));
+                      ("mode", Report.Jstring (SE.mode_to_string mode));
+                      ( "scaling",
+                        Report.Jlist
+                          (List.map
+                             (fun (d, w, c) ->
+                               Report.Jobj
+                                 [
+                                   ("domains", Report.Jint d);
+                                   ("warm_points_per_sec", Report.Jfloat w);
+                                   ("warm_ns_per_point", Report.Jfloat (1e9 /. w));
+                                   ("warm_speedup_vs_1", Report.Jfloat (w /. warm1));
+                                   ("cold_points_per_sec", Report.Jfloat c);
+                                   ("cold_ns_per_point", Report.Jfloat (1e9 /. c));
+                                   ("cold_speedup_vs_1", Report.Jfloat (c /. cold1));
+                                 ])
+                             rows) );
                     ])
-                rows) );
+                mode_rows) );
        ])
 
 let run scale =
@@ -582,12 +610,13 @@ let run_persist scale =
       (fun () ->
         Pool.with_pool ~domains:1 @@ fun pool ->
         let window = List.hd (List.rev fw_windows) in
-        let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
+        let eng = SE.create ~mode:SE.Pinned ~pool ~shards ~window ~buckets ~epsilon in
         SE.ingest eng (par_round_data ~shards ~batch:(shards * window) ~rounds:1 ~seed:22).(0);
         SE.refresh_all eng;
         let ck_ns = timed_ns ~reps:(max 5 (reps / 5)) (fun () -> SE.checkpoint eng ~file:ck_file) in
         let rs_ns =
-          timed_ns ~reps:(max 5 (reps / 5)) (fun () -> SE.restore_from ~pool ~file:ck_file)
+          timed_ns ~reps:(max 5 (reps / 5)) (fun () ->
+              SE.restore_from ~mode:SE.Pinned ~pool ~file:ck_file)
         in
         let bytes = String.length (Persist.read_file ck_file) in
         (window, bytes, ck_ns, rs_ns))

@@ -49,6 +49,13 @@ type json =
   | Jlist of json list
   | Jobj of (string * json) list
 
+(* Shortest-first float printing: %.17g always round-trips but renders 0.1
+   as 0.10000000000000001; %.12g is clean for every humanly-chosen
+   parameter, so prefer it whenever it parses back to the same bits. *)
+let float_to_json f =
+  let short = Printf.sprintf "%.12g" f in
+  if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
 let escape_string s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter
@@ -70,7 +77,7 @@ let rec json_to_buf buf ~indent j =
   | Jbool b -> Buffer.add_string buf (if b then "true" else "false")
   | Jint i -> Buffer.add_string buf (string_of_int i)
   | Jfloat f ->
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    if Float.is_finite f then Buffer.add_string buf (float_to_json f)
     else Buffer.add_string buf "null"
   | Jstring s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape_string s))
   | Jlist [] -> Buffer.add_string buf "[]"

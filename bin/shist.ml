@@ -397,8 +397,26 @@ let serve_cmd =
              from $(docv) ($(b,--shards)/$(b,--window) etc. are ignored); the run then ingests \
              $(b,-n) further points.")
   in
+  let mode_conv =
+    let parse s =
+      match SE.mode_of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown ingest mode %S (expected locked|pinned)" s))
+    in
+    Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (SE.mode_to_string m))
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv SE.Pinned
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Ingest pipeline: $(b,pinned) (lock-free SPSC rings, domain-pinned shard owners — \
+             the default) or $(b,locked) (per-shard mutexes, kept one release for comparison). \
+             Answers are identical; only wall-clock differs.")
+  in
   let run shards domains count batch window buckets epsilon policy dist skew seed metrics
-      trace_out checkpoint_file checkpoint_every restore_file =
+      trace_out checkpoint_file checkpoint_every restore_file mode =
     with_obs metrics trace_out @@ fun () ->
     if batch < 1 then invalid_arg "serve: --batch must be >= 1";
     (match checkpoint_every with
@@ -406,12 +424,18 @@ let serve_cmd =
      | Some _ when checkpoint_file = None ->
        invalid_arg "serve: --checkpoint-every requires --checkpoint"
      | _ -> ());
+    let host_cores = Domain.recommended_domain_count () in
+    if domains > host_cores then
+      Printf.eprintf
+        "serve: warning: --domains %d exceeds the %d core(s) this host reports; \
+         expect oversubscription, not speedup\n%!"
+        domains host_cores;
     Pool.with_pool ~domains @@ fun pool ->
     let eng =
       match restore_file with
-      | None -> SE.create ~pool ~shards ~window ~buckets ~epsilon
+      | None -> SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon
       | Some file ->
-        let eng = SE.restore_from ~pool ~file in
+        let eng = SE.restore_from ~mode ~pool ~file in
         Printf.printf "restored %d shards (%d points) from %s\n" (SE.shard_count eng)
           (SE.total_points eng) file;
         eng
@@ -468,9 +492,13 @@ let serve_cmd =
      | Some file -> Printf.printf "checkpoint: wrote %s (%d write(s))\n" file !checkpoints
      | None -> ());
     let elapsed = Unix.gettimeofday () -. t0 in
-    Printf.printf "serve: %d points, %d batches of <=%d over %d shards, %d domains (%s)\n"
+    Printf.printf "serve: %d points, %d batches of <=%d over %d shards, %d domains (%s, %s mode)\n"
       (SE.total_points eng) (SE.batches eng) batch shards domains
-      (Stream_histogram.Params.policy_to_string policy);
+      (Stream_histogram.Params.policy_to_string policy)
+      (SE.mode_to_string (SE.mode eng));
+    if SE.mode eng = SE.Pinned then
+      Printf.printf "pinned: %d backpressure spill(s), %d refresh steal(s), %d lock op(s)\n"
+        (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
     Printf.printf "elapsed %.3fs  throughput %.0f points/s\n" elapsed
       (Float.of_int count /. Float.max elapsed 1e-9);
     let tot_refreshes, tot_intervals =
@@ -488,7 +516,7 @@ let serve_cmd =
     Term.(
       const run $ shards $ domains $ count $ batch $ window $ buckets_arg $ epsilon_arg $ policy
       $ dist $ skew $ seed_arg $ metrics_arg $ trace_out_arg $ checkpoint_file $ checkpoint_every
-      $ restore_file)
+      $ restore_file $ mode)
 
 (* -------------------------------------------------------- quantiles *)
 

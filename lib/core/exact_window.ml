@@ -43,8 +43,6 @@ let mk ~ring ~buckets ~epsilon =
 let create ~window ~buckets ~epsilon =
   mk ~ring:(RB.create ~capacity:window) ~buckets ~epsilon
 
-let create_legacy ~window ~buckets = create ~window ~buckets ~epsilon:0.0
-
 let window t = RB.capacity t.ring
 let buckets t = t.buckets
 let epsilon t = t.epsilon

@@ -15,12 +15,6 @@ val create : window:int -> buckets:int -> epsilon:float -> t
     same {!Summary_intf.S} parameter surface as the approximate
     maintainers.  Raises [Invalid_argument] on bad geometry. *)
 
-val create_legacy : window:int -> buckets:int -> t
-[@@ocaml.deprecated
-  "use Exact_window.create ~window ~buckets ~epsilon (epsilon:0.0 matches \
-   the old behaviour)"]
-(** Pre-redesign spelling without [epsilon]; kept for one release. *)
-
 val window : t -> int
 val buckets : t -> int
 

@@ -2,26 +2,71 @@ module FW = Stream_histogram.Fixed_window
 module Params = Stream_histogram.Params
 module Obs = Sh_obs.Obs
 module M = Sh_obs.Metric
+module Ring = Spsc_ring
 
-(* One shard = one independent fixed-window summary.  The mutex is the
-   shard's ownership token: every touch of [fw] — batched ingest on a pool
-   domain, refresh, queries — holds it.  Shards never share mutable state
-   with each other (the histograms are per-shard, the telemetry counters
-   per-instance and atomic), so there is no histogram-level locking and no
-   lock ordering to get wrong: at most one shard lock is held at a time. *)
+(* One shard = one independent fixed-window summary.
+
+   [Locked] mode is the PR 3 engine: the mutex is the shard's ownership
+   token, every touch of [fw] holds it, and a batch becomes one pool task
+   per touched shard.  [Pinned] mode replaces the mutex with static
+   ownership: each owner (a slot of the domain pool) exclusively drains a
+   contiguous slice of shards, the producer hands values over through one
+   bounded SPSC ring per shard, and nothing on the per-point path locks or
+   CASes.  The mutex field is allocated either way (it is two words) but
+   in [Pinned] mode it is never taken — [engine.lock_ops] proves it. *)
 type shard = { fw : FW.t; lock : Mutex.t }
+
+type mode = Locked | Pinned
+
+let mode_to_string = function Locked -> "locked" | Pinned -> "pinned"
+
+let mode_of_string = function
+  | "locked" -> Some Locked
+  | "pinned" -> Some Pinned
+  | _ -> None
+
+let default_ring_capacity = 1024
+
+(* Per-shard cells that one side writes while another reads across batch
+   boundaries (overflow fill levels) are spread out by this stride so
+   neighbouring shards — which may belong to different owners — never
+   share a cache line.  8 words = 64 bytes on every 64-bit target. *)
+let pad_stride = 8
 
 type t = {
   pool : Domain_pool.t;
+  mode : mode;
   shards : shard array;
-  (* Routing arena, reused across batches (the engine used to allocate
-     counts / groups / fill arrays and one closure per touched shard per
-     batch): [counts] is the per-shard sub-batch size of the batch being
-     ingested, [group_data.(k)] the per-shard value buffer (capacity
-     doubling, never shrinks), and the task arrays are built once at
-     creation.  The arena makes [ingest] single-producer: concurrent
-     [ingest] calls on the same engine would race on it (queries and
-     [refresh_all] remain safe alongside, per the shard locks). *)
+  (* --- ownership map (Pinned): owner o drains shards
+     [slice_lo.(o) .. slice_hi.(o) - 1]; owners = min(domains, shards) so
+     every owner has a non-empty slice. *)
+  owners : int;
+  slice_lo : int array;
+  slice_hi : int array;
+  (* --- Pinned ingest lane: one SPSC ring per (producer, shard) pair —
+     the engine is single-producer (see [ingest]), so that is one ring per
+     shard.  A full ring spills into the per-shard overflow buffer
+     (growable, bounded by the batch size) and counts a backpressure
+     event; [drain_buf] is the owner-side scratch a shard's ring + spill
+     are assembled into so each shard still sees exactly one [push_slice]
+     per batch (the refresh-cadence contract shared with [Locked]). *)
+  rings : Ring.t array;
+  overflow : float array array;
+  overflow_len : int array; (* slot k * pad_stride *)
+  drain_buf : float array array;
+  drain_tasks : (unit -> unit) array; (* one per owner *)
+  drain_one : int -> unit; (* caller-side drain of one shard (quiesce) *)
+  (* --- Pinned refresh: work-stealing sweep.  Each owner claims shards
+     from its own slice through a per-owner atomic cursor, then steals
+     from other owners' cursors once its slice is done — a Zipf-hot slice
+     cannot serialise the sweep on one domain. *)
+  cursors : int Atomic.t array;
+  warm_sweep : (unit -> unit) array;
+  cold_sweep : (unit -> unit) array;
+  (* --- Locked routing arena, reused across batches: [counts] is the
+     per-shard sub-batch size of the batch being ingested, [group_data.(k)]
+     the per-shard value buffer (capacity doubling, never shrinks), and
+     the task arrays are built once at creation. *)
   counts : int array;
   group_data : float array array;
   ingest_tasks : (unit -> unit) array;
@@ -30,17 +75,24 @@ type t = {
   c_points : M.counter;
   c_batches : M.counter;
   c_refreshes : M.counter;
+  c_lock_ops : M.counter;
+  c_backpressure : M.counter;
+  c_steals : M.counter;
 }
 
 (* Wire an engine around an existing shard array — shared by [create]
    (fresh summaries) and [restore_from] (decoded ones). *)
-let build ~pool shard_arr =
+let build ~mode ~ring_capacity ~pool shard_arr =
   let shards = Array.length shard_arr in
   let labels = [ ("instance", Obs.instance "se") ] in
+  let c_lock_ops = Obs.counter ~labels "engine.lock_ops" in
+  let c_backpressure = Obs.counter ~labels "engine.backpressure_waits" in
+  let c_steals = Obs.counter ~labels "engine.refresh_steals" in
   let counts = Array.make shards 0 in
   let group_data = Array.make shards [||] in
   let locked sh f =
     Mutex.lock sh.lock;
+    M.incr c_lock_ops;
     match f sh.fw with
     | () -> Mutex.unlock sh.lock
     | exception e ->
@@ -60,9 +112,88 @@ let build ~pool shard_arr =
     let sh = shard_arr.(k) in
     fun () -> locked sh (fun fw -> FW.refresh ~cold fw)
   in
+  (* contiguous slices, remainder spread over the first owners *)
+  let owners = max 1 (min (Domain_pool.domains pool) shards) in
+  let slice_lo = Array.init owners (fun o -> o * shards / owners) in
+  let slice_hi = Array.init owners (fun o -> (o + 1) * shards / owners) in
+  let rings = Array.init shards (fun _ -> Ring.create ~capacity:ring_capacity) in
+  let ring_cap = Ring.capacity rings.(0) in
+  let overflow = Array.make shards [||] in
+  let overflow_len = Array.make (shards * pad_stride) 0 in
+  let drain_buf = Array.init shards (fun _ -> Array.make ring_cap 0.0) in
+  (* Drain one shard: assemble ring contents then spilled overflow (older
+     values first — the producer only spills once the ring is full and the
+     ring is not consumed mid-routing, so this order is arrival order)
+     into the shard's scratch, and apply them as a single push_slice. *)
+  let drain_one k =
+    let ring = rings.(k) in
+    let spilled = overflow_len.(k * pad_stride) in
+    let total = Ring.length ring + spilled in
+    if total > 0 then begin
+      if Array.length drain_buf.(k) < total then
+        drain_buf.(k) <-
+          Array.make (max total (2 * Array.length drain_buf.(k))) 0.0;
+      let buf = drain_buf.(k) in
+      let n = Ring.pop_into ring buf ~pos:0 in
+      if spilled > 0 then begin
+        Array.blit overflow.(k) 0 buf n spilled;
+        overflow_len.(k * pad_stride) <- 0
+      end;
+      FW.push_slice shard_arr.(k).fw buf ~pos:0 ~len:(n + spilled)
+    end
+  in
+  let drain_task o =
+    fun () ->
+      for k = slice_lo.(o) to slice_hi.(o) - 1 do
+        drain_one k
+      done
+  in
+  (* Work-stealing refresh sweep: claims go through per-owner cursors so
+     an index is handed out exactly once; [refresh_all] resets the cursors
+     before each sweep. *)
+  let cursors = Array.init owners (fun o -> Atomic.make slice_lo.(o)) in
+  let claim o =
+    let k = Atomic.fetch_and_add cursors.(o) 1 in
+    if k < slice_hi.(o) then k else -1
+  in
+  let sweep_task ~cold o =
+    let refresh k =
+      match mode with
+      | Pinned -> FW.refresh ~cold shard_arr.(k).fw
+      | Locked -> locked shard_arr.(k) (fun fw -> FW.refresh ~cold fw)
+    in
+    fun () ->
+      let k = ref (claim o) in
+      while !k >= 0 do
+        refresh !k;
+        k := claim o
+      done;
+      for d = 1 to owners - 1 do
+        let o' = (o + d) mod owners in
+        let k = ref (claim o') in
+        while !k >= 0 do
+          M.incr c_steals;
+          refresh !k;
+          k := claim o'
+        done
+      done
+  in
   {
     pool;
+    mode;
     shards = shard_arr;
+    owners;
+    slice_lo;
+    slice_hi;
+    rings;
+    overflow;
+    overflow_len;
+    drain_buf;
+    drain_tasks = Array.init owners drain_task;
+    drain_one;
+    cursors;
+    warm_sweep = Array.init owners (sweep_task ~cold:false);
+    cold_sweep = Array.init owners (sweep_task ~cold:true);
     counts;
     group_data;
     ingest_tasks = Array.init shards ingest_task;
@@ -71,42 +202,83 @@ let build ~pool shard_arr =
     c_points = Obs.counter ~labels "engine.points";
     c_batches = Obs.counter ~labels "engine.batches";
     c_refreshes = Obs.counter ~labels "engine.refresh_sweeps";
+    c_lock_ops;
+    c_backpressure;
+    c_steals;
   }
 
-let create ~pool ~shards ~window ~buckets ~epsilon =
+let create_with_ring ~mode ~ring_capacity ~pool ~shards ~window ~buckets ~epsilon =
   if shards < 1 then invalid_arg "Shard_engine.create: shards must be >= 1";
+  if ring_capacity < 1 then
+    invalid_arg "Shard_engine.create: ring_capacity must be >= 1";
   (* sequential creation: instance-name allocation stays deterministic
      (fw0, fw1, ... in key order) regardless of the pool size *)
-  build ~pool
+  build ~mode ~ring_capacity ~pool
     (Array.init shards (fun _ ->
          { fw = FW.create ~window ~buckets ~epsilon; lock = Mutex.create () }))
 
+let create ~mode ~pool ~shards ~window ~buckets ~epsilon =
+  create_with_ring ~mode ~ring_capacity:default_ring_capacity ~pool ~shards
+    ~window ~buckets ~epsilon
+
 let shard_count t = Array.length t.shards
+let mode t = t.mode
+let ring_capacity t = Ring.capacity t.rings.(0)
 
 let check_key t key =
   if key < 0 || key >= Array.length t.shards then
     invalid_arg (Printf.sprintf "Shard_engine: key %d out of range [0, %d)" key (Array.length t.shards))
 
+(* [Locked]: take the shard's mutex around [f].  [Pinned]: run [f]
+   directly — exclusivity comes from the call-site discipline (queries,
+   folds and checkpoints do not overlap an in-flight [ingest] /
+   [refresh_all] call; see the .mli). *)
 let with_shard t key f =
   check_key t key;
   let s = t.shards.(key) in
-  Mutex.lock s.lock;
-  match f s.fw with
-  | v ->
-    Mutex.unlock s.lock;
-    v
-  | exception e ->
-    Mutex.unlock s.lock;
-    raise e
+  match t.mode with
+  | Pinned -> f s.fw
+  | Locked ->
+    Mutex.lock s.lock;
+    M.incr t.c_lock_ops;
+    (match f s.fw with
+    | v ->
+      Mutex.unlock s.lock;
+      v
+    | exception e ->
+      Mutex.unlock s.lock;
+      raise e)
 
-(* Route a batch: bucket the values by key into the per-shard arena
-   buffers (two counting passes, no per-pair allocation), then run the
-   prebuilt task array on the pool — each touched shard ingests its slice
-   via [push_slice], so the per-batch refresh amortisation of the
-   sequential path carries over unchanged; the parallelism is purely
-   across shards.  Steady state allocates nothing per batch beyond the
-   pool's own submission bookkeeping: the value buffers double to the
-   largest sub-batch seen and are then reused. *)
+(* Spill one value that found its ring full.  Growable, never shrinks;
+   bounded by the batch size (once a ring is full it stays full for the
+   rest of the routing pass, so a shard spills at most one batch). *)
+let spill t k v =
+  let len = t.overflow_len.(k * pad_stride) in
+  if Array.length t.overflow.(k) = len then begin
+    let grown = Array.make (max 8 (2 * len)) 0.0 in
+    Array.blit t.overflow.(k) 0 grown 0 len;
+    t.overflow.(k) <- grown
+  end;
+  t.overflow.(k).(len) <- v;
+  t.overflow_len.(k * pad_stride) <- len + 1;
+  M.incr t.c_backpressure
+
+(* Route a batch.  Both modes validate everything first (a rejected batch
+   ingests nothing), count points once per batch, and give every touched
+   shard exactly one [push_slice] covering its sub-batch in arrival order
+   — so the per-batch refresh amortisation of the sequential path carries
+   over unchanged and the two modes are observationally identical.
+
+   [Locked]: bucket values by key into the arena (two counting passes),
+   then one pool task per touched shard under its mutex.
+
+   [Pinned]: push each value into its shard's SPSC ring — no lock, no CAS
+   — spilling to the overflow buffer on [Would_block]; then one drain task
+   per owner applies each owned shard's ring + spill.  Steady state
+   allocates nothing per batch beyond pool submission bookkeeping.
+
+   Either way the arena/rings make [ingest] single-producer: concurrent
+   [ingest] calls on the same engine would race on them. *)
 let ingest t batch =
   let nb = Array.length batch in
   if nb > 0 then begin
@@ -116,35 +288,49 @@ let ingest t batch =
       check_key t k;
       if not (Float.is_finite v) then invalid_arg "Shard_engine.ingest: non-finite value"
     done;
-    let counts = t.counts in
-    Array.fill counts 0 s 0;
-    for i = 0 to nb - 1 do
-      let k, _ = batch.(i) in
-      counts.(k) <- counts.(k) + 1
-    done;
-    for k = 0 to s - 1 do
-      if Array.length t.group_data.(k) < counts.(k) then
-        t.group_data.(k) <-
-          Array.make (max counts.(k) (2 * Array.length t.group_data.(k))) 0.0
-    done;
-    (* second pass refills counts as fill cursors, then restores them *)
-    Array.fill counts 0 s 0;
-    for i = 0 to nb - 1 do
-      let k, v = batch.(i) in
-      t.group_data.(k).(counts.(k)) <- v;
-      counts.(k) <- counts.(k) + 1
-    done;
-    ignore (Domain_pool.run t.pool t.ingest_tasks);
+    (match t.mode with
+    | Pinned ->
+      for i = 0 to nb - 1 do
+        let k, v = batch.(i) in
+        if not (Ring.try_push t.rings.(k) v) then spill t k v
+      done;
+      ignore (Domain_pool.run t.pool t.drain_tasks)
+    | Locked ->
+      let counts = t.counts in
+      Array.fill counts 0 s 0;
+      for i = 0 to nb - 1 do
+        let k, _ = batch.(i) in
+        counts.(k) <- counts.(k) + 1
+      done;
+      for k = 0 to s - 1 do
+        if Array.length t.group_data.(k) < counts.(k) then
+          t.group_data.(k) <-
+            Array.make (max counts.(k) (2 * Array.length t.group_data.(k))) 0.0
+      done;
+      (* second pass refills counts as fill cursors, then restores them *)
+      Array.fill counts 0 s 0;
+      for i = 0 to nb - 1 do
+        let k, v = batch.(i) in
+        t.group_data.(k).(counts.(k)) <- v;
+        counts.(k) <- counts.(k) + 1
+      done;
+      ignore (Domain_pool.run t.pool t.ingest_tasks));
     M.add t.c_points nb;
     M.incr t.c_batches
   end
 
 (* Rebuild every stale shard's interval lists across the pool: the batched
-   refresh.  One task per shard — shard costs are similar, and the pool
-   queue load-balances the remainder. *)
+   refresh.  [Locked] keeps the PR 3 shape (one task per shard, the pool
+   FIFO load-balances); [Pinned] runs the work-stealing sweep so skewed
+   per-shard costs cannot serialise on one owner. *)
 let refresh_all ?(cold = false) t =
   Obs.with_span "engine.refresh_all" (fun () ->
-      ignore (Domain_pool.run t.pool (if cold then t.cold_tasks else t.warm_tasks));
+      (match t.mode with
+      | Locked ->
+        ignore (Domain_pool.run t.pool (if cold then t.cold_tasks else t.warm_tasks))
+      | Pinned ->
+        Array.iteri (fun o c -> Atomic.set c t.slice_lo.(o)) t.cursors;
+        ignore (Domain_pool.run t.pool (if cold then t.cold_sweep else t.warm_sweep)));
       M.incr t.c_refreshes)
 
 let pool t = t.pool
@@ -156,6 +342,9 @@ let work_counters t ~key = with_shard t key FW.work_counters
 
 let total_points t = M.value t.c_points
 let batches t = M.value t.c_batches
+let lock_ops t = M.value t.c_lock_ops
+let backpressure_waits t = M.value t.c_backpressure
+let refresh_steals t = M.value t.c_steals
 
 let fold t ~init ~f =
   let acc = ref init in
@@ -165,11 +354,6 @@ let fold t ~init ~f =
 let set_refresh_policy t policy =
   Array.iteri (fun k _ -> with_shard t k (fun fw -> FW.set_refresh_policy fw policy)) t.shards
 
-let create_legacy ?policy ~pool ~shards ~window ~buckets ~epsilon () =
-  let t = create ~pool ~shards ~window ~buckets ~epsilon in
-  (match policy with Some p -> set_refresh_policy t p | None -> ());
-  t
-
 (* --- persistence ---------------------------------------------------- *)
 
 module Codec = Sh_persist.Codec
@@ -178,19 +362,36 @@ module P = Sh_persist.Persist
 
 let engine_tag = Char.code 'S'
 
+(* Quiescence protocol for [Pinned]: every batch drains its rings before
+   [ingest] returns, so between engine calls the rings and overflow
+   buffers are empty — but a checkpoint must not silently trust that, so
+   it drains any residual hand-off state into the shards (on the caller,
+   which is safe under the no-concurrent-ingest contract) before encoding
+   a frame.  A frame therefore always captures a shard with no in-flight
+   values. *)
+let quiesce t =
+  match t.mode with
+  | Locked -> ()
+  | Pinned ->
+    for k = 0 to Array.length t.shards - 1 do
+      t.drain_one k
+    done
+
 let checkpoint t ~file =
   Obs.with_span "engine.checkpoint" @@ fun () ->
+  quiesce t;
   let meta = Buffer.create 32 in
   Codec.put_u8 meta engine_tag;
   Codec.put_varint meta (Array.length t.shards);
   Codec.put_varint meta (M.value t.c_points);
   Codec.put_varint meta (M.value t.c_batches);
   Codec.put_varint meta (M.value t.c_refreshes);
-  (* Each shard is encoded under its own mutex — the same ownership token
-     as ingest and queries, taken one shard at a time — so every frame is
-     an internally consistent summary and queries keep flowing while the
-     checkpoint walks the shards.  The file itself is assembled in memory
-     and published atomically only after every frame is captured. *)
+  (* Each shard is encoded under its ownership token — the mutex in
+     [Locked] mode (queries keep flowing while the checkpoint walks the
+     shards), plain exclusive access in quiesced [Pinned] mode — so every
+     frame is an internally consistent summary.  The file itself is
+     assembled in memory and published atomically only after every frame
+     is captured. *)
   let shard_frames =
     Array.to_list
       (Array.mapi
@@ -204,7 +405,7 @@ let checkpoint t ~file =
     ~frames:(Frame.frame_string (Buffer.contents meta) :: shard_frames);
   M.incr P.c_snapshots
 
-let restore_from ~pool ~file =
+let restore_from ~mode ~pool ~file =
   Obs.with_span "engine.restore" @@ fun () ->
   P.rejecting @@ fun () ->
   let r = Codec.of_string (P.read_file file) in
@@ -231,7 +432,7 @@ let restore_from ~pool ~file =
         { fw; lock = Mutex.create () })
   in
   Codec.expect_end r ~what:"engine checkpoint";
-  let t = build ~pool shard_arr in
+  let t = build ~mode ~ring_capacity:default_ring_capacity ~pool shard_arr in
   M.add t.c_points points;
   M.add t.c_batches batches;
   M.add t.c_refreshes refreshes;

@@ -5,11 +5,28 @@
     one windowed epsilon-approximate histogram per key (tenant, sensor,
     router port ...) at line rate.  Shards are fully independent — the
     paper's per-stream algorithm (Theorem 1) needs no cross-stream state —
-    so the engine needs no histogram-level locking: a batch is routed by
-    key, each touched shard becomes one task on the {!Domain_pool}, and a
-    per-shard mutex is the entire ownership discipline.
+    so the engine needs no histogram-level locking; what varies is how a
+    batch reaches the shards:
 
-    Results are bit-identical to driving one sequential
+    {ul
+    {- {!Pinned} (the lock-free pipeline, default everywhere in-tree): the
+       producer routes each value into a bounded {!Spsc_ring} per shard —
+       one array store plus one atomic store, no mutex, no CAS — and one
+       drain task per {e owner} applies each owned shard's sub-batch.
+       Owners are static contiguous slices of the shard space, at most one
+       per pool domain, so no two tasks ever touch the same shard.  A full
+       ring spills to a per-shard overflow buffer (bounded by the batch
+       size) and counts [engine.backpressure_waits].  Refresh sweeps are
+       work-stealing: each owner claims its own slice through an atomic
+       cursor, then steals from slower owners, so a Zipf-hot slice cannot
+       serialise the sweep.}
+    {- {!Locked} (the PR 3 engine, kept one release for head-to-head
+       benchmarking): per-shard mutexes, one pool task per touched shard.
+       [engine.lock_ops] counts every mutex acquisition in this mode — and
+       stays flat in [Pinned] mode, which is the lock-freedom proof the
+       tests pin.}}
+
+    Results are bit-identical across modes and to driving one sequential
     {!Stream_histogram.Fixed_window.t} per key with the same per-key
     subsequences (property-tested for domain counts 1, 2 and 4): shard
     independence means parallel execution changes only wall-clock, never
@@ -17,7 +34,16 @@
 
 type t
 
+type mode =
+  | Locked  (** per-shard mutex, one pool task per touched shard *)
+  | Pinned  (** SPSC rings + domain-pinned shard owners; lock-free ingest *)
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+(** ["locked"] / ["pinned"]. *)
+
 val create :
+  mode:mode ->
   pool:Domain_pool.t ->
   shards:int ->
   window:int ->
@@ -27,50 +53,64 @@ val create :
 (** An engine of [shards] summaries ([>= 1]), each a fixed-window
     maintainer with the given window/buckets/epsilon and the default
     ([Lazy]) refresh policy — use {!set_refresh_policy} for another.
-    Stream keys are [0 .. shards - 1].  The pool is borrowed, not owned:
-    several engines may share one pool, and {!Domain_pool.shutdown}
-    remains the caller's job. *)
+    Stream keys are [0 .. shards - 1].  [Pinned] rings hold
+    {!default_ring_capacity} values ({!create_with_ring} for another).
+    The pool is borrowed, not owned: several engines may share one pool,
+    and {!Domain_pool.shutdown} remains the caller's job. *)
 
-val create_legacy :
-  ?policy:Stream_histogram.Params.refresh_policy ->
+val create_with_ring :
+  mode:mode ->
+  ring_capacity:int ->
   pool:Domain_pool.t ->
   shards:int ->
   window:int ->
   buckets:int ->
   epsilon:float ->
-  unit ->
   t
-[@@ocaml.deprecated
-  "the trailing unit is gone: use Shard_engine.create (and \
-   set_refresh_policy for a non-default policy)"]
-(** Pre-redesign spelling of {!create}; kept for one release. *)
+(** {!create} with an explicit per-shard ring capacity ([>= 1], rounded up
+    to a power of two).  Smaller rings trade memory for earlier
+    backpressure spills; capacity only affects wall-clock and the
+    [engine.backpressure_waits] count, never answers. *)
+
+val default_ring_capacity : int
 
 val set_refresh_policy : t -> Stream_histogram.Params.refresh_policy -> unit
-(** Set the arrival-time refresh policy of every shard (locking each in
-    turn).  Raises [Invalid_argument] on [Every k] with [k < 1]. *)
+(** Set the arrival-time refresh policy of every shard.  Raises
+    [Invalid_argument] on [Every k] with [k < 1]. *)
 
 val shard_count : t -> int
+val mode : t -> mode
+val ring_capacity : t -> int
+(** Actual (power-of-two) per-shard ring capacity. *)
+
 val pool : t -> Domain_pool.t
 
 val ingest : t -> (int * float) array -> unit
-(** Route one batch of [(key, value)] arrivals to their shards and ingest
-    each shard's sub-batch with [push_slice] — one pool task per shard
-    (untouched shards no-op), refresh policy applied per shard per batch.
-    Routing runs through a per-engine arena of reusable buffers, so a
-    steady-state batch allocates nothing beyond pool submission; the same
-    arena makes ingest single-producer — at most one [ingest] per engine
-    at a time (queries and {!refresh_all} may still run concurrently).
-    Raises [Invalid_argument] (before ingesting anything) if any key is
-    out of range or any value non-finite. *)
+(** Route one batch of [(key, value)] arrivals to their shards and apply
+    each shard's sub-batch as a single
+    {!Stream_histogram.Fixed_window.push_slice} in arrival order — so the
+    per-batch refresh amortisation of the sequential path carries over
+    unchanged in both modes, and answers cannot depend on the mode.
+    Returns once every point of the batch is applied (the [Pinned] rings
+    are fully drained — no value is ever left in flight between calls).
+    The engine is single-producer: at most one [ingest] per engine at a
+    time.  Raises [Invalid_argument] (before ingesting anything) if any
+    key is out of range or any value non-finite. *)
 
 val refresh_all : ?cold:bool -> t -> unit
 (** Rebuild every stale shard's interval lists across the pool — the
     batched counterpart of {!Stream_histogram.Fixed_window.refresh};
-    [~cold:true] forces from-scratch rebuilds (the correctness oracle). *)
+    [~cold:true] forces from-scratch rebuilds (the correctness oracle).
+    [Pinned] sweeps are work-stealing (see [engine.refresh_steals]). *)
 
-(** {2 Per-key queries} — each locks its shard, so they may race freely
-    with {!ingest} of other keys (and serialise with ingest of the same
-    key). *)
+(** {2 Per-key queries}
+
+    In [Locked] mode each query locks its shard, so queries may race
+    freely with {!ingest} of other keys.  In [Pinned] mode there are no
+    locks: queries, {!fold} and {!checkpoint} must not overlap an
+    in-flight {!ingest} / {!refresh_all} call on the same engine (calls
+    may interleave in any order — the single producer that drives ingest
+    is free to query between batches, which is every in-tree usage). *)
 
 val length : t -> key:int -> int
 val current_error : t -> key:int -> float
@@ -79,8 +119,8 @@ val herror : t -> key:int -> k:int -> x:int -> float
 val work_counters : t -> key:int -> Stream_histogram.Fixed_window.work_counters
 
 val fold : t -> init:'a -> f:('a -> int -> Stream_histogram.Fixed_window.t -> 'a) -> 'a
-(** Fold over shards in key order, holding each shard's lock in turn
-    while [f] runs on it.  [f] must not call back into the engine. *)
+(** Fold over shards in key order ([Locked]: holding each shard's lock in
+    turn).  [f] must not call back into the engine. *)
 
 (** {2 Introspection} *)
 
@@ -89,6 +129,20 @@ val total_points : t -> int
 
 val batches : t -> int
 
+val lock_ops : t -> int
+(** Mutex acquisitions this engine has performed (["engine.lock_ops"]).
+    Grows with every batch and query in [Locked] mode; stays exactly flat
+    in [Pinned] mode — the steady-state lock-freedom witness. *)
+
+val backpressure_waits : t -> int
+(** Values that found their ring full and were spilled to the overflow
+    buffer (["engine.backpressure_waits"]).  No value is ever dropped;
+    a non-zero count means ring capacity is small for the batch shape. *)
+
+val refresh_steals : t -> int
+(** Shards refreshed by a non-owner during {!refresh_all} work-stealing
+    sweeps (["engine.refresh_steals"], [Pinned] only). *)
+
 (** {2 Durability}
 
     A checkpoint is one {!Sh_persist.Frame}-formatted file: header, an
@@ -96,20 +150,23 @@ val batches : t -> int
     {!Stream_histogram.Fixed_window} frame per shard.  Files are published
     with write-to-temp + atomic rename, so a crash during {!checkpoint}
     always leaves the previous checkpoint readable (proved by the
-    fault-injection suite). *)
+    fault-injection suite).  The mode is runtime configuration, not
+    state: a checkpoint written by either mode restores into either. *)
 
 val checkpoint : t -> file:string -> unit
-(** Capture every shard (each encoded under its own mutex, one at a time
-    — queries keep running concurrently) and atomically publish the file.
-    Do not run concurrently with {!ingest}: frames are per-shard
-    consistent, but a mid-batch checkpoint would split that batch across
-    the checkpoint boundary. *)
+(** Capture every shard and atomically publish the file.  [Pinned]
+    engines are quiesced first: any residual ring/overflow contents are
+    drained into their shards on the caller, so every frame captures a
+    shard with no in-flight values.  Do not run concurrently with
+    {!ingest}: frames are per-shard consistent, but a mid-batch
+    checkpoint would split that batch across the checkpoint boundary. *)
 
-val restore_from : pool:Domain_pool.t -> file:string -> t
+val restore_from : mode:mode -> pool:Domain_pool.t -> file:string -> t
 (** Rebuild an engine from a {!checkpoint} file: geometry, per-shard
     window state (each rebuilt with one cold refresh), policies, and the
-    cumulative {!total_points}/{!batches} counters all come from the file.
-    Raises {!Sh_persist.Persist.Corrupt} on any damaged or truncated file,
+    cumulative {!total_points}/{!batches} counters all come from the file;
+    the ingest [mode] is chosen fresh by the caller.  Raises
+    {!Sh_persist.Persist.Corrupt} on any damaged or truncated file,
     {!Sh_persist.Persist.Version_mismatch} on a foreign format version,
     and [Sys_error] if the file cannot be read — never returns a silently
     wrong engine. *)

@@ -1,0 +1,103 @@
+(* Classic bounded SPSC ring with cached-index fast paths.
+
+   Cursors are monotone ints: [head] is the next position to pop (written
+   only by the consumer), [tail] the next position to push (written only
+   by the producer).  [tail - head] is the fill level; positions map into
+   the flat float buffer through a power-of-two mask.  OCaml [Atomic]
+   operations are sequentially consistent, so the producer's buffer store
+   before [Atomic.set tail] happens-before the consumer's buffer load
+   after [Atomic.get tail] (and symmetrically for [head]) — 8-byte float
+   slots in a flat array cannot tear on 64-bit targets.
+
+   False-sharing layout: each side's mutable state lives on its own cache
+   line.  Inside the record, seven dummy words separate the producer's
+   cursor cache from the consumer's; the two contended [Atomic.t] cells
+   themselves are separate heap blocks, allocated with a 64-byte spacer
+   block between them so the minor heap's bump allocator lands them on
+   different lines (best effort — the GC may move them, but survivors are
+   copied in allocation order, which preserves the separation). *)
+
+type t = {
+  buf : float array;
+  mask : int;
+  (* producer line: [tail] is written here, [head_cache] is the producer's
+     stale view of the consumer cursor *)
+  tail : int Atomic.t;
+  mutable head_cache : int;
+  _pad0 : int;
+  _pad1 : int;
+  _pad2 : int;
+  _pad3 : int;
+  _pad4 : int;
+  _pad5 : int;
+  _pad6 : int;
+  (* consumer line *)
+  head : int Atomic.t;
+  mutable tail_cache : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc_ring.create: capacity must be >= 1";
+  let cap = next_pow2 capacity in
+  let tail = Atomic.make 0 in
+  (* 64-byte spacer between the two contended atomic cells *)
+  ignore (Sys.opaque_identity (Array.make 8 0));
+  let head = Atomic.make 0 in
+  {
+    buf = Array.make cap 0.0;
+    mask = cap - 1;
+    tail;
+    head_cache = 0;
+    _pad0 = 0;
+    _pad1 = 0;
+    _pad2 = 0;
+    _pad3 = 0;
+    _pad4 = 0;
+    _pad5 = 0;
+    _pad6 = 0;
+    head;
+    tail_cache = 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t v =
+  let tl = Atomic.get t.tail in
+  if tl - t.head_cache > t.mask then t.head_cache <- Atomic.get t.head;
+  if tl - t.head_cache > t.mask then false
+  else begin
+    t.buf.(tl land t.mask) <- v;
+    Atomic.set t.tail (tl + 1);
+    true
+  end
+
+let pop t =
+  let hd = Atomic.get t.head in
+  if hd = t.tail_cache then t.tail_cache <- Atomic.get t.tail;
+  if hd = t.tail_cache then None
+  else begin
+    let v = t.buf.(hd land t.mask) in
+    Atomic.set t.head (hd + 1);
+    Some v
+  end
+
+let pop_into t dst ~pos =
+  if pos < 0 || pos > Array.length dst then
+    invalid_arg "Spsc_ring.pop_into: pos out of range";
+  let hd = Atomic.get t.head in
+  if hd = t.tail_cache then t.tail_cache <- Atomic.get t.tail;
+  let n = min (t.tail_cache - hd) (Array.length dst - pos) in
+  if n > 0 then begin
+    for i = 0 to n - 1 do
+      dst.(pos + i) <- t.buf.((hd + i) land t.mask)
+    done;
+    Atomic.set t.head (hd + n)
+  end;
+  max n 0
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0

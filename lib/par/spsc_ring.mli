@@ -1,0 +1,50 @@
+(** Bounded single-producer / single-consumer ring queue of floats — the
+    lock-free hand-off lane between the ingest producer and a shard's
+    owning domain in {!Shard_engine}'s [Pinned] mode.
+
+    Exactly one domain may push and exactly one domain may pop at any
+    moment (the roles may migrate between domains across a synchronisation
+    point such as {!Domain_pool.run} settling — only {e concurrent}
+    producers or consumers are forbidden).  Under that discipline every
+    operation is wait-free: a push is one array store plus one atomic
+    store, a pop one array load plus one atomic store, and neither side
+    ever takes a lock or retries a CAS.
+
+    Both sides keep a cached copy of the opposite cursor and reload it
+    only when the cache says the ring looks full (producer) or empty
+    (consumer), so in steady state the hot path touches no shared cache
+    line but its own cursor — the cached-index fast path of the classic
+    SPSC design.  Cursor positions increase monotonically and are mapped
+    into the buffer by a power-of-two mask; they would only wrap after
+    [2^62] operations. *)
+
+type t
+
+val create : capacity:int -> t
+(** A ring holding at most [capacity] pending values, with [capacity]
+    rounded up to the next power of two (so [create ~capacity:5] actually
+    holds 8 — read back {!capacity} for the real bound).  Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : t -> int
+(** The actual (power-of-two) capacity. *)
+
+val try_push : t -> float -> bool
+(** Producer side: enqueue one value, or return [false] when the ring is
+    full ([Would_block] — the caller decides whether to spill, retry or
+    drop; this module never blocks). *)
+
+val pop : t -> float option
+(** Consumer side: dequeue the oldest value, or [None] when empty. *)
+
+val pop_into : t -> float array -> pos:int -> int
+(** Consumer side: dequeue every currently-visible value into
+    [dst.(pos) ..], bounded by the room left in [dst], and return how many
+    were moved.  One atomic cursor publication for the whole run — the
+    batched drain path. *)
+
+val length : t -> int
+(** Values currently enqueued.  Exact only while no push or pop is in
+    flight (e.g. at a quiescence point); otherwise a snapshot. *)
+
+val is_empty : t -> bool

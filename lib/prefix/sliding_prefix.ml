@@ -23,11 +23,6 @@ let create_rebasing ~rebase_every ~capacity =
 
 let create ~capacity = create_rebasing ~rebase_every:capacity ~capacity
 
-let create_legacy ?rebase_every ~capacity () =
-  match rebase_every with
-  | None -> create ~capacity
-  | Some rebase_every -> create_rebasing ~rebase_every ~capacity
-
 let capacity t = t.cap
 let length t = t.count
 

@@ -24,13 +24,6 @@ val create_rebasing : rebase_every:int -> capacity:int -> t
     stored cumulative sums (exposed for the rebase-period ablation
     benchmark).  Both arguments [>= 1]. *)
 
-val create_legacy : ?rebase_every:int -> capacity:int -> unit -> t
-[@@ocaml.deprecated
-  "the trailing unit is gone: use Sliding_prefix.create ~capacity (or \
-   create_rebasing for an explicit period)"]
-(** Pre-redesign spelling with an optional knob and trailing [unit]; kept
-    for one release. *)
-
 val capacity : t -> int
 
 val length : t -> int

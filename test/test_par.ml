@@ -7,6 +7,7 @@
 
 module Pool = Sh_par.Domain_pool
 module SE = Sh_par.Shard_engine
+module Ring = Sh_par.Spsc_ring
 module FW = Stream_histogram.Fixed_window
 module Params = Stream_histogram.Params
 module H = Sh_histogram.Histogram
@@ -112,16 +113,117 @@ let test_split_ix_deterministic () =
   Alcotest.check_raises "negative index" (Invalid_argument "Rng.split_ix: index must be >= 0")
     (fun () -> ignore (Rng.split_ix (root ()) (-1)))
 
+(* ------------------------------------------------------ SPSC ring queue *)
+
+let test_ring_validation () =
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Spsc_ring.create: capacity must be >= 1") (fun () ->
+      ignore (Ring.create ~capacity:0));
+  Alcotest.(check int) "capacity rounds up to a power of two" 8
+    (Ring.capacity (Ring.create ~capacity:5));
+  Alcotest.(check int) "power of two kept" 4 (Ring.capacity (Ring.create ~capacity:4))
+
+let test_ring_capacity_one () =
+  let r = Ring.create ~capacity:1 in
+  Alcotest.(check int) "capacity 1" 1 (Ring.capacity r);
+  Alcotest.(check bool) "starts empty" true (Ring.is_empty r);
+  Alcotest.(check bool) "push into empty" true (Ring.try_push r 1.0);
+  Alcotest.(check bool) "second push blocks" false (Ring.try_push r 2.0);
+  Alcotest.(check (option (float 0.0))) "pop" (Some 1.0) (Ring.pop r);
+  Alcotest.(check (option (float 0.0))) "pop empty" None (Ring.pop r);
+  (* the freed slot is reusable: the ring cycles forever at capacity 1 *)
+  for i = 0 to 99 do
+    Alcotest.(check bool) "cycle push" true (Ring.try_push r (Float.of_int i));
+    Alcotest.(check (option (float 0.0))) "cycle pop" (Some (Float.of_int i)) (Ring.pop r)
+  done
+
+let test_ring_full_empty_boundary () =
+  let r = Ring.create ~capacity:4 in
+  for i = 0 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "push %d" i) true (Ring.try_push r (Float.of_int i))
+  done;
+  Alcotest.(check int) "full length" 4 (Ring.length r);
+  Alcotest.(check bool) "push into full blocks" false (Ring.try_push r 99.0);
+  Alcotest.(check bool) "still blocks (cache refreshed)" false (Ring.try_push r 99.0);
+  for i = 0 to 3 do
+    Alcotest.(check (option (float 0.0))) (Printf.sprintf "fifo pop %d" i)
+      (Some (Float.of_int i)) (Ring.pop r)
+  done;
+  Alcotest.(check bool) "empty again" true (Ring.is_empty r);
+  Alcotest.(check (option (float 0.0))) "pop empty" None (Ring.pop r)
+
+let test_ring_wraparound () =
+  (* drive 10x capacity values through a capacity-4 ring with a fill level
+     of 3, so the cursors lap the buffer repeatedly: FIFO order must hold
+     across every wrap *)
+  let r = Ring.create ~capacity:4 in
+  let next_in = ref 0 and next_out = ref 0 in
+  for _ = 1 to 40 do
+    while Ring.length r < 3 do
+      Alcotest.(check bool) "push" true (Ring.try_push r (Float.of_int !next_in));
+      incr next_in
+    done;
+    Alcotest.(check (option (float 0.0))) "fifo across wrap"
+      (Some (Float.of_int !next_out)) (Ring.pop r);
+    incr next_out
+  done
+
+let test_ring_pop_into () =
+  let r = Ring.create ~capacity:8 in
+  for i = 0 to 5 do
+    ignore (Ring.try_push r (Float.of_int i))
+  done;
+  let dst = Array.make 10 Float.nan in
+  (* bounded by the room left in dst *)
+  Alcotest.(check int) "partial drain" 4 (Ring.pop_into r dst ~pos:6);
+  Alcotest.(check (array (float 0.0))) "drained prefix in order"
+    [| 0.0; 1.0; 2.0; 3.0 |] (Array.sub dst 6 4);
+  Alcotest.(check int) "rest drains" 2 (Ring.pop_into r dst ~pos:0);
+  Alcotest.(check (array (float 0.0))) "tail in order" [| 4.0; 5.0 |] (Array.sub dst 0 2);
+  Alcotest.(check int) "empty drains zero" 0 (Ring.pop_into r dst ~pos:0);
+  Alcotest.check_raises "pos out of range"
+    (Invalid_argument "Spsc_ring.pop_into: pos out of range") (fun () ->
+      ignore (Ring.pop_into r dst ~pos:11))
+
+let test_ring_across_domains () =
+  (* one producer domain, one consumer domain, a deliberately tiny ring:
+     every pushed value must come out exactly once, in order *)
+  let r = Ring.create ~capacity:4 in
+  let n = 10_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Ring.try_push r (Float.of_int i)) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let rec next () =
+      match Ring.pop r with
+      | Some v -> v
+      | None ->
+        Domain.cpu_relax ();
+        next ()
+    in
+    if next () <> Float.of_int i then ok := false
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "10k values cross the ring in order" true !ok;
+  Alcotest.(check bool) "ring drained" true (Ring.is_empty r)
+
 (* --------------------------------------- engine == sequential reference *)
 
 let policies = [ Params.Lazy; Params.Eager; Params.Every 3 ]
+let modes = [ SE.Locked; SE.Pinned ]
 
 (* Drive a Shard_engine and one plain Fixed_window per key with identical
    per-key data, then compare every observable: lengths, herror, and full
    histogram series. *)
-let engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon ~policy ~batches =
+let engine_matches_sequential ~mode ~domains ~shards ~window ~buckets ~epsilon ~policy ~batches =
   Pool.with_pool ~domains (fun pool ->
-      let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
+      let eng = SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon in
       SE.set_refresh_policy eng policy;
       let refs =
         Array.init shards (fun _ ->
@@ -163,7 +265,8 @@ let engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon ~policy
       !ok)
 
 let prop_engine_equals_sequential =
-  Helpers.qcheck_case ~count:25 ~name:"Shard_engine == one sequential Fixed_window per key"
+  Helpers.qcheck_case ~count:25
+    ~name:"Shard_engine (Pinned and Locked) == one sequential Fixed_window per key"
     QCheck2.Gen.(
       let* shards = int_range 1 9 in
       let* window = int_range 4 48 in
@@ -181,10 +284,15 @@ let prop_engine_equals_sequential =
           (fun b -> Array.of_list (List.map (fun (k, v) -> (k, Float.of_int v)) b))
           batches
       in
+      (* both modes against the same sequential oracle: Pinned == Locked
+         == sequential, at every domain count *)
       List.for_all
         (fun domains ->
-          engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon:0.1 ~policy
-            ~batches)
+          List.for_all
+            (fun mode ->
+              engine_matches_sequential ~mode ~domains ~shards ~window ~buckets ~epsilon:0.1
+                ~policy ~batches)
+            modes)
         domain_counts)
 
 let prop_push_many_equals_push =
@@ -249,45 +357,170 @@ let test_engine_validation () =
   Pool.with_pool ~domains:1 (fun pool ->
       Alcotest.check_raises "shards >= 1"
         (Invalid_argument "Shard_engine.create: shards must be >= 1") (fun () ->
-          ignore (SE.create ~pool ~shards:0 ~window:8 ~buckets:2 ~epsilon:0.1));
-      let eng = SE.create ~pool ~shards:4 ~window:8 ~buckets:2 ~epsilon:0.1 in
-      Alcotest.(check int) "shard count" 4 (SE.shard_count eng);
-      Alcotest.check_raises "key out of range"
-        (Invalid_argument "Shard_engine: key 4 out of range [0, 4)") (fun () ->
-          SE.ingest eng [| (4, 1.0) |]);
-      (* the rejected batch must not have ingested its valid prefix *)
-      Alcotest.(check int) "nothing ingested" 0 (SE.total_points eng);
-      Alcotest.(check int) "shard untouched" 0 (SE.length eng ~key:0))
+          ignore (SE.create ~mode:SE.Pinned ~pool ~shards:0 ~window:8 ~buckets:2 ~epsilon:0.1));
+      Alcotest.check_raises "ring capacity >= 1"
+        (Invalid_argument "Shard_engine.create: ring_capacity must be >= 1") (fun () ->
+          ignore
+            (SE.create_with_ring ~mode:SE.Pinned ~ring_capacity:0 ~pool ~shards:2 ~window:8
+               ~buckets:2 ~epsilon:0.1));
+      List.iter
+        (fun mode ->
+          let eng = SE.create ~mode ~pool ~shards:4 ~window:8 ~buckets:2 ~epsilon:0.1 in
+          Alcotest.(check int) "shard count" 4 (SE.shard_count eng);
+          Alcotest.(check bool) "mode recorded" true (SE.mode eng = mode);
+          Alcotest.check_raises "key out of range"
+            (Invalid_argument "Shard_engine: key 4 out of range [0, 4)") (fun () ->
+              SE.ingest eng [| (4, 1.0) |]);
+          (* the rejected batch must not have ingested its valid prefix *)
+          Alcotest.(check int) "nothing ingested" 0 (SE.total_points eng);
+          Alcotest.(check int) "shard untouched" 0 (SE.length eng ~key:0))
+        modes);
+  Alcotest.(check (option string)) "mode round trip" (Some "pinned")
+    (Option.map SE.mode_to_string (SE.mode_of_string "pinned"));
+  Alcotest.(check bool) "unknown mode rejected" true (SE.mode_of_string "spin" = None)
 
 let test_engine_refresh_all_and_counters () =
-  Pool.with_pool ~domains:2 (fun pool ->
-      let eng = SE.create ~pool ~shards:3 ~window:16 ~buckets:3 ~epsilon:0.2 in
-      let batch =
-        Array.init 60 (fun i -> (i mod 3, Float.of_int ((i * 13) mod 97)))
-      in
-      SE.ingest eng batch;
-      Alcotest.(check int) "points counted" 60 (SE.total_points eng);
-      Alcotest.(check int) "one batch" 1 (SE.batches eng);
-      Array.iter
-        (fun k -> Alcotest.(check int) (Printf.sprintf "shard %d length" k) 16 (SE.length eng ~key:k))
-        [| 0; 1; 2 |];
-      SE.refresh_all eng;
-      Array.iter
-        (fun k ->
+  List.iter
+    (fun mode ->
+      Pool.with_pool ~domains:2 (fun pool ->
+          let eng = SE.create ~mode ~pool ~shards:3 ~window:16 ~buckets:3 ~epsilon:0.2 in
+          let batch =
+            Array.init 60 (fun i -> (i mod 3, Float.of_int ((i * 13) mod 97)))
+          in
+          SE.ingest eng batch;
+          Alcotest.(check int) "points counted" 60 (SE.total_points eng);
+          Alcotest.(check int) "one batch" 1 (SE.batches eng);
+          Array.iter
+            (fun k ->
+              Alcotest.(check int) (Printf.sprintf "shard %d length" k) 16 (SE.length eng ~key:k))
+            [| 0; 1; 2 |];
+          SE.refresh_all eng;
+          Array.iter
+            (fun k ->
+              Alcotest.(check bool)
+                (Printf.sprintf "shard %d clean" k)
+                false
+                (SE.fold eng ~init:false ~f:(fun acc k' fw ->
+                     if k = k' then FW.needs_refresh fw else acc)))
+            [| 0; 1; 2 |];
+          (* cold refresh is the oracle: answers must not move *)
+          let errs = Array.init 3 (fun k -> SE.current_error eng ~key:k) in
+          SE.refresh_all ~cold:true eng;
+          Array.iteri
+            (fun k e ->
+              Helpers.check_close (Printf.sprintf "cold refresh agrees, shard %d" k) e
+                (SE.current_error eng ~key:k))
+            errs))
+    modes
+
+(* ------------------------------------ lock-freedom and backpressure *)
+
+(* The acceptance gate of the lock-free rework: a steady-state Pinned
+   engine performs zero mutex lock/unlock operations per point, across
+   ingest, refresh sweeps and queries — while the Locked engine's
+   engine.lock_ops grows with every batch. *)
+let test_pinned_zero_lock_ops () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let drive mode =
+            let eng = SE.create ~mode ~pool ~shards:4 ~window:32 ~buckets:2 ~epsilon:0.3 in
+            (* warm up past creation so the measurement is steady state *)
+            SE.ingest eng (Array.init 64 (fun i -> (i mod 4, Float.of_int i)));
+            SE.refresh_all eng;
+            let before = SE.lock_ops eng in
+            for b = 1 to 5 do
+              SE.ingest eng (Array.init 64 (fun i -> (i mod 4, Float.of_int (b * i))))
+            done;
+            SE.refresh_all eng;
+            for k = 0 to 3 do
+              ignore (SE.current_error eng ~key:k)
+            done;
+            SE.lock_ops eng - before
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "Pinned: zero lock ops in steady state, %d domains" domains)
+            0 (drive SE.Pinned);
           Alcotest.(check bool)
-            (Printf.sprintf "shard %d clean" k)
-            false
-            (SE.fold eng ~init:false ~f:(fun acc k' fw ->
-                 if k = k' then FW.needs_refresh fw else acc)))
-        [| 0; 1; 2 |];
-      (* cold refresh is the oracle: answers must not move *)
-      let errs = Array.init 3 (fun k -> SE.current_error eng ~key:k) in
-      SE.refresh_all ~cold:true eng;
-      Array.iteri
-        (fun k e ->
-          Helpers.check_close (Printf.sprintf "cold refresh agrees, shard %d" k) e
-            (SE.current_error eng ~key:k))
-        errs)
+            (Printf.sprintf "Locked: lock ops grow, %d domains" domains)
+            true
+            (drive SE.Locked > 0)))
+    domain_counts
+
+(* Saturate deliberately tiny rings: every point must still land (spilled
+   through the overflow path, counted as backpressure waits), and the
+   results must stay bit-identical to the sequential reference. *)
+let test_backpressure_no_point_dropped () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let eng =
+            SE.create_with_ring ~mode:SE.Pinned ~ring_capacity:4 ~pool ~shards:2 ~window:64
+              ~buckets:2 ~epsilon:0.3
+          in
+          Alcotest.(check int) "tiny ring capacity" 4 (SE.ring_capacity eng);
+          (* 90 of 100 points hit shard 0: its capacity-4 ring must spill *)
+          let batch =
+            Array.init 100 (fun i ->
+                ((if i mod 10 = 9 then 1 else 0), Float.of_int ((i * 7) mod 53)))
+          in
+          let refs = Array.init 2 (fun _ -> FW.create ~window:64 ~buckets:2 ~epsilon:0.3) in
+          Array.iter (fun fw -> FW.set_memoisation fw false) refs;
+          SE.ingest eng batch;
+          Array.iteri
+            (fun k _ ->
+              FW.push_many refs.(k)
+                (Array.of_list
+                   (List.filter_map
+                      (fun (k', v) -> if k' = k then Some v else None)
+                      (Array.to_list batch))))
+            refs;
+          Alcotest.(check bool)
+            (Printf.sprintf "ring saturation spilled, %d domains" domains)
+            true
+            (SE.backpressure_waits eng > 0);
+          Alcotest.(check int) "every point counted" 100 (SE.total_points eng);
+          Array.iteri
+            (fun k fw ->
+              Alcotest.(check int)
+                (Printf.sprintf "shard %d length matches sequential, %d domains" k domains)
+                (FW.length fw) (SE.length eng ~key:k);
+              Alcotest.(check bool)
+                (Printf.sprintf "shard %d histogram matches sequential, %d domains" k domains)
+                true
+                (H.to_series (SE.current_histogram eng ~key:k) = H.to_series (FW.current_histogram fw)))
+            refs))
+    domain_counts
+
+(* The work-stealing sweep must refresh every shard exactly once per
+   refresh_all, whatever the owner/stealer interleaving — claims go
+   through per-owner atomic cursors, so a double refresh or a skipped
+   shard would surface here as a work-counter mismatch. *)
+let test_work_stealing_sweep_exactly_once () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let shards = 8 in
+          let eng = SE.create ~mode:SE.Pinned ~pool ~shards ~window:16 ~buckets:2 ~epsilon:0.3 in
+          (* Zipf-ish skew: every shard gets something, shard 0 gets most *)
+          let batch =
+            Array.init 200 (fun i ->
+                let k = if i < 40 then i mod shards else 0 in
+                (k, Float.of_int ((i * 11) mod 89)))
+          in
+          SE.ingest eng batch;
+          let before =
+            Array.init shards (fun k -> (SE.work_counters eng ~key:k).FW.refreshes)
+          in
+          SE.refresh_all eng;
+          for k = 0 to shards - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "shard %d refreshed exactly once, %d domains" k domains)
+              (before.(k) + 1)
+              (SE.work_counters eng ~key:k).FW.refreshes
+          done;
+          Alcotest.(check bool) "steal counter is sane" true (SE.refresh_steals eng >= 0)))
+    domain_counts
 
 (* ------------------------------------------- telemetry under parallelism *)
 
@@ -368,6 +601,15 @@ let () =
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
         ] );
       ("rng", [ Alcotest.test_case "split_ix deterministic" `Quick test_split_ix_deterministic ]);
+      ( "spsc_ring",
+        [
+          Alcotest.test_case "validation" `Quick test_ring_validation;
+          Alcotest.test_case "capacity 1" `Quick test_ring_capacity_one;
+          Alcotest.test_case "full/empty boundary" `Quick test_ring_full_empty_boundary;
+          Alcotest.test_case "wraparound fifo" `Quick test_ring_wraparound;
+          Alcotest.test_case "pop_into batch drain" `Quick test_ring_pop_into;
+          Alcotest.test_case "cross-domain hand-off" `Quick test_ring_across_domains;
+        ] );
       ( "shard_engine",
         [
           prop_engine_equals_sequential;
@@ -376,6 +618,11 @@ let () =
             test_push_many_every_k_bookkeeping;
           Alcotest.test_case "validation" `Quick test_engine_validation;
           Alcotest.test_case "refresh_all + counters" `Quick test_engine_refresh_all_and_counters;
+          Alcotest.test_case "Pinned performs zero lock ops" `Quick test_pinned_zero_lock_ops;
+          Alcotest.test_case "backpressure drops nothing" `Quick
+            test_backpressure_no_point_dropped;
+          Alcotest.test_case "work-stealing sweep exactly once" `Quick
+            test_work_stealing_sweep_exactly_once;
         ] );
       ( "obs_domain_safety",
         [

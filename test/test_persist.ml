@@ -340,35 +340,71 @@ let engines_equal a b =
 let test_engine_checkpoint_restore () =
   List.iter
     (fun domains ->
-      with_temp_file @@ fun file ->
-      Pool.with_pool ~domains @@ fun pool ->
-      let shards = 5 in
-      let eng = SE.create ~pool ~shards ~window:24 ~buckets:3 ~epsilon:0.2 in
-      SE.set_refresh_policy eng (Params.Every 3);
-      for b = 0 to 5 do
-        SE.ingest eng (mk_batch ~shards ~n:40 b)
-      done;
-      SE.checkpoint eng ~file;
-      let restored = SE.restore_from ~pool ~file in
-      Alcotest.(check bool)
-        (Printf.sprintf "restored == original, %d domains" domains)
-        true (engines_equal eng restored);
-      (* checkpoint of the restored engine must be byte-identical *)
-      with_temp_file (fun file2 ->
-          SE.checkpoint restored ~file:file2;
-          Alcotest.(check string)
-            (Printf.sprintf "re-checkpoint bytes identical, %d domains" domains)
-            (P.read_file file) (P.read_file file2));
-      (* and it must track the original through further ingest *)
-      let more = mk_batch ~shards ~n:60 99 in
-      SE.ingest eng more;
-      SE.ingest restored more;
-      SE.refresh_all eng;
-      SE.refresh_all restored;
-      Alcotest.(check bool)
-        (Printf.sprintf "tracks original after restart, %d domains" domains)
-        true (engines_equal eng restored))
+      List.iter
+        (fun mode ->
+          let tag =
+            Printf.sprintf "%d domains, %s" domains (SE.mode_to_string mode)
+          in
+          with_temp_file @@ fun file ->
+          Pool.with_pool ~domains @@ fun pool ->
+          let shards = 5 in
+          let eng =
+            SE.create ~mode ~pool ~shards ~window:24 ~buckets:3 ~epsilon:0.2
+          in
+          SE.set_refresh_policy eng (Params.Every 3);
+          for b = 0 to 5 do
+            SE.ingest eng (mk_batch ~shards ~n:40 b)
+          done;
+          SE.checkpoint eng ~file;
+          let restored = SE.restore_from ~mode ~pool ~file in
+          Alcotest.(check bool)
+            (Printf.sprintf "restored == original, %s" tag)
+            true (engines_equal eng restored);
+          (* checkpoint of the restored engine must be byte-identical *)
+          with_temp_file (fun file2 ->
+              SE.checkpoint restored ~file:file2;
+              Alcotest.(check string)
+                (Printf.sprintf "re-checkpoint bytes identical, %s" tag)
+                (P.read_file file) (P.read_file file2));
+          (* and it must track the original through further ingest *)
+          let more = mk_batch ~shards ~n:60 99 in
+          SE.ingest eng more;
+          SE.ingest restored more;
+          SE.refresh_all eng;
+          SE.refresh_all restored;
+          Alcotest.(check bool)
+            (Printf.sprintf "tracks original after restart, %s" tag)
+            true (engines_equal eng restored))
+        [ SE.Locked; SE.Pinned ])
     domain_counts
+
+(* the ingest mode is runtime configuration, not persisted state: a
+   checkpoint written by either mode must restore into either *)
+let test_engine_cross_mode_restore () =
+  with_temp_file @@ fun file ->
+  Pool.with_pool ~domains:2 @@ fun pool ->
+  let shards = 4 in
+  let eng =
+    SE.create ~mode:SE.Pinned ~pool ~shards ~window:16 ~buckets:3 ~epsilon:0.2
+  in
+  for b = 0 to 3 do
+    SE.ingest eng (mk_batch ~shards ~n:30 b)
+  done;
+  SE.checkpoint eng ~file;
+  let as_locked = SE.restore_from ~mode:SE.Locked ~pool ~file in
+  Alcotest.(check bool) "pinned checkpoint restores as locked" true
+    (engines_equal eng as_locked);
+  with_temp_file @@ fun file2 ->
+  SE.checkpoint as_locked ~file:file2;
+  let back = SE.restore_from ~mode:SE.Pinned ~pool ~file:file2 in
+  Alcotest.(check bool) "locked checkpoint restores as pinned" true
+    (engines_equal eng back);
+  (* both continuations stay in lockstep under further ingest *)
+  let more = mk_batch ~shards ~n:50 7 in
+  SE.ingest as_locked more;
+  SE.ingest back more;
+  Alcotest.(check bool) "cross-mode continuations agree" true
+    (engines_equal as_locked back)
 
 (* -------------------------------------------------- fault-injection matrix *)
 
@@ -379,7 +415,11 @@ let test_engine_checkpoint_restore () =
 
 let engine_scenario pool =
   let shards = 4 in
-  let eng = SE.create ~pool ~shards ~window:16 ~buckets:3 ~epsilon:0.2 in
+  (* Pinned: every faulted checkpoint also exercises the ring-quiescence
+     path that precedes frame encoding *)
+  let eng =
+    SE.create ~mode:SE.Pinned ~pool ~shards ~window:16 ~buckets:3 ~epsilon:0.2
+  in
   for b = 0 to 3 do
     SE.ingest eng (mk_batch ~shards ~n:30 b)
   done;
@@ -413,13 +453,13 @@ let test_fault_crash_matrix () =
         (Printf.sprintf "crash %d left checkpoint A untouched" i)
         golden (P.read_file file);
       (* ...and still restores to a working engine *)
-      let r = SE.restore_from ~pool ~file in
+      let r = SE.restore_from ~mode:SE.Pinned ~pool ~file in
       Alcotest.(check int) "restored shard count" shards (SE.shard_count r))
     crash_points;
   (* after all that, an unfaulted checkpoint still works *)
   SE.checkpoint eng ~file;
   Alcotest.(check bool) "clean checkpoint after faults" true
-    (engines_equal eng (SE.restore_from ~pool ~file))
+    (engines_equal eng (SE.restore_from ~mode:SE.Pinned ~pool ~file))
 
 let test_fault_mangling_matrix () =
   Pool.with_pool ~domains:2 @@ fun pool ->
@@ -442,7 +482,7 @@ let test_fault_mangling_matrix () =
         let rej_before = M.value P.c_corrupt_rejections in
         expect_rejected
           (Printf.sprintf "restore of file truncated at %d" k)
-          (fun () -> SE.restore_from ~pool ~file);
+          (fun () -> SE.restore_from ~mode:SE.Pinned ~pool ~file);
         Alcotest.(check bool)
           (Printf.sprintf "rejection counted (truncate %d)" k)
           true
@@ -461,13 +501,13 @@ let test_fault_mangling_matrix () =
         SE.checkpoint eng ~file;
         expect_rejected
           (Printf.sprintf "restore of file with bit %d flipped" i)
-          (fun () -> SE.restore_from ~pool ~file)
+          (fun () -> SE.restore_from ~mode:SE.Pinned ~pool ~file)
       end)
     flips;
   (* recovery: the next clean checkpoint heals the damaged file *)
   SE.checkpoint eng ~file;
   Alcotest.(check bool) "healed by clean checkpoint" true
-    (engines_equal eng (SE.restore_from ~pool ~file))
+    (engines_equal eng (SE.restore_from ~mode:SE.Pinned ~pool ~file))
 
 let test_fault_save_crash_keeps_old_snapshot () =
   with_temp_file @@ fun file ->
@@ -524,8 +564,12 @@ let () =
           Alcotest.test_case "save/load file" `Quick test_save_load_file;
         ] );
       ( "shard_engine",
-        [ Alcotest.test_case "checkpoint/restore at 1,2,4 domains" `Quick
-            test_engine_checkpoint_restore ] );
+        [
+          Alcotest.test_case "checkpoint/restore at 1,2,4 domains, both modes"
+            `Quick test_engine_checkpoint_restore;
+          Alcotest.test_case "cross-mode restore" `Quick
+            test_engine_cross_mode_restore;
+        ] );
       ( "faults",
         [
           Alcotest.test_case "crash matrix" `Quick test_fault_crash_matrix;
