@@ -33,6 +33,7 @@ let experiments : (string * (Bench_config.scale -> unit)) list =
     ("micro", Micro.run);
     ("micro-fw", Micro.run_fw);
     ("micro-obs", Micro.run_obs);
+    ("micro-contention", Micro.run_contention);
     ("micro-par", Micro.run_par);
     ("micro-persist", Micro.run_persist);
   ]

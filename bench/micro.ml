@@ -421,6 +421,93 @@ let run_obs scale =
          ("enabled_over_disabled", Report.Jfloat (mean enabled /. mean disabled));
        ])
 
+(* ----------------------------- cross-domain metric-plane contention
+
+   The tentpole claim of the per-domain telemetry planes: N domains
+   incrementing the SAME counter should scale like N independent plain
+   stores, because each domain writes only its own padded row.  The
+   baseline is what the registry used to do — every domain hammering one
+   shared [Atomic.t] cell, serialising on its cache line.  Both variants
+   run the identical spawn/barrier/loop harness, so the measured gap is
+   cacheline traffic, not harness shape.  [obs.plane_collisions] must not
+   move: every bench domain gets a DLS slot. *)
+
+let contention_ns ~domains ~iters incr_fn =
+  let go = Atomic.make false in
+  let out = Array.make domains 0.0 in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to iters do
+              incr_fn ()
+            done;
+            out.(d) <- (Unix.gettimeofday () -. t0) /. Float.of_int iters *. 1e9))
+  in
+  Atomic.set go true;
+  Array.iter Domain.join workers;
+  Array.fold_left ( +. ) 0.0 out /. Float.of_int domains
+
+let run_contention scale =
+  Report.section "BENCH-MICRO-CONTENTION: shared atomic vs per-domain plane counter";
+  let iters =
+    match scale with
+    | Bench_config.Small -> 200_000
+    | Bench_config.Default | Bench_config.Full -> 1_000_000
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  let host_cores = Domain.recommended_domain_count () in
+  let plane_counter = Sh_obs.Obs.counter "bench.plane_contention" in
+  let collisions0 = Sh_obs.Obs.plane_collisions () in
+  (* warmup: touch both paths once so lazy row allocation is off-clock *)
+  ignore (contention_ns ~domains:1 ~iters:1000 (fun () -> Sh_obs.Metric.incr plane_counter));
+  let rows =
+    List.map
+      (fun d ->
+        let shared_cell = Atomic.make 0 in
+        let shared = contention_ns ~domains:d ~iters (fun () -> Atomic.incr shared_cell) in
+        let plane =
+          contention_ns ~domains:d ~iters (fun () -> Sh_obs.Metric.incr plane_counter)
+        in
+        (d, shared, plane))
+      domain_counts
+  in
+  let collisions = Sh_obs.Obs.plane_collisions () - collisions0 in
+  Report.note "%d increments per domain per variant; host cores: %d%s" iters host_cores
+    (if host_cores < List.fold_left max 1 domain_counts then
+       " — multi-domain rows oversubscribe and mostly measure scheduling"
+     else "");
+  Report.table
+    ~headers:[ "domains"; "shared atomic ns/incr"; "plane ns/incr"; "shared/plane" ]
+    (List.map
+       (fun (d, s, p) ->
+         [ string_of_int d; Printf.sprintf "%.2f" s; Printf.sprintf "%.2f" p;
+           Printf.sprintf "%.2fx" (s /. p) ])
+       rows);
+  Report.note "plane_collisions delta over the experiment: %d (must stay 0)" collisions;
+  Report.json_add "contention"
+    (Report.Jobj
+       [
+         ("iters_per_domain", Report.Jint iters);
+         ("host_cores", Report.Jint host_cores);
+         ("plane_collisions_delta", Report.Jint collisions);
+         ( "rows",
+           Report.Jlist
+             (List.map
+                (fun (d, s, p) ->
+                  Report.Jobj
+                    [
+                      ("domains", Report.Jint d);
+                      ("shared_atomic_ns_per_incr", Report.Jfloat s);
+                      ("plane_ns_per_incr", Report.Jfloat p);
+                      ("shared_over_plane", Report.Jfloat (s /. p));
+                    ])
+                rows) );
+       ])
+
 (* ------------------------------ parallel multi-stream ingest scaling
 
    Shard independence means the engine's answers cannot change with the

@@ -26,6 +26,7 @@ module E = Sh_query.Estimator
 module Q = Sh_query.Workload
 module Ev = Sh_query.Evaluate
 module O = Sh_obs.Obs
+module Lat = Sh_obs.Latency
 module Pool = Sh_par.Domain_pool
 module SE = Sh_par.Shard_engine
 
@@ -67,7 +68,9 @@ let trace_out_arg =
     value
     & opt (some string) None
     & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:"Enable span tracing and write the trace as JSON lines to $(docv) on exit.")
+        ~doc:
+          "Enable span tracing and write the trace to $(docv) on exit as Chrome trace-event \
+           JSON (loadable in chrome://tracing or Perfetto; one track per recording domain).")
 
 (* Enable telemetry for the duration of [f] when either flag is given;
    spans get a real wall clock instead of the Sys.time default.  Metrics
@@ -84,7 +87,7 @@ let with_obs metrics trace_out f =
     | None -> ()
     | Some file ->
       let oc = open_out file in
-      output_string oc (O.render_trace ());
+      output_string oc (O.render_chrome_trace ());
       close_out oc
   in
   Fun.protect ~finally:finish f
@@ -397,6 +400,31 @@ let serve_cmd =
              from $(docv) ($(b,--shards)/$(b,--window) etc. are ignored); the run then ingests \
              $(b,-n) further points.")
   in
+  let record_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Continuous evaluation: append one JSONL sample to $(docv) every \
+             $(b,--record-every) batches — items ingested, ns/point, an exact-oracle SSE spot \
+             check on a rotating key, resident heap words, backpressure/steal/lock counters \
+             and the latency quantiles.")
+  in
+  let record_every =
+    Arg.(
+      value & opt int 1
+      & info [ "record-every" ] ~docv:"K"
+          ~doc:"Sample cadence in batches for $(b,--record) (K >= 1).")
+  in
+  let latency_window =
+    Arg.(
+      value & opt int 0
+      & info [ "latency-window" ] ~docv:"K"
+          ~doc:
+            "Answer latency quantiles over the last K batches only (0, the default, means \
+             all-time).")
+  in
   let mode_conv =
     let parse s =
       match SE.mode_of_string s with
@@ -416,14 +444,23 @@ let serve_cmd =
              Answers are identical; only wall-clock differs.")
   in
   let run shards domains count batch window buckets epsilon policy dist skew seed metrics
-      trace_out checkpoint_file checkpoint_every restore_file mode =
+      trace_out checkpoint_file checkpoint_every restore_file record_file record_every
+      latency_window mode =
     with_obs metrics trace_out @@ fun () ->
     if batch < 1 then invalid_arg "serve: --batch must be >= 1";
+    if record_every < 1 then invalid_arg "serve: --record-every must be >= 1";
+    if latency_window < 0 then invalid_arg "serve: --latency-window must be >= 0";
     (match checkpoint_every with
      | Some k when k < 1 -> invalid_arg "serve: --checkpoint-every must be >= 1"
      | Some _ when checkpoint_file = None ->
        invalid_arg "serve: --checkpoint-every requires --checkpoint"
      | _ -> ());
+    (* serve always collects latency quantiles: a GK insert per timed
+       section is far below the batch work it measures, and the end-of-run
+       report depends on it. *)
+    O.set_latency_enabled true;
+    O.set_clock Unix.gettimeofday;
+    Lat.set_window latency_window;
     let host_cores = Domain.recommended_domain_count () in
     if domains > host_cores then
       Printf.eprintf
@@ -469,6 +506,95 @@ let serve_cmd =
         SE.checkpoint eng ~file;
         incr checkpoints
     in
+    (* --- continuous-evaluation recorder --------------------------------
+       Shadow per-key value rings mirror the exact content of each shard's
+       window on the caller, so a sample can rebuild the exact V-optimal
+       oracle over the very values the engine summarises and report the
+       engine histogram's SSE next to the optimum.  After --restore the
+       shadow starts empty while the engine window does not, so the spot
+       check only reports once that key's shadow has filled. *)
+    let eng_window, eng_buckets =
+      SE.fold eng ~init:(window, buckets) ~f:(fun _ _ fw -> (FW.window fw, FW.buckets fw))
+    in
+    let recording = record_file <> None in
+    let restored = restore_file <> None in
+    let rec_oc =
+      match record_file with
+      | None -> None
+      | Some f -> Some (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 f)
+    in
+    let shadow =
+      if recording then Array.init shards (fun _ -> Array.make eng_window 0.0) else [||]
+    in
+    let shadow_len = Array.make (max 1 shards) 0 in
+    let shadow_pos = Array.make (max 1 shards) 0 in
+    let note_arrival (k, v) =
+      let buf = shadow.(k) in
+      buf.(shadow_pos.(k)) <- v;
+      shadow_pos.(k) <- (shadow_pos.(k) + 1) mod eng_window;
+      if shadow_len.(k) < eng_window then shadow_len.(k) <- shadow_len.(k) + 1
+    in
+    let shadow_window k =
+      let len = shadow_len.(k) in
+      let buf = shadow.(k) in
+      if len < eng_window then Array.sub buf 0 len
+      else Array.init eng_window (fun i -> buf.((shadow_pos.(k) + i) mod eng_window))
+    in
+    let samples = ref 0 in
+    let last_sample_t = ref (Unix.gettimeofday ()) in
+    let last_sample_pts = ref (SE.total_points eng) in
+    let emit_sample oc =
+      let now = Unix.gettimeofday () in
+      let pts = SE.total_points eng in
+      let d_pts = pts - !last_sample_pts in
+      let ns_per_point =
+        if d_pts > 0 then (now -. !last_sample_t) *. 1e9 /. Float.of_int d_pts else 0.0
+      in
+      last_sample_t := now;
+      last_sample_pts := pts;
+      let spot_key = !samples mod shards in
+      incr samples;
+      let data = shadow_window spot_key in
+      let spot_valid =
+        Array.length data > 0 && ((not restored) || Array.length data = eng_window)
+      in
+      let sse, sse_opt =
+        if not spot_valid then (0.0, 0.0)
+        else begin
+          let p = P.make data in
+          let h = SE.current_histogram eng ~key:spot_key in
+          (H.sse_against h p, H.sse_against (V.build_prefix p ~buckets:eng_buckets) p)
+        end
+      in
+      let heap_words = (Gc.quick_stat ()).Gc.heap_words in
+      let buf = Buffer.create 512 in
+      Printf.bprintf buf
+        "{\"batches\":%d,\"items\":%d,\"ns_per_point\":%.6g,\"spot_key\":%d,\"spot_n\":%d,\
+         \"spot_valid\":%b,\"sse\":%.9g,\"sse_opt\":%.9g,\"resident_words\":%d,\
+         \"backpressure_waits\":%d,\"refresh_steals\":%d,\"lock_ops\":%d,\"latency\":{"
+        (SE.batches eng) pts ns_per_point spot_key (Array.length data) spot_valid sse sse_opt
+        heap_words
+        (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
+      let first = ref true in
+      List.iter
+        (fun t ->
+          if Lat.count t > 0 then begin
+            if not !first then Buffer.add_char buf ',';
+            first := false;
+            Printf.bprintf buf "\"%s\":{\"count\":%d" (Lat.name t) (Lat.count t);
+            List.iter
+              (fun phi ->
+                match Lat.quantile t phi with
+                | Some v -> Printf.bprintf buf ",\"%s\":%.9g" (Sh_obs.Sink.phi_label phi) v
+                | None -> ())
+              Lat.percentiles;
+            Buffer.add_char buf '}'
+          end)
+        (Lat.snapshot ());
+      Buffer.add_string buf "}}\n";
+      output_string oc (Buffer.contents buf);
+      flush oc
+    in
     let t0 = Unix.gettimeofday () in
     let remaining = ref count in
     let batches_done = ref 0 in
@@ -480,14 +606,25 @@ let serve_cmd =
             (k, sources.(k) ()))
       in
       SE.ingest eng arrivals;
+      if recording then Array.iter note_arrival arrivals;
       remaining := !remaining - b;
       incr batches_done;
+      (match rec_oc with
+      | Some oc when !batches_done mod record_every = 0 -> emit_sample oc
+      | _ -> ());
       match checkpoint_every with
       | Some k when !batches_done mod k = 0 -> write_checkpoint ()
       | _ -> ()
     done;
     SE.refresh_all eng;
     write_checkpoint ();
+    (match rec_oc with
+    | Some oc ->
+      emit_sample oc;
+      close_out oc;
+      Printf.printf "record: %d sample(s) appended to %s\n" !samples
+        (Option.value record_file ~default:"")
+    | None -> ());
     (match checkpoint_file with
      | Some file -> Printf.printf "checkpoint: wrote %s (%d write(s))\n" file !checkpoints
      | None -> ());
@@ -501,6 +638,22 @@ let serve_cmd =
         (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
     Printf.printf "elapsed %.3fs  throughput %.0f points/s\n" elapsed
       (Float.of_int count /. Float.max elapsed 1e-9);
+    (match List.filter (fun t -> Lat.count t > 0) (Lat.snapshot ()) with
+    | [] -> ()
+    | lats ->
+      Printf.printf "latency quantiles%s (ms):\n"
+        (if latency_window > 0 then Printf.sprintf ", last %d batches" latency_window else "");
+      List.iter
+        (fun t ->
+          Printf.printf "  %-22s count=%-8d" (Lat.name t) (Lat.count t);
+          List.iter
+            (fun phi ->
+              match Lat.quantile t phi with
+              | Some v -> Printf.printf " %s=%.4g" (Sh_obs.Sink.phi_label phi) (1e3 *. v)
+              | None -> ())
+            Lat.percentiles;
+          print_newline ())
+        lats);
     let tot_refreshes, tot_intervals =
       SE.fold eng ~init:(0, 0) ~f:(fun (r, iv) key fw ->
           let c = FW.work_counters fw in
@@ -516,7 +669,7 @@ let serve_cmd =
     Term.(
       const run $ shards $ domains $ count $ batch $ window $ buckets_arg $ epsilon_arg $ policy
       $ dist $ skew $ seed_arg $ metrics_arg $ trace_out_arg $ checkpoint_file $ checkpoint_every
-      $ restore_file $ mode)
+      $ restore_file $ record_file $ record_every $ latency_window $ mode)
 
 (* -------------------------------------------------------- quantiles *)
 

@@ -11,6 +11,14 @@ let enabled = Atomic.make false
 let set_enabled b = Atomic.set enabled b
 let is_enabled () = Atomic.get enabled
 
+(* Latency quantile tracking has its own switch: a GK insert per timed
+   section is far cheaper than span tracing but not free, and `shist
+   serve` wants latency percentiles without paying for full span
+   capture. *)
+let latency_enabled = Atomic.make false
+let set_latency_enabled b = Atomic.set latency_enabled b
+let is_latency_enabled () = Atomic.get latency_enabled
+
 (* The default clock is the portable [Sys.time] (CPU seconds); callers that
    link unix inject [Unix.gettimeofday], tests inject a fake.  Set at
    startup, before domains are spawned. *)

@@ -15,6 +15,13 @@ val enabled : bool Atomic.t
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
 
+val latency_enabled : bool Atomic.t
+(** Gates {!Latency.record} / {!Latency.time} — independent of [enabled]
+    so latency quantiles can run without span tracing (and vice versa). *)
+
+val set_latency_enabled : bool -> unit
+val is_latency_enabled : unit -> bool
+
 val set_clock : (unit -> float) -> unit
 (** Inject the wall clock used for span timing, in seconds.  Defaults to
     [Sys.time] (CPU seconds); binaries that link unix should inject

@@ -1,0 +1,81 @@
+(** Self-hosted latency quantiles: duration distributions tracked in
+    per-domain Greenwald-Khanna summaries ({!Sh_gk.Gk} — the same
+    structure the paper uses for streaming order statistics) and merged
+    only at snapshot time.
+
+    Recording follows the {!Plane} discipline: a GK insert into the
+    calling domain's own slot state, no shared-cacheline traffic; slotless
+    domains fall back to a mutex-guarded overflow state and bump the
+    [obs.plane_collisions] witness.  A merged quantile over the per-domain
+    streams carries rank error at most [sum_i (epsilon * n_i)].
+
+    Gated by {!Control.latency_enabled}, independently of span tracing:
+    a GK insert per timed section is cheap but not free, and it must be
+    possible to collect latency percentiles without full span capture.
+
+    The optional sliding window ("last k batches") is driven by a global
+    epoch: callers bump it with {!advance} once per batch, and each slot
+    keeps a ring of per-epoch summaries rotated lazily by its owner.
+    Aggregate reads ({!quantile}, {!count}, {!sum}) are exact when
+    recording domains are quiescent, and memory-safe but possibly slightly
+    stale mid-flight — same contract as the metric snapshot readers. *)
+
+type t
+
+val tracker : ?labels:Metric.labels -> ?epsilon:float -> string -> t
+(** Get-or-create by (name, canonically sorted labels).  [epsilon]
+    (default 0.001) bounds the per-summary rank error; the first
+    registration's epsilon wins.  Raises [Invalid_argument] when epsilon
+    is outside (0, 1). *)
+
+val record : t -> float -> unit
+(** Record one duration in seconds.  No-op while latency tracking is
+    disabled; negative and non-finite values are ignored. *)
+
+val time : t -> (unit -> 'a) -> 'a
+(** Time [f] with the {!Control} clock and record the elapsed seconds.
+    One boolean load when disabled; exceptions propagate after the
+    duration is recorded. *)
+
+val advance : unit -> unit
+(** Advance the global window epoch — call once per ingest batch.  No-op
+    while latency tracking is disabled. *)
+
+val set_window : int -> unit
+(** Window width in epochs (batches).  [0] (the default) disables the
+    window: quantiles answer over all recorded durations.  [k > 0] makes
+    {!quantile} answer over the last [k] epochs only.  Takes effect
+    lazily per recording domain; raises [Invalid_argument] below 0. *)
+
+val window : unit -> int
+
+val name : t -> string
+val labels : t -> Metric.labels
+val epsilon : t -> float
+
+val count : t -> int
+(** All-time recorded durations (the Prometheus [_count]). *)
+
+val sum : t -> float
+(** All-time summed durations in seconds (the Prometheus [_sum]). *)
+
+val quantile : t -> float -> float option
+(** Merged quantile across the per-domain summaries — windowed when a
+    window is set, all-time otherwise.  [None] when nothing is recorded
+    (in the window). *)
+
+val percentiles : float list
+(** The quantiles every sink exposes: 0.5, 0.9, 0.99, 0.999. *)
+
+val snapshot : unit -> t list
+(** All trackers sorted by (name, labels) — the order sinks render. *)
+
+val tracker_count : unit -> int
+
+val reset : unit -> unit
+(** Forget all recorded durations and rewind the epoch; registrations
+    survive. *)
+
+val clear : unit -> unit
+(** Drop all tracker registrations (handles held by callers keep
+    recording but are no longer exported); for test isolation. *)

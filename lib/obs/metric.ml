@@ -1,50 +1,162 @@
 type labels = (string * string) list
 
-(* Counters and gauges sit on [Atomic.t] cells: instrumented structures now
-   run inside pool domains (lib/par), and a fetch-and-add is the cheapest
-   primitive that loses no increments under concurrent bumping.  On one
-   domain it is still a single read-modify-write instruction, which is what
-   keeps the telemetry overhead budget (<3%, see EXPERIMENTS.md) intact. *)
-type counter = { c_name : string; c_labels : labels; c_value : int Atomic.t }
-type gauge = { g_name : string; g_labels : labels; g_value : float Atomic.t }
+(* Every value cell is a per-domain plane: one padded row per Plane slot,
+   written only by the slot's owner with plain (non-atomic) stores, read
+   by aggregating accessors at snapshot time.  The steady-state recording
+   path therefore touches no shared cacheline — the property the lock-free
+   shard engine (lib/par) needs to scale — while [value]/[gvalue]/[hcount]
+   remain exact once writers are quiescent (joins/awaits establish the
+   necessary happens-before).  Mid-flight reads are memory-safe and at
+   worst slightly stale.
+
+   Rows are published through [Atomic.t] cells (an atomic load is a plain
+   load on x86/ARM) so a snapshot on another domain never observes an
+   unpublished row.  Rows are allocated lazily by their owner, which also
+   places them in the owner's allocation region — adjacent slots never
+   share a line.  [row_pad] keeps a row's payload a full cacheline even
+   when the allocator packs blocks tightly. *)
+
+let row_pad = 8
+
+let no_irow : int array = [||]
+let no_frow : float array = [||]
+
+type counter = {
+  c_name : string;
+  c_labels : labels;
+  c_rows : int array Atomic.t array;
+  c_ov : int Atomic.t;  (* slotless-domain fallback, fetch-and-add *)
+}
+
+type gauge = {
+  g_name : string;
+  g_labels : labels;
+  g_rows : float array Atomic.t array;
+  g_base : float Atomic.t;  (* [set] target and slotless-domain adds *)
+}
 
 (* Log-scale histogram: bucket [i] counts observations v with
    le(i-1) < v <= le(i) where le(i) = 2^(i - bucket_offset); the last
-   bucket is the +infinity overflow.  [observe] is O(1) via frexp.
-
-   Histograms keep plain mutable fields: every in-tree [observe] happens
-   under the span tracer's lock (see Span), and they are off unless
-   telemetry is enabled.  Unsynchronised concurrent [observe] from user
-   code may lose observations but never corrupts memory. *)
+   bucket is the +infinity overflow.  [observe] is O(1) via frexp. *)
 let bucket_count = 64
 let bucket_offset = 40
+
+type hrow = { hb : int array; mutable hn : int; mutable hs : float }
+
+let no_hrow = { hb = [||]; hn = 0; hs = 0.0 }
 
 type histogram = {
   h_name : string;
   h_labels : labels;
-  h_buckets : int array;
-  mutable h_count : int;
-  mutable h_sum : float;
+  h_rows : hrow Atomic.t array;
+  h_ov : hrow;  (* slotless-domain fallback, guarded by Plane.ov_mutex *)
 }
 
-let incr c = Atomic.incr c.c_value
+let make_rows absent = Array.init Plane.max_slots (fun _ -> Atomic.make absent)
+
+(* The [obs.plane_collisions] witness: bumped (with a single atomic RMW)
+   every time a recording operation misses the per-domain fast path
+   because more than [Plane.max_slots] domains are alive.  Registry wires
+   this very cell in as the counter's overflow cell, so the registered
+   series reads it with no special cases — and the overflow path below
+   writes it directly rather than recursing through [incr]. *)
+let plane_collisions_cell : int Atomic.t = Atomic.make 0
+
+let note_collision (ov : int Atomic.t) =
+  if ov != plane_collisions_cell then Atomic.incr plane_collisions_cell
+
+(* -------------------------------------------------------------- counters *)
+
+let c_row c s =
+  let r = Atomic.get (Array.unsafe_get c.c_rows s) in
+  if r != no_irow then r
+  else begin
+    let r = Array.make row_pad 0 in
+    Atomic.set c.c_rows.(s) r;
+    r
+  end
 
 let add c n =
   if n < 0 then invalid_arg "Obs: counters are monotone, negative increment";
-  ignore (Atomic.fetch_and_add c.c_value n)
+  let s = Plane.slot () in
+  if s >= 0 then begin
+    let r = c_row c s in
+    Array.unsafe_set r 0 (Array.unsafe_get r 0 + n)
+  end
+  else begin
+    ignore (Atomic.fetch_and_add c.c_ov n);
+    note_collision c.c_ov
+  end
 
-let value c = Atomic.get c.c_value
+let incr c = add c 1
 
-let set g v = Atomic.set g.g_value v
+let value c =
+  let acc = ref (Atomic.get c.c_ov) in
+  for s = 0 to Plane.max_slots - 1 do
+    let r = Atomic.get c.c_rows.(s) in
+    if r != no_irow then acc := !acc + r.(0)
+  done;
+  !acc
 
-(* Retry loop: [compare_and_set] on the exact boxed float we read succeeds
-   iff no other domain stored in between. *)
-let rec gadd g v =
-  let cur = Atomic.get g.g_value in
-  if not (Atomic.compare_and_set g.g_value cur (cur +. v)) then gadd g v
+let reset_counter c =
+  for s = 0 to Plane.max_slots - 1 do
+    let r = Atomic.get c.c_rows.(s) in
+    if r != no_irow then r.(0) <- 0
+  done;
+  Atomic.set c.c_ov 0
+
+(* ---------------------------------------------------------------- gauges *)
+
+let g_row g s =
+  let r = Atomic.get (Array.unsafe_get g.g_rows s) in
+  if r != no_frow then r
+  else begin
+    let r = Array.make row_pad 0.0 in
+    Atomic.set g.g_rows.(s) r;
+    r
+  end
+
+let cells_sum g =
+  let acc = ref 0.0 in
+  for s = 0 to Plane.max_slots - 1 do
+    let r = Atomic.get g.g_rows.(s) in
+    if r != no_frow then acc := !acc +. r.(0)
+  done;
+  !acc
+
+let gadd g v =
+  let s = Plane.slot () in
+  if s >= 0 then begin
+    let r = g_row g s in
+    Array.unsafe_set r 0 (Array.unsafe_get r 0 +. v)
+  end
+  else begin
+    (* CAS retry: adds from several slotless domains are all reflected. *)
+    let rec go () =
+      let cur = Atomic.get g.g_base in
+      if not (Atomic.compare_and_set g.g_base cur (cur +. v)) then go ()
+    in
+    go ();
+    Atomic.incr plane_collisions_cell
+  end
 
 let gincr g = gadd g 1.0
-let gvalue g = Atomic.get g.g_value
+let gvalue g = Atomic.get g.g_base +. cells_sum g
+
+(* Rebase so the aggregate reads exactly [v].  Not atomic against
+   concurrent [gadd]s — in-tree setters run at structure creation or on
+   rare state changes (e.g. a window length change), never on recording
+   hot paths. *)
+let set g v = Atomic.set g.g_base (v -. cells_sum g)
+
+let reset_gauge g =
+  for s = 0 to Plane.max_slots - 1 do
+    let r = Atomic.get g.g_rows.(s) in
+    if r != no_frow then r.(0) <- 0.0
+  done;
+  Atomic.set g.g_base 0.0
+
+(* ------------------------------------------------------------ histograms *)
 
 let bucket_index v =
   if v <= 0.0 then 0
@@ -62,21 +174,68 @@ let bucket_le i =
   if i < 0 || i >= bucket_count then invalid_arg "Obs: bucket index out of range";
   if i = bucket_count - 1 then infinity else Float.ldexp 1.0 (i - bucket_offset)
 
-let observe h v =
-  if Atomic.get Control.enabled then begin
-    h.h_buckets.(bucket_index v) <- h.h_buckets.(bucket_index v) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v
+let h_row h s =
+  let r = Atomic.get (Array.unsafe_get h.h_rows s) in
+  if r != no_hrow then r
+  else begin
+    let r = { hb = Array.make bucket_count 0; hn = 0; hs = 0.0 } in
+    Atomic.set h.h_rows.(s) r;
+    r
   end
 
-let hcount h = h.h_count
-let hsum h = h.h_sum
-let hmean h = if h.h_count = 0 then 0.0 else h.h_sum /. Float.of_int h.h_count
+let hrow_observe r v =
+  let i = bucket_index v in
+  r.hb.(i) <- r.hb.(i) + 1;
+  r.hn <- r.hn + 1;
+  r.hs <- r.hs +. v
+
+let observe h v =
+  if Atomic.get Control.enabled then begin
+    let s = Plane.slot () in
+    if s >= 0 then hrow_observe (h_row h s) v
+    else begin
+      Mutex.lock Plane.ov_mutex;
+      hrow_observe h.h_ov v;
+      Mutex.unlock Plane.ov_mutex;
+      Atomic.incr plane_collisions_cell
+    end
+  end
+
+let fold_rows h ~init ~f =
+  let acc = ref (f init h.h_ov) in
+  for s = 0 to Plane.max_slots - 1 do
+    let r = Atomic.get h.h_rows.(s) in
+    if r != no_hrow then acc := f !acc r
+  done;
+  !acc
+
+let hcount h = fold_rows h ~init:0 ~f:(fun acc r -> acc + r.hn)
+let hsum h = fold_rows h ~init:0.0 ~f:(fun acc r -> acc +. r.hs)
+
+let hmean h =
+  let n = hcount h in
+  if n = 0 then 0.0 else hsum h /. Float.of_int n
+
+let bucket_value h i =
+  if i < 0 || i >= bucket_count then invalid_arg "Obs: bucket index out of range";
+  fold_rows h ~init:0 ~f:(fun acc r -> acc + r.hb.(i))
 
 (* Cumulative count of observations <= bucket_le i, Prometheus-style. *)
 let cumulative h i =
   let acc = ref 0 in
   for j = 0 to i do
-    acc := !acc + h.h_buckets.(j)
+    acc := !acc + bucket_value h j
   done;
   !acc
+
+let reset_histogram h =
+  let zero r =
+    Array.fill r.hb 0 bucket_count 0;
+    r.hn <- 0;
+    r.hs <- 0.0
+  in
+  zero h.h_ov;
+  for s = 0 to Plane.max_slots - 1 do
+    let r = Atomic.get h.h_rows.(s) in
+    if r != no_hrow then zero r
+  done

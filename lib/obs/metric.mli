@@ -1,49 +1,88 @@
-(** Metric primitives: named counters, gauges, and log-scale histograms.
+(** Metric primitives: named counters, gauges, and log-scale histograms,
+    backed by per-domain {!Plane} rows.
 
     Values are created through {!Registry} (get-or-create by name and
-    label set); handles are records whose value cells are [Atomic.t], so
-    counters and gauges are safe to bump from any number of domains
-    without losing increments (lib/par runs instrumented structures on a
-    domain pool).  On a single domain the operations are one
-    read-modify-write instruction — still cheap enough to leave on
-    unconditionally in the streaming hot paths.
+    label set).  Each handle holds one padded row per plane slot; a
+    recording operation writes only the calling domain's own row with a
+    plain store, so the hot paths perform {e zero shared-cacheline
+    writes} — no atomic RMW, no false sharing between domains — and the
+    aggregating readers ([value], [gvalue], [hcount], ...) sum the rows
+    at snapshot time.  Totals are exact once writers are quiescent
+    (domain joins / pool awaits establish the ordering); a snapshot taken
+    mid-flight is memory-safe and at worst slightly stale.
+
+    Domains beyond {!Plane.max_slots} fall back to shared overflow cells
+    (atomic for counters/gauges, mutex-guarded for histograms); every such
+    miss bumps the [obs.plane_collisions] witness counter, which stays
+    flat whenever the contention-free fast path is actually in use.
 
     Counters and gauges ignore {!Control.enabled}: they double as the
     algorithms' work-accounting state, which must keep counting when
-    telemetry collection is off.  Histogram {!observe} honours the switch
-    (it is only ever fed derived measurements such as span durations) and
-    is the one primitive that is not lock-free safe: all in-tree observes
-    go through the span tracer, which serialises them. *)
+    telemetry collection is off.  Histogram {!observe} honours the
+    switch. *)
 
 type labels = (string * string) list
 (** Label pairs, canonically sorted by {!Registry} on registration. *)
 
-type counter = { c_name : string; c_labels : labels; c_value : int Atomic.t }
-type gauge = { g_name : string; g_labels : labels; g_value : float Atomic.t }
+type counter = {
+  c_name : string;
+  c_labels : labels;
+  c_rows : int array Atomic.t array;
+  c_ov : int Atomic.t;
+}
+
+type gauge = {
+  g_name : string;
+  g_labels : labels;
+  g_rows : float array Atomic.t array;
+  g_base : float Atomic.t;
+}
+
+type hrow = { hb : int array; mutable hn : int; mutable hs : float }
 
 type histogram = {
   h_name : string;
   h_labels : labels;
-  h_buckets : int array;
-  mutable h_count : int;
-  mutable h_sum : float;
+  h_rows : hrow Atomic.t array;
+  h_ov : hrow;
 }
 
-(** {2 Counters} — monotone non-negative int, atomic *)
+val row_pad : int
+(** Words per plane row (8 = one 64-byte cacheline of payload). *)
+
+val no_irow : int array
+val no_frow : float array
+
+val no_hrow : hrow
+(** Absent-row sentinels, compared physically: a plane row equal to one of
+    these has not been claimed by its slot's owner yet. *)
+
+val make_rows : 'a -> 'a Atomic.t array
+(** A fresh plane of {!Plane.max_slots} unpublished rows holding the given
+    absent-sentinel — used by {!Registry} and the span/latency planes. *)
+
+val plane_collisions_cell : int Atomic.t
+(** The cell behind the [obs.plane_collisions] counter ({!Registry} wires
+    it in as that counter's overflow cell).  Exposed so the witness can be
+    read even before the counter is registered. *)
+
+(** {2 Counters} — monotone non-negative int, per-domain plane *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
 (** Raises [Invalid_argument] on a negative increment. *)
 
 val value : counter -> int
+(** Sum over all plane rows plus the overflow cell. *)
 
-(** {2 Gauges} — arbitrary float, atomic *)
+(** {2 Gauges} — arbitrary float, per-domain plane *)
 
 val set : gauge -> float -> unit
-val gadd : gauge -> float -> unit
-(** Atomic read-modify-write (CAS retry loop), so concurrent adds from
-    several domains are all reflected. *)
+(** Rebase so {!gvalue} reads exactly the given value.  Not atomic against
+    concurrent {!gadd}s; in-tree setters run at structure creation or on
+    rare state changes, never on recording hot paths. *)
 
+val gadd : gauge -> float -> unit
 val gincr : gauge -> unit
 val gvalue : gauge -> float
 
@@ -62,13 +101,22 @@ val bucket_index : float -> int
     powers of two land on their inclusive upper bound. *)
 
 val observe : histogram -> float -> unit
-(** Record one observation — O(1).  No-op while {!Control.enabled} is
-    false.  Not atomic: serialise concurrent observers externally (the
-    span tracer already does). *)
+(** Record one observation — O(1), on the caller's own plane row.  No-op
+    while {!Control.enabled} is false. *)
 
 val hcount : histogram -> int
 val hsum : histogram -> float
 val hmean : histogram -> float
+
+val bucket_value : histogram -> int -> int
+(** Observations in bucket [i], summed across all plane rows. *)
+
 val cumulative : histogram -> int -> int
 (** Observations in buckets [0 .. i], i.e. the Prometheus cumulative count
     for [le = bucket_le i]. *)
+
+(** {2 Reset} — used by {!Registry.reset}; quiesce writers for exactness *)
+
+val reset_counter : counter -> unit
+val reset_gauge : gauge -> unit
+val reset_histogram : histogram -> unit

@@ -3,6 +3,8 @@
 
 let set_enabled = Control.set_enabled
 let enabled = Control.is_enabled
+let set_latency_enabled = Control.set_latency_enabled
+let latency_enabled = Control.is_latency_enabled
 let set_clock = Control.set_clock
 let now = Control.now
 
@@ -10,6 +12,8 @@ let counter = Registry.counter
 let gauge = Registry.gauge
 let histogram = Registry.histogram
 let with_span = Span.with_span
+
+let plane_collisions () = Atomic.get Metric.plane_collisions_cell
 
 (* Per-structure instance names: "fw0", "fw1", ... per prefix, so every
    live structure exports its own label-distinguished series.  Mutexed so
@@ -55,12 +59,19 @@ let render_trace () =
   Sink.trace_json_lines buf;
   Buffer.contents buf
 
+let render_chrome_trace () =
+  let buf = Buffer.create 4096 in
+  Sink.chrome_trace buf;
+  Buffer.contents buf
+
 let reset () =
   Registry.reset ();
+  Latency.reset ();
   Span.clear ()
 
 let clear () =
   Registry.clear ();
+  Latency.clear ();
   Span.clear ();
   Mutex.lock instance_m;
   Hashtbl.reset instance_seq;

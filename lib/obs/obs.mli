@@ -20,6 +20,12 @@
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
+val set_latency_enabled : bool -> unit
+(** Switch for {!Latency} duration tracking, independent of spans: a GK
+    insert per timed section, collectable without full span capture. *)
+
+val latency_enabled : unit -> bool
+
 val set_clock : (unit -> float) -> unit
 (** Clock used for span timing, in seconds.  Defaults to [Sys.time]; inject
     [Unix.gettimeofday] from binaries that link unix, a fake from tests. *)
@@ -41,6 +47,13 @@ val instance : string -> string
 val with_span : string -> (unit -> 'a) -> 'a
 (** See {!Span.with_span}.  One boolean load when telemetry is disabled. *)
 
+val plane_collisions : unit -> int
+(** The [obs.plane_collisions] witness: recording operations that missed
+    the per-domain plane fast path because more than {!Plane.max_slots}
+    domains were alive.  Flat (zero) whenever the contention-free path is
+    actually in use — the analogue of the engine's [engine.lock_ops]
+    lock-freedom witness. *)
+
 (** {2 Exposition} *)
 
 type format = Text | Json | Prom
@@ -55,6 +68,10 @@ val render : format -> string
 
 val render_trace : unit -> string
 (** The span trace as JSON lines (see {!Sink.trace_json_lines}). *)
+
+val render_chrome_trace : unit -> string
+(** The span trace as one Chrome trace-event JSON object, one track per
+    recording domain (see {!Sink.chrome_trace}). *)
 
 (** {2 Lifecycle} *)
 

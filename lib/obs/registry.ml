@@ -67,27 +67,47 @@ let counter ?(labels = []) name =
   get_or_register ~name ~labels
     ~found:(function Counter c -> c | _ -> type_clash name)
     ~make:(fun labels ->
-      let c = { Metric.c_name = name; c_labels = labels; c_value = Atomic.make 0 } in
+      (* The plane-collision witness counter reads the module-level cell
+         the metric overflow paths bump directly, so collisions that
+         happened before (or without) registration are never lost. *)
+      let ov =
+        if name = "obs.plane_collisions" then Metric.plane_collisions_cell else Atomic.make 0
+      in
+      let c =
+        {
+          Metric.c_name = name;
+          c_labels = labels;
+          c_rows = Metric.make_rows Metric.no_irow;
+          c_ov = ov;
+        }
+      in
       (Counter c, c))
 
 let gauge ?(labels = []) name =
   get_or_register ~name ~labels
     ~found:(function Gauge g -> g | _ -> type_clash name)
     ~make:(fun labels ->
-      let g = { Metric.g_name = name; g_labels = labels; g_value = Atomic.make 0.0 } in
+      let g =
+        {
+          Metric.g_name = name;
+          g_labels = labels;
+          g_rows = Metric.make_rows Metric.no_frow;
+          g_base = Atomic.make 0.0;
+        }
+      in
       (Gauge g, g))
 
 let histogram ?(labels = []) name =
   get_or_register ~name ~labels
     ~found:(function Histogram h -> h | _ -> type_clash name)
     ~make:(fun labels ->
+      let ov = { Metric.hb = Array.make Metric.bucket_count 0; hn = 0; hs = 0.0 } in
       let h =
         {
           Metric.h_name = name;
           h_labels = labels;
-          h_buckets = Array.make Metric.bucket_count 0;
-          h_count = 0;
-          h_sum = 0.0;
+          h_rows = Metric.make_rows Metric.no_hrow;
+          h_ov = ov;
         }
       in
       (Histogram h, h))
@@ -125,12 +145,9 @@ let reset () =
   locked (fun () ->
       Hashtbl.iter
         (fun _ -> function
-          | Counter c -> Atomic.set c.Metric.c_value 0
-          | Gauge g -> Atomic.set g.Metric.g_value 0.0
-          | Histogram h ->
-            Array.fill h.Metric.h_buckets 0 Metric.bucket_count 0;
-            h.Metric.h_count <- 0;
-            h.Metric.h_sum <- 0.0)
+          | Counter c -> Metric.reset_counter c
+          | Gauge g -> Metric.reset_gauge g
+          | Histogram h -> Metric.reset_histogram h)
         table)
 
 let clear () = locked (fun () -> Hashtbl.reset table)

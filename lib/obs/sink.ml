@@ -25,6 +25,11 @@ let json_float f =
 
 (* ------------------------------------------------------------- text *)
 
+(* 0.5 -> "p50", 0.99 -> "p99", 0.999 -> "p999" *)
+let phi_label phi =
+  let s = Printf.sprintf "%g" (phi *. 100.0) in
+  "p" ^ String.concat "" (String.split_on_char '.' s)
+
 let labels_to_string = function
   | [] -> ""
   | labels ->
@@ -61,6 +66,27 @@ let text buf =
           (Metric.hcount h) (Metric.hsum h) (Metric.hmean h))
       hists
   end;
+  (match Latency.snapshot () with
+  | [] -> ()
+  | trackers ->
+    line "latency:";
+    List.iter
+      (fun tr ->
+        let quantiles =
+          if Latency.count tr = 0 then ""
+          else
+            String.concat ""
+              (List.map
+                 (fun phi ->
+                   match Latency.quantile tr phi with
+                   | Some v -> Printf.sprintf " %s=%g" (phi_label phi) v
+                   | None -> "")
+                 Latency.percentiles)
+        in
+        line "  %-48s count=%d sum=%g%s"
+          (Latency.name tr ^ labels_to_string (Latency.labels tr))
+          (Latency.count tr) (Latency.sum tr) quantiles)
+      trackers);
   if Span.trace_length () > 0 || Span.dropped_events () > 0 then
     line "spans: %d traced, %d dropped" (Span.trace_length ()) (Span.dropped_events ())
 
@@ -86,18 +112,39 @@ let json_lines buf =
         (* only occupied buckets, as (le, non-cumulative count) pairs *)
         let buckets = ref [] in
         for i = Metric.bucket_count - 1 downto 0 do
-          if h.Metric.h_buckets.(i) > 0 then
+          let n = Metric.bucket_value h i in
+          if n > 0 then
             buckets :=
               Printf.sprintf "{\"le\":%s,\"count\":%d}"
                 (let le = Metric.bucket_le i in
                  if Float.is_finite le then json_float le else "\"+Inf\"")
-                h.Metric.h_buckets.(i)
+                n
               :: !buckets
         done;
         line "{\"type\":\"histogram\",\"name\":\"%s\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
-          (json_escape h.Metric.h_name) (json_labels h.Metric.h_labels) h.Metric.h_count
-          (json_float h.Metric.h_sum) (String.concat "," !buckets))
-    (Registry.snapshot ())
+          (json_escape h.Metric.h_name) (json_labels h.Metric.h_labels) (Metric.hcount h)
+          (json_float (Metric.hsum h)) (String.concat "," !buckets))
+    (Registry.snapshot ());
+  List.iter
+    (fun tr ->
+      let quantiles =
+        if Latency.count tr = 0 then ""
+        else
+          String.concat ","
+            (List.filter_map
+               (fun phi ->
+                 match Latency.quantile tr phi with
+                 | Some v -> Some (Printf.sprintf "\"%g\":%s" phi (json_float v))
+                 | None -> None)
+               Latency.percentiles)
+      in
+      line "{\"type\":\"summary\",\"name\":\"%s\",\"labels\":%s,\"count\":%d,\"sum\":%s,\"quantiles\":{%s}}"
+        (json_escape (Latency.name tr))
+        (json_labels (Latency.labels tr))
+        (Latency.count tr)
+        (json_float (Latency.sum tr))
+        quantiles)
+    (Latency.snapshot ())
 
 let trace_json_lines buf =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
@@ -190,7 +237,7 @@ let prometheus buf =
         (* cumulative buckets; skip empty ranges but always keep +Inf *)
         let cum = ref 0 in
         for i = 0 to Metric.bucket_count - 1 do
-          let n = h.Metric.h_buckets.(i) in
+          let n = Metric.bucket_value h i in
           cum := !cum + n;
           if n > 0 && i < Metric.bucket_count - 1 then
             line "%s_bucket%s %d" family
@@ -199,7 +246,72 @@ let prometheus buf =
         done;
         line "%s_bucket%s %d" family
           (prom_labels (h.Metric.h_labels @ [ ("le", "+Inf") ]))
-          h.Metric.h_count;
-        line "%s_sum%s %s" family (prom_labels h.Metric.h_labels) (prom_float h.Metric.h_sum);
-        line "%s_count%s %d" family (prom_labels h.Metric.h_labels) h.Metric.h_count)
-    (Registry.snapshot ())
+          (Metric.hcount h);
+        line "%s_sum%s %s" family (prom_labels h.Metric.h_labels) (prom_float (Metric.hsum h));
+        line "%s_count%s %d" family (prom_labels h.Metric.h_labels) (Metric.hcount h))
+    (Registry.snapshot ());
+  List.iter
+    (fun tr ->
+      let family = prom_name (Latency.name tr) in
+      let labels = Latency.labels tr in
+      type_line family "summary";
+      if Latency.count tr > 0 then
+        List.iter
+          (fun phi ->
+            match Latency.quantile tr phi with
+            | Some v ->
+              line "%s%s %s" family
+                (prom_labels (labels @ [ ("quantile", Printf.sprintf "%g" phi) ]))
+                (prom_float v)
+            | None -> ())
+          Latency.percentiles;
+      line "%s_sum%s %s" family (prom_labels labels) (prom_float (Latency.sum tr));
+      line "%s_count%s %d" family (prom_labels labels) (Latency.count tr))
+    (Latency.snapshot ())
+
+(* ---------------------------------------------- Chrome trace (catapult) *)
+
+(* The span rings rendered as a Trace Event Format JSON object that
+   chrome://tracing / Perfetto load directly: one complete ("X") event per
+   span, one track (tid) per recording domain's plane slot, timestamps and
+   durations in microseconds relative to the earliest span.  A
+   thread_name metadata event labels each occupied track. *)
+let chrome_trace buf =
+  let evs = Span.trace () in
+  let t0 = List.fold_left (fun acc (ev : Span.event) -> Float.min acc ev.Span.start) infinity evs in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let us s = json_float (s *. 1e6) in
+  let tracks = List.sort_uniq compare (List.map (fun (ev : Span.event) -> ev.Span.track) evs) in
+  let track_name t = if t >= Plane.max_slots then "overflow" else Printf.sprintf "domain-%d" t in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let item fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_char buf ',';
+        Buffer.add_string buf s)
+      fmt
+  in
+  List.iter
+    (fun t ->
+      item "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}" t
+        (track_name t))
+    tracks;
+  List.iter
+    (fun (ev : Span.event) ->
+      let deltas =
+        String.concat ","
+          (List.map
+             (fun (name, labels, d) ->
+               Printf.sprintf "{\"counter\":\"%s\",\"labels\":%s,\"delta\":%d}" (json_escape name)
+                 (json_labels labels) d)
+             ev.Span.deltas)
+      in
+      item
+        "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"name\":\"%s\",\"ts\":%s,\"dur\":%s,\"args\":{\"seq\":%d,\"depth\":%d,\"deltas\":[%s]}}"
+        ev.Span.track (json_escape ev.Span.name)
+        (us (ev.Span.start -. t0))
+        (us ev.Span.duration) ev.Span.seq ev.Span.depth deltas)
+    evs;
+  Printf.bprintf buf "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":\"%d\"}}"
+    (Span.dropped_events ())

@@ -1,26 +1,43 @@
-(** Exposition sinks: render the current registry contents (and the span
-    trace) into a caller-supplied [Buffer.t].
+(** Exposition sinks: render the current registry contents, the latency
+    trackers and the span trace into a caller-supplied [Buffer.t].
 
-    All sinks render series in {!Registry.snapshot} order, so two dumps of
-    the same state are byte-identical and diffs across runs line up. *)
+    All sinks render series in {!Registry.snapshot} order followed by
+    {!Latency.snapshot} order, so two dumps of the same state are
+    byte-identical and diffs across runs line up. *)
 
 val text : Buffer.t -> unit
 (** Aligned human-readable dump: counters, gauges, histogram summaries,
-    span-trace totals. *)
+    latency quantiles, span-trace totals. *)
 
 val json_lines : Buffer.t -> unit
 (** One JSON object per line per series.  Counters/gauges carry [value];
     histograms carry [count], [sum] and the occupied (le, count) buckets,
-    with the overflow bucket's [le] rendered as the string ["+Inf"]. *)
+    with the overflow bucket's [le] rendered as the string ["+Inf"];
+    latency trackers carry [type:"summary"] with a [quantiles] object
+    keyed by phi. *)
 
 val trace_json_lines : Buffer.t -> unit
 (** One JSON object per completed span, completion order: name, depth,
     sequence number, start/duration (clock seconds), counter deltas. *)
 
+val chrome_trace : Buffer.t -> unit
+(** The span rings as one Chrome trace-event (catapult) JSON object —
+    loadable by chrome://tracing and Perfetto.  One complete ("X") event
+    per span, one track per recording domain (tid = plane slot, labelled
+    by a thread_name metadata event), [ts]/[dur] in microseconds relative
+    to the earliest span; counter deltas, seq and depth ride in [args].
+    The drop count appears under [otherData.dropped_spans]. *)
+
 val prometheus : Buffer.t -> unit
 (** Prometheus text exposition format.  Dots in registry names become
     underscores, counter families get a [_total] suffix, histograms emit
-    cumulative [_bucket{le=...}] series plus [_sum]/[_count]. *)
+    cumulative [_bucket{le=...}] series plus [_sum]/[_count], and latency
+    trackers emit [summary] families: one [{quantile="..."}] sample per
+    exposed percentile plus [_sum]/[_count]. *)
 
 val prom_name : string -> string
 (** The name sanitisation used by {!prometheus} (dots to underscores). *)
+
+val phi_label : float -> string
+(** Conventional percentile label: [0.5 -> "p50"], [0.99 -> "p99"],
+    [0.999 -> "p999"]. *)

@@ -2,55 +2,86 @@ type event = {
   name : string;
   depth : int;
   seq : int;
+  track : int;
   start : float;
   duration : float;
   deltas : (string * Metric.labels * int) list;
 }
 
-(* Completed spans, completion order, bounded: the oldest events are
-   dropped once the buffer holds [capacity] of them.  The buffer, the
-   capacity, the drop count and the sequence counter are shared across
-   domains and protected by [m]; nesting depth is domain-local (a span
-   opened on one pool domain is not a child of an unrelated span on
-   another). *)
-let events : event Queue.t = Queue.create ()
-let capacity = ref 4096
-let dropped = ref 0
-let seq_ref = ref 0
-let m = Mutex.create ()
+(* Completed spans land in per-domain rings (one per Plane slot, plus a
+   mutex-guarded overflow ring for slotless domains): the recording path
+   is plain stores into the owner's own ring — no lock, no shared line —
+   so parallel pool domains never serialise on the tracer.  Each ring
+   keeps the newest [capacity] events and overwrites the oldest on wrap;
+   overwrites are counted per ring and bumped onto the [obs.dropped_spans]
+   counter so a wrapped buffer is never a silent loss.
 
-let locked f =
-  Mutex.lock m;
-  match f () with
-  | v ->
-    Mutex.unlock m;
-    v
-  | exception e ->
-    Mutex.unlock m;
-    raise e
+   Completion order is still globally meaningful: [seq] comes from one
+   atomic fetch-and-add per completed span (spans are coarse — a batch, a
+   rebuild, a query — so this is nowhere near the per-point hot path), and
+   [trace] merges the rings back into ascending [seq].
+
+   [trace]/[set_capacity]/[clear] aggregate or mutate every ring and are
+   exact only when recording domains are quiescent (joined/awaited) — the
+   same contract as the metric snapshot readers. *)
+
+type ring = {
+  mutable evs : event option array;
+  mutable pos : int;  (* events pushed since creation or last trim *)
+  mutable rdropped : int;  (* overwritten or trimmed away *)
+}
+
+let no_ring = { evs = [||]; pos = 0; rdropped = 0 }
+let rings : ring Atomic.t array = Metric.make_rows no_ring
+let capacity = ref 4096
+let seq_cell = Atomic.make 0
+
+let make_ring () = { evs = Array.make !capacity None; pos = 0; rdropped = 0 }
+let ov_ring = { evs = [||]; pos = 0; rdropped = 0 }
 
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let set_capacity n =
-  if n < 1 then invalid_arg "Obs: trace capacity must be >= 1";
-  locked (fun () ->
-      capacity := n;
-      while Queue.length events > n do
-        ignore (Queue.pop events);
-        incr dropped
-      done)
+let dropped_counter () = Registry.counter "obs.dropped_spans"
 
-(* Call only with [m] held. *)
+(* Push into [r], returning the number of events overwritten (0 or 1). *)
+let ring_push r ev =
+  if Array.length r.evs = 0 then r.evs <- Array.make !capacity None;
+  let cap = Array.length r.evs in
+  let idx = r.pos mod cap in
+  let dropped = if r.pos >= cap then 1 else 0 in
+  r.rdropped <- r.rdropped + dropped;
+  r.evs.(idx) <- Some ev;
+  r.pos <- r.pos + 1;
+  dropped
+
 let record ev =
-  if Queue.length events >= !capacity then begin
-    ignore (Queue.pop events);
-    incr dropped
-  end;
-  Queue.push ev events
+  let s = Plane.slot () in
+  let dropped =
+    if s >= 0 then begin
+      let r = Atomic.get rings.(s) in
+      let r =
+        if r != no_ring then r
+        else begin
+          let r = make_ring () in
+          Atomic.set rings.(s) r;
+          r
+        end
+      in
+      ring_push r ev
+    end
+    else begin
+      Mutex.lock Plane.ov_mutex;
+      let d = ring_push ov_ring ev in
+      Mutex.unlock Plane.ov_mutex;
+      d
+    end
+  in
+  if dropped > 0 then Metric.add (dropped_counter ()) dropped
 
 (* The tracer's own bookkeeping series (span counters, duration
-   histograms) are excluded from per-span counter deltas so a nested span
-   does not show up as work attributed to its parent. *)
+   histograms, drop/collision witnesses) are excluded from per-span
+   counter deltas so a nested span does not show up as work attributed to
+   its parent. *)
 let bookkeeping name =
   String.length name >= 4 && String.sub name 0 4 = "obs."
 
@@ -58,7 +89,7 @@ let counter_values () =
   let acc = ref [] in
   Registry.iter (function
     | Registry.Counter c when not (bookkeeping c.Metric.c_name) ->
-      acc := (c, Atomic.get c.Metric.c_value) :: !acc
+      acc := (c, Metric.value c) :: !acc
     | _ -> ());
   !acc
 
@@ -74,22 +105,21 @@ let with_span name f =
       decr depth;
       let duration = Control.now () -. start in
       Metric.incr (Registry.counter ~labels:[ ("span", name) ] "obs.spans");
-      let h = Registry.histogram (name ^ "_duration") in
+      Metric.observe (Registry.histogram (name ^ "_duration")) duration;
       let deltas =
         List.filter_map
           (fun ((c : Metric.counter), v0) ->
-            let v = Atomic.get c.Metric.c_value in
-            if v <> v0 then Some (c.Metric.c_name, c.Metric.c_labels, v - v0)
-            else None)
+            let v = Metric.value c in
+            if v <> v0 then Some (c.Metric.c_name, c.Metric.c_labels, v - v0) else None)
           before
       in
       let deltas = List.sort compare deltas in
-      locked (fun () ->
-          (* histogram observes are serialised here — the one non-atomic
-             metric write (see Metric.observe) *)
-          Metric.observe h duration;
-          incr seq_ref;
-          record { name; depth = d; seq = !seq_ref; start; duration; deltas })
+      let seq = Atomic.fetch_and_add seq_cell 1 + 1 in
+      let track =
+        let s = Plane.slot () in
+        if s >= 0 then s else Plane.max_slots
+      in
+      record { name; depth = d; seq; track; start; duration; deltas }
     in
     match f () with
     | r ->
@@ -100,12 +130,56 @@ let with_span name f =
       raise e
   end
 
-let trace () = locked (fun () -> List.of_seq (Queue.to_seq events))
-let trace_length () = locked (fun () -> Queue.length events)
-let dropped_events () = locked (fun () -> !dropped)
+let ring_events r =
+  let cap = Array.length r.evs in
+  if cap = 0 || r.pos = 0 then []
+  else begin
+    let first = if r.pos > cap then r.pos - cap else 0 in
+    let acc = ref [] in
+    for k = r.pos - 1 downto first do
+      match r.evs.(k mod cap) with Some ev -> acc := ev :: !acc | None -> ()
+    done;
+    !acc
+  end
+
+let all_rings () =
+  let acc = ref [ ov_ring ] in
+  for s = Plane.max_slots - 1 downto 0 do
+    let r = Atomic.get rings.(s) in
+    if r != no_ring then acc := r :: !acc
+  done;
+  !acc
+
+let trace () =
+  let evs = List.concat_map ring_events (all_rings ()) in
+  List.sort (fun a b -> compare a.seq b.seq) evs
+
+let trace_length () =
+  List.fold_left (fun acc r -> acc + min r.pos (Array.length r.evs)) 0 (all_rings ())
+
+let dropped_events () = List.fold_left (fun acc r -> acc + r.rdropped) 0 (all_rings ())
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Obs: trace capacity must be >= 1";
+  capacity := n;
+  List.iter
+    (fun r ->
+      let evs = ring_events r in
+      let len = List.length evs in
+      let keep = if len > n then List.filteri (fun i _ -> i >= len - n) evs else evs in
+      let trimmed = len - List.length keep in
+      let fresh = Array.make n None in
+      List.iteri (fun i ev -> fresh.(i) <- Some ev) keep;
+      r.evs <- fresh;
+      r.pos <- List.length keep;
+      r.rdropped <- r.rdropped + trimmed)
+    (all_rings ())
 
 let clear () =
-  locked (fun () ->
-      Queue.clear events;
-      dropped := 0;
-      seq_ref := 0)
+  List.iter
+    (fun r ->
+      Array.fill r.evs 0 (Array.length r.evs) None;
+      r.pos <- 0;
+      r.rdropped <- 0)
+    (all_rings ());
+  Atomic.set seq_cell 0

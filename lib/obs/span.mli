@@ -1,4 +1,4 @@
-(** Lightweight span tracing.
+(** Lightweight span tracing over per-domain rings.
 
     [with_span name f] times [f] with the injected {!Control} clock and
     records a completed-span event carrying the nesting depth at entry, a
@@ -12,18 +12,26 @@
     boolean load before calling [f] — the disabled fast path relied on by
     the streaming hot paths.
 
-    Domain-safety: the event buffer and sequence counter are protected by
-    a mutex, and nesting depth is domain-local, so spans opened on
-    parallel pool domains (lib/par) record correctly and never corrupt the
-    trace.  Counter deltas are computed from the shared registry, so a
-    span that runs concurrently with work on other domains attributes
-    their increments to itself — deltas are exact on a single domain and
-    an upper bound under parallelism. *)
+    Domain-safety: each domain records into its own {!Plane}-slot ring
+    with plain stores (no lock, no shared-line traffic); the only shared
+    write per completed span is one atomic fetch-and-add for the sequence
+    number.  Nesting depth is domain-local.  A full ring overwrites its
+    oldest event and counts the loss in [obs.dropped_spans].  The
+    aggregate operations ({!trace}, {!trace_length}, {!set_capacity},
+    {!dropped_events}, {!clear}) walk every ring and are exact only when
+    recording domains are quiescent (joined/awaited) — call them between
+    runs, not mid-ingest.  Counter deltas are computed from the shared
+    registry, so a span that runs concurrently with work on other domains
+    attributes their increments to itself — deltas are exact on a single
+    domain and an upper bound under parallelism. *)
 
 type event = {
   name : string;
   depth : int;  (** nesting depth at entry on its domain; 0 for top-level *)
   seq : int;  (** completion order, 1-based; inner spans complete first *)
+  track : int;
+      (** recording domain's plane slot — one Chrome-trace track per
+          value; [Plane.max_slots] for slotless (overflow) domains *)
   start : float;  (** clock value at entry *)
   duration : float;  (** clock delta between entry and exit *)
   deltas : (string * Metric.labels * int) list;
@@ -35,16 +43,20 @@ val with_span : string -> (unit -> 'a) -> 'a
 (** Exceptions from [f] propagate after the span is recorded. *)
 
 val trace : unit -> event list
-(** Completed spans in completion order (oldest first). *)
+(** Completed spans merged across all rings, in completion order (oldest
+    first). *)
 
 val trace_length : unit -> int
 
 val set_capacity : int -> unit
-(** Bound on retained events (default 4096); the oldest are dropped
-    beyond it.  Raises [Invalid_argument] below 1. *)
+(** Bound on retained events per ring (default 4096); the oldest are
+    dropped beyond it.  Rebuilds every ring, keeping the newest events.
+    Raises [Invalid_argument] below 1. *)
 
 val dropped_events : unit -> int
-(** Events discarded due to the capacity bound since the last {!clear}. *)
+(** Events discarded to the capacity bound since the last {!clear} —
+    ring-wrap overwrites (also counted on the [obs.dropped_spans]
+    counter) plus events trimmed by a capacity reduction. *)
 
 val clear : unit -> unit
 (** Drop all retained events and reset the sequence counter. *)

@@ -2,6 +2,7 @@ module FW = Stream_histogram.Fixed_window
 module Params = Stream_histogram.Params
 module Obs = Sh_obs.Obs
 module M = Sh_obs.Metric
+module L = Sh_obs.Latency
 module Ring = Spsc_ring
 
 (* One shard = one independent fixed-window summary.
@@ -78,6 +79,12 @@ type t = {
   c_lock_ops : M.counter;
   c_backpressure : M.counter;
   c_steals : M.counter;
+  (* --- latency trackers (gated by [Obs.set_latency_enabled]): drain and
+     sweep durations are recorded inside the pool tasks, so each owner
+     feeds its own domain's GK slot and the merged quantile sees the
+     cross-domain distribution. *)
+  l_ingest : L.t;
+  l_query : L.t;
 }
 
 (* Wire an engine around an existing shard array — shared by [create]
@@ -88,6 +95,10 @@ let build ~mode ~ring_capacity ~pool shard_arr =
   let c_lock_ops = Obs.counter ~labels "engine.lock_ops" in
   let c_backpressure = Obs.counter ~labels "engine.backpressure_waits" in
   let c_steals = Obs.counter ~labels "engine.refresh_steals" in
+  let l_ingest = L.tracker ~labels "latency.ingest_batch" in
+  let l_drain = L.tracker ~labels "latency.ring_drain" in
+  let l_sweep = L.tracker ~labels "latency.refresh_sweep" in
+  let l_query = L.tracker ~labels "latency.query" in
   let counts = Array.make shards 0 in
   let group_data = Array.make shards [||] in
   let locked sh f =
@@ -108,9 +119,16 @@ let build ~mode ~ring_capacity ~pool shard_arr =
       let c = counts.(k) in
       if c > 0 then locked sh (fun fw -> FW.push_slice fw group_data.(k) ~pos:0 ~len:c)
   in
+  (* [Locked] refresh granularity is one task per shard, so l_sweep sees
+     per-shard rebuild durations there; [Pinned] records per-owner sweep
+     durations from sweep_task below. *)
   let refresh_task ~cold k =
     let sh = shard_arr.(k) in
-    fun () -> locked sh (fun fw -> FW.refresh ~cold fw)
+    fun () ->
+      let lat = Obs.latency_enabled () in
+      let t0 = if lat then Obs.now () else 0.0 in
+      locked sh (fun fw -> FW.refresh ~cold fw);
+      if lat then L.record l_sweep (Obs.now () -. t0)
   in
   (* contiguous slices, remainder spread over the first owners *)
   let owners = max 1 (min (Domain_pool.domains pool) shards) in
@@ -142,11 +160,16 @@ let build ~mode ~ring_capacity ~pool shard_arr =
       FW.push_slice shard_arr.(k).fw buf ~pos:0 ~len:(n + spilled)
     end
   in
+  (* Timing is hand-rolled (no [L.time] closure) so the disabled path
+     stays allocation-free: one boolean load per task. *)
   let drain_task o =
     fun () ->
+      let lat = Obs.latency_enabled () in
+      let t0 = if lat then Obs.now () else 0.0 in
       for k = slice_lo.(o) to slice_hi.(o) - 1 do
         drain_one k
-      done
+      done;
+      if lat then L.record l_drain (Obs.now () -. t0)
   in
   (* Work-stealing refresh sweep: claims go through per-owner cursors so
      an index is handed out exactly once; [refresh_all] resets the cursors
@@ -163,6 +186,8 @@ let build ~mode ~ring_capacity ~pool shard_arr =
       | Locked -> locked shard_arr.(k) (fun fw -> FW.refresh ~cold fw)
     in
     fun () ->
+      let lat = Obs.latency_enabled () in
+      let t0 = if lat then Obs.now () else 0.0 in
       let k = ref (claim o) in
       while !k >= 0 do
         refresh !k;
@@ -176,7 +201,8 @@ let build ~mode ~ring_capacity ~pool shard_arr =
           refresh !k;
           k := claim o'
         done
-      done
+      done;
+      if lat then L.record l_sweep (Obs.now () -. t0)
   in
   {
     pool;
@@ -205,6 +231,8 @@ let build ~mode ~ring_capacity ~pool shard_arr =
     c_lock_ops;
     c_backpressure;
     c_steals;
+    l_ingest;
+    l_query;
   }
 
 let create_with_ring ~mode ~ring_capacity ~pool ~shards ~window ~buckets ~epsilon =
@@ -282,6 +310,8 @@ let spill t k v =
 let ingest t batch =
   let nb = Array.length batch in
   if nb > 0 then begin
+    let lat = Obs.latency_enabled () in
+    let t0 = if lat then Obs.now () else 0.0 in
     let s = Array.length t.shards in
     for i = 0 to nb - 1 do
       let k, v = batch.(i) in
@@ -316,7 +346,12 @@ let ingest t batch =
       done;
       ignore (Domain_pool.run t.pool t.ingest_tasks));
     M.add t.c_points nb;
-    M.incr t.c_batches
+    M.incr t.c_batches;
+    if lat then begin
+      L.record t.l_ingest (Obs.now () -. t0);
+      (* One window epoch per batch: "last k batches" latency windows. *)
+      L.advance ()
+    end
   end
 
 (* Rebuild every stale shard's interval lists across the pool: the batched
@@ -335,9 +370,20 @@ let refresh_all ?(cold = false) t =
 
 let pool t = t.pool
 let length t ~key = with_shard t key FW.length
-let current_error t ~key = with_shard t key FW.current_error
-let current_histogram t ~key = with_shard t key FW.current_histogram
-let herror t ~key ~k ~x = with_shard t key (fun fw -> FW.herror fw ~k ~x)
+
+(* Estimation queries feed the "latency.query" tracker; [timed_query] is
+   hand-rolled like the task timers so the disabled path costs one boolean
+   load and no closure beyond the [with_shard] continuation. *)
+let timed_query t key f =
+  let lat = Obs.latency_enabled () in
+  let t0 = if lat then Obs.now () else 0.0 in
+  let v = with_shard t key f in
+  if lat then L.record t.l_query (Obs.now () -. t0);
+  v
+
+let current_error t ~key = timed_query t key FW.current_error
+let current_histogram t ~key = timed_query t key FW.current_histogram
+let herror t ~key ~k ~x = timed_query t key (fun fw -> FW.herror fw ~k ~x)
 let work_counters t ~key = with_shard t key FW.work_counters
 
 let total_points t = M.value t.c_points

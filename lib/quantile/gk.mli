@@ -5,27 +5,12 @@
     Maintains, in one pass and O((1/epsilon) log(epsilon n)) space, a
     summary from which any quantile can be answered with rank error at most
     [epsilon * n]: for a query phi the returned value's true rank r
-    satisfies |r - ceil(phi * n)| <= epsilon * n. *)
+    satisfies |r - ceil(phi * n)| <= epsilon * n.
 
-type t
+    The implementation lives in the zero-dependency {!Sh_gk.Gk} (shared
+    with the telemetry layer's latency quantiles); this module re-exports
+    it, so the two views are type-compatible. *)
 
-val create : epsilon:float -> t
-(** [epsilon] in (0, 1). *)
-
-val epsilon : t -> float
-
-val count : t -> int
-(** Values inserted so far. *)
-
-val size : t -> int
-(** Tuples currently stored (the space bound under test). *)
-
-val insert : t -> float -> unit
-
-val quantile : t -> float -> float
-(** [quantile t phi] for phi in [\[0, 1\]].  Raises [Invalid_argument] when
-    empty or phi out of range. *)
-
-val rank_bounds : t -> float -> int * int
-(** [rank_bounds t v] is a (min, max) enclosure of the rank of [v] among
-    the inserted values, derived from the summary. *)
+include module type of struct
+  include Sh_gk.Gk
+end

@@ -3,17 +3,22 @@ module M = Sh_obs.Metric
 module R = Sh_obs.Registry
 module Span = Sh_obs.Span
 module Sink = Sh_obs.Sink
+module L = Sh_obs.Latency
 
 (* Every test starts from an empty registry, telemetry disabled, and the
    default clock; the registry is global so isolation is explicit. *)
 let clean f () =
   Obs.clear ();
   Obs.set_enabled false;
+  Obs.set_latency_enabled false;
+  L.set_window 0;
   Obs.set_clock Sys.time;
   Span.set_capacity 4096;
   Fun.protect ~finally:(fun () ->
       Obs.clear ();
       Obs.set_enabled false;
+      Obs.set_latency_enabled false;
+      L.set_window 0;
       Obs.set_clock Sys.time)
     f
 
@@ -423,6 +428,251 @@ let test_render_facade () =
   Alcotest.(check bool) "unknown rejected" true (Obs.format_of_string "xml" = None);
   Alcotest.(check bool) "trace renders" true (String.length (Obs.render_trace ()) > 0)
 
+(* ------------------------------------------------- per-domain planes *)
+
+(* Domain counts default to {2, 4}; the CI multicore smoke overrides them
+   via SH_TEST_DOMAINS (comma-separated), same contract as test_par. *)
+let domain_counts =
+  match Sys.getenv_opt "SH_TEST_DOMAINS" with
+  | None | Some "" -> [ 2; 4 ]
+  | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+
+(* Run [f d i] for i in 1..iters in each of [domains] spawned domains,
+   released together through a barrier so the writes genuinely overlap. *)
+let hammer ~domains ~iters f =
+  let go = Atomic.make false in
+  let workers =
+    Array.init domains (fun d ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get go) do
+              Domain.cpu_relax ()
+            done;
+            for i = 1 to iters do
+              f d i
+            done))
+  in
+  Atomic.set go true;
+  Array.iter Domain.join workers
+
+let test_plane_no_lost_increments () =
+  List.iter
+    (fun d ->
+      Obs.clear ();
+      Obs.set_enabled true;
+      let c = Obs.counter "plane.c" in
+      let g = Obs.gauge "plane.g" in
+      let h = Obs.histogram "plane.h" in
+      let iters = 10_000 in
+      let collisions0 = Obs.plane_collisions () in
+      hammer ~domains:d ~iters (fun _ i ->
+          M.incr c;
+          M.gadd g 1.5;
+          M.observe h (Float.of_int (i mod 7)));
+      Alcotest.(check int)
+        (Printf.sprintf "counter exact, %d domains" d)
+        (d * iters) (M.value c);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "gauge exact, %d domains" d)
+        (1.5 *. Float.of_int (d * iters))
+        (M.gvalue g);
+      Alcotest.(check int)
+        (Printf.sprintf "histogram count exact, %d domains" d)
+        (d * iters) (M.hcount h);
+      Alcotest.(check int)
+        (Printf.sprintf "collision witness flat, %d domains" d)
+        collisions0 (Obs.plane_collisions ()))
+    domain_counts
+
+let test_plane_snapshot_reset_under_writers () =
+  List.iter
+    (fun d ->
+      Obs.clear ();
+      Obs.set_enabled true;
+      let c = Obs.counter "plane.live" in
+      let stop = Atomic.make false in
+      let workers =
+        Array.init d (fun _ ->
+            Domain.spawn (fun () ->
+                while not (Atomic.get stop) do
+                  M.incr c
+                done))
+      in
+      (* concurrent snapshot / render / reset must neither deadlock nor
+         tear: every read is a sane non-negative total *)
+      for _ = 1 to 50 do
+        Alcotest.(check bool) "mid-flight value sane" true (M.value c >= 0);
+        Alcotest.(check bool) "text renders mid-flight" true
+          (String.length (Obs.render Obs.Text) > 0);
+        Alcotest.(check bool) "prom renders mid-flight" true
+          (String.length (Obs.render Obs.Prom) > 0)
+      done;
+      Obs.reset ();
+      Alcotest.(check bool) "readable after racy reset" true (M.value c >= 0);
+      Atomic.set stop true;
+      Array.iter Domain.join workers;
+      (* writers quiescent: reset now observably zeroes the series *)
+      Obs.reset ();
+      Alcotest.(check int) (Printf.sprintf "reset to zero, %d domains" d) 0 (M.value c))
+    domain_counts
+
+(* ------------------------------------------------- dropped spans *)
+
+let test_dropped_spans_overflow () =
+  Obs.set_enabled true;
+  Span.set_capacity 4;
+  for i = 1 to 10 do
+    Obs.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "ring keeps newest capacity" 4 (Span.trace_length ());
+  Alcotest.(check int) "drops counted" 6 (Span.dropped_events ());
+  Alcotest.(check int) "obs.dropped_spans counter" 6 (M.value (Obs.counter "obs.dropped_spans"));
+  Alcotest.(check bool) "text sink exports drops" true
+    (contains (Obs.render Obs.Text) "obs.dropped_spans");
+  Alcotest.(check bool) "prom sink exports drops" true
+    (contains (Obs.render Obs.Prom) "obs_dropped_spans_total 6");
+  Alcotest.(check bool) "chrome trace carries the drop count" true
+    (contains (Obs.render_chrome_trace ()) "\"dropped_spans\":\"6\"")
+
+(* ------------------------------------------------- label escaping *)
+
+let test_prom_label_escaping () =
+  let hostile = "a\\b\"c\nd" in
+  let c = Obs.counter ~labels:[ ("path", hostile) ] "esc.counter" in
+  M.add c 3;
+  let prom = Obs.render Obs.Prom in
+  Alcotest.(check bool) "backslash, quote and newline escaped" true
+    (contains prom "path=\"a\\\\b\\\"c\\nd\"");
+  Alcotest.(check bool) "no raw newline survives inside a label value" false
+    (contains prom "c\nd");
+  let json = Obs.render Obs.Json in
+  List.iter
+    (fun l -> Alcotest.(check bool) "json line valid with hostile label" true (json_valid l))
+    (lines json)
+
+(* ------------------------------------------------- chrome trace *)
+
+let test_chrome_trace_valid () =
+  Alcotest.(check bool) "empty trace is valid JSON" true
+    (json_valid (Obs.render_chrome_trace ()));
+  Obs.set_enabled true;
+  Obs.with_span "outer" (fun () -> Obs.with_span "inner" (fun () -> ()));
+  let ct = Obs.render_chrome_trace () in
+  Alcotest.(check bool) "trace is valid JSON" true (json_valid ct);
+  Alcotest.(check bool) "has traceEvents" true (contains ct "\"traceEvents\"");
+  Alcotest.(check bool) "labels its track" true (contains ct "domain-");
+  Alcotest.(check bool) "complete events" true (contains ct "\"ph\":\"X\"");
+  Alcotest.(check bool) "span names present" true (contains ct "\"name\":\"inner\"")
+
+(* ------------------------------------------------- latency quantiles *)
+
+let test_latency_basic () =
+  Obs.set_latency_enabled true;
+  let t = L.tracker ~epsilon:0.01 "lat.basic" in
+  for i = 1 to 1000 do
+    L.record t (Float.of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (L.count t);
+  Alcotest.(check (float 1e-6)) "sum" 500500.0 (L.sum t);
+  (match L.quantile t 0.5 with
+  | None -> Alcotest.fail "median present"
+  | Some v ->
+    Alcotest.(check bool)
+      (Printf.sprintf "median within rank error (got %g)" v)
+      true
+      (Float.abs (v -. 500.0) <= 25.0));
+  L.record t (-1.0);
+  L.record t Float.nan;
+  Alcotest.(check int) "junk durations ignored" 1000 (L.count t);
+  Obs.set_latency_enabled false;
+  L.record t 5.0;
+  Alcotest.(check int) "disabled record is a no-op" 1000 (L.count t);
+  Alcotest.check_raises "epsilon validated"
+    (Invalid_argument "Obs.Latency: epsilon must be in (0, 1)") (fun () ->
+      ignore (L.tracker ~epsilon:0.0 "lat.bad"))
+
+let test_latency_merged_domains () =
+  List.iter
+    (fun d ->
+      Obs.clear ();
+      Obs.set_latency_enabled true;
+      let t = L.tracker ~epsilon:0.01 "lat.merged" in
+      let per = 2000 in
+      (* domain j records the arithmetic slice j, j+d, j+2d, ... so the
+         union across domains is exactly 0 .. d*per-1 *)
+      hammer ~domains:d ~iters:per (fun j i -> L.record t (Float.of_int (j + (d * (i - 1)))));
+      Alcotest.(check int) (Printf.sprintf "merged count, %d domains" d) (d * per) (L.count t);
+      match L.quantile t 0.5 with
+      | None -> Alcotest.fail "merged median present"
+      | Some v ->
+        let n = Float.of_int (d * per) in
+        Alcotest.(check bool)
+          (Printf.sprintf "merged median within summed rank error, %d domains (got %g)" d v)
+          true
+          (Float.abs (v -. (n /. 2.0)) <= 0.05 *. n))
+    domain_counts
+
+let test_latency_window () =
+  Obs.set_latency_enabled true;
+  let t = L.tracker "lat.win" in
+  L.set_window 2;
+  L.record t 1.0;
+  L.advance ();
+  L.record t 2.0;
+  L.advance ();
+  L.record t 3.0;
+  (* window of 2 epochs = the current one and its predecessor: {2, 3} *)
+  (match L.quantile t 0.999 with
+  | Some v -> Alcotest.(check (float 1e-9)) "windowed p999" 3.0 v
+  | None -> Alcotest.fail "windowed p999 present");
+  (match L.quantile t 0.5 with
+  | Some v -> Alcotest.(check bool) "window excludes the old epoch" true (v >= 2.0)
+  | None -> Alcotest.fail "windowed median present");
+  Alcotest.(check int) "count stays all-time" 3 (L.count t);
+  L.set_window 0;
+  (match L.quantile t 0.001 with
+  | Some v -> Alcotest.(check bool) "all-time sees the old epoch" true (v <= 1.0)
+  | None -> Alcotest.fail "all-time quantile present");
+  Alcotest.check_raises "window validated"
+    (Invalid_argument "Obs.Latency: window must be >= 0") (fun () -> L.set_window (-1))
+
+let test_latency_sinks () =
+  Obs.set_latency_enabled true;
+  let t = L.tracker "lat.sink" in
+  for i = 1 to 100 do
+    L.record t (Float.of_int i /. 100.0)
+  done;
+  let text = Obs.render Obs.Text in
+  Alcotest.(check bool) "text has p50" true (contains text "p50=");
+  Alcotest.(check bool) "text has p999" true (contains text "p999=");
+  let prom = Obs.render Obs.Prom in
+  Alcotest.(check bool) "prom summary type" true (contains prom "# TYPE lat_sink summary");
+  Alcotest.(check bool) "prom quantile sample" true (contains prom "lat_sink{quantile=\"0.5\"}");
+  Alcotest.(check bool) "prom count" true (contains prom "lat_sink_count 100");
+  let json = Obs.render Obs.Json in
+  List.iter
+    (fun l -> Alcotest.(check bool) "json line valid" true (json_valid l))
+    (lines json);
+  Alcotest.(check bool) "json summary line" true (contains json "\"type\":\"summary\"")
+
+let test_latency_time_and_reset () =
+  Obs.set_latency_enabled true;
+  let now = ref 10.0 in
+  Obs.set_clock (fun () -> !now);
+  let t = L.tracker "lat.time" in
+  let v =
+    L.time t (fun () ->
+        now := !now +. 0.25;
+        42)
+  in
+  Alcotest.(check int) "time returns the result" 42 v;
+  Alcotest.(check int) "time recorded" 1 (L.count t);
+  Alcotest.(check (float 1e-9)) "elapsed recorded" 0.25 (L.sum t);
+  (try L.time t (fun () -> now := !now +. 1.0; failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "recorded on exception" 2 (L.count t);
+  Obs.reset ();
+  Alcotest.(check int) "reset forgets durations" 0 (L.count t);
+  Alcotest.(check bool) "registration survives reset" true (L.tracker "lat.time" == t)
+
 let () =
   Alcotest.run "sh_obs"
     [
@@ -458,5 +708,23 @@ let () =
           Alcotest.test_case "trace json lines" `Quick (clean test_trace_sink);
           Alcotest.test_case "prometheus" `Quick (clean test_prometheus_sink);
           Alcotest.test_case "render facade" `Quick (clean test_render_facade);
+          Alcotest.test_case "prom label escaping" `Quick (clean test_prom_label_escaping);
+          Alcotest.test_case "chrome trace" `Quick (clean test_chrome_trace_valid);
+        ] );
+      ( "plane",
+        [
+          Alcotest.test_case "no lost increments" `Quick (clean test_plane_no_lost_increments);
+          Alcotest.test_case "snapshot and reset under writers" `Quick
+            (clean test_plane_snapshot_reset_under_writers);
+          Alcotest.test_case "dropped spans on overflow" `Quick
+            (clean test_dropped_spans_overflow);
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "basic quantiles" `Quick (clean test_latency_basic);
+          Alcotest.test_case "merged across domains" `Quick (clean test_latency_merged_domains);
+          Alcotest.test_case "batch window" `Quick (clean test_latency_window);
+          Alcotest.test_case "time and reset" `Quick (clean test_latency_time_and_reset);
+          Alcotest.test_case "sinks" `Quick (clean test_latency_sinks);
         ] );
     ]
