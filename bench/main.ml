@@ -35,6 +35,7 @@ let experiments : (string * (Bench_config.scale -> unit)) list =
     ("micro-obs", Micro.run_obs);
     ("micro-contention", Micro.run_contention);
     ("micro-par", Micro.run_par);
+    ("micro-read", Micro.run_read);
     ("micro-persist", Micro.run_persist);
   ]
 

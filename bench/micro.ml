@@ -628,6 +628,141 @@ let run_par scale =
                 mode_rows) );
        ])
 
+(* -------------------------------------- reads concurrent with ingest
+
+   The wait-free read plane's headline number: query throughput from a
+   dedicated reader domain while the engine ingests continuously.  In
+   [Locked] mode every query serialises on a shard mutex against the
+   ingest tasks; in [Pinned] mode queries answer from the epoch-published
+   snapshots and never touch a lock — engine.query_lock_ops, reported per
+   row, stays zero and is asserted by CI.  Like run_par, speedups need
+   real cores; host_cores is in the JSON so single-core runs are
+   legible. *)
+let run_read scale =
+  Report.section "BENCH-MICRO-READ: snapshot queries concurrent with ingest";
+  let shards, window, buckets, epsilon, batch, qbatch, qrounds, domain_counts =
+    match scale with
+    | Bench_config.Small -> (8, 512, 8, 0.5, 256, 64, 200, [ 1; 2 ])
+    | Bench_config.Default | Bench_config.Full -> (8, 1024, 8, 0.5, 512, 64, 2000, [ 1; 2; 4 ])
+  in
+  let prefill = (par_round_data ~shards ~batch:(shards * window) ~rounds:1 ~seed:41).(0) in
+  let rounds = 4 in
+  let round_data = par_round_data ~shards ~batch ~rounds ~seed:42 in
+  (* one deterministic pool of mixed query batches, reused by every row *)
+  let queries =
+    let rng = Rng.create ~seed:43 in
+    Array.init 16 (fun _ ->
+        Array.init qbatch (fun _ ->
+            let key = Rng.int rng shards in
+            let q =
+              match Rng.int rng 5 with
+              | 0 -> SE.Current_error
+              | 1 -> SE.Window_length
+              | 2 ->
+                SE.Herror { k = 1 + Rng.int rng buckets; x = Rng.int rng (window + 1) }
+              | 3 ->
+                let lo = 1 + Rng.int rng window in
+                SE.Range_sum { lo; hi = lo + Rng.int rng window }
+              | _ -> SE.Point_estimate { index = 1 + Rng.int rng window }
+            in
+            (key, q)))
+  in
+  let host_cores = Domain.recommended_domain_count () in
+  let measure ~mode ~domains =
+    Pool.with_pool ~domains (fun pool ->
+        let eng = SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon in
+        SE.set_refresh_policy eng (Stream_histogram.Params.Every 64);
+        SE.ingest eng prefill;
+        SE.refresh_all eng;
+        let qlock0 = SE.query_lock_ops eng in
+        let stop = Atomic.make false in
+        let reader =
+          Domain.spawn (fun () ->
+              let t0 = Unix.gettimeofday () in
+              for r = 0 to qrounds - 1 do
+                ignore (SE.query_many eng queries.(r mod Array.length queries))
+              done;
+              let dt = Unix.gettimeofday () -. t0 in
+              Atomic.set stop true;
+              Float.of_int (qrounds * qbatch) /. dt)
+        in
+        (* continuous ingest pressure on the caller until the reader is done
+           (publications keep landing every 64 points per shard) *)
+        let ingested = ref 0 in
+        let ri = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        while not (Atomic.get stop) do
+          SE.ingest eng round_data.(!ri mod rounds);
+          incr ri;
+          ingested := !ingested + batch
+        done;
+        let ingest_dt = Unix.gettimeofday () -. t0 in
+        let qps = Domain.join reader in
+        let ingest_rate =
+          if !ingested = 0 then 0.0 else Float.of_int !ingested /. Float.max ingest_dt 1e-9
+        in
+        (qps, ingest_rate, SE.query_lock_ops eng - qlock0))
+  in
+  let mode_rows =
+    List.map
+      (fun mode ->
+        (mode, List.map (fun d -> (d, measure ~mode ~domains:d)) domain_counts))
+      [ SE.Locked; SE.Pinned ]
+  in
+  Report.note
+    "S=%d shards, window n=%d, B=%d, eps=%g; reader fires %d batches of %d mixed queries \
+     while the caller ingests %d-point batches (refresh every 64 points/shard)"
+    shards window buckets epsilon qrounds qbatch batch;
+  Report.note "host cores (recommended domain count): %d%s" host_cores
+    (if host_cores < List.fold_left max 1 domain_counts + 1 then
+       " — reader + pool oversubscribe this host; qps ratios are not meaningful"
+     else "");
+  Report.table
+    ~headers:[ "mode"; "domains"; "queries/s"; "ns/query"; "ingest pts/s"; "query lock ops" ]
+    (List.concat_map
+       (fun (mode, rows) ->
+         List.map
+           (fun (d, (qps, ips, qlocks)) ->
+             [ SE.mode_to_string mode; string_of_int d; Printf.sprintf "%.0f" qps;
+               Printf.sprintf "%.0f" (1e9 /. qps); Printf.sprintf "%.0f" ips;
+               string_of_int qlocks ])
+           rows)
+       mode_rows);
+  Report.json_add "micro_read"
+    (Report.Jobj
+       [
+         ("shards", Report.Jint shards);
+         ("window", Report.Jint window);
+         ("buckets", Report.Jint buckets);
+         ("epsilon", Report.Jfloat epsilon);
+         ("batch", Report.Jint batch);
+         ("query_batch", Report.Jint qbatch);
+         ("query_rounds", Report.Jint qrounds);
+         ("host_cores", Report.Jint host_cores);
+         ( "modes",
+           Report.Jlist
+             (List.map
+                (fun (mode, rows) ->
+                  Report.Jobj
+                    [
+                      ("mode", Report.Jstring (SE.mode_to_string mode));
+                      ( "scaling",
+                        Report.Jlist
+                          (List.map
+                             (fun (d, (qps, ips, qlocks)) ->
+                               Report.Jobj
+                                 [
+                                   ("domains", Report.Jint d);
+                                   ("queries_per_sec", Report.Jfloat qps);
+                                   ("ns_per_query", Report.Jfloat (1e9 /. qps));
+                                   ("ingest_points_per_sec", Report.Jfloat ips);
+                                   ("query_lock_ops", Report.Jint qlocks);
+                                 ])
+                             rows) );
+                    ])
+                mode_rows) );
+       ])
+
 let run scale =
   Report.section "BENCH-MICRO: per-operation costs (bechamel, OLS estimate)";
   let quota, fw_windows =

@@ -425,6 +425,17 @@ let serve_cmd =
             "Answer latency quantiles over the last K batches only (0, the default, means \
              all-time).")
   in
+  let query_mix =
+    Arg.(
+      value & opt float 0.0
+      & info [ "query-mix" ] ~docv:"R"
+          ~doc:
+            "Run estimation queries concurrent with ingest from a dedicated reader domain, \
+             pacing towards $(docv) queries per ingested point (0, the default, disables \
+             query traffic).  Queries answer from the wait-free published snapshots in \
+             $(b,pinned) mode and under the shard mutex in $(b,locked) mode; the end-of-run \
+             report counts queries served, throughput and snapshot generation lag.")
+  in
   let mode_conv =
     let parse s =
       match SE.mode_of_string s with
@@ -445,11 +456,13 @@ let serve_cmd =
   in
   let run shards domains count batch window buckets epsilon policy dist skew seed metrics
       trace_out checkpoint_file checkpoint_every restore_file record_file record_every
-      latency_window mode =
+      latency_window query_mix mode =
     with_obs metrics trace_out @@ fun () ->
     if batch < 1 then invalid_arg "serve: --batch must be >= 1";
     if record_every < 1 then invalid_arg "serve: --record-every must be >= 1";
     if latency_window < 0 then invalid_arg "serve: --latency-window must be >= 0";
+    if query_mix < 0.0 || not (Float.is_finite query_mix) then
+      invalid_arg "serve: --query-mix must be a finite ratio >= 0";
     (match checkpoint_every with
      | Some k when k < 1 -> invalid_arg "serve: --checkpoint-every must be >= 1"
      | Some _ when checkpoint_file = None ->
@@ -562,7 +575,11 @@ let serve_cmd =
         if not spot_valid then (0.0, 0.0)
         else begin
           let p = P.make data in
-          let h = SE.current_histogram eng ~key:spot_key in
+          (* the live summary, not the published snapshot: the shadow ring
+             mirrors the live window exactly, so the SSE spot check must
+             read through [with_key] or a stale [Pinned] view would be
+             scored against data it has not seen yet *)
+          let h = SE.with_key eng ~key:spot_key ~f:FW.current_histogram in
           (H.sse_against h p, H.sse_against (V.build_prefix p ~buckets:eng_buckets) p)
         end
       in
@@ -595,6 +612,58 @@ let serve_cmd =
       output_string oc (Buffer.contents buf);
       flush oc
     in
+    (* --- concurrent query traffic ---------------------------------------
+       A reader domain outside the ingest pool fires batched estimation
+       queries while the stream is live.  In [Pinned] mode every answer
+       comes off the published snapshots — zero mutex acquisitions, which
+       the report proves via engine.query_lock_ops — and the reader also
+       samples the snapshot generation lag of random shards into a tiny
+       histogram (the staleness contract, observed). *)
+    let q_stop = Atomic.make false in
+    let query_domain =
+      if query_mix <= 0.0 then None
+      else
+        Some
+          (Domain.spawn (fun () ->
+               let qrng = Rng.split_ix root (shards + 1) in
+               let qbatch = 64 in
+               let qs = Array.make qbatch (0, SE.Current_error) in
+               let served = ref 0 in
+               let lag = [| 0; 0; 0 |] in
+               while not (Atomic.get q_stop) do
+                 let target =
+                   Float.to_int (query_mix *. Float.of_int (SE.total_points eng))
+                 in
+                 if !served >= target then Domain.cpu_relax ()
+                 else begin
+                   for i = 0 to qbatch - 1 do
+                     let key = Rng.int qrng shards in
+                     let q =
+                       match Rng.int qrng 5 with
+                       | 0 -> SE.Current_error
+                       | 1 -> SE.Window_length
+                       | 2 ->
+                         SE.Herror
+                           {
+                             k = 1 + Rng.int qrng eng_buckets;
+                             x = Rng.int qrng (eng_window + 1);
+                           }
+                       | 3 ->
+                         let lo = 1 + Rng.int qrng eng_window in
+                         SE.Range_sum { lo; hi = lo + Rng.int qrng eng_window }
+                       | _ -> SE.Point_estimate { index = 1 + Rng.int qrng eng_window }
+                     in
+                     qs.(i) <- (key, q)
+                   done;
+                   ignore (SE.query_many eng qs);
+                   served := !served + qbatch;
+                   let l = SE.generation_lag eng ~key:(Rng.int qrng shards) in
+                   let b = if l = 0 then 0 else if l = 1 then 1 else 2 in
+                   lag.(b) <- lag.(b) + 1
+                 end
+               done;
+               (!served, lag)))
+    in
     let t0 = Unix.gettimeofday () in
     let remaining = ref count in
     let batches_done = ref 0 in
@@ -616,6 +685,13 @@ let serve_cmd =
       | Some k when !batches_done mod k = 0 -> write_checkpoint ()
       | _ -> ()
     done;
+    let query_report =
+      match query_domain with
+      | None -> None
+      | Some d ->
+        Atomic.set q_stop true;
+        Some (Domain.join d, Unix.gettimeofday () -. t0)
+    in
     SE.refresh_all eng;
     write_checkpoint ();
     (match rec_oc with
@@ -636,6 +712,14 @@ let serve_cmd =
     if SE.mode eng = SE.Pinned then
       Printf.printf "pinned: %d backpressure spill(s), %d refresh steal(s), %d lock op(s)\n"
         (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
+    (match query_report with
+    | None -> ()
+    | Some ((served, lag), q_elapsed) ->
+      Printf.printf "queries: %d served, %.0f queries/s, query_lock_ops=%d\n" served
+        (Float.of_int served /. Float.max q_elapsed 1e-9)
+        (SE.query_lock_ops eng);
+      Printf.printf "query lag histogram: lag0=%d lag1=%d lag2plus=%d\n" lag.(0) lag.(1)
+        lag.(2));
     Printf.printf "elapsed %.3fs  throughput %.0f points/s\n" elapsed
       (Float.of_int count /. Float.max elapsed 1e-9);
     (match List.filter (fun t -> Lat.count t > 0) (Lat.snapshot ()) with
@@ -669,7 +753,7 @@ let serve_cmd =
     Term.(
       const run $ shards $ domains $ count $ batch $ window $ buckets_arg $ epsilon_arg $ policy
       $ dist $ skew $ seed_arg $ metrics_arg $ trace_out_arg $ checkpoint_file $ checkpoint_every
-      $ restore_file $ record_file $ record_every $ latency_window $ mode)
+      $ restore_file $ record_file $ record_every $ latency_window $ query_mix $ mode)
 
 (* -------------------------------------------------------- quantiles *)
 

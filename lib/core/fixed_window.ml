@@ -76,6 +76,10 @@ type t = {
   mutable scan_best_i : int; (* scan_candidates argmin out-param  *)
   mutable bnd_c : int;       (* find_boundary boundary out-param  *)
   mutable gauge_len : int;   (* last length stored in g_length    *)
+  mutable gen : int;  (* refresh generation: bumped once per rebuild, the
+                         epoch stamp of the published read views *)
+  mutable seen : int; (* points pushed since creation (monotone watermark;
+                         restored snapshots restart at the window length) *)
   mutable dirty : bool;
   mutable policy : Params.refresh_policy;
   mutable slide : int; (* evictions since the last refresh: how far the
@@ -124,6 +128,8 @@ let mk ~params ~sp =
     scan_best_i = 0;
     bnd_c = 0;
     gauge_len = -1;
+    gen = 0;
+    seen = 0;
     dirty = true;
     policy = params.Params.policy;
     slide = 0;
@@ -159,6 +165,8 @@ let window t = Sliding_prefix.capacity t.sp
 let buckets t = t.params.Params.buckets
 let epsilon t = t.params.Params.epsilon
 let length t = Sliding_prefix.length t.sp
+let generation t = t.gen
+let points_seen t = t.seen
 let refresh_policy t = t.policy
 let pending_pushes t = t.pushes_since_refresh
 let slide_since_refresh t = t.slide
@@ -473,6 +481,7 @@ let do_refresh t ~warm =
   t.dirty <- false;
   t.slide <- 0;
   t.pushes_since_refresh <- 0;
+  t.gen <- t.gen + 1;
   M.incr t.c_refreshes;
   if warm then M.incr t.c_warm_refreshes else M.incr t.c_cold_refreshes
 
@@ -500,6 +509,7 @@ let push t v =
   if not (Float.is_finite v) then invalid_arg "Fixed_window.push: non-finite value";
   if Sliding_prefix.length t.sp = Sliding_prefix.capacity t.sp then t.slide <- t.slide + 1;
   Sliding_prefix.push t.sp v;
+  t.seen <- t.seen + 1;
   let len = Sliding_prefix.length t.sp in
   if len <> t.gauge_len then begin
     (* Gauge stores box their float; once the window is full the length is
@@ -539,6 +549,7 @@ let push_slice_named t vs ~pos ~len ~name =
         t.slide <- t.slide + 1;
       Sliding_prefix.push t.sp vs.(i)
     done;
+    t.seen <- t.seen + len;
     let n = Sliding_prefix.length t.sp in
     if n <> t.gauge_len then begin
       t.gauge_len <- n;
@@ -648,6 +659,196 @@ let intervals t ~k =
         Soa.get_i q ~col:col_b i,
         Soa.get_f q ~col:col_hb i ))
 
+(* --- published read views -------------------------------------------- *)
+
+(* A [View.t] is a compact immutable copy of everything a query needs —
+   raw cumulative prefix sums, the endpoint columns of the interval lists,
+   precomputed whole-window answers — cut from a refreshed summary by
+   {!view}.  Readers on other domains evaluate against the copy alone:
+   no telemetry stores, no scratch slots, no memo writes, no access to the
+   live [t].  Every float operation below mirrors the corresponding live
+   kernel operation on the same values in the same order, so view answers
+   are bit-identical to querying the quiesced live summary at the same
+   generation (pinned by the snapshot-equivalence property tests). *)
+module View = struct
+  type t = {
+    gen : int;  (* refresh generation the copy was cut at *)
+    seen : int; (* source points_seen when cut — the freshness watermark *)
+    n : int;    (* window length *)
+    b : int;    (* buckets *)
+    eps : float;
+    (* Raw cumulative sums for window-relative indices 0 .. n, copied
+       verbatim from the sliding ring (index 0 is the sentinel before the
+       oldest point).  Live range sums subtract exactly these values, so
+       subtracting the copies reproduces them bit for bit. *)
+    sum : float array;
+    sqsum : float array;
+    (* Level-k interval list endpoints (level k at index k - 1, for
+       k = 1 .. B-1): trimmed copies of the three Soa columns the
+       candidate scan reads. *)
+    a_idx : int array array;
+    b_idx : int array array;
+    b_her : float array array;
+    err : float;               (* HERROR[n, B] — the current_error answer *)
+    hist : Histogram.t option; (* [None] iff the window is empty *)
+  }
+
+  let generation v = v.gen
+  let points_seen v = v.seen
+  let length v = v.n
+  let buckets v = v.b
+  let epsilon v = v.eps
+
+  (* [Sliding_prefix.sqerror] over the copied cumulatives: same guard,
+     same subtraction order, same clamp. *)
+  let sqerror v ~lo ~hi =
+    if lo > hi then 0.0
+    else begin
+      let s = v.sum.(hi) -. v.sum.(lo - 1) in
+      let q = v.sqsum.(hi) -. v.sqsum.(lo - 1) in
+      let n = Float.of_int (hi - lo + 1) in
+      let d = q -. (s *. s /. n) in
+      if d > 0.0 then d else 0.0
+    end
+
+  (* [scan_candidates] on the copied columns (see the live implementation
+     for the pruning argument); requires 2 <= k < x.  Returns
+     (best value, best split position) — a boxed pair is fine on the read
+     plane, which has no allocation budget to defend. *)
+  let scan v ~k ~x =
+    let a_idx = v.a_idx.(k - 2) and b_idx = v.b_idx.(k - 2) in
+    let b_her = v.b_her.(k - 2) in
+    let len = Array.length b_idx in
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Array.unsafe_get b_idx mid >= x then hi := mid else lo := mid + 1
+    done;
+    let cover = !lo in
+    let best = ref infinity in
+    let best_i = ref (x - 1) in
+    if cover < len && Array.unsafe_get a_idx cover <= x - 1 then begin
+      best := Array.unsafe_get b_her cover;
+      best_i := x - 1
+    end;
+    let first =
+      if cover = 0 || !best = infinity then 0
+      else begin
+        let lo = ref 0 and hi = ref cover in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if sqerror v ~lo:(Array.unsafe_get b_idx mid + 1) ~hi:x < !best then
+            hi := mid
+          else lo := mid + 1
+        done;
+        !lo
+      end
+    in
+    let i = ref first in
+    let continue = ref true in
+    while !continue && !i < cover do
+      let bh = Array.unsafe_get b_her !i in
+      if bh >= !best then continue := false
+      else begin
+        let b = Array.unsafe_get b_idx !i in
+        let cand = bh +. sqerror v ~lo:(b + 1) ~hi:x in
+        if cand < !best then begin
+          best := cand;
+          best_i := b
+        end;
+        incr i
+      end
+    done;
+    (!best, !best_i)
+
+  (* [eval_herror_into], branch for branch, sans memo and telemetry. *)
+  let eval v ~k ~x =
+    if x <= 0 then 0.0
+    else if k >= x then 0.0
+    else if k = 1 then sqerror v ~lo:1 ~hi:x
+    else begin
+      let best, _ = scan v ~k ~x in
+      if best = infinity then 0.0 else best
+    end
+
+  let herror ?memo v ~k ~x =
+    if k < 1 || k > v.b then invalid_arg "Fixed_window.herror: k out of range";
+    if x < 0 || x > v.n then invalid_arg "Fixed_window.herror: x out of range";
+    match memo with
+    | None -> eval v ~k ~x
+    | Some m ->
+      (* packed like the live memo: key = x * (buckets + 1) + k *)
+      let key = (x * (v.b + 1)) + k in
+      let slot = Intmemo.find_slot m key in
+      if slot >= 0 then (Intmemo.vals m).(slot)
+      else begin
+        let value = eval v ~k ~x in
+        let s = Intmemo.reserve m key in
+        (Intmemo.vals m).(s) <- value;
+        value
+      end
+
+  let current_error v = v.err
+  let histogram v = v.hist
+
+  let current_histogram v =
+    match v.hist with
+    | Some h -> h
+    | None -> invalid_arg "Fixed_window.current_histogram: empty window"
+
+  (* The [current_histogram] boundary recursion with argmins from the
+     view-side scan; bucket values are the same prefix-difference means. *)
+  let hist_of v =
+    if v.n = 0 then None
+    else begin
+      let rec boundaries x k acc =
+        if x <= 0 then acc
+        else if k <= 1 || x <= k then begin
+          if k <= 1 then x :: acc
+          else begin
+            let acc = ref acc in
+            for i = x downto 1 do
+              acc := i :: !acc
+            done;
+            !acc
+          end
+        end
+        else begin
+          let _, i = scan v ~k ~x in
+          boundaries i (k - 1) (x :: acc)
+        end
+      in
+      let ends = Array.of_list (boundaries v.n v.b []) in
+      let bucket_of i hi =
+        let lo = if i = 0 then 1 else ends.(i - 1) + 1 in
+        let value = (v.sum.(hi) -. v.sum.(lo - 1)) /. Float.of_int (hi - lo + 1) in
+        { Histogram.lo; hi; value }
+      in
+      Some (Histogram.make ~n:v.n (Array.mapi bucket_of ends))
+    end
+
+  let make ~gen ~seen ~n ~b ~eps ~sum ~sqsum ~a_idx ~b_idx ~b_her =
+    let v0 =
+      { gen; seen; n; b; eps; sum; sqsum; a_idx; b_idx; b_her;
+        err = 0.0; hist = None }
+    in
+    { v0 with err = eval v0 ~k:b ~x:n; hist = hist_of v0 }
+end
+
+let view t =
+  refresh t;
+  let n = length t in
+  let b = buckets t in
+  let sum = Array.init (n + 1) (fun i -> Sliding_prefix.cumulative_sum t.sp i) in
+  let sqsum = Array.init (n + 1) (fun i -> Sliding_prefix.cumulative_sqsum t.sp i) in
+  let levels = b - 1 in
+  let trim_i col j = Array.init (Soa.length t.queues.(j)) (Array.get (Soa.icol t.queues.(j) col)) in
+  let trim_f col j = Array.init (Soa.length t.queues.(j)) (Array.get (Soa.fcol t.queues.(j) col)) in
+  View.make ~gen:t.gen ~seen:t.seen ~n ~b ~eps:(epsilon t) ~sum ~sqsum
+    ~a_idx:(Array.init levels (trim_i col_a))
+    ~b_idx:(Array.init levels (trim_i col_b))
+    ~b_her:(Array.init levels (trim_f col_hb))
+
 (* --- persistence ---------------------------------------------------- *)
 
 module Codec = Sh_persist.Codec
@@ -708,4 +909,8 @@ let decode r =
   t.dirty <- true;
   refresh ~cold:true t;
   t.pushes_since_refresh <- pending;
+  (* The watermark restarts at the restored window length: pre-snapshot
+     history is not recoverable, and only deltas of [points_seen] are
+     meaningful across a restore. *)
+  t.seen <- length t;
   t

@@ -67,6 +67,17 @@ val epsilon : t -> float
 val length : t -> int
 (** Points currently in the window ([<= window]). *)
 
+val generation : t -> int
+(** Refresh generation: starts at 0 and increments once per interval-list
+    rebuild (so any freshly created or decoded summary, both of which
+    refresh, is at generation [>= 1]).  The epoch stamp of the published
+    read views. *)
+
+val points_seen : t -> int
+(** Total points pushed since creation — a monotone watermark ([>=]
+    {!length}; it keeps counting after the window fills).  Restored
+    summaries restart at the recovered window length. *)
+
 val refresh_policy : t -> Params.refresh_policy
 
 val set_refresh_policy : t -> Params.refresh_policy -> unit
@@ -137,6 +148,63 @@ val herror : t -> k:int -> x:int -> float
     [0 <= x <= length]; levels below [buckets] read the interval lists,
     which are refreshed if needed.  Exposed for validation against the
     exact dynamic program. *)
+
+(** {2 Published read views}
+
+    A {!View.t} is a compact immutable snapshot of a refreshed summary:
+    the raw cumulative prefix sums of the window, the endpoint columns of
+    the interval lists, and precomputed whole-window answers, plus the
+    {!generation} / {!points_seen} stamps of the moment it was cut.  Views
+    hold no reference to the live summary and are never mutated, so they
+    may be handed to other domains and read wait-free — the RCU payload of
+    the sharded engine's query plane.
+
+    View evaluation replicates the live kernel's float operations on the
+    same values in the same order, so every view answer is bit-identical
+    to the corresponding live query against the (quiesced) summary at the
+    same generation.  Views never touch telemetry: reads cost no counter
+    stores. *)
+
+module View : sig
+  type t
+
+  val generation : t -> int
+  (** {!Fixed_window.generation} of the source at capture. *)
+
+  val points_seen : t -> int
+  (** {!Fixed_window.points_seen} of the source at capture — compare with
+      the live watermark for a staleness bound in points. *)
+
+  val length : t -> int
+  val buckets : t -> int
+  val epsilon : t -> float
+
+  val current_error : t -> float
+  (** Precomputed at capture: O(1). *)
+
+  val current_histogram : t -> Sh_histogram.Histogram.t
+  (** Precomputed at capture: O(1).  Raises [Invalid_argument] on an
+      empty window, like the live query. *)
+
+  val histogram : t -> Sh_histogram.Histogram.t option
+  (** {!current_histogram} without the exception: [None] iff empty. *)
+
+  val herror : ?memo:Sh_util.Intmemo.t -> t -> k:int -> x:int -> float
+  (** Approximate HERROR\[x, k\] evaluated against the view's arrays; same
+      domain ([1 <= k <= buckets], [0 <= x <= length]) and same answers as
+      the live {!Fixed_window.herror} at the view's generation.  [?memo]
+      caches answers across calls under the live memo's packed keys; the
+      table must be private to the calling domain, used with views of one
+      summary only, and cleared ({!Sh_util.Intmemo.next_generation}) when
+      switching to a view with a different {!generation}. *)
+end
+
+val view : t -> View.t
+(** Cut a view of the current window, refreshing first if stale (so the
+    view is always at the latest generation).  O(window + B log...) copy
+    and precompute work, paid by the maintainer — the FEH trade: a little
+    more at update time for O(1)-ish reads.  The caller owns publication;
+    the summary keeps no reference to the view. *)
 
 (** {2 Introspection} *)
 

@@ -3,7 +3,15 @@
 
     All sinks render series in {!Registry.snapshot} order followed by
     {!Latency.snapshot} order, so two dumps of the same state are
-    byte-identical and diffs across runs line up. *)
+    byte-identical and diffs across runs line up.
+
+    Zero-sample latency trackers (nothing recorded, or every sample aged
+    out of the batch window) render with quantiles {e absent} in every
+    format — no [p..=] fields in {!text}, an empty [quantiles] object in
+    {!json_lines}, no [{quantile="..."}] samples in {!prometheus} — while
+    [count] and [sum] are always emitted.  Never [0], [NaN] or an
+    exception: {!Latency.quantile}'s [None] is the only empty signal the
+    sinks consume. *)
 
 val text : Buffer.t -> unit
 (** Aligned human-readable dump: counters, gauges, histogram summaries,

@@ -1,5 +1,7 @@
 module FW = Stream_histogram.Fixed_window
 module Params = Stream_histogram.Params
+module Histogram = Sh_histogram.Histogram
+module Intmemo = Sh_util.Intmemo
 module Obs = Sh_obs.Obs
 module M = Sh_obs.Metric
 module L = Sh_obs.Latency
@@ -73,12 +75,29 @@ type t = {
   ingest_tasks : (unit -> unit) array;
   warm_tasks : (unit -> unit) array;
   cold_tasks : (unit -> unit) array;
+  (* --- RCU read plane: one padded atomic slot per shard holding the
+     immutable view published at that shard's last refresh.  The slot's
+     owner (drain/sweep task, or the mutex holder in [Locked]) republishes
+     whenever the live generation has advanced past the published one;
+     readers [Atomic.get] the pointer and evaluate against the copy —
+     wait-free, never touching the live summary, its mutex, or the owner's
+     cache lines. *)
+  views : FW.View.t Atomic.t array;
+  publish : int -> unit; (* owner-side: republish shard k if stale *)
+  (* Per-domain, per-shard HERROR memo for view-side reads, stamped with
+     the view generation it was filled against (reader-private: a memo
+     inside the shared view itself would be a cross-domain data race). *)
+  reader_memos : (Intmemo.t array * int array) Domain.DLS.key;
   c_points : M.counter;
   c_batches : M.counter;
   c_refreshes : M.counter;
   c_lock_ops : M.counter;
   c_backpressure : M.counter;
   c_steals : M.counter;
+  c_queries : M.counter;
+  c_query_lock_ops : M.counter;
+  c_published : M.counter;
+  g_read_gen : M.gauge;
   (* --- latency trackers (gated by [Obs.set_latency_enabled]): drain and
      sweep durations are recorded inside the pool tasks, so each owner
      feeds its own domain's GK slot and the merged quantile sees the
@@ -95,17 +114,56 @@ let build ~mode ~ring_capacity ~pool shard_arr =
   let c_lock_ops = Obs.counter ~labels "engine.lock_ops" in
   let c_backpressure = Obs.counter ~labels "engine.backpressure_waits" in
   let c_steals = Obs.counter ~labels "engine.refresh_steals" in
+  let c_queries = Obs.counter ~labels "engine.queries" in
+  let c_query_lock_ops = Obs.counter ~labels "engine.query_lock_ops" in
+  let c_published = Obs.counter ~labels "engine.snapshots_published" in
+  let g_read_gen = Obs.gauge ~labels "engine.read_gen" in
   let l_ingest = L.tracker ~labels "latency.ingest_batch" in
   let l_drain = L.tracker ~labels "latency.ring_drain" in
   let l_sweep = L.tracker ~labels "latency.refresh_sweep" in
   let l_query = L.tracker ~labels "latency.query" in
   let counts = Array.make shards 0 in
   let group_data = Array.make shards [||] in
-  let locked sh f =
+  (* Read-plane slots.  Every shard starts with a real view (capturing
+     refreshes, which is a no-op on decoded shards and trivial on empty
+     fresh ones), so readers never see a sentinel.  The throwaway spacer
+     allocations keep consecutive atomics off one cache line (the
+     spsc_ring idiom): a reader polling shard k must not contend with the
+     owner publishing shard k+1. *)
+  let views =
+    Array.init shards (fun k ->
+        ignore (Sys.opaque_identity (Array.make pad_stride 0));
+        Atomic.make (FW.view shard_arr.(k).fw))
+  in
+  M.add c_published shards;
+  M.set g_read_gen
+    (Float.of_int (FW.View.generation (Atomic.get views.(shards - 1))));
+  (* Republish shard k's view if its live generation moved past the
+     published one.  Only called with exclusive access to the shard (its
+     owner in [Pinned], under its mutex in [Locked]), which makes the
+     needs_refresh/generation reads stable; the publication points are
+     refresh completions — a drain that left the shard dirty under a
+     [Lazy] / mid-cadence [Every k] policy publishes nothing. *)
+  let publish k =
+    let fw = shard_arr.(k).fw in
+    if
+      (not (FW.needs_refresh fw))
+      && FW.generation fw <> FW.View.generation (Atomic.get views.(k))
+    then begin
+      let v = FW.view fw in
+      Atomic.set views.(k) v;
+      M.incr c_published;
+      M.set g_read_gen (Float.of_int (FW.View.generation v))
+    end
+  in
+  let locked k f =
+    let sh = shard_arr.(k) in
     Mutex.lock sh.lock;
     M.incr c_lock_ops;
     match f sh.fw with
-    | () -> Mutex.unlock sh.lock
+    | () ->
+      publish k;
+      Mutex.unlock sh.lock
     | exception e ->
       Mutex.unlock sh.lock;
       raise e
@@ -114,20 +172,18 @@ let build ~mode ~ring_capacity ~pool shard_arr =
      directly, so a batch submits the same immutable task array every
      time; a task for a shard the batch doesn't touch is a no-op. *)
   let ingest_task k =
-    let sh = shard_arr.(k) in
     fun () ->
       let c = counts.(k) in
-      if c > 0 then locked sh (fun fw -> FW.push_slice fw group_data.(k) ~pos:0 ~len:c)
+      if c > 0 then locked k (fun fw -> FW.push_slice fw group_data.(k) ~pos:0 ~len:c)
   in
   (* [Locked] refresh granularity is one task per shard, so l_sweep sees
      per-shard rebuild durations there; [Pinned] records per-owner sweep
      durations from sweep_task below. *)
   let refresh_task ~cold k =
-    let sh = shard_arr.(k) in
     fun () ->
       let lat = Obs.latency_enabled () in
       let t0 = if lat then Obs.now () else 0.0 in
-      locked sh (fun fw -> FW.refresh ~cold fw);
+      locked k (fun fw -> FW.refresh ~cold fw);
       if lat then L.record l_sweep (Obs.now () -. t0)
   in
   (* contiguous slices, remainder spread over the first owners *)
@@ -157,7 +213,10 @@ let build ~mode ~ring_capacity ~pool shard_arr =
         Array.blit overflow.(k) 0 buf n spilled;
         overflow_len.(k * pad_stride) <- 0
       end;
-      FW.push_slice shard_arr.(k).fw buf ~pos:0 ~len:(n + spilled)
+      FW.push_slice shard_arr.(k).fw buf ~pos:0 ~len:(n + spilled);
+      (* the Every-k boundary publication point: push_slice refreshed iff
+         the policy fired, and publish keys off that *)
+      publish k
     end
   in
   (* Timing is hand-rolled (no [L.time] closure) so the disabled path
@@ -182,8 +241,10 @@ let build ~mode ~ring_capacity ~pool shard_arr =
   let sweep_task ~cold o =
     let refresh k =
       match mode with
-      | Pinned -> FW.refresh ~cold shard_arr.(k).fw
-      | Locked -> locked shard_arr.(k) (fun fw -> FW.refresh ~cold fw)
+      | Pinned ->
+        FW.refresh ~cold shard_arr.(k).fw;
+        publish k
+      | Locked -> locked k (fun fw -> FW.refresh ~cold fw)
     in
     fun () ->
       let lat = Obs.latency_enabled () in
@@ -225,12 +286,21 @@ let build ~mode ~ring_capacity ~pool shard_arr =
     ingest_tasks = Array.init shards ingest_task;
     warm_tasks = Array.init shards (refresh_task ~cold:false);
     cold_tasks = Array.init shards (refresh_task ~cold:true);
+    views;
+    publish;
+    reader_memos =
+      Domain.DLS.new_key (fun () ->
+          (Array.init shards (fun _ -> Intmemo.create ()), Array.make shards (-1)));
     c_points = Obs.counter ~labels "engine.points";
     c_batches = Obs.counter ~labels "engine.batches";
     c_refreshes = Obs.counter ~labels "engine.refresh_sweeps";
     c_lock_ops;
     c_backpressure;
     c_steals;
+    c_queries;
+    c_query_lock_ops;
+    c_published;
+    g_read_gen;
     l_ingest;
     l_query;
   }
@@ -258,19 +328,24 @@ let check_key t key =
     invalid_arg (Printf.sprintf "Shard_engine: key %d out of range [0, %d)" key (Array.length t.shards))
 
 (* [Locked]: take the shard's mutex around [f].  [Pinned]: run [f]
-   directly — exclusivity comes from the call-site discipline (queries,
-   folds and checkpoints do not overlap an in-flight [ingest] /
-   [refresh_all] call; see the .mli). *)
+   directly — exclusivity comes from the call-site discipline (live-shard
+   access does not overlap an in-flight [ingest] / [refresh_all] call; see
+   the .mli).  Either way, [f] may have refreshed the shard, so the view
+   is republished before the exclusive section ends. *)
 let with_shard t key f =
   check_key t key;
   let s = t.shards.(key) in
   match t.mode with
-  | Pinned -> f s.fw
+  | Pinned ->
+    let v = f s.fw in
+    t.publish key;
+    v
   | Locked ->
     Mutex.lock s.lock;
     M.incr t.c_lock_ops;
     (match f s.fw with
     | v ->
+      t.publish key;
       Mutex.unlock s.lock;
       v
     | exception e ->
@@ -369,28 +444,173 @@ let refresh_all ?(cold = false) t =
       M.incr t.c_refreshes)
 
 let pool t = t.pool
-let length t ~key = with_shard t key FW.length
 
-(* Estimation queries feed the "latency.query" tracker; [timed_query] is
+(* --- the read plane --------------------------------------------------- *)
+
+let view t ~key =
+  check_key t key;
+  Atomic.get t.views.(key)
+
+let read_gen t ~key = FW.View.generation (view t ~key)
+
+(* Lag introspection reads the live generation / watermark fields without
+   the shard's ownership token: plain mutable int reads, racy against the
+   owner mid-flight but memory-safe (immediate ints cannot tear), and
+   exact whenever the engine is between calls.  Telemetry-grade. *)
+let generation_lag t ~key =
+  check_key t key;
+  let lag =
+    FW.generation t.shards.(key).fw
+    - FW.View.generation (Atomic.get t.views.(key))
+  in
+  if lag < 0 then 0 else lag
+
+let publication_lag t ~key =
+  check_key t key;
+  let lag =
+    FW.points_seen t.shards.(key).fw
+    - FW.View.points_seen (Atomic.get t.views.(key))
+  in
+  if lag < 0 then 0 else lag
+
+(* The calling domain's memo for view-side HERROR reads against shard
+   [key], invalidated (O(1)) whenever the published generation moved. *)
+let reader_memo t key v =
+  let memos, gens = Domain.DLS.get t.reader_memos in
+  let g = FW.View.generation v in
+  if gens.(key) <> g then begin
+    Intmemo.next_generation memos.(key);
+    gens.(key) <- g
+  end;
+  memos.(key)
+
+(* Estimation queries feed the "latency.query" tracker; the timers are
    hand-rolled like the task timers so the disabled path costs one boolean
-   load and no closure beyond the [with_shard] continuation. *)
-let timed_query t key f =
+   load and no closure beyond the continuation.  [Locked] queries answer
+   from the live shard under its mutex (counted in engine.query_lock_ops
+   as well as engine.lock_ops); [Pinned] queries answer from the published
+   view — wait-free, no lock, no live-shard access. *)
+let locked_query t key f =
   let lat = Obs.latency_enabled () in
   let t0 = if lat then Obs.now () else 0.0 in
+  M.incr t.c_query_lock_ops;
   let v = with_shard t key f in
   if lat then L.record t.l_query (Obs.now () -. t0);
   v
 
-let current_error t ~key = timed_query t key FW.current_error
-let current_histogram t ~key = timed_query t key FW.current_histogram
-let herror t ~key ~k ~x = timed_query t key (fun fw -> FW.herror fw ~k ~x)
+let view_query t key f =
+  let lat = Obs.latency_enabled () in
+  let t0 = if lat then Obs.now () else 0.0 in
+  let v = f (view t ~key) in
+  if lat then L.record t.l_query (Obs.now () -. t0);
+  v
+
+let length t ~key =
+  match t.mode with
+  | Locked -> with_shard t key FW.length
+  | Pinned -> FW.View.length (view t ~key)
+
+let current_error t ~key =
+  M.incr t.c_queries;
+  match t.mode with
+  | Locked -> locked_query t key FW.current_error
+  | Pinned -> view_query t key FW.View.current_error
+
+let current_histogram t ~key =
+  M.incr t.c_queries;
+  match t.mode with
+  | Locked -> locked_query t key FW.current_histogram
+  | Pinned -> view_query t key FW.View.current_histogram
+
+let herror t ~key ~k ~x =
+  M.incr t.c_queries;
+  match t.mode with
+  | Locked -> locked_query t key (fun fw -> FW.herror fw ~k ~x)
+  | Pinned ->
+    view_query t key (fun v -> FW.View.herror ~memo:(reader_memo t key v) v ~k ~x)
+
 let work_counters t ~key = with_shard t key FW.work_counters
+let with_key t ~key ~f = with_shard t key f
+
+(* --- batched queries --------------------------------------------------- *)
+
+type query =
+  | Current_error
+  | Window_length
+  | Herror of { k : int; x : int }
+  | Range_sum of { lo : int; hi : int }
+  | Point_estimate of { index : int }
+
+(* Serving-layer clamping: a remote client cannot know the instantaneous
+   window length, so structural parameters are clamped to the answering
+   state instead of raising (the single-query entry points keep the strict
+   live contract). *)
+let clamp_herror ~b ~n ~k ~x =
+  let k = if k < 1 then 1 else if k > b then b else k in
+  let x = if x < 0 then 0 else if x > n then n else x in
+  (k, x)
+
+let answer_hist h ~n q =
+  match q with
+  | Range_sum { lo; hi } ->
+    let lo = if lo < 1 then 1 else lo in
+    let hi = if hi > n then n else hi in
+    if lo > hi then 0.0 else Histogram.range_sum_estimate h ~lo ~hi
+  | Point_estimate { index } ->
+    if index < 1 || index > n then 0.0 else Histogram.point_estimate h index
+  | Current_error | Window_length | Herror _ -> assert false
+
+let query_many t qs =
+  let lat = Obs.latency_enabled () in
+  let t0 = if lat then Obs.now () else 0.0 in
+  let out = Array.make (Array.length qs) 0.0 in
+  (match t.mode with
+  | Pinned ->
+    Array.iteri
+      (fun i (key, q) ->
+        let v = view t ~key in
+        out.(i) <-
+          (match q with
+          | Current_error -> FW.View.current_error v
+          | Window_length -> Float.of_int (FW.View.length v)
+          | Herror { k; x } ->
+            let k, x =
+              clamp_herror ~b:(FW.View.buckets v) ~n:(FW.View.length v) ~k ~x
+            in
+            FW.View.herror ~memo:(reader_memo t key v) v ~k ~x
+          | (Range_sum _ | Point_estimate _) as q -> (
+            match FW.View.histogram v with
+            | None -> 0.0
+            | Some h -> answer_hist h ~n:(FW.View.length v) q)))
+      qs
+  | Locked ->
+    Array.iteri
+      (fun i (key, q) ->
+        M.incr t.c_query_lock_ops;
+        out.(i) <-
+          with_shard t key (fun fw ->
+              match q with
+              | Current_error -> FW.current_error fw
+              | Window_length -> Float.of_int (FW.length fw)
+              | Herror { k; x } ->
+                let k, x = clamp_herror ~b:(FW.buckets fw) ~n:(FW.length fw) ~k ~x in
+                FW.herror fw ~k ~x
+              | (Range_sum _ | Point_estimate _) as q ->
+                let n = FW.length fw in
+                if n = 0 then 0.0 else answer_hist (FW.current_histogram fw) ~n q))
+      qs);
+  M.add t.c_queries (Array.length qs);
+  if lat then L.record t.l_query (Obs.now () -. t0);
+  out
 
 let total_points t = M.value t.c_points
 let batches t = M.value t.c_batches
 let lock_ops t = M.value t.c_lock_ops
 let backpressure_waits t = M.value t.c_backpressure
 let refresh_steals t = M.value t.c_steals
+let queries t = M.value t.c_queries
+let query_lock_ops t = M.value t.c_query_lock_ops
+let snapshots_published t = M.value t.c_published
 
 let fold t ~init ~f =
   let acc = ref init in

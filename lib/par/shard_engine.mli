@@ -103,24 +103,116 @@ val refresh_all : ?cold:bool -> t -> unit
     [~cold:true] forces from-scratch rebuilds (the correctness oracle).
     [Pinned] sweeps are work-stealing (see [engine.refresh_steals]). *)
 
-(** {2 Per-key queries}
+(** {2 Per-key queries — the concurrency contract}
 
-    In [Locked] mode each query locks its shard, so queries may race
-    freely with {!ingest} of other keys.  In [Pinned] mode there are no
-    locks: queries, {!fold} and {!checkpoint} must not overlap an
-    in-flight {!ingest} / {!refresh_all} call on the same engine (calls
-    may interleave in any order — the single producer that drives ingest
-    is free to query between batches, which is every in-tree usage). *)
+    Every shard carries, next to its live summary, a {e published read
+    view} ({!Stream_histogram.Fixed_window.View}): an immutable snapshot
+    behind a padded atomic pointer, republished by the shard's owner at
+    every publication point.  Publication points are refresh completions —
+    a {!refresh_all} sweep, an arrival-driven rebuild inside {!ingest}
+    ([Eager] every batch, [Every k] whenever a batch crosses the cadence
+    boundary), or a query-triggered rebuild under a [Locked] mutex.  The
+    two modes then route queries differently:
+
+    {ul
+    {- [Locked] — {!current_error}, {!current_histogram}, {!herror},
+       {!length} and {!query_many} answer from the {e live} shard under
+       its mutex.  Safe concurrent with {!ingest} / {!refresh_all} from
+       any domain, at the price of one mutex acquisition per query
+       (counted in [engine.query_lock_ops] as well as [engine.lock_ops]),
+       and answers always reflect every ingested point.}
+    {- [Pinned] — the same calls answer from the {e published view}:
+       wait-free loads that never take a lock ([engine.query_lock_ops]
+       stays exactly flat — the read-side lock-freedom witness), never
+       touch the live summary, and are therefore safe from any domain
+       concurrent with an in-flight {!ingest} / {!refresh_all}.  The price
+       is bounded staleness: answers reflect the shard as of its last
+       publication point, i.e. at most one refresh cadence behind the live
+       summary ([Lazy] defers publication to the next {!refresh_all} —
+       quiesce with it before reading if you need current answers).  After
+       any engine call returns, the published generation equals the live
+       generation of every shard that call refreshed (property-tested);
+       {!generation_lag} / {!publication_lag} expose the distance.}}
+
+    View answers are bit-identical to querying the quiesced live summary
+    at the same generation — the snapshot-equivalence property the test
+    suite pins across modes and domain counts.
+
+    Live-shard escape hatches ({!with_key}, {!fold}, {!work_counters},
+    {!set_refresh_policy}, {!checkpoint}) bypass the view.  In [Locked]
+    mode they lock per shard and remain safe concurrent with ingest; in
+    [Pinned] mode they require the same exclusivity as {!ingest} itself
+    (no overlap with an in-flight engine call — the single producer that
+    drives ingest may use them between batches, which is every in-tree
+    usage). *)
 
 val length : t -> key:int -> int
+(** Window length: live under the mutex in [Locked], from the published
+    view in [Pinned] (not counted as an estimation query). *)
+
 val current_error : t -> key:int -> float
 val current_histogram : t -> key:int -> Sh_histogram.Histogram.t
 val herror : t -> key:int -> k:int -> x:int -> float
+
+val view : t -> key:int -> Stream_histogram.Fixed_window.View.t
+(** The shard's currently published view — one wait-free atomic load, in
+    either mode.  The natural input for {!Sh_query.Estimator}-style
+    read-side consumers that want a stable snapshot across several
+    estimates. *)
+
+val read_gen : t -> key:int -> int
+(** Generation stamp of the published view (also the ["engine.read_gen"]
+    gauge, which tracks the most recent publication engine-wide). *)
+
+val generation_lag : t -> key:int -> int
+(** Live refresh generation minus published view generation: [0] whenever
+    the shard is clean and published, transiently [1] inside an engine
+    call.  Reads the live stamp without the ownership token — racy but
+    memory-safe mid-flight; telemetry-grade. *)
+
+val publication_lag : t -> key:int -> int
+(** Points pushed into the live shard since its published view was cut —
+    the staleness bound in points.  Same read discipline as
+    {!generation_lag}. *)
+
+(** {2 Batched queries} *)
+
+type query =
+  | Current_error  (** approximate HERROR\[n, B\] of the window *)
+  | Window_length  (** points in the window, as a float *)
+  | Herror of { k : int; x : int }
+      (** HERROR\[x, k\]; [k] clamped to [\[1, B\]], [x] to [\[0, n\]] *)
+  | Range_sum of { lo : int; hi : int }
+      (** histogram range-sum estimate over window indices, intersected
+          with [\[1, n\]] (empty intersection and empty window sum to 0) *)
+  | Point_estimate of { index : int }
+      (** histogram point estimate; 0 outside [\[1, n\]] *)
+
+val query_many : t -> (int * query) array -> float array
+(** Answer a batch of [(key, query)] pairs, one float per element, under
+    the per-mode routing above ([Pinned]: each element is a wait-free view
+    load + evaluation, with a per-domain HERROR memo amortising repeated
+    [Herror] probes against the same view).  Unlike the single-query entry
+    points, structural parameters are clamped to the answering state
+    rather than raising — a remote client cannot know the instantaneous
+    window length (see the per-constructor notes).  Counted in
+    ["engine.queries"] per element and timed as one ["latency.query"]
+    observation. *)
+
+val with_key :
+  t -> key:int -> f:(Stream_histogram.Fixed_window.t -> 'a) -> 'a
+(** Run [f] against the {e live} summary of one shard — the quiesced-read
+    escape hatch (recorders, oracles, tests).  [Locked]: under the shard's
+    mutex.  [Pinned]: caller must guarantee no concurrent engine call.
+    If [f] refreshed the shard, its view is republished before the
+    exclusive section ends. *)
+
 val work_counters : t -> key:int -> Stream_histogram.Fixed_window.work_counters
 
 val fold : t -> init:'a -> f:('a -> int -> Stream_histogram.Fixed_window.t -> 'a) -> 'a
-(** Fold over shards in key order ([Locked]: holding each shard's lock in
-    turn).  [f] must not call back into the engine. *)
+(** Fold over live shards in key order ([Locked]: holding each shard's
+    lock in turn; [Pinned]: see the live-shard contract above).  [f] must
+    not call back into the engine. *)
 
 (** {2 Introspection} *)
 
@@ -142,6 +234,20 @@ val backpressure_waits : t -> int
 val refresh_steals : t -> int
 (** Shards refreshed by a non-owner during {!refresh_all} work-stealing
     sweeps (["engine.refresh_steals"], [Pinned] only). *)
+
+val queries : t -> int
+(** Estimation queries answered (["engine.queries"]): single-query calls
+    plus one per {!query_many} element. *)
+
+val query_lock_ops : t -> int
+(** Mutex acquisitions performed by the query plane
+    (["engine.query_lock_ops"]).  Grows with every estimation query in
+    [Locked] mode; stays exactly flat in [Pinned] mode even under a mixed
+    ingest+query run — the read-side wait-freedom witness. *)
+
+val snapshots_published : t -> int
+(** Read views published since creation (["engine.snapshots_published"]),
+    including the initial per-shard captures. *)
 
 (** {2 Durability}
 

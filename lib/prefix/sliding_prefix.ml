@@ -92,6 +92,23 @@ let[@inline] sqerror t ~lo ~hi =
     if d > 0.0 then d else 0.0
   end
 
+(* Raw cumulative ring values for snapshot capture: window-relative index
+   i in [0 .. count], where 0 is the sentinel just before the oldest
+   point.  [range_sum ~lo ~hi] is exactly
+   [cumulative_sum hi -. cumulative_sum (lo-1)], so a caller that copies
+   these values and subtracts pairs of the copies reproduces live range
+   sums bit for bit (copying [range_sum ~lo:1 ~hi:i] instead would
+   re-associate the subtraction and drift in the last ulp). *)
+let cumulative_sum t i =
+  if i < 0 || i > t.count then
+    invalid_arg "Sliding_prefix.cumulative_sum: index out of range";
+  t.sum.(slot t i)
+
+let cumulative_sqsum t i =
+  if i < 0 || i > t.count then
+    invalid_arg "Sliding_prefix.cumulative_sqsum: index out of range";
+  t.sqsum.(slot t i)
+
 (* Out-param variant for allocation-free callers: dev-profile builds pass
    -opaque, which strips cross-module Clambda approximations, so the
    [@inline] annotations above only help callers inside this module — an

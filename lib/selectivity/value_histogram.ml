@@ -154,6 +154,42 @@ let v_optimal data ~buckets ~domain_bins =
   in
   make ~total:(Float.of_int n) buckets'
 
+(* Value-domain selectivity from a published fixed-window read view: each
+   bucket of the view's index histogram contributes its width (tuple
+   count) as a mass point at its mean value; sorted and coalesced, the
+   mass points become tiling value ranges [v_i, v_{i+1}) under the usual
+   uniform-spread reading (the last range is the point [v_max, v_max]).
+   A B-bucket sketch of the value distribution, buildable wait-free from
+   the query plane while ingest continues. *)
+let of_window_view v =
+  match Stream_histogram.Fixed_window.View.histogram v with
+  | None -> invalid_arg "Value_histogram.of_window_view: empty window view"
+  | Some h ->
+    Obs.with_span "sel.of_window_view" @@ fun () ->
+    let module H = Sh_histogram.Histogram in
+    let pts =
+      Array.map
+        (fun b -> (b.H.value, Float.of_int (b.H.hi - b.H.lo + 1)))
+        h.H.buckets
+    in
+    Array.sort (fun (a, _) (b, _) -> compare a b) pts;
+    (* coalesce buckets sharing a mean value *)
+    let merged = ref [] in
+    Array.iter
+      (fun (value, count) ->
+        match !merged with
+        | (v0, c0) :: rest when v0 = value -> merged := (v0, c0 +. count) :: rest
+        | _ -> merged := (value, count) :: !merged)
+      pts;
+    let pts = Array.of_list (List.rev !merged) in
+    let m = Array.length pts in
+    let bucket i =
+      let value, count = pts.(i) in
+      let hi_v = if i = m - 1 then value else fst pts.(i + 1) in
+      { lo_v = value; hi_v; count; distinct = 1.0 }
+    in
+    make ~total:(Float.of_int h.H.n) (Array.init m bucket)
+
 let overlap_fraction b ~lo ~hi =
   (* fraction of bucket [b]'s value extent covered by [lo, hi], uniform
      spread assumption; point-width buckets count fully when touched *)

@@ -44,6 +44,15 @@ val v_optimal : float array -> buckets:int -> domain_bins:int -> t
 (** Discretise the value domain into [domain_bins] cells, then apply the
     V-optimal DP to the cell-frequency vector; bucket counts are exact. *)
 
+val of_window_view : Stream_histogram.Fixed_window.View.t -> t
+(** Value-domain sketch from a published fixed-window read view (the
+    wait-free query plane): each bucket of the view's index histogram
+    contributes its width as tuples at its mean value, and adjacent mass
+    points become tiling value ranges under the uniform-spread
+    assumption.  At most B buckets; buildable from a snapshot while
+    ingest continues on the live summary.  Raises [Invalid_argument] on
+    an empty-window view. *)
+
 val bucket_count : t -> int
 
 val selectivity_range : t -> lo:float -> hi:float -> float

@@ -654,6 +654,54 @@ let test_latency_sinks () =
     (lines json);
   Alcotest.(check bool) "json summary line" true (contains json "\"type\":\"summary\"")
 
+(* Zero-sample reads: a tracker with no recorded durations — fresh, or
+   with every sample aged out of the batch window — answers [None] from
+   [quantile] and renders with quantiles {e absent} (not 0, not NaN) in
+   all three sinks, while count and sum stay present.  This is the layer
+   that keeps the raising [Gk.quantile]/[Gk.merged_quantile] contract
+   away from exposition: a query-latency tracker that has seen no
+   traffic yet must never take a sink down. *)
+let test_latency_zero_sample_sinks () =
+  Obs.set_latency_enabled true;
+  let t = L.tracker "lat.empty" in
+  Alcotest.(check int) "fresh count" 0 (L.count t);
+  Alcotest.(check bool) "fresh quantile is None" true (L.quantile t 0.5 = None);
+  let check_rendering tag =
+    let text = Obs.render Obs.Text in
+    Alcotest.(check bool) (tag ^ ": text line present") true (contains text "lat.empty");
+    Alcotest.(check bool) (tag ^ ": text has no quantiles") false (contains text "p50=");
+    let json = Obs.render Obs.Json in
+    let l = List.find (fun l -> contains l "\"lat.empty\"") (lines json) in
+    Alcotest.(check bool) (tag ^ ": json line valid") true (json_valid l);
+    Alcotest.(check bool) (tag ^ ": json quantiles empty object") true
+      (contains l "\"quantiles\":{}");
+    let prom = Obs.render Obs.Prom in
+    Alcotest.(check bool) (tag ^ ": prom type line") true
+      (contains prom "# TYPE lat_empty summary");
+    Alcotest.(check bool) (tag ^ ": prom count present") true (contains prom "lat_empty_count");
+    Alcotest.(check bool) (tag ^ ": prom sum present") true (contains prom "lat_empty_sum");
+    Alcotest.(check bool) (tag ^ ": prom has no quantile sample") false
+      (contains prom "lat_empty{quantile")
+  in
+  check_rendering "fresh";
+  (* samples that aged out of the batch window: all-time count/sum stay,
+     windowed quantiles go absent again — same rendering as fresh *)
+  L.set_window 1;
+  L.record t 0.5;
+  (match L.quantile t 0.5 with
+  | Some v -> Alcotest.(check (float 1e-9)) "in-window quantile" 0.5 v
+  | None -> Alcotest.fail "in-window quantile present");
+  L.advance ();
+  L.advance ();
+  Alcotest.(check int) "all-time count survives the window" 1 (L.count t);
+  Alcotest.(check bool) "aged-out quantile is None" true (L.quantile t 0.5 = None);
+  check_rendering "aged-out";
+  L.set_window 0;
+  (* the strict contract the None guard wraps *)
+  Alcotest.check_raises "empty merged summary raises underneath"
+    (Invalid_argument "Gk.merged_quantile: empty summaries") (fun () ->
+      ignore (Sh_gk.Gk.merged_quantile [] 0.5))
+
 let test_latency_time_and_reset () =
   Obs.set_latency_enabled true;
   let now = ref 10.0 in
@@ -726,5 +774,6 @@ let () =
           Alcotest.test_case "batch window" `Quick (clean test_latency_window);
           Alcotest.test_case "time and reset" `Quick (clean test_latency_time_and_reset);
           Alcotest.test_case "sinks" `Quick (clean test_latency_sinks);
+          Alcotest.test_case "zero-sample sinks" `Quick (clean test_latency_zero_sample_sinks);
         ] );
     ]

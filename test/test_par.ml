@@ -250,6 +250,11 @@ let engine_matches_sequential ~mode ~domains ~shards ~window ~buckets ~epsilon ~
               FW.push_many refs.(k) sub)
             refs)
         batches;
+      (* Quiesce the read plane before comparing: [Pinned] queries answer
+         from the published snapshot, and under [Lazy] / mid-cadence
+         [Every k] nothing is published until a refresh completes —
+         [refresh_all] is the documented publication point. *)
+      SE.refresh_all eng;
       let ok = ref true in
       Array.iteri
         (fun k fw ->
@@ -390,6 +395,9 @@ let test_engine_refresh_all_and_counters () =
           SE.ingest eng batch;
           Alcotest.(check int) "points counted" 60 (SE.total_points eng);
           Alcotest.(check int) "one batch" 1 (SE.batches eng);
+          (* publish the snapshots: [Pinned] lengths read the view, which
+             under the default [Lazy] policy is only published at refresh *)
+          SE.refresh_all eng;
           Array.iter
             (fun k ->
               Alcotest.(check int) (Printf.sprintf "shard %d length" k) 16 (SE.length eng ~key:k))
@@ -434,17 +442,31 @@ let test_pinned_zero_lock_ops () =
             done;
             SE.refresh_all eng;
             for k = 0 to 3 do
-              ignore (SE.current_error eng ~key:k)
+              ignore (SE.current_error eng ~key:k);
+              ignore (SE.herror eng ~key:k ~k:2 ~x:16)
             done;
-            SE.lock_ops eng - before
+            ignore
+              (SE.query_many eng
+                 (Array.init 8 (fun i ->
+                      (i mod 4, if i < 4 then SE.Current_error else SE.Herror { k = 2; x = 9 }))));
+            (SE.lock_ops eng - before, SE.query_lock_ops eng)
           in
+          let pinned_lock, pinned_qlock = drive SE.Pinned in
           Alcotest.(check int)
             (Printf.sprintf "Pinned: zero lock ops in steady state, %d domains" domains)
-            0 (drive SE.Pinned);
+            0 pinned_lock;
+          (* the wait-freedom witness: snapshot-backed queries never touch
+             a mutex, over the engine's whole lifetime *)
+          Alcotest.(check int)
+            (Printf.sprintf "Pinned: zero query lock ops, %d domains" domains)
+            0 pinned_qlock;
+          let locked_lock, locked_qlock = drive SE.Locked in
           Alcotest.(check bool)
             (Printf.sprintf "Locked: lock ops grow, %d domains" domains)
-            true
-            (drive SE.Locked > 0)))
+            true (locked_lock > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "Locked: query lock ops grow, %d domains" domains)
+            true (locked_qlock > 0)))
     domain_counts
 
 (* Saturate deliberately tiny rings: every point must still land (spilled
@@ -480,6 +502,9 @@ let test_backpressure_no_point_dropped () =
             true
             (SE.backpressure_waits eng > 0);
           Alcotest.(check int) "every point counted" 100 (SE.total_points eng);
+          (* quiesce: publish the post-spill state so snapshot-backed
+             queries see it (default policy is Lazy) *)
+          SE.refresh_all eng;
           Array.iteri
             (fun k fw ->
               Alcotest.(check int)
@@ -521,6 +546,182 @@ let test_work_stealing_sweep_exactly_once () =
           done;
           Alcotest.(check bool) "steal counter is sane" true (SE.refresh_steals eng >= 0)))
     domain_counts
+
+(* ------------------------------------------------ wait-free read plane *)
+
+(* The read plane's central claim: a published snapshot answers
+   current_error / current_histogram / herror bit-identically (plain
+   float / structural equality, no tolerance) to the quiesced live
+   summary it was captured from — across both modes, every domain count,
+   and all refresh policies. *)
+let prop_snapshot_equals_quiesced_live =
+  Helpers.qcheck_case ~count:15
+    ~name:"published view == quiesced live shard (bit-identical)"
+    QCheck2.Gen.(
+      let* shards = int_range 1 5 in
+      let* window = int_range 4 40 in
+      let* buckets = int_range 2 5 in
+      let* policy = oneofl policies in
+      let* nbatches = int_range 1 4 in
+      let* batches =
+        list_size (return nbatches)
+          (list_size (int_range 0 40) (pair (int_range 0 (shards - 1)) (int_range 0 200)))
+      in
+      return (shards, window, buckets, policy, batches))
+    (fun (shards, window, buckets, policy, batches) ->
+      let batches =
+        List.map
+          (fun b -> Array.of_list (List.map (fun (k, v) -> (k, Float.of_int v)) b))
+          batches
+      in
+      List.for_all
+        (fun domains ->
+          List.for_all
+            (fun mode ->
+              Pool.with_pool ~domains (fun pool ->
+                  let eng = SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon:0.15 in
+                  SE.set_refresh_policy eng policy;
+                  List.iter (SE.ingest eng) batches;
+                  SE.refresh_all eng;
+                  let ok = ref true in
+                  let check b = if not b then ok := false in
+                  for key = 0 to shards - 1 do
+                    let v = SE.view eng ~key in
+                    (* quiesced: published == live, generation and watermark *)
+                    check (SE.generation_lag eng ~key = 0);
+                    check (SE.publication_lag eng ~key = 0);
+                    let n = SE.with_key eng ~key ~f:FW.length in
+                    check (FW.View.length v = n);
+                    check (FW.View.buckets v = buckets);
+                    let live_err = SE.with_key eng ~key ~f:FW.current_error in
+                    check (Float.equal (FW.View.current_error v) live_err);
+                    check (Float.equal (SE.current_error eng ~key) live_err);
+                    if n > 0 then begin
+                      let sv = H.to_series (FW.View.current_histogram v) in
+                      check (sv = H.to_series (SE.with_key eng ~key ~f:FW.current_histogram));
+                      check (sv = H.to_series (SE.current_histogram eng ~key));
+                      List.iter
+                        (fun k ->
+                          List.iter
+                            (fun x ->
+                              let live =
+                                SE.with_key eng ~key ~f:(fun fw -> FW.herror fw ~k ~x)
+                              in
+                              check (Float.equal (FW.View.herror v ~k ~x) live);
+                              check (Float.equal (SE.herror eng ~key ~k ~x) live))
+                            [ 0; 1; (n + 1) / 2; n ])
+                        [ 1; buckets ]
+                    end
+                  done;
+                  !ok))
+            modes)
+        domain_counts)
+
+(* Freshness: once any engine call has returned, the published generation
+   never lags the live one — every refresh path (drain-triggered Eager /
+   Every-k rebuilds, sweeps, lock-holder refreshes, query-triggered lazy
+   refreshes in Locked) republishes before handing the shard back.  The
+   staleness contract of the .mli, as a property. *)
+let prop_view_never_stale =
+  Helpers.qcheck_case ~count:15
+    ~name:"published generation never lags a completed engine call"
+    QCheck2.Gen.(
+      let* shards = int_range 1 4 in
+      let* window = int_range 4 24 in
+      let* policy = oneofl policies in
+      let* batches =
+        list_size (int_range 1 5)
+          (list_size (int_range 0 30) (pair (int_range 0 (shards - 1)) (int_range 0 99)))
+      in
+      return (shards, window, policy, batches))
+    (fun (shards, window, policy, batches) ->
+      let batches =
+        List.map
+          (fun b -> Array.of_list (List.map (fun (k, v) -> (k, Float.of_int v)) b))
+          batches
+      in
+      List.for_all
+        (fun domains ->
+          List.for_all
+            (fun mode ->
+              Pool.with_pool ~domains (fun pool ->
+                  let eng = SE.create ~mode ~pool ~shards ~window ~buckets:3 ~epsilon:0.2 in
+                  SE.set_refresh_policy eng policy;
+                  let fresh () =
+                    let ok = ref true in
+                    for key = 0 to shards - 1 do
+                      if SE.generation_lag eng ~key <> 0 then ok := false
+                    done;
+                    !ok
+                  in
+                  let ok = ref (fresh ()) in
+                  List.iter
+                    (fun b ->
+                      SE.ingest eng b;
+                      if not (fresh ()) then ok := false)
+                    batches;
+                  for key = 0 to shards - 1 do
+                    ignore (SE.current_error eng ~key);
+                    ignore (SE.length eng ~key)
+                  done;
+                  if not (fresh ()) then ok := false;
+                  SE.refresh_all eng;
+                  if not (fresh ()) then ok := false;
+                  (* after a full sweep the snapshot also carries every point *)
+                  for key = 0 to shards - 1 do
+                    if SE.publication_lag eng ~key <> 0 then ok := false
+                  done;
+                  !ok))
+            modes)
+        domain_counts)
+
+(* Serving-layer clamping of [query_many], against the strict single-query
+   entry points; also pins down the query counters. *)
+let test_query_many_clamping () =
+  List.iter
+    (fun mode ->
+      Pool.with_pool ~domains:2 (fun pool ->
+          let eng = SE.create ~mode ~pool ~shards:2 ~window:8 ~buckets:2 ~epsilon:0.3 in
+          SE.ingest eng (Array.init 16 (fun i -> (i mod 2, Float.of_int (i + 1))));
+          SE.refresh_all eng;
+          Alcotest.(check int) "window filled" 8 (SE.length eng ~key:0);
+          let qs =
+            [|
+              (0, SE.Window_length);
+              (0, SE.Current_error);
+              (0, SE.Herror { k = 99; x = 999 });      (* clamps to (buckets, n) *)
+              (0, SE.Herror { k = 0; x = -5 });        (* clamps to (1, 0) -> 0 *)
+              (0, SE.Range_sum { lo = -3; hi = 999 }); (* intersected with [1, n] *)
+              (0, SE.Range_sum { lo = 6; hi = 2 });    (* empty -> 0 *)
+              (0, SE.Point_estimate { index = 0 });    (* out of range -> 0 *)
+              (0, SE.Point_estimate { index = 1 });
+              (1, SE.Window_length);
+            |]
+          in
+          let out = SE.query_many eng qs in
+          let h = SE.current_histogram eng ~key:0 in
+          Alcotest.(check (float 0.0)) "window length" 8.0 out.(0);
+          Alcotest.(check (float 0.0)) "current error == single-query entry"
+            (SE.current_error eng ~key:0) out.(1);
+          Alcotest.(check (float 0.0)) "clamped herror == strict herror at the bounds"
+            (SE.herror eng ~key:0 ~k:2 ~x:8) out.(2);
+          Alcotest.(check (float 0.0)) "herror clamped to x=0 is 0" 0.0 out.(3);
+          Alcotest.(check (float 1e-9)) "full-range sum estimate"
+            (H.range_sum_estimate h ~lo:1 ~hi:8) out.(4);
+          Alcotest.(check (float 0.0)) "inverted range" 0.0 out.(5);
+          Alcotest.(check (float 0.0)) "point out of range" 0.0 out.(6);
+          Alcotest.(check (float 1e-9)) "point estimate" (H.point_estimate h 1) out.(7);
+          Alcotest.(check (float 0.0)) "second shard length" 8.0 out.(8);
+          (* a batched call counts each element once; the three single-query
+             entries used above (histogram, error, herror) add three more *)
+          Alcotest.(check int) "query counter" (9 + 3) (SE.queries eng);
+          (match mode with
+          | SE.Pinned ->
+            Alcotest.(check int) "Pinned: no query lock ops" 0 (SE.query_lock_ops eng)
+          | SE.Locked ->
+            Alcotest.(check bool) "Locked: query lock ops counted" true
+              (SE.query_lock_ops eng > 0))))
+    modes
 
 (* ------------------------------------------- telemetry under parallelism *)
 
@@ -623,6 +824,12 @@ let () =
             test_backpressure_no_point_dropped;
           Alcotest.test_case "work-stealing sweep exactly once" `Quick
             test_work_stealing_sweep_exactly_once;
+        ] );
+      ( "read_plane",
+        [
+          prop_snapshot_equals_quiesced_live;
+          prop_view_never_stale;
+          Alcotest.test_case "query_many clamping + counters" `Quick test_query_many_clamping;
         ] );
       ( "obs_domain_safety",
         [

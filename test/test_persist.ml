@@ -321,6 +321,13 @@ let test_save_load_file () =
 let mk_batch ~shards ~n salt =
   Array.init n (fun i -> ((i * 7 + salt) mod shards, Float.of_int (((i + salt) * 13) mod 97)))
 
+(* Callers must quiesce both engines ([SE.refresh_all]) before comparing:
+   [Pinned] answers come from the snapshot published at the last refresh
+   completion, so an engine with trailing unrefreshed pushes would compare
+   stale view answers against the other side's self-refreshing live
+   answers.  Quiescing cannot happen here because it resets the persisted
+   arrival-cadence counter and would break byte-identity checks that
+   callers interleave with comparisons. *)
 let engines_equal a b =
   SE.shard_count a = SE.shard_count b
   && SE.total_points a = SE.total_points b
@@ -355,6 +362,8 @@ let test_engine_checkpoint_restore () =
           for b = 0 to 5 do
             SE.ingest eng (mk_batch ~shards ~n:40 b)
           done;
+          (* quiesce so both sides' read planes agree (see [engines_equal]) *)
+          SE.refresh_all eng;
           SE.checkpoint eng ~file;
           let restored = SE.restore_from ~mode ~pool ~file in
           Alcotest.(check bool)
@@ -390,6 +399,8 @@ let test_engine_cross_mode_restore () =
   for b = 0 to 3 do
     SE.ingest eng (mk_batch ~shards ~n:30 b)
   done;
+  (* quiesce so both sides' read planes agree (see [engines_equal]) *)
+  SE.refresh_all eng;
   SE.checkpoint eng ~file;
   let as_locked = SE.restore_from ~mode:SE.Locked ~pool ~file in
   Alcotest.(check bool) "pinned checkpoint restores as locked" true
@@ -403,6 +414,8 @@ let test_engine_cross_mode_restore () =
   let more = mk_batch ~shards ~n:50 7 in
   SE.ingest as_locked more;
   SE.ingest back more;
+  SE.refresh_all as_locked;
+  SE.refresh_all back;
   Alcotest.(check bool) "cross-mode continuations agree" true
     (engines_equal as_locked back)
 
@@ -457,6 +470,7 @@ let test_fault_crash_matrix () =
       Alcotest.(check int) "restored shard count" shards (SE.shard_count r))
     crash_points;
   (* after all that, an unfaulted checkpoint still works *)
+  SE.refresh_all eng;
   SE.checkpoint eng ~file;
   Alcotest.(check bool) "clean checkpoint after faults" true
     (engines_equal eng (SE.restore_from ~mode:SE.Pinned ~pool ~file))
@@ -505,6 +519,7 @@ let test_fault_mangling_matrix () =
       end)
     flips;
   (* recovery: the next clean checkpoint heals the damaged file *)
+  SE.refresh_all eng;
   SE.checkpoint eng ~file;
   Alcotest.(check bool) "healed by clean checkpoint" true
     (engines_equal eng (SE.restore_from ~mode:SE.Pinned ~pool ~file))
