@@ -37,6 +37,7 @@ let experiments : (string * (Bench_config.scale -> unit)) list =
     ("micro-par", Micro.run_par);
     ("micro-read", Micro.run_read);
     ("micro-persist", Micro.run_persist);
+    ("micro-net", Micro.run_net);
   ]
 
 let usage () =

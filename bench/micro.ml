@@ -887,3 +887,194 @@ let run_persist scale =
                ("restore_ns", Report.Jfloat r);
              ] );
        ])
+
+(* ------------------------------------------ loopback wire vs in-process
+
+   The networked ingest plane's headline number: a serve loop on a
+   Unix-domain socket, driven by pipelined loadgen-style clients, against
+   the same engine fed directly through Shard_engine.ingest_groups with
+   identical batches.  The sweep is connections x batch size; the ratio
+   at large batches is the cost of the wire (framing + CRC + syscalls +
+   the select loop), which per-connection batching is meant to amortise.
+   On a single-core container the server domain and the client timeshare
+   one CPU, so the ratio there is a floor on what real hardware gives. *)
+
+module Net_addr = Sh_net.Addr
+module Net_server = Sh_net.Server
+module Net_client = Sh_net.Client
+module Wire = Sh_net.Wire
+module Gk = Sh_quantile.Gk
+
+(* Pre-grouped rounds: every (connection, round) gets its own groups
+   array, round-robin keys, values from per-shard split_ix sources —
+   identical data for the wire path and the in-process baseline. *)
+let net_round_groups ~shards ~conns ~batch ~rounds ~seed =
+  let root = Rng.create ~seed in
+  let sources =
+    Array.init shards (fun k -> Wk.network (Rng.split_ix root k) Wk.default_network)
+  in
+  Array.init rounds (fun _ ->
+      Array.init conns (fun _ ->
+          let per = max 1 (batch / shards) in
+          let nkeys = min shards (max 1 (batch / per)) in
+          let groups =
+            Array.init nkeys (fun k ->
+                let len = if k = nkeys - 1 then batch - (per * (nkeys - 1)) else per in
+                (k, Array.init len (fun _ -> sources.(k) ())))
+          in
+          groups))
+
+let run_net scale =
+  Report.section "BENCH-MICRO-NET: loopback wire ingest vs in-process ingest_groups";
+  let shards, window, buckets, epsilon, points, conn_counts, batch_sizes =
+    match scale with
+    | Bench_config.Small -> (16, 256, 8, 0.5, 8_192, [ 1; 2 ], [ 64; 512 ])
+    | Bench_config.Default | Bench_config.Full ->
+      (16, 512, 16, 0.1, 40_960, [ 1; 2; 4 ], [ 64; 512; 2048 ])
+  in
+  let host_cores = Domain.recommended_domain_count () in
+  let policy = Stream_histogram.Params.Every 256 in
+  let fresh_engine pool =
+    let eng = SE.create ~mode:SE.Pinned ~pool ~shards ~window ~buckets ~epsilon in
+    SE.set_refresh_policy eng policy;
+    eng
+  in
+  (* one loopback measurement: points/s, bytes/point, rtt quantiles (us) *)
+  let measure_wire ~conns ~batch =
+    let rounds = max 1 (points / (conns * batch)) in
+    let data = net_round_groups ~shards ~conns ~batch ~rounds ~seed:51 in
+    let sock = Filename.temp_file "shist-bench-net" ".sock" in
+    Unix.unlink sock;
+    let addr = Net_addr.Unix_sock sock in
+    let listener = Net_server.listen addr in
+    let srv =
+      Domain.spawn (fun () ->
+          Pool.with_pool ~domains:1 (fun pool ->
+              let eng = fresh_engine pool in
+              Net_server.run ~engine:eng ~listeners:[ listener ] ()))
+    in
+    let cs = Array.init conns (fun _ -> Net_client.connect ~timeout:60. ~retries:50 addr) in
+    let rtt = Gk.create ~epsilon:0.001 in
+    let t_send = Array.make conns 0.0 in
+    let acked = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun per_conn ->
+        Array.iteri
+          (fun i groups ->
+            t_send.(i) <- Unix.gettimeofday ();
+            Net_client.send cs.(i) (Wire.Ingest groups))
+          per_conn;
+        Array.iteri
+          (fun i _ ->
+            (match Net_client.recv cs.(i) with
+            | Wire.Ack n -> acked := !acked + n
+            | _ -> failwith "micro-net: unexpected response");
+            Gk.insert rtt (Unix.gettimeofday () -. t_send.(i)))
+          per_conn)
+      data;
+    let dt = Unix.gettimeofday () -. t0 in
+    let bytes =
+      Array.fold_left
+        (fun a c -> a + Net_client.bytes_in c + Net_client.bytes_out c)
+        0 cs
+    in
+    Net_client.shutdown cs.(0);
+    Array.iter Net_client.close cs;
+    let rep = Domain.join srv in
+    Unix.close listener;
+    (try Unix.unlink sock with Unix.Unix_error _ | Sys_error _ -> ());
+    assert (rep.Net_server.points = !acked);
+    let pps = Float.of_int !acked /. dt in
+    let bpp = Float.of_int bytes /. Float.of_int (max 1 !acked) in
+    let q phi = 1e6 *. Gk.quantile rtt phi in
+    (pps, bpp, q 0.5, q 0.99, q 0.999, rep.Net_server.ingest_rounds)
+  in
+  (* the baseline: same group batches straight into the engine *)
+  let measure_in_process ~batch =
+    let rounds = max 1 (points / batch) in
+    let data = net_round_groups ~shards ~conns:1 ~batch ~rounds ~seed:51 in
+    Pool.with_pool ~domains:1 (fun pool ->
+        let eng = fresh_engine pool in
+        let t0 = Unix.gettimeofday () in
+        Array.iter (fun per_conn -> SE.ingest_groups eng per_conn.(0)) data;
+        let dt = Unix.gettimeofday () -. t0 in
+        Float.of_int (SE.total_points eng) /. dt)
+  in
+  let baselines = List.map (fun b -> (b, measure_in_process ~batch:b)) batch_sizes in
+  let sweep =
+    List.concat_map
+      (fun conns ->
+        List.map
+          (fun batch ->
+            let pps, bpp, p50, p99, p999, rounds = measure_wire ~conns ~batch in
+            (conns, batch, pps, bpp, p50, p99, p999, rounds))
+          batch_sizes)
+      conn_counts
+  in
+  let baseline_for b = List.assoc b baselines in
+  Report.note "S=%d shards, window n=%d, B=%d, eps=%g, %s refresh; %d points per sweep \
+               point over a Unix-domain socket" shards window buckets epsilon
+    (Stream_histogram.Params.policy_to_string policy) points;
+  Report.note "host cores (recommended domain count): %d%s" host_cores
+    (if host_cores < 2 then
+       " — server domain and clients timeshare one CPU; the loopback/in-process ratio is \
+        a floor"
+     else "");
+  Report.table
+    ~headers:[ "conns"; "batch"; "wire pts/s"; "vs in-proc"; "bytes/pt"; "rtt p50 us";
+               "rtt p99 us"; "rounds" ]
+    (List.map
+       (fun (c, b, pps, bpp, p50, p99, _p999, rounds) ->
+         [ string_of_int c; string_of_int b; Printf.sprintf "%.0f" pps;
+           Printf.sprintf "%.2fx" (pps /. baseline_for b); Printf.sprintf "%.2f" bpp;
+           Printf.sprintf "%.0f" p50; Printf.sprintf "%.0f" p99; string_of_int rounds ])
+       sweep);
+  List.iter
+    (fun (b, pps) -> Report.note "in-process ingest_groups batch=%d: %.0f points/s" b pps)
+    baselines;
+  (* the committed headline: best ratio across the sweep at batch >= 512 *)
+  let headline =
+    List.fold_left
+      (fun best (_, b, pps, _, _, _, _, _) ->
+        if b >= 512 then Float.max best (pps /. baseline_for b) else best)
+      0.0 sweep
+  in
+  Report.note "headline: loopback/in-process ratio %.2fx at batch >= 512 (target >= 0.5x)"
+    headline;
+  Report.json_add "net"
+    (Report.Jobj
+       [
+         ("shards", Report.Jint shards);
+         ("window", Report.Jint window);
+         ("buckets", Report.Jint buckets);
+         ("epsilon", Report.Jfloat epsilon);
+         ("points", Report.Jint points);
+         ("host_cores", Report.Jint host_cores);
+         ("transport", Report.Jstring "unix-domain socket");
+         ( "in_process",
+           Report.Jlist
+             (List.map
+                (fun (b, pps) ->
+                  Report.Jobj
+                    [ ("batch", Report.Jint b); ("points_per_sec", Report.Jfloat pps) ])
+                baselines) );
+         ( "sweep",
+           Report.Jlist
+             (List.map
+                (fun (c, b, pps, bpp, p50, p99, p999, rounds) ->
+                  Report.Jobj
+                    [
+                      ("connections", Report.Jint c);
+                      ("batch", Report.Jint b);
+                      ("points_per_sec", Report.Jfloat pps);
+                      ("ratio_vs_in_process", Report.Jfloat (pps /. baseline_for b));
+                      ("bytes_per_point", Report.Jfloat bpp);
+                      ("rtt_p50_us", Report.Jfloat p50);
+                      ("rtt_p99_us", Report.Jfloat p99);
+                      ("rtt_p999_us", Report.Jfloat p999);
+                      ("server_ingest_rounds", Report.Jint rounds);
+                    ])
+                sweep) );
+         ("headline_ratio_batch_ge_512", Report.Jfloat headline);
+       ])

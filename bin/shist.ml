@@ -8,7 +8,9 @@
      quantiles    one-pass GK quantile summary of a data file
      selectivity  value-histogram selectivity estimates
      heavy        Misra-Gries heavy hitters
-     serve        multi-stream sharded ingest across a domain pool *)
+     serve        multi-stream sharded ingest across a domain pool
+                  (--listen serves the engine over the wire protocol)
+     loadgen      drive a serve --listen endpoint over the wire *)
 
 open Cmdliner
 
@@ -29,6 +31,11 @@ module O = Sh_obs.Obs
 module Lat = Sh_obs.Latency
 module Pool = Sh_par.Domain_pool
 module SE = Sh_par.Shard_engine
+module Addr = Sh_net.Addr
+module Net_server = Sh_net.Server
+module Net_client = Sh_net.Client
+module Wire = Sh_net.Wire
+module Gk = Sh_quantile.Gk
 
 (* ------------------------------------------------------- common args *)
 
@@ -454,9 +461,43 @@ let serve_cmd =
              the default) or $(b,locked) (per-shard mutexes, kept one release for comparison). \
              Answers are identical; only wall-clock differs.")
   in
+  let addr_conv =
+    let parse s =
+      match Addr.of_string s with Ok a -> Ok a | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Addr.to_string a))
+  in
+  let listen =
+    Arg.(
+      value
+      & opt_all addr_conv []
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve the engine over the wire protocol instead of generating a local stream: \
+             accept connections on $(docv) ($(b,unix:PATH), $(b,tcp:HOST:PORT), \
+             $(b,HOST:PORT) or $(b,:PORT); repeatable).  Clients drive ingest and queries \
+             ($(b,shist loadgen)); the generation flags ($(b,-n), $(b,--batch), $(b,--dist), \
+             $(b,--query-mix), $(b,--record)) are ignored.  The run ends when a client sends \
+             shutdown or $(b,--max-points) points have arrived.")
+  in
+  let max_points =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-points" ] ~docv:"N"
+          ~doc:"With $(b,--listen): stop serving after $(docv) points have been ingested.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "With $(b,--listen): close a connection that sits on a partial frame (or never \
+             completes its preamble) for $(docv) seconds — the slow-loris guard.")
+  in
   let run shards domains count batch window buckets epsilon policy dist skew seed metrics
       trace_out checkpoint_file checkpoint_every restore_file record_file record_every
-      latency_window query_mix mode =
+      latency_window query_mix mode listen max_points idle_timeout =
     with_obs metrics trace_out @@ fun () ->
     if batch < 1 then invalid_arg "serve: --batch must be >= 1";
     if record_every < 1 then invalid_arg "serve: --record-every must be >= 1";
@@ -492,6 +533,79 @@ let serve_cmd =
     in
     SE.set_refresh_policy eng policy;
     let shards = SE.shard_count eng in
+    if listen <> [] then begin
+      (* ---- network mode: clients drive ingest and queries ------------- *)
+      let listeners =
+        List.map
+          (fun a ->
+            let fd = Net_server.listen a in
+            Printf.printf "listening on %s\n%!" (Addr.to_string a);
+            fd)
+          listen
+      in
+      let config =
+        {
+          Net_server.default_config with
+          idle_timeout;
+          checkpoint = checkpoint_file;
+          checkpoint_every;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let rep = Net_server.run ~config ?max_points ~engine:eng ~listeners () in
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        listeners;
+      List.iter
+        (function
+          | Addr.Unix_sock p -> ( try Unix.unlink p with Sys_error _ | Unix.Unix_error _ -> ())
+          | Addr.Tcp _ -> ())
+        listen;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "net: %d connection(s), %d frame(s) in, %d out, %d protocol error(s), %d idle \
+         close(s)\n"
+        rep.Net_server.connections rep.Net_server.frames_in rep.Net_server.frames_out
+        rep.Net_server.protocol_errors rep.Net_server.idle_closes;
+      Printf.printf
+        "net: %d bytes in, %d bytes out, %d ingest round(s), %d backpressure stall(s)\n"
+        rep.Net_server.bytes_in rep.Net_server.bytes_out rep.Net_server.ingest_rounds
+        rep.Net_server.backpressure_stalls;
+      (match checkpoint_file with
+       | Some file when rep.Net_server.checkpoints_written > 0 ->
+         Printf.printf "checkpoint: wrote %s (%d write(s))\n" file
+           rep.Net_server.checkpoints_written
+       | _ -> ());
+      Printf.printf "serve: %d points, %d batches over %d shards, %d domains (%s, %s mode)\n"
+        (SE.total_points eng) (SE.batches eng) shards domains
+        (Stream_histogram.Params.policy_to_string policy)
+        (SE.mode_to_string (SE.mode eng));
+      if SE.mode eng = SE.Pinned then
+        Printf.printf "pinned: %d backpressure spill(s), %d refresh steal(s), %d lock op(s)\n"
+          (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
+      Printf.printf "queries: %d served, %.0f queries/s, query_lock_ops=%d\n"
+        rep.Net_server.queries_served
+        (Float.of_int rep.Net_server.queries_served /. Float.max elapsed 1e-9)
+        (SE.query_lock_ops eng);
+      Printf.printf "elapsed %.3fs  throughput %.0f points/s\n" elapsed
+        (Float.of_int rep.Net_server.points /. Float.max elapsed 1e-9);
+      match List.filter (fun t -> Lat.count t > 0) (Lat.snapshot ()) with
+      | [] -> ()
+      | lats ->
+        Printf.printf "latency quantiles (ms):\n";
+        List.iter
+          (fun t ->
+            Printf.printf "  %-22s count=%-8d" (Lat.name t) (Lat.count t);
+            List.iter
+              (fun phi ->
+                match Lat.quantile t phi with
+                | Some v -> Printf.printf " %s=%.4g" (Sh_obs.Sink.phi_label phi) (1e3 *. v)
+                | None -> ())
+              Lat.percentiles;
+            print_newline ())
+          lats
+    end
+    else begin
     let root = Rng.create ~seed in
     (* Every shard owns a deterministic value stream derived from the root
        seed and its key alone (split_ix), so a run is reproducible for any
@@ -713,7 +827,12 @@ let serve_cmd =
       Printf.printf "pinned: %d backpressure spill(s), %d refresh steal(s), %d lock op(s)\n"
         (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
     (match query_report with
-    | None -> ()
+    | None ->
+      (* No query traffic was requested: say so explicitly (with the
+         lock-op witness, which must be 0 in pinned mode even for the
+         ingest-only run) instead of omitting the line. *)
+      Printf.printf "queries: 0 served, 0 queries/s, query_lock_ops=%d\n"
+        (SE.query_lock_ops eng)
     | Some ((served, lag), q_elapsed) ->
       Printf.printf "queries: %d served, %.0f queries/s, query_lock_ops=%d\n" served
         (Float.of_int served /. Float.max q_elapsed 1e-9)
@@ -746,6 +865,7 @@ let serve_cmd =
           (r + c.FW.refreshes, iv + c.FW.intervals_built))
     in
     Printf.printf "total: %d refreshes, %d intervals built\n" tot_refreshes tot_intervals
+    end
   in
   Cmd.v
     (Cmd.info "serve"
@@ -753,7 +873,298 @@ let serve_cmd =
     Term.(
       const run $ shards $ domains $ count $ batch $ window $ buckets_arg $ epsilon_arg $ policy
       $ dist $ skew $ seed_arg $ metrics_arg $ trace_out_arg $ checkpoint_file $ checkpoint_every
-      $ restore_file $ record_file $ record_every $ latency_window $ query_mix $ mode)
+      $ restore_file $ record_file $ record_every $ latency_window $ query_mix $ mode
+      $ listen $ max_points $ idle_timeout)
+
+(* ---------------------------------------------------------- loadgen *)
+
+let loadgen_cmd =
+  let connect =
+    let addr_conv =
+      let parse s =
+        match Addr.of_string s with Ok a -> Ok a | Error msg -> Error (`Msg msg)
+      in
+      Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Addr.to_string a))
+    in
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server address: $(b,unix:PATH), $(b,tcp:HOST:PORT), $(b,HOST:PORT) or $(b,:PORT).")
+  in
+  let connections =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "connections" ] ~docv:"C" ~doc:"Concurrent connections (>= 1).")
+  in
+  let batch =
+    Arg.(value & opt int 512 & info [ "batch" ] ~docv:"B" ~doc:"Points per ingest request.")
+  in
+  let count =
+    Arg.(
+      value & opt int 100_000
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Total points to ingest across all connections.")
+  in
+  let dist =
+    Arg.(
+      value
+      & opt (enum [ ("uniform", `Uniform); ("zipf", `Zipf); ("roundrobin", `RoundRobin) ]) `Uniform
+      & info [ "dist" ] ~docv:"DIST" ~doc:"Key distribution: uniform | zipf | roundrobin.")
+  in
+  let skew =
+    Arg.(value & opt float 1.1 & info [ "skew" ] ~docv:"A" ~doc:"Zipf skew (with --dist zipf).")
+  in
+  let query_mix =
+    Arg.(
+      value & opt float 0.0
+      & info [ "query-mix" ] ~docv:"R"
+          ~doc:"Interleave estimation queries, pacing towards $(docv) queries per ingested point.")
+  in
+  let do_shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown request to the server when the run completes.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECS" ~doc:"Socket timeout for every wait on the server.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Reconnect budget: on a connection failure, retry up to $(docv) times (0.2s apart) \
+             and resend the unacknowledged request — rides out a server restart without \
+             dropping acknowledged points.")
+  in
+  let run addr connections batch count dist skew seed query_mix do_shutdown timeout retries =
+    if connections < 1 then invalid_arg "loadgen: --connections must be >= 1";
+    if batch < 1 then invalid_arg "loadgen: --batch must be >= 1";
+    if count < 0 then invalid_arg "loadgen: --count must be >= 0";
+    if query_mix < 0.0 || not (Float.is_finite query_mix) then
+      invalid_arg "loadgen: --query-mix must be a finite ratio >= 0";
+    let connect_one () =
+      Net_client.connect ~timeout ~retries ~retry_delay:0.2 addr
+    in
+    let conns = Array.init connections (fun _ -> connect_one ()) in
+    (* Wire bytes of connections we replace after a failure still count. *)
+    let dead_bytes_in = ref 0 and dead_bytes_out = ref 0 in
+    let close_all () =
+      Array.iter (fun c -> try Net_client.close c with _ -> ()) conns
+    in
+    Fun.protect ~finally:close_all @@ fun () ->
+    (* Learn the engine geometry from the server rather than flags: the
+       keys and spot checks must fit whatever engine is actually serving. *)
+    let st = Net_client.stats conns.(0) in
+    let shards = st.Wire.shards in
+    let eng_window = st.Wire.window in
+    let root = Rng.create ~seed in
+    let sources =
+      Array.init shards (fun k -> Wk.network (Rng.split_ix root k) Wk.default_network)
+    in
+    let key_rng = Rng.split_ix root shards in
+    let rr = ref 0 in
+    let next_key =
+      match dist with
+      | `Uniform -> fun () -> Rng.int key_rng shards
+      | `Zipf -> fun () -> Rng.zipf key_rng ~n:shards ~skew - 1
+      | `RoundRobin ->
+        fun () ->
+          let k = !rr in
+          rr := (k + 1) mod shards;
+          k
+    in
+    (* Build one ingest request: [b] points grouped by key, each key's
+       values in arrival order (shards are independent, so per-key order
+       is the only order that matters). *)
+    let make_batch b =
+      let order = ref [] in
+      let per_key = Hashtbl.create 64 in
+      for _ = 1 to b do
+        let k = next_key () in
+        let bucket =
+          match Hashtbl.find_opt per_key k with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.add per_key k l;
+            order := k :: !order;
+            l
+        in
+        bucket := sources.(k) () :: !bucket
+      done;
+      let groups =
+        List.rev_map
+          (fun k ->
+            let l = Hashtbl.find per_key k in
+            let vs = Array.of_list (List.rev !l) in
+            (k, vs))
+          !order
+      in
+      Array.of_list groups
+    in
+    let rtt_ingest = Gk.create ~epsilon:0.001 in
+    let rtt_query = Gk.create ~epsilon:0.001 in
+    let reconnect i =
+      dead_bytes_in := !dead_bytes_in + Net_client.bytes_in conns.(i);
+      dead_bytes_out := !dead_bytes_out + Net_client.bytes_out conns.(i);
+      (try Net_client.close conns.(i) with _ -> ());
+      conns.(i) <- connect_one ()
+    in
+    (* Send, then collect, resending the whole request on a fresh
+       connection if this one died — at-least-once, so a server restart
+       never costs an acknowledged point. *)
+    let resend_sync i req =
+      let attempts = ref 0 in
+      let rec go () =
+        reconnect i;
+        match Net_client.call conns.(i) req with
+        | resp -> resp
+        | exception Net_client.Net_error _ when !attempts < retries ->
+          incr attempts;
+          go ()
+      in
+      go ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let sent = ref 0 in
+    let acked = ref 0 in
+    let q_sent = ref 0 in
+    let inflight = Array.make connections None in
+    let t_send = Array.make connections 0.0 in
+    let round = ref 0 in
+    while !sent < count do
+      (* phase 1: one pipelined ingest request per connection *)
+      let active = ref 0 in
+      for i = 0 to connections - 1 do
+        inflight.(i) <- None;
+        if !sent < count then begin
+          let b = min batch (count - !sent) in
+          sent := !sent + b;
+          let req = Wire.Ingest (make_batch b) in
+          inflight.(i) <- Some (req, b);
+          t_send.(i) <- Unix.gettimeofday ();
+          incr active;
+          try Net_client.send conns.(i) req
+          with Net_client.Net_error _ | Unix.Unix_error _ ->
+            (* collected (and resent) in phase 2 *)
+            ()
+        end
+      done;
+      (* phase 2: collect acks in send order *)
+      for i = 0 to connections - 1 do
+        match inflight.(i) with
+        | None -> ()
+        | Some (req, b) ->
+          let resp =
+            match Net_client.recv conns.(i) with
+            | resp -> resp
+            | exception (Net_client.Net_error _ | Unix.Unix_error _) when retries > 0 ->
+              resend_sync i req
+          in
+          (match resp with
+          | Wire.Ack n ->
+            if n <> b then
+              Printf.eprintf "loadgen: warning: acked %d of %d points\n%!" n b;
+            acked := !acked + n
+          | Wire.Error_reply msg -> failwith ("loadgen: server rejected ingest: " ^ msg)
+          | _ -> failwith "loadgen: unexpected response to ingest");
+          Gk.insert rtt_ingest (Unix.gettimeofday () -. t_send.(i))
+      done;
+      (* query traffic, paced against points acked so far *)
+      if query_mix > 0.0 then begin
+        let target = Float.to_int (query_mix *. Float.of_int !acked) in
+        while !q_sent < target do
+          let qb = min 64 (target - !q_sent) in
+          let qs =
+            Array.init qb (fun _ ->
+                let key = Rng.int key_rng shards in
+                match Rng.int key_rng 5 with
+                | 0 -> (key, SE.Current_error)
+                | 1 -> (key, SE.Window_length)
+                | 2 ->
+                  ( key,
+                    SE.Herror
+                      {
+                        k = 1 + Rng.int key_rng (max 1 st.Wire.buckets);
+                        x = Rng.int key_rng (eng_window + 1);
+                      } )
+                | 3 ->
+                  let lo = 1 + Rng.int key_rng eng_window in
+                  (key, SE.Range_sum { lo; hi = lo + Rng.int key_rng eng_window })
+                | _ -> (key, SE.Point_estimate { index = 1 + Rng.int key_rng eng_window }))
+          in
+          let i = !round mod connections in
+          let tq = Unix.gettimeofday () in
+          let answers =
+            match Net_client.query conns.(i) qs with
+            | a -> a
+            | exception (Net_client.Net_error _ | Unix.Unix_error _) when retries > 0 -> (
+              match resend_sync i (Wire.Query qs) with
+              | Wire.Answers a -> a
+              | _ -> failwith "loadgen: unexpected response to query")
+          in
+          Gk.insert rtt_query (Unix.gettimeofday () -. tq);
+          if Array.length answers <> qb then
+            failwith "loadgen: short answer vector";
+          q_sent := !q_sent + qb
+        done
+      end;
+      incr round
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (* Spot-check the served state end to end: window lengths must sit in
+       [0, window] for any engine that really ingested our stream. *)
+    let spot_keys = min shards 8 in
+    let spot =
+      Net_client.query conns.(0)
+        (Array.init spot_keys (fun k -> (k, SE.Window_length)))
+    in
+    let spot_ok =
+      Array.for_all (fun v -> v >= 0.0 && v <= Float.of_int eng_window) spot
+    in
+    let st1 = Net_client.stats conns.(0) in
+    if do_shutdown then (try Net_client.shutdown conns.(0) with _ -> ());
+    let bytes_out =
+      !dead_bytes_out + Array.fold_left (fun a c -> a + Net_client.bytes_out c) 0 conns
+    in
+    let bytes_in =
+      !dead_bytes_in + Array.fold_left (fun a c -> a + Net_client.bytes_in c) 0 conns
+    in
+    Printf.printf "loadgen: %d/%d points acked over %d connection(s), batch %d, %s keys\n"
+      !acked count connections batch
+      (match dist with `Uniform -> "uniform" | `Zipf -> "zipf" | `RoundRobin -> "roundrobin");
+    Printf.printf "elapsed %.3fs  throughput %.0f points/s\n" elapsed
+      (Float.of_int !acked /. Float.max elapsed 1e-9);
+    Printf.printf "wire: %d bytes out, %d bytes in, %.2f bytes/point on the wire\n" bytes_out
+      bytes_in
+      (Float.of_int (bytes_out + bytes_in) /. Float.max 1.0 (Float.of_int !acked));
+    let print_rtt name g =
+      if Gk.count g = 0 then Printf.printf "rtt %s: no samples\n" name
+      else
+        Printf.printf "rtt %s (ms): p50=%.3f p99=%.3f p999=%.3f over %d round trip(s)\n" name
+          (1e3 *. Gk.quantile g 0.5) (1e3 *. Gk.quantile g 0.99)
+          (1e3 *. Gk.quantile g 0.999) (Gk.count g)
+    in
+    print_rtt "ingest" rtt_ingest;
+    print_rtt "query" rtt_query;
+    if !q_sent > 0 then Printf.printf "queries: %d sent\n" !q_sent;
+    Printf.printf "spot queries: %s (%d key(s), window lengths within [0, %d])\n"
+      (if spot_ok then "ok" else "FAILED")
+      spot_keys eng_window;
+    Printf.printf "server: %d total points, mode %s, query_lock_ops=%d, backpressure_waits=%d\n"
+      st1.Wire.total_points st1.Wire.mode st1.Wire.query_lock_ops st1.Wire.backpressure_waits;
+    if not spot_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a shist serve --listen endpoint: concurrent connections, batched ingest, \
+             mixed queries, RTT quantiles")
+    Term.(
+      const run $ connect $ connections $ batch $ count $ dist $ skew $ seed_arg $ query_mix
+      $ do_shutdown $ timeout $ retries)
 
 (* -------------------------------------------------------- quantiles *)
 
@@ -774,4 +1185,4 @@ let quantiles_cmd =
 let () =
   let doc = "streaming histogram toolkit (Guha & Koudas, ICDE 2002 reproduction)" in
   let info = Cmd.info "shist" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; stream_cmd; query_cmd; quantiles_cmd; selectivity_cmd; heavy_cmd; serve_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; stream_cmd; query_cmd; quantiles_cmd; selectivity_cmd; heavy_cmd; serve_cmd; loadgen_cmd ]))

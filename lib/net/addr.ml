@@ -1,0 +1,51 @@
+type t = Tcp of string * int | Unix_sock of string
+
+let strip_prefix ~prefix s =
+  let pl = String.length prefix in
+  if String.length s >= pl && String.equal (String.sub s 0 pl) prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+let host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S: expected HOST:PORT" s)
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port_s with
+    | Some port when port > 0 && port < 65536 ->
+      Ok (Tcp ((if host = "" then "127.0.0.1" else host), port))
+    | _ -> Error (Printf.sprintf "bad port %S in address %S" port_s s))
+
+let of_string s =
+  match strip_prefix ~prefix:"unix:" s with
+  | Some "" -> Error "bad address: empty unix socket path"
+  | Some path -> Ok (Unix_sock path)
+  | None ->
+    (match strip_prefix ~prefix:"tcp:" s with
+    | Some rest -> host_port rest
+    | None -> host_port s)
+
+let to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ ->
+    (match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      failwith (Printf.sprintf "cannot resolve host %S" host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let to_sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> Unix.ADDR_INET (resolve host, port)
+
+let socket_for = function
+  | Unix_sock _ -> Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0
+  | Tcp _ ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    fd

@@ -1,0 +1,23 @@
+(** Listen/connect addresses for the wire protocol: TCP or a Unix-domain
+    socket path, with one textual syntax shared by [serve --listen],
+    [loadgen --connect] and the tests. *)
+
+type t =
+  | Tcp of string * int  (** host (name or dotted quad), port *)
+  | Unix_sock of string  (** filesystem socket path *)
+
+val of_string : string -> (t, string) result
+(** Accepted forms: ["unix:PATH"], ["tcp:HOST:PORT"], ["HOST:PORT"], and
+    [":PORT"] (which binds/connects on 127.0.0.1).  The error is a
+    human-readable reason. *)
+
+val to_string : t -> string
+(** Round-trips through {!of_string}: ["unix:PATH"] / ["tcp:HOST:PORT"]. *)
+
+val to_sockaddr : t -> Unix.sockaddr
+(** Resolve to a [Unix.sockaddr].  Hostnames go through [gethostbyname];
+    raises [Failure] if the host cannot be resolved. *)
+
+val socket_for : t -> Unix.file_descr
+(** A fresh stream socket of the right family ([PF_UNIX] / [PF_INET]),
+    with [SO_REUSEADDR] set on TCP sockets. *)

@@ -1,0 +1,389 @@
+module Codec = Sh_persist.Codec
+module SE = Sh_par.Shard_engine
+module FW = Stream_histogram.Fixed_window
+module M = Sh_obs.Metric
+module Obs = Sh_obs.Obs
+
+type config = {
+  max_coalesce_points : int;
+  max_frame_payload : int;
+  idle_timeout : float;
+  read_watermark : int;
+  checkpoint : string option;
+  checkpoint_every : int option;
+}
+
+let default_config =
+  {
+    max_coalesce_points = 65536;
+    max_frame_payload = Wire.max_frame_payload;
+    idle_timeout = 30.0;
+    read_watermark = 1 lsl 20;
+    checkpoint = None;
+    checkpoint_every = None;
+  }
+
+type report = {
+  connections : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  points : int;
+  ingest_rounds : int;
+  queries_served : int;
+  protocol_errors : int;
+  idle_closes : int;
+  backpressure_stalls : int;
+  checkpoints_written : int;
+}
+
+let listen addr =
+  (match addr with
+  | Addr.Unix_sock path when Sys.file_exists path -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ());
+  let fd = Addr.socket_for addr in
+  (try
+     Unix.bind fd (Addr.to_sockaddr addr);
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.set_nonblock fd;
+  fd
+
+(* One decoded request, tagged for in-order response generation.  Ingest
+   groups are pulled out for cross-connection coalescing; [Op_bad] is a
+   semantic rejection that keeps the connection open. *)
+type op =
+  | Op_ingest of int (* points in this request's groups *)
+  | Op_query of (int * SE.query) array
+  | Op_stats
+  | Op_metrics
+  | Op_checkpoint
+  | Op_ping
+  | Op_shutdown
+  | Op_bad of string
+
+type client = {
+  conn : Conn.t;
+  mutable preamble_ok : bool;
+  mutable ops : op list; (* this iteration's requests, reversed *)
+  mutable close_after_flush : bool;
+}
+
+let keys_ok shards arr = Array.for_all (fun (k, _) -> k >= 0 && k < shards) arr
+
+let run ?(config = default_config) ?(stop = fun () -> false) ?max_points
+    ~engine ~listeners () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let c_conns = Obs.counter "net.connections" in
+  let c_frames_in = Obs.counter "net.frames_in" in
+  let c_frames_out = Obs.counter "net.frames_out" in
+  let c_bytes_in = Obs.counter "net.bytes_in" in
+  let c_bytes_out = Obs.counter "net.bytes_out" in
+  let c_points = Obs.counter "net.points" in
+  let c_queries = Obs.counter "net.queries" in
+  let c_proto_errors = Obs.counter "net.protocol_errors" in
+  let c_idle_closes = Obs.counter "net.idle_closes" in
+  let c_stalls = Obs.counter "net.backpressure_stalls" in
+  let shards = SE.shard_count engine in
+  (* Geometry is fixed at engine creation; capture it once for Stats. *)
+  let window, buckets =
+    SE.fold engine ~init:(0, 0) ~f:(fun (w, b) _ fw ->
+        (max w (FW.window fw), max b (FW.buckets fw)))
+  in
+  let r_connections = ref 0 in
+  let r_frames_in = ref 0 in
+  let r_frames_out = ref 0 in
+  let r_bytes_in = ref 0 in
+  let r_bytes_out = ref 0 in
+  let r_rounds = ref 0 in
+  let r_queries = ref 0 in
+  let r_proto_errors = ref 0 in
+  let r_idle_closes = ref 0 in
+  let r_stalls = ref 0 in
+  let r_checkpoints = ref 0 in
+  let clients = ref ([] : client list) in
+  let finishing = ref false in
+  let stalled = ref false in
+  let base_points = SE.total_points engine in
+  let served_points () = SE.total_points engine - base_points in
+  let write_checkpoint () =
+    match config.checkpoint with
+    | None -> None
+    | Some file ->
+      SE.checkpoint engine ~file;
+      incr r_checkpoints;
+      Some file
+  in
+  let stats_reply () =
+    Wire.Stats_reply
+      {
+        shards;
+        window;
+        buckets;
+        mode = SE.mode_to_string (SE.mode engine);
+        total_points = SE.total_points engine;
+        batches = SE.batches engine;
+        queries = SE.queries engine;
+        backpressure_waits = SE.backpressure_waits engine;
+        lock_ops = SE.lock_ops engine;
+        query_lock_ops = SE.query_lock_ops engine;
+        snapshots_published = SE.snapshots_published engine;
+      }
+  in
+  let send cl resp =
+    Conn.send cl.conn (Wire.encode_response resp);
+    incr r_frames_out;
+    M.incr c_frames_out
+  in
+  let protocol_error cl msg =
+    incr r_proto_errors;
+    M.incr c_proto_errors;
+    send cl (Wire.Error_reply msg);
+    cl.close_after_flush <- true
+  in
+  let accept_all lfd =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept lfd with
+      | fd, _ ->
+        let cl =
+          {
+            conn = Conn.create fd;
+            preamble_ok = false;
+            ops = [];
+            close_after_flush = false;
+          }
+        in
+        Conn.send cl.conn Wire.preamble;
+        incr r_connections;
+        M.incr c_conns;
+        clients := cl :: !clients
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        continue := false
+    done
+  in
+  (* Decode the complete frames [cl] has buffered into [cl.ops], stopping
+     once the iteration's coalescing [budget] (in points) is spent.
+     Accumulates ingest groups into [groups_acc] in arrival order
+     (reversed); returns the points taken from the budget. *)
+  let decode_client cl ~budget groups_acc =
+    let budget_left = ref budget in
+    (try
+       if not cl.preamble_ok then begin
+         match Conn.peek cl.conn Wire.preamble_len with
+         | None -> ()
+         | Some s ->
+           Wire.check_preamble s;
+           Conn.consume cl.conn Wire.preamble_len;
+           cl.preamble_ok <- true
+       end;
+       if cl.preamble_ok then begin
+         let continue = ref true in
+         while !continue && !budget_left > 0 do
+           match Conn.next_frame ~max_len:config.max_frame_payload cl.conn with
+           | None -> continue := false
+           | Some payload -> (
+             incr r_frames_in;
+             M.incr c_frames_in;
+             match Wire.decode_request payload with
+             | Wire.Ingest gs ->
+               if keys_ok shards gs then begin
+                 let pts = Wire.points_in_groups gs in
+                 budget_left := !budget_left - pts;
+                 cl.ops <- Op_ingest pts :: cl.ops;
+                 Array.iter (fun g -> groups_acc := g :: !groups_acc) gs
+               end
+               else
+                 cl.ops <-
+                   Op_bad (Printf.sprintf "key out of range [0, %d)" shards)
+                   :: cl.ops
+             | Wire.Query qs ->
+               cl.ops <-
+                 (if keys_ok shards qs then Op_query qs
+                  else
+                    Op_bad (Printf.sprintf "key out of range [0, %d)" shards))
+                 :: cl.ops
+             | Wire.Stats -> cl.ops <- Op_stats :: cl.ops
+             | Wire.Metrics -> cl.ops <- Op_metrics :: cl.ops
+             | Wire.Checkpoint -> cl.ops <- Op_checkpoint :: cl.ops
+             | Wire.Ping -> cl.ops <- Op_ping :: cl.ops
+             | Wire.Shutdown -> cl.ops <- Op_shutdown :: cl.ops)
+         done
+       end
+     with
+    | Codec.Corrupt msg -> protocol_error cl ("corrupt frame: " ^ msg)
+    | Codec.Version_mismatch { found; expected } ->
+      protocol_error cl
+        (Printf.sprintf "protocol version %d, this server speaks %d" found
+           expected));
+    budget - !budget_left
+  in
+  let respond cl =
+    List.iter
+      (fun opn ->
+        match opn with
+        | Op_ingest pts -> send cl (Wire.Ack pts)
+        | Op_query qs ->
+          let answers = SE.query_many engine qs in
+          r_queries := !r_queries + Array.length qs;
+          M.add c_queries (Array.length qs);
+          send cl (Wire.Answers answers)
+        | Op_stats -> send cl (stats_reply ())
+        | Op_metrics -> send cl (Wire.Metrics_reply (Obs.render Obs.Prom))
+        | Op_checkpoint -> (
+          match write_checkpoint () with
+          | Some file -> send cl (Wire.Checkpointed file)
+          | None -> send cl (Wire.Error_reply "no checkpoint path configured"))
+        | Op_ping -> send cl Wire.Pong
+        | Op_shutdown ->
+          finishing := true;
+          send cl Wire.Shutting_down
+        | Op_bad msg -> send cl (Wire.Error_reply msg))
+      (List.rev cl.ops);
+    cl.ops <- []
+  in
+  let points_done () =
+    match max_points with None -> false | Some n -> served_points () >= n
+  in
+  let running = ref true in
+  while !running do
+    (* -- build fd sets ------------------------------------------------ *)
+    let read_fds =
+      if !stalled || !finishing then []
+      else
+        List.filter_map
+          (fun cl ->
+            if
+              cl.close_after_flush
+              || Conn.closed cl.conn
+              || Conn.buffered cl.conn >= config.read_watermark
+            then None
+            else Some (Conn.fd cl.conn))
+          !clients
+    in
+    let read_fds =
+      if !finishing then read_fds else List.rev_append listeners read_fds
+    in
+    let write_fds =
+      List.filter_map
+        (fun cl ->
+          if Conn.pending_out cl.conn && not (Conn.closed cl.conn) then
+            Some (Conn.fd cl.conn)
+          else None)
+        !clients
+    in
+    if !stalled then begin
+      incr r_stalls;
+      M.incr c_stalls;
+      stalled := false
+    end;
+    let readable, _writable, _ =
+      try Unix.select read_fds write_fds [] 0.05
+      with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+    in
+    (* -- accept + read ------------------------------------------------ *)
+    List.iter
+      (fun fd ->
+        if List.memq fd listeners then accept_all fd
+        else
+          match
+            List.find_opt
+              (fun cl -> (not (Conn.closed cl.conn)) && Conn.fd cl.conn == fd)
+              !clients
+          with
+          | None -> ()
+          | Some cl -> (
+            match Conn.read_into cl.conn with
+            | `Data n ->
+              r_bytes_in := !r_bytes_in + n;
+              M.add c_bytes_in n
+            | `Again -> ()
+            | `Eof -> Conn.close cl.conn))
+      readable;
+    (* -- decode + coalesce + apply ------------------------------------ *)
+    let groups_acc = ref [] in
+    let budget = ref config.max_coalesce_points in
+    List.iter
+      (fun cl ->
+        if !budget > 0 && not (cl.close_after_flush || Conn.closed cl.conn)
+        then budget := !budget - decode_client cl ~budget:!budget groups_acc)
+      !clients;
+    (match !groups_acc with
+    | [] -> ()
+    | gs ->
+      let groups = Array.of_list (List.rev gs) in
+      let pts = Wire.points_in_groups groups in
+      let bp0 = SE.backpressure_waits engine in
+      SE.ingest_groups engine groups;
+      incr r_rounds;
+      M.add c_points pts;
+      if SE.backpressure_waits engine > bp0 then stalled := true;
+      match config.checkpoint_every with
+      | Some k when !r_rounds mod k = 0 -> ignore (write_checkpoint ())
+      | _ -> ());
+    (* -- respond in per-connection request order ---------------------- *)
+    List.iter
+      (fun cl -> if cl.ops <> [] && not (Conn.closed cl.conn) then respond cl)
+      !clients;
+    (* -- flush + reap ------------------------------------------------- *)
+    List.iter
+      (fun cl ->
+        if Conn.pending_out cl.conn && not (Conn.closed cl.conn) then begin
+          let before = Conn.bytes_out cl.conn in
+          (match Conn.flush cl.conn with
+          | `Flushed | `Blocked -> ()
+          | `Closed -> Conn.close cl.conn);
+          let n = Conn.bytes_out cl.conn - before in
+          r_bytes_out := !r_bytes_out + n;
+          M.add c_bytes_out n
+        end)
+      !clients;
+    clients :=
+      List.filter
+        (fun cl ->
+          let gone = Conn.closed cl.conn in
+          let flushed_goodbye =
+            cl.close_after_flush && not (Conn.pending_out cl.conn)
+          in
+          let idle_kill =
+            config.idle_timeout > 0.
+            && Conn.idle_for cl.conn > config.idle_timeout
+            && ((not cl.preamble_ok) || Conn.buffered cl.conn > 0)
+          in
+          if idle_kill && not gone then begin
+            incr r_idle_closes;
+            M.incr c_idle_closes
+          end;
+          if gone || flushed_goodbye || idle_kill then begin
+            Conn.close cl.conn;
+            false
+          end
+          else true)
+        !clients;
+    (* -- termination -------------------------------------------------- *)
+    if stop () || points_done () then running := false
+    else if
+      !finishing
+      && List.for_all (fun cl -> not (Conn.pending_out cl.conn)) !clients
+    then running := false
+  done;
+  List.iter (fun cl -> Conn.close cl.conn) !clients;
+  {
+    connections = !r_connections;
+    frames_in = !r_frames_in;
+    frames_out = !r_frames_out;
+    bytes_in = !r_bytes_in;
+    bytes_out = !r_bytes_out;
+    points = served_points ();
+    ingest_rounds = !r_rounds;
+    queries_served = !r_queries;
+    protocol_errors = !r_proto_errors;
+    idle_closes = !r_idle_closes;
+    backpressure_stalls = !r_stalls;
+    checkpoints_written = !r_checkpoints;
+  }

@@ -1,0 +1,270 @@
+module Codec = Sh_persist.Codec
+module Frame = Sh_persist.Frame
+module SE = Sh_par.Shard_engine
+
+let magic = "SHNW"
+let protocol_version = 1
+let preamble_len = 5
+
+let preamble =
+  let b = Buffer.create preamble_len in
+  Buffer.add_string b magic;
+  Codec.put_u8 b protocol_version;
+  Buffer.contents b
+
+let check_preamble s =
+  if String.length s <> preamble_len then
+    Codec.corruptf "preamble: %d byte(s), expected %d" (String.length s)
+      preamble_len;
+  if not (String.equal (String.sub s 0 4) magic) then
+    Codec.corruptf "bad protocol magic %S: not a shist peer" (String.sub s 0 4);
+  let v = Char.code s.[4] in
+  if v <> protocol_version then
+    raise (Codec.Version_mismatch { found = v; expected = protocol_version })
+
+let max_frame_payload = 1 lsl 24
+
+(* --- messages ------------------------------------------------------- *)
+
+type request =
+  | Ingest of (int * float array) array
+  | Query of (int * SE.query) array
+  | Stats
+  | Metrics
+  | Checkpoint
+  | Ping
+  | Shutdown
+
+type stats = {
+  shards : int;
+  window : int;
+  buckets : int;
+  mode : string;
+  total_points : int;
+  batches : int;
+  queries : int;
+  backpressure_waits : int;
+  lock_ops : int;
+  query_lock_ops : int;
+  snapshots_published : int;
+}
+
+type response =
+  | Ack of int
+  | Answers of float array
+  | Stats_reply of stats
+  | Metrics_reply of string
+  | Checkpointed of string
+  | Pong
+  | Shutting_down
+  | Error_reply of string
+
+let points_in_groups groups =
+  Array.fold_left (fun n (_, vs) -> n + Array.length vs) 0 groups
+
+(* --- request/response tags (one byte, request < 0x80 <= response) --- *)
+
+let tag_ingest = 0x01
+let tag_query = 0x02
+let tag_stats = 0x03
+let tag_metrics = 0x04
+let tag_checkpoint = 0x05
+let tag_ping = 0x06
+let tag_shutdown = 0x07
+let tag_ack = 0x81
+let tag_answers = 0x82
+let tag_stats_reply = 0x83
+let tag_metrics_reply = 0x84
+let tag_checkpointed = 0x85
+let tag_pong = 0x86
+let tag_shutting_down = 0x87
+let tag_error = 0xFF
+
+(* query constructor tags *)
+let qt_current_error = 0
+let qt_window_length = 1
+let qt_herror = 2
+let qt_range_sum = 3
+let qt_point_estimate = 4
+
+let put_query buf q =
+  match q with
+  | SE.Current_error -> Codec.put_u8 buf qt_current_error
+  | SE.Window_length -> Codec.put_u8 buf qt_window_length
+  | SE.Herror { k; x } ->
+    Codec.put_u8 buf qt_herror;
+    Codec.put_varint buf k;
+    Codec.put_varint buf x
+  | SE.Range_sum { lo; hi } ->
+    Codec.put_u8 buf qt_range_sum;
+    Codec.put_varint buf lo;
+    Codec.put_varint buf hi
+  | SE.Point_estimate { index } ->
+    Codec.put_u8 buf qt_point_estimate;
+    Codec.put_varint buf index
+
+let get_query r =
+  let t = Codec.get_u8 r in
+  if t = qt_current_error then SE.Current_error
+  else if t = qt_window_length then SE.Window_length
+  else if t = qt_herror then
+    let k = Codec.get_varint r in
+    let x = Codec.get_varint r in
+    SE.Herror { k; x }
+  else if t = qt_range_sum then
+    let lo = Codec.get_varint r in
+    let hi = Codec.get_varint r in
+    SE.Range_sum { lo; hi }
+  else if t = qt_point_estimate then
+    SE.Point_estimate { index = Codec.get_varint r }
+  else Codec.corruptf "bad query tag %d" t
+
+(* --- encode --------------------------------------------------------- *)
+
+let frame_of buf = Frame.frame_string (Buffer.contents buf)
+
+let encode_request req =
+  let buf = Buffer.create 64 in
+  (match req with
+  | Ingest groups ->
+    Codec.put_u8 buf tag_ingest;
+    Codec.put_varint buf (Array.length groups);
+    Array.iter
+      (fun (k, vs) ->
+        if k < 0 then invalid_arg "Wire.encode_request: negative key";
+        Codec.put_varint buf k;
+        Codec.put_float_array buf vs)
+      groups
+  | Query qs ->
+    Codec.put_u8 buf tag_query;
+    Codec.put_varint buf (Array.length qs);
+    Array.iter
+      (fun (k, q) ->
+        if k < 0 then invalid_arg "Wire.encode_request: negative key";
+        Codec.put_varint buf k;
+        put_query buf q)
+      qs
+  | Stats -> Codec.put_u8 buf tag_stats
+  | Metrics -> Codec.put_u8 buf tag_metrics
+  | Checkpoint -> Codec.put_u8 buf tag_checkpoint
+  | Ping -> Codec.put_u8 buf tag_ping
+  | Shutdown -> Codec.put_u8 buf tag_shutdown);
+  frame_of buf
+
+let encode_response resp =
+  let buf = Buffer.create 64 in
+  (match resp with
+  | Ack n ->
+    Codec.put_u8 buf tag_ack;
+    Codec.put_varint buf n
+  | Answers a ->
+    Codec.put_u8 buf tag_answers;
+    Codec.put_float_array buf a
+  | Stats_reply s ->
+    Codec.put_u8 buf tag_stats_reply;
+    Codec.put_varint buf s.shards;
+    Codec.put_varint buf s.window;
+    Codec.put_varint buf s.buckets;
+    Codec.put_string buf s.mode;
+    Codec.put_varint buf s.total_points;
+    Codec.put_varint buf s.batches;
+    Codec.put_varint buf s.queries;
+    Codec.put_varint buf s.backpressure_waits;
+    Codec.put_varint buf s.lock_ops;
+    Codec.put_varint buf s.query_lock_ops;
+    Codec.put_varint buf s.snapshots_published
+  | Metrics_reply text ->
+    Codec.put_u8 buf tag_metrics_reply;
+    Codec.put_string buf text
+  | Checkpointed path ->
+    Codec.put_u8 buf tag_checkpointed;
+    Codec.put_string buf path
+  | Pong -> Codec.put_u8 buf tag_pong
+  | Shutting_down -> Codec.put_u8 buf tag_shutting_down
+  | Error_reply msg ->
+    Codec.put_u8 buf tag_error;
+    Codec.put_string buf msg);
+  frame_of buf
+
+(* --- decode --------------------------------------------------------- *)
+
+let get_groups r =
+  let n = Codec.get_varint r in
+  (* each group needs at least a key byte and a length byte *)
+  if n > Codec.remaining r / 2 then
+    Codec.corruptf "ingest group count %d exceeds %d remaining byte(s)" n
+      (Codec.remaining r);
+  Array.init n (fun _ ->
+      let k = Codec.get_varint r in
+      let vs = Codec.get_float_array r in
+      for i = 0 to Array.length vs - 1 do
+        if not (Float.is_finite vs.(i)) then
+          Codec.corruptf "non-finite value in ingest frame (key %d)" k
+      done;
+      (k, vs))
+
+let decode_request r =
+  let t = Codec.get_u8 r in
+  let req =
+    if t = tag_ingest then Ingest (get_groups r)
+    else if t = tag_query then begin
+      let n = Codec.get_varint r in
+      if n > Codec.remaining r / 2 then
+        Codec.corruptf "query count %d exceeds %d remaining byte(s)" n
+          (Codec.remaining r);
+      Query
+        (Array.init n (fun _ ->
+             let k = Codec.get_varint r in
+             (k, get_query r)))
+    end
+    else if t = tag_stats then Stats
+    else if t = tag_metrics then Metrics
+    else if t = tag_checkpoint then Checkpoint
+    else if t = tag_ping then Ping
+    else if t = tag_shutdown then Shutdown
+    else Codec.corruptf "bad request tag %d" t
+  in
+  Codec.expect_end r ~what:"request";
+  req
+
+let decode_response r =
+  let t = Codec.get_u8 r in
+  let resp =
+    if t = tag_ack then Ack (Codec.get_varint r)
+    else if t = tag_answers then Answers (Codec.get_float_array r)
+    else if t = tag_stats_reply then begin
+      let shards = Codec.get_varint r in
+      let window = Codec.get_varint r in
+      let buckets = Codec.get_varint r in
+      let mode = Codec.get_string r in
+      let total_points = Codec.get_varint r in
+      let batches = Codec.get_varint r in
+      let queries = Codec.get_varint r in
+      let backpressure_waits = Codec.get_varint r in
+      let lock_ops = Codec.get_varint r in
+      let query_lock_ops = Codec.get_varint r in
+      let snapshots_published = Codec.get_varint r in
+      Stats_reply
+        {
+          shards;
+          window;
+          buckets;
+          mode;
+          total_points;
+          batches;
+          queries;
+          backpressure_waits;
+          lock_ops;
+          query_lock_ops;
+          snapshots_published;
+        }
+    end
+    else if t = tag_metrics_reply then Metrics_reply (Codec.get_string r)
+    else if t = tag_checkpointed then Checkpointed (Codec.get_string r)
+    else if t = tag_pong then Pong
+    else if t = tag_shutting_down then Shutting_down
+    else if t = tag_error then Error_reply (Codec.get_string r)
+    else Codec.corruptf "bad response tag %d" t
+  in
+  Codec.expect_end r ~what:"response";
+  resp

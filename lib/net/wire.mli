@@ -1,0 +1,94 @@
+(** The binary wire protocol: message types and their frame codec.
+
+    A connection opens with a fixed 5-byte preamble in each direction
+    ({!preamble}: magic ["SHNW"] + one version byte), then carries a
+    sequence of {!Sh_persist.Frame} frames — the same length-prefixed,
+    CRC-32-guarded layout as the snapshot files, so the persistence
+    layer's incremental scanner ({!Sh_persist.Frame.scan_frame}) is the
+    socket decoder.  Each frame wraps exactly one message: a one-byte tag
+    followed by {!Sh_persist.Codec} primitives.  See DESIGN.md section 15
+    for the grammar and the version-bump policy (shared with the snapshot
+    codec: any layout change bumps {!protocol_version}, peers reject
+    foreign versions with a typed error).
+
+    Every decoding failure raises {!Sh_persist.Codec.Corrupt} (or
+    [Version_mismatch] for a foreign preamble) — the typed errors the
+    server answers with an error frame and a closed connection, never a
+    crash. *)
+
+module SE := Sh_par.Shard_engine
+
+val magic : string
+(** ["SHNW"] — stream-histogram network wire. *)
+
+val protocol_version : int
+
+val preamble : string
+(** The 5 bytes each side must send first. *)
+
+val preamble_len : int
+
+val check_preamble : string -> unit
+(** Validate a received preamble.  Raises {!Sh_persist.Codec.Corrupt} on a
+    bad magic or length, {!Sh_persist.Codec.Version_mismatch} on a foreign
+    version byte. *)
+
+val max_frame_payload : int
+(** Upper bound (16 MiB) every peer imposes on a declared frame payload
+    length; a larger length prefix is rejected as {!Sh_persist.Codec.Corrupt}
+    before any buffering happens. *)
+
+(** {2 Messages} *)
+
+type request =
+  | Ingest of (int * float array) array
+      (** Batched arrivals as [(key, values)] runs — decoded straight into
+          {!Sh_par.Shard_engine.ingest_groups} without per-point pairs.
+          Values must be finite (enforced at decode time). *)
+  | Query of (int * SE.query) array
+      (** Batched estimation queries, answered positionally with one float
+          each (the {!Sh_par.Shard_engine.query_many} clamping contract). *)
+  | Stats  (** Engine geometry + cumulative counters. *)
+  | Metrics  (** Prometheus text exposition of the metric registry. *)
+  | Checkpoint  (** Write the server's configured checkpoint file now. *)
+  | Ping
+  | Shutdown  (** Ask the server to flush, close and exit its serve loop. *)
+
+type stats = {
+  shards : int;
+  window : int;
+  buckets : int;
+  mode : string;
+  total_points : int;
+  batches : int;
+  queries : int;
+  backpressure_waits : int;
+  lock_ops : int;
+  query_lock_ops : int;
+  snapshots_published : int;
+}
+
+type response =
+  | Ack of int  (** Ingest applied; the count of points now in the engine. *)
+  | Answers of float array
+  | Stats_reply of stats
+  | Metrics_reply of string
+  | Checkpointed of string  (** The path the checkpoint was published to. *)
+  | Pong
+  | Shutting_down
+  | Error_reply of string
+      (** Semantic rejection (bad key, no checkpoint configured) or the
+          last frame before the server closes a misbehaving connection. *)
+
+val points_in_groups : (int * float array) array -> int
+
+(** {2 Codec}
+
+    [encode_*] return one complete wire frame (ready to write to the
+    socket); [decode_*] consume a frame payload reader as returned by
+    {!Sh_persist.Frame.scan_frame} and verify it is exactly one message. *)
+
+val encode_request : request -> string
+val decode_request : Sh_persist.Codec.reader -> request
+val encode_response : response -> string
+val decode_response : Sh_persist.Codec.reader -> response

@@ -429,6 +429,69 @@ let ingest t batch =
     end
   end
 
+(* Pre-grouped ingest: the batch arrives as (key, values) runs — the shape
+   of a decoded network ingest frame — and is routed without ever building
+   per-point (key, value) pairs.  Same contract and same observable
+   behaviour as [ingest] of the flattened pairs: validate everything first,
+   count points once, one [push_slice] per touched shard in arrival order
+   (group order for a repeated key). *)
+let ingest_groups t groups =
+  let ng = Array.length groups in
+  let nb = ref 0 in
+  for g = 0 to ng - 1 do
+    nb := !nb + Array.length (snd groups.(g))
+  done;
+  let nb = !nb in
+  if nb > 0 then begin
+    let lat = Obs.latency_enabled () in
+    let t0 = if lat then Obs.now () else 0.0 in
+    let s = Array.length t.shards in
+    for g = 0 to ng - 1 do
+      let k, vs = groups.(g) in
+      check_key t k;
+      for i = 0 to Array.length vs - 1 do
+        if not (Float.is_finite vs.(i)) then
+          invalid_arg "Shard_engine.ingest_groups: non-finite value"
+      done
+    done;
+    (match t.mode with
+    | Pinned ->
+      for g = 0 to ng - 1 do
+        let k, vs = groups.(g) in
+        let ring = t.rings.(k) in
+        for i = 0 to Array.length vs - 1 do
+          let v = vs.(i) in
+          if not (Ring.try_push ring v) then spill t k v
+        done
+      done;
+      ignore (Domain_pool.run t.pool t.drain_tasks)
+    | Locked ->
+      let counts = t.counts in
+      Array.fill counts 0 s 0;
+      for g = 0 to ng - 1 do
+        let k, vs = groups.(g) in
+        counts.(k) <- counts.(k) + Array.length vs
+      done;
+      for k = 0 to s - 1 do
+        if Array.length t.group_data.(k) < counts.(k) then
+          t.group_data.(k) <-
+            Array.make (max counts.(k) (2 * Array.length t.group_data.(k))) 0.0
+      done;
+      Array.fill counts 0 s 0;
+      for g = 0 to ng - 1 do
+        let k, vs = groups.(g) in
+        Array.blit vs 0 t.group_data.(k) counts.(k) (Array.length vs);
+        counts.(k) <- counts.(k) + Array.length vs
+      done;
+      ignore (Domain_pool.run t.pool t.ingest_tasks));
+    M.add t.c_points nb;
+    M.incr t.c_batches;
+    if lat then begin
+      L.record t.l_ingest (Obs.now () -. t0);
+      L.advance ()
+    end
+  end
+
 (* Rebuild every stale shard's interval lists across the pool: the batched
    refresh.  [Locked] keeps the PR 3 shape (one task per shard, the pool
    FIFO load-balances); [Pinned] runs the work-stealing sweep so skewed

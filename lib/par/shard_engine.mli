@@ -97,6 +97,15 @@ val ingest : t -> (int * float) array -> unit
     time.  Raises [Invalid_argument] (before ingesting anything) if any
     key is out of range or any value non-finite. *)
 
+val ingest_groups : t -> (int * float array) array -> unit
+(** {!ingest} for a batch that arrives pre-grouped as [(key, values)] runs
+    — the shape of a decoded network ingest frame — routed without ever
+    materialising per-point [(key, value)] pairs.  Keys may repeat; a
+    shard's sub-batch is its groups' values concatenated in group order,
+    so [ingest_groups t gs] is observationally identical to [ingest t]
+    of the flattened pairs (same single-producer contract, same
+    validation, same per-batch refresh cadence). *)
+
 val refresh_all : ?cold:bool -> t -> unit
 (** Rebuild every stale shard's interval lists across the pool — the
     batched counterpart of {!Stream_histogram.Fixed_window.refresh};

@@ -45,3 +45,53 @@ let read_frame r =
   payload
 
 let has_frame r = not (Codec.at_end r)
+
+(* --- incremental decode -------------------------------------------- *)
+
+type scan =
+  | Incomplete
+  | Frame of { payload : Codec.reader; consumed : int }
+
+(* Streaming transports receive frames in arbitrary chunks, so truncation
+   is the steady state, not corruption: only structurally impossible input
+   (overlong varint, oversized declared length, CRC mismatch) raises;
+   anything that a few more bytes could complete returns [Incomplete]. *)
+let scan_frame ?(max_len = max_int) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Frame.scan_frame: bad range";
+  let limit = pos + len in
+  (* the length-prefix varint, byte by byte: [None] = ran out of input *)
+  let rec varint acc shift i =
+    if shift > 56 then Codec.corruptf "varint too long";
+    if i >= limit then None
+    else begin
+      let b = Char.code (String.unsafe_get s i) in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b < 0x80 then begin
+        if acc < 0 then Codec.corruptf "varint overflow";
+        Some (acc, i + 1)
+      end
+      else varint acc (shift + 7) (i + 1)
+    end
+  in
+  match varint 0 0 pos with
+  | None -> Incomplete
+  | Some (plen, body) ->
+    if plen > max_len then
+      Codec.corruptf "frame payload length %d exceeds the %d-byte limit" plen
+        max_len;
+    if limit - body < plen + 4 then Incomplete
+    else begin
+      let stored =
+        Int32.to_int (String.get_int32_le s (body + plen)) land 0xFFFFFFFF
+      in
+      let actual = Crc32.sub s ~pos:body ~len:plen in
+      if stored <> actual then
+        Codec.corruptf "frame CRC mismatch: stored %08x, computed %08x" stored
+          actual;
+      Frame
+        {
+          payload = Codec.of_string ~pos:body ~len:plen s;
+          consumed = body + plen + 4 - pos;
+        }
+    end

@@ -39,3 +39,27 @@ val read_frame : Codec.reader -> Codec.reader
 
 val has_frame : Codec.reader -> bool
 (** Whether any bytes remain (a further frame is expected). *)
+
+(** {2 Incremental decode}
+
+    Streaming transports (the [Sh_net] wire protocol) receive frames in
+    arbitrary chunks; {!scan_frame} distinguishes "not enough bytes yet"
+    from structural corruption without consuming input, so a socket reader
+    can buffer and retry. *)
+
+type scan =
+  | Incomplete
+      (** The range could still be a prefix of a valid frame — read more
+          bytes and rescan. *)
+  | Frame of { payload : Codec.reader; consumed : int }
+      (** One whole CRC-verified frame starts at [pos]: [payload] is a
+          bounded reader over its payload bytes, [consumed] the total
+          frame size (length prefix + payload + CRC). *)
+
+val scan_frame : ?max_len:int -> string -> pos:int -> len:int -> scan
+(** Scan [s.[pos .. pos+len)] for one leading frame.  Raises
+    {!Codec.Corrupt} only on structural damage — an overlong length
+    varint, a declared payload length above [max_len] (default
+    unbounded), a CRC mismatch — and returns {!Incomplete} on mere
+    truncation.  Raises [Invalid_argument] if the range is out of
+    bounds. *)

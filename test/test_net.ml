@@ -1,0 +1,636 @@
+(* lib/net: wire codec round trips, the incremental frame scanner against
+   truncation and corruption, and a live serve loop driven over real Unix
+   sockets — equivalence with the in-process engine, the no-drop
+   backpressure contract, malformed-input rejection (fuzzed), slow-loris
+   reaping, and checkpoint/restore across a server generation. *)
+
+module Addr = Sh_net.Addr
+module Wire = Sh_net.Wire
+module Conn = Sh_net.Conn
+module Server = Sh_net.Server
+module Client = Sh_net.Client
+module Codec = Sh_persist.Codec
+module Frame = Sh_persist.Frame
+module Pool = Sh_par.Domain_pool
+module SE = Sh_par.Shard_engine
+module FW = Stream_histogram.Fixed_window
+module Params = Stream_histogram.Params
+module Rng = Sh_util.Rng
+
+let expect_corrupt what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Codec.Corrupt" what
+  | exception Codec.Corrupt _ -> ()
+
+(* ----------------------------------------------------------------- addr *)
+
+let test_addr_parse () =
+  let ok s exp =
+    match Addr.of_string s with
+    | Ok a -> Alcotest.(check string) s exp (Addr.to_string a)
+    | Error e -> Alcotest.failf "%s: unexpected parse error %s" s e
+  in
+  ok "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "tcp:localhost:8080" "tcp:localhost:8080";
+  ok "127.0.0.1:9" "tcp:127.0.0.1:9";
+  ok ":8080" "tcp:127.0.0.1:8080";
+  List.iter
+    (fun s ->
+      match Addr.of_string s with
+      | Ok a -> Alcotest.failf "%S: expected parse error, got %s" s (Addr.to_string a)
+      | Error _ -> ())
+    [ "unix:"; "nonsense"; "host:0"; "host:notaport"; "host:70000"; "tcp:host" ]
+
+(* ----------------------------------------------------------- wire codec *)
+
+(* Encode a request/response, push the full frame through the incremental
+   scanner, decode, compare. *)
+let scan_payload s =
+  match Frame.scan_frame s ~pos:0 ~len:(String.length s) with
+  | Frame.Incomplete -> Alcotest.fail "scan: complete frame read as Incomplete"
+  | Frame.Frame { payload; consumed } ->
+    Alcotest.(check int) "whole frame consumed" (String.length s) consumed;
+    payload
+
+let req_round_trip r = Wire.decode_request (scan_payload (Wire.encode_request r))
+let resp_round_trip r = Wire.decode_response (scan_payload (Wire.encode_response r))
+
+let test_wire_request_round_trips () =
+  let reqs =
+    [
+      Wire.Ingest [||];
+      Wire.Ingest [| (0, [| 1.5; -2.25; 0.0 |]); (7, [||]); (0, [| 3.0 |]) |];
+      Wire.Query
+        [|
+          (0, SE.Current_error);
+          (3, SE.Window_length);
+          (1, SE.Herror { k = 4; x = 17 });
+          (2, SE.Range_sum { lo = 3; hi = 9 });
+          (5, SE.Point_estimate { index = 11 });
+        |];
+      Wire.Stats;
+      Wire.Metrics;
+      Wire.Checkpoint;
+      Wire.Ping;
+      Wire.Shutdown;
+    ]
+  in
+  List.iter (fun r -> Alcotest.(check bool) "request round trip" true (req_round_trip r = r)) reqs
+
+let test_wire_response_round_trips () =
+  let stats =
+    {
+      Wire.shards = 16;
+      window = 1024;
+      buckets = 8;
+      mode = "pinned";
+      total_points = 123456;
+      batches = 99;
+      queries = 7;
+      backpressure_waits = 3;
+      lock_ops = 0;
+      query_lock_ops = 0;
+      snapshots_published = 42;
+    }
+  in
+  let resps =
+    [
+      Wire.Ack 0;
+      Wire.Ack 65536;
+      Wire.Answers [||];
+      Wire.Answers [| 0.0; -1.5; 3.25e9 |];
+      Wire.Stats_reply stats;
+      Wire.Metrics_reply "engine_points 12\n";
+      Wire.Checkpointed "/tmp/x.ckpt";
+      Wire.Pong;
+      Wire.Shutting_down;
+      Wire.Error_reply "bad key";
+    ]
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) "response round trip" true (resp_round_trip r = r))
+    resps
+
+let test_wire_rejects_garbage () =
+  (* non-finite ingest values must die at decode time, before any engine
+     sees them *)
+  expect_corrupt "nan ingest" (fun () ->
+      req_round_trip (Wire.Ingest [| (0, [| Float.nan |]) |]));
+  expect_corrupt "inf ingest" (fun () ->
+      req_round_trip (Wire.Ingest [| (1, [| Float.infinity |]) |]));
+  (* unknown tags, both directions *)
+  expect_corrupt "bad request tag" (fun () ->
+      Wire.decode_request (scan_payload (Frame.frame_string "\x7f")));
+  expect_corrupt "bad response tag" (fun () ->
+      Wire.decode_response (scan_payload (Frame.frame_string "\x80")));
+  (* trailing bytes after a complete message *)
+  expect_corrupt "trailing bytes" (fun () ->
+      Wire.decode_request (scan_payload (Frame.frame_string "\x06\x00")));
+  (* a group count that cannot fit the remaining payload *)
+  let buf = Buffer.create 8 in
+  Codec.put_u8 buf 0x01;
+  Codec.put_varint buf 1_000_000;
+  expect_corrupt "oversized group count" (fun () ->
+      Wire.decode_request (scan_payload (Frame.frame_string (Buffer.contents buf))))
+
+let test_preamble () =
+  Wire.check_preamble Wire.preamble;
+  expect_corrupt "bad magic" (fun () -> Wire.check_preamble "XXNW\x01");
+  expect_corrupt "short" (fun () -> Wire.check_preamble "SH");
+  match Wire.check_preamble "SHNW\x63" with
+  | () -> Alcotest.fail "foreign version accepted"
+  | exception Codec.Version_mismatch { found = 0x63; _ } -> ()
+  | exception _ -> Alcotest.fail "foreign version: wrong error"
+
+let prop_wire_ingest_round_trip =
+  Helpers.qcheck_case ~count:120 ~name:"wire: Ingest encode/scan/decode round trip"
+    QCheck2.Gen.(
+      small_list
+        (pair (int_range 0 63)
+           (array_size (int_range 0 40) (map Float.of_int (int_range (-1000) 1000)))))
+    (fun groups ->
+      let r = Wire.Ingest (Array.of_list groups) in
+      req_round_trip r = r)
+
+let prop_wire_query_round_trip =
+  Helpers.qcheck_case ~count:120 ~name:"wire: Query encode/scan/decode round trip"
+    QCheck2.Gen.(
+      small_list
+        (pair (int_range 0 63)
+           (oneof
+              [
+                return SE.Current_error;
+                return SE.Window_length;
+                (let* k = int_range 0 50 and* x = int_range 0 5000 in
+                 return (SE.Herror { k; x }));
+                (let* lo = int_range 0 5000 and* hi = int_range 0 5000 in
+                 return (SE.Range_sum { lo; hi }));
+                (let* index = int_range 0 5000 in
+                 return (SE.Point_estimate { index }));
+              ])))
+    (fun qs ->
+      let r = Wire.Query (Array.of_list qs) in
+      req_round_trip r = r)
+
+(* --------------------------------------------------- incremental scanner *)
+
+let test_scan_every_prefix () =
+  let frame = Wire.encode_request (Wire.Ingest [| (3, [| 1.0; 2.0; 4.5 |]) |]) in
+  let n = String.length frame in
+  for len = 0 to n - 1 do
+    match Frame.scan_frame frame ~pos:0 ~len with
+    | Frame.Incomplete -> ()
+    | Frame.Frame _ -> Alcotest.failf "prefix of %d/%d bytes decoded as a frame" len n
+  done;
+  ignore (scan_payload frame)
+
+let test_scan_two_frames_and_pos () =
+  let f1 = Wire.encode_request Wire.Ping in
+  let f2 = Wire.encode_request (Wire.Ingest [| (1, [| 9.0 |]) |]) in
+  let s = f1 ^ f2 in
+  (match Frame.scan_frame s ~pos:0 ~len:(String.length s) with
+  | Frame.Frame { consumed; payload } ->
+    Alcotest.(check int) "first frame length" (String.length f1) consumed;
+    Alcotest.(check bool) "first decodes" true (Wire.decode_request payload = Wire.Ping)
+  | Frame.Incomplete -> Alcotest.fail "first frame incomplete");
+  match Frame.scan_frame s ~pos:(String.length f1) ~len:(String.length f2) with
+  | Frame.Frame { consumed; payload } ->
+    Alcotest.(check int) "second frame length" (String.length f2) consumed;
+    Alcotest.(check bool) "second decodes" true
+      (Wire.decode_request payload = Wire.Ingest [| (1, [| 9.0 |]) |])
+  | Frame.Incomplete -> Alcotest.fail "second frame incomplete"
+
+let test_scan_bit_flips () =
+  let frame = Wire.encode_request (Wire.Ingest [| (2, [| 5.0; 6.0 |]) |]) in
+  let n = String.length frame in
+  for i = 0 to n - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string frame in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      let s = Bytes.to_string b in
+      (* A flip may turn the frame Incomplete (longer declared length) or
+         Corrupt (CRC/varint damage) — but never an intact decode of the
+         original payload. *)
+      match Frame.scan_frame s ~pos:0 ~len:n with
+      | Frame.Incomplete -> ()
+      | exception Codec.Corrupt _ -> ()
+      | Frame.Frame { payload; _ } ->
+        (match Wire.decode_request payload with
+        | req ->
+          if req = Wire.Ingest [| (2, [| 5.0; 6.0 |]) |] then
+            Alcotest.failf "flip byte %d bit %d: original payload survived CRC" i bit
+        | exception Codec.Corrupt _ -> ())
+    done
+  done
+
+let test_scan_oversized_and_overlong () =
+  (* declared length above the cap is rejected before buffering *)
+  let buf = Buffer.create 16 in
+  Codec.put_varint buf (Wire.max_frame_payload + 1);
+  Buffer.add_string buf "xxxx";
+  let s = Buffer.contents buf in
+  expect_corrupt "oversized declared length" (fun () ->
+      Frame.scan_frame ~max_len:Wire.max_frame_payload s ~pos:0 ~len:(String.length s));
+  (* an overlong varint can never be Incomplete *)
+  let s = String.make 10 '\xff' in
+  expect_corrupt "overlong varint" (fun () ->
+      Frame.scan_frame s ~pos:0 ~len:(String.length s));
+  (* bad range is a programming error, not a protocol one *)
+  match Frame.scan_frame "abc" ~pos:2 ~len:5 with
+  | _ -> Alcotest.fail "bad range accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_scan_split_stream =
+  (* a frame stream chopped at an arbitrary point is Incomplete at the
+     chop and decodes identically once the rest arrives *)
+  Helpers.qcheck_case ~count:80 ~name:"scan: any split of a frame stream reassembles"
+    QCheck2.Gen.(
+      let* nframes = int_range 1 4 in
+      let* payloads =
+        list_size (return nframes) (string_size ~gen:printable (int_range 0 30))
+      in
+      let* cut_frac = float_bound_inclusive 1.0 in
+      return (payloads, cut_frac))
+    (fun (payloads, cut_frac) ->
+      let stream = String.concat "" (List.map Frame.frame_string payloads) in
+      let cut = Float.to_int (cut_frac *. Float.of_int (String.length stream)) in
+      (* scan the whole stream, frame by frame *)
+      let decoded = ref [] in
+      let pos = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Frame.scan_frame stream ~pos:!pos ~len:(String.length stream - !pos) with
+        | Frame.Incomplete -> continue := false
+        | Frame.Frame { payload; consumed } ->
+          decoded := Codec.get_raw payload (Codec.remaining payload) :: !decoded;
+          pos := !pos + consumed
+      done;
+      (* the prefix up to the cut never yields more frames than the whole *)
+      let prefix_count = ref 0 in
+      let p = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Frame.scan_frame stream ~pos:!p ~len:(cut - !p) with
+        | Frame.Incomplete -> continue := false
+        | exception Invalid_argument _ -> continue := false
+        | Frame.Frame { consumed; _ } ->
+          incr prefix_count;
+          p := !p + consumed
+      done;
+      List.rev !decoded = payloads && !prefix_count <= List.length payloads)
+
+(* ------------------------------------------------------------ live serve *)
+
+let with_temp_sock f =
+  let path = Filename.temp_file "shist_net" ".sock" in
+  Unix.unlink path;
+  Fun.protect
+    ~finally:(fun () -> try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () -> f (Addr.Unix_sock path))
+
+(* A live engine + serve loop on its own domain.  The listener is bound
+   before the domain spawns, so clients can connect immediately (the
+   backlog holds them until the loop's first iteration). *)
+let with_server ?config ?(policy = Params.Eager) ?(ring_capacity = SE.default_ring_capacity)
+    ~shards ~window ~buckets ~epsilon addr f =
+  let listener = Server.listen addr in
+  let stop = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Pool.with_pool ~domains:1 (fun pool ->
+            let eng =
+              SE.create_with_ring ~mode:SE.Pinned ~ring_capacity ~pool ~shards ~window
+                ~buckets ~epsilon
+            in
+            SE.set_refresh_policy eng policy;
+            Server.run ?config ~stop:(fun () -> Atomic.get stop) ~engine:eng
+              ~listeners:[ listener ] ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join srv : Server.report);
+      try Unix.close listener with Unix.Unix_error _ -> ())
+    (fun () -> f ())
+
+let geometry = (8, 64, 4, 0.1)
+
+(* Raw socket access, for speaking garbage the Client refuses to send. *)
+let raw_connect addr =
+  let fd = Addr.socket_for addr in
+  Unix.connect fd (Addr.to_sockaddr addr);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  fd
+
+let write_string fd s = ignore (Unix.write_substring fd s 0 (String.length s) : int)
+
+(* Drain one fd to EOF (with the 5s receive timeout armed); returns all
+   bytes read after the server's preamble was stripped by the caller. *)
+let read_to_eof fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd b 0 4096 with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf b 0 n;
+      go ()
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> Buffer.contents buf
+  in
+  go ()
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.read fd b !off (n - !off) with
+    | 0 -> Alcotest.fail "unexpected EOF"
+    | got -> off := !off + got
+  done;
+  Bytes.to_string b
+
+let test_serve_equivalence () =
+  let shards, window, buckets, epsilon = geometry in
+  with_temp_sock @@ fun addr ->
+  with_server ~shards ~window ~buckets ~epsilon addr @@ fun () ->
+  (* reference: the same batches through an in-process engine *)
+  Pool.with_pool ~domains:1 @@ fun pool ->
+  let ref_eng = SE.create ~mode:SE.Pinned ~pool ~shards ~window ~buckets ~epsilon in
+  SE.set_refresh_policy ref_eng Params.Eager;
+  let rng = Rng.create ~seed:7 in
+  let c = Client.connect ~timeout:5. addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  for _round = 1 to 12 do
+    let ngroups = 1 + Rng.int rng 5 in
+    let groups =
+      Array.init ngroups (fun _ ->
+          let k = Rng.int rng shards in
+          let len = Rng.int rng 40 in
+          (k, Array.init len (fun _ -> Float.of_int (Rng.int rng 100))))
+    in
+    let sent = Wire.points_in_groups groups in
+    let acked = Client.ingest c groups in
+    Alcotest.(check int) "every point acked" sent acked;
+    SE.ingest_groups ref_eng groups
+  done;
+  (* every query constructor, including out-of-range parameters that the
+     clamping contract must normalise identically on both sides *)
+  let qs =
+    Array.concat
+      (List.init shards (fun k ->
+           [|
+             (k, SE.Current_error);
+             (k, SE.Window_length);
+             (k, SE.Herror { k = buckets + 3; x = window + 50 });
+             (k, SE.Herror { k = 1; x = 0 });
+             (k, SE.Range_sum { lo = 0; hi = window + 9 });
+             (k, SE.Point_estimate { index = 1 + (k mod window) });
+           |]))
+  in
+  let remote = Client.query c qs in
+  let local = SE.query_many ref_eng qs in
+  Alcotest.(check int) "answer count" (Array.length local) (Array.length remote);
+  Array.iteri
+    (fun i l ->
+      if Int64.bits_of_float l <> Int64.bits_of_float remote.(i) then
+        Alcotest.failf "query %d: local %.17g <> remote %.17g" i l remote.(i))
+    local;
+  let st = Client.stats c in
+  Alcotest.(check int) "server points" (SE.total_points ref_eng) st.Wire.total_points;
+  Alcotest.(check int) "query plane stayed lock-free" 0 st.Wire.query_lock_ops;
+  Client.ping c
+
+let test_serve_backpressure_no_drop () =
+  let shards, window, buckets, epsilon = geometry in
+  with_temp_sock @@ fun addr ->
+  (* ring capacity 1: every batched point beyond the first per shard
+     spills, so backpressure_waits must rise while nothing is lost *)
+  with_server ~ring_capacity:1 ~policy:(Params.Every 64) ~shards ~window ~buckets ~epsilon
+    addr
+  @@ fun () ->
+  let nconn = 3 and batches = 8 and batch = 256 in
+  let cs = Array.init nconn (fun _ -> Client.connect ~timeout:5. addr) in
+  Fun.protect ~finally:(fun () -> Array.iter Client.close cs) @@ fun () ->
+  let rng = Rng.create ~seed:11 in
+  let sent = ref 0 in
+  let acked = ref 0 in
+  for _ = 1 to batches do
+    (* pipeline: all connections send, then all collect — forcing the
+       server to coalesce competing batches in one iteration *)
+    Array.iter
+      (fun c ->
+        let groups =
+          Array.init 4 (fun _ ->
+              let k = Rng.int rng shards in
+              (k, Array.init (batch / 4) (fun _ -> Float.of_int (Rng.int rng 50))))
+        in
+        sent := !sent + Wire.points_in_groups groups;
+        Client.send c (Wire.Ingest groups))
+      cs;
+    Array.iter
+      (fun c ->
+        match Client.recv c with
+        | Wire.Ack n -> acked := !acked + n
+        | _ -> Alcotest.fail "expected Ack")
+      cs
+  done;
+  let st = Client.stats cs.(0) in
+  Alcotest.(check int) "acked == sent" !sent !acked;
+  Alcotest.(check int) "server holds every acked point" !sent st.Wire.total_points;
+  Alcotest.(check bool)
+    (Printf.sprintf "backpressure engaged (waits=%d)" st.Wire.backpressure_waits)
+    true
+    (st.Wire.backpressure_waits > 0)
+
+let test_serve_rejects_bad_key_keeps_conn () =
+  let shards, window, buckets, epsilon = geometry in
+  with_temp_sock @@ fun addr ->
+  with_server ~shards ~window ~buckets ~epsilon addr @@ fun () ->
+  let c = Client.connect ~timeout:5. addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.call c (Wire.Ingest [| (shards, [| 1.0 |]) |]) with
+  | Wire.Error_reply _ -> ()
+  | _ -> Alcotest.fail "out-of-range key accepted");
+  (* semantic rejection: the connection survives and serves the next
+     request; the bad batch contributed nothing *)
+  let n = Client.ingest c [| (0, [| 1.0; 2.0 |]) |] in
+  Alcotest.(check int) "good batch acked after rejection" 2 n;
+  let st = Client.stats c in
+  Alcotest.(check int) "only the good points landed" 2 st.Wire.total_points
+
+let test_serve_malformed_inputs () =
+  let shards, window, buckets, epsilon = geometry in
+  with_temp_sock @@ fun addr ->
+  with_server ~shards ~window ~buckets ~epsilon addr @@ fun () ->
+  (* 1. garbage preamble: error frame (or nothing) then EOF, never a hang *)
+  let fd = raw_connect addr in
+  ignore (read_exact fd Wire.preamble_len : string);
+  write_string fd "GARBAGE!";
+  let tail = read_to_eof fd in
+  Unix.close fd;
+  (match Frame.scan_frame tail ~pos:0 ~len:(String.length tail) with
+  | Frame.Frame { payload; _ } -> (
+    match Wire.decode_response payload with
+    | Wire.Error_reply _ -> ()
+    | _ -> Alcotest.fail "garbage preamble: expected Error_reply")
+  | Frame.Incomplete -> Alcotest.fail "garbage preamble: no error frame before close");
+  (* 2. valid preamble, then a CRC-corrupted frame *)
+  let fd = raw_connect addr in
+  ignore (read_exact fd Wire.preamble_len : string);
+  write_string fd Wire.preamble;
+  let frame = Bytes.of_string (Wire.encode_request Wire.Ping) in
+  let last = Bytes.length frame - 1 in
+  Bytes.set frame last (Char.chr (Char.code (Bytes.get frame last) lxor 0xFF));
+  write_string fd (Bytes.to_string frame);
+  let tail = read_to_eof fd in
+  Unix.close fd;
+  (match Frame.scan_frame tail ~pos:0 ~len:(String.length tail) with
+  | Frame.Frame { payload; _ } -> (
+    match Wire.decode_response payload with
+    | Wire.Error_reply _ -> ()
+    | _ -> Alcotest.fail "corrupt frame: expected Error_reply")
+  | Frame.Incomplete -> Alcotest.fail "corrupt frame: no error frame before close");
+  (* 3. oversized declared payload length *)
+  let fd = raw_connect addr in
+  ignore (read_exact fd Wire.preamble_len : string);
+  write_string fd Wire.preamble;
+  let buf = Buffer.create 16 in
+  Codec.put_varint buf (Wire.max_frame_payload + 1);
+  write_string fd (Buffer.contents buf);
+  let tail = read_to_eof fd in
+  Unix.close fd;
+  (match Frame.scan_frame tail ~pos:0 ~len:(String.length tail) with
+  | Frame.Frame { payload; _ } -> (
+    match Wire.decode_response payload with
+    | Wire.Error_reply _ -> ()
+    | _ -> Alcotest.fail "oversized length: expected Error_reply")
+  | Frame.Incomplete -> Alcotest.fail "oversized length: no error frame before close");
+  (* the server survived all three: a healthy client still works *)
+  let c = Client.connect ~timeout:5. addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.ping c;
+  let st = Client.stats c in
+  Alcotest.(check int) "nothing ingested by attackers" 0 st.Wire.total_points
+
+let test_serve_slow_loris_reaped () =
+  let shards, window, buckets, epsilon = geometry in
+  with_temp_sock @@ fun addr ->
+  let config = { Server.default_config with idle_timeout = 0.25 } in
+  with_server ~config ~shards ~window ~buckets ~epsilon addr @@ fun () ->
+  let fd = raw_connect addr in
+  ignore (read_exact fd Wire.preamble_len : string);
+  write_string fd Wire.preamble;
+  (* half an ingest frame, then silence *)
+  let frame = Wire.encode_request (Wire.Ingest [| (0, Array.make 64 1.0) |]) in
+  write_string fd (String.sub frame 0 (String.length frame / 2));
+  let tail = read_to_eof fd in
+  (* the drain returns only because the server reaped us within the 5s
+     receive timeout; a healthy client is unaffected throughout *)
+  ignore (tail : string);
+  Unix.close fd;
+  let c = Client.connect ~timeout:5. addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.ping c;
+  let st = Client.stats c in
+  Alcotest.(check int) "half-frame never ingested" 0 st.Wire.total_points
+
+let test_serve_checkpoint_restart_reconnect () =
+  let shards, window, buckets, epsilon = geometry in
+  let ckpt = Filename.temp_file "shist_net" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckpt with Sys_error _ -> ())
+  @@ fun () ->
+  with_temp_sock @@ fun addr ->
+  let rng = Rng.create ~seed:23 in
+  let mk_groups () =
+    Array.init 6 (fun _ ->
+        let k = Rng.int rng shards in
+        (k, Array.init (10 + Rng.int rng 30) (fun _ -> Float.of_int (Rng.int rng 100))))
+  in
+  let config = { Server.default_config with checkpoint = Some ckpt } in
+  (* generation 1: ingest, checkpoint over the wire, shut down *)
+  let points_before, lengths_before =
+    let result = ref (0, [||]) in
+    with_server ~config ~shards ~window ~buckets ~epsilon addr (fun () ->
+        let c = Client.connect ~timeout:5. addr in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        for _ = 1 to 10 do
+          ignore (Client.ingest c (mk_groups ()) : int)
+        done;
+        let path = Client.checkpoint c in
+        Alcotest.(check string) "checkpoint path echoed" ckpt path;
+        let st = Client.stats c in
+        let lengths =
+          Client.query c (Array.init shards (fun k -> (k, SE.Window_length)))
+        in
+        result := (st.Wire.total_points, lengths);
+        Client.shutdown c);
+    !result
+  in
+  (* generation 2: restore from the checkpoint, same address; the client
+     connects with a retry budget, as a restarting client would *)
+  let listener = Server.listen addr in
+  let srv =
+    Domain.spawn (fun () ->
+        Pool.with_pool ~domains:1 (fun pool ->
+            let eng = SE.restore_from ~mode:SE.Pinned ~pool ~file:ckpt in
+            Server.run ~engine:eng ~listeners:[ listener ] ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Domain.join srv : Server.report);
+      try Unix.close listener with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let c = Client.connect ~timeout:5. ~retries:25 ~retry_delay:0.1 addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let st = Client.stats c in
+  Alcotest.(check int) "restored every checkpointed point" points_before
+    st.Wire.total_points;
+  let lengths = Client.query c (Array.init shards (fun k -> (k, SE.Window_length))) in
+  Array.iteri
+    (fun k l ->
+      if Int64.bits_of_float l <> Int64.bits_of_float lengths_before.(k) then
+        Alcotest.failf "shard %d: window length %g after restore, %g before" k lengths.(k)
+          lengths_before.(k))
+    lengths_before;
+  (* the restored engine keeps serving ingest *)
+  let n = Client.ingest c [| (0, [| 1.0; 2.0; 3.0 |]) |] in
+  Alcotest.(check int) "post-restore ingest acked" 3 n;
+  Client.shutdown c
+
+let () =
+  Alcotest.run "net"
+    [
+      ("addr", [ Alcotest.test_case "parse/print" `Quick test_addr_parse ]);
+      ( "wire",
+        [
+          Alcotest.test_case "request round trips" `Quick test_wire_request_round_trips;
+          Alcotest.test_case "response round trips" `Quick test_wire_response_round_trips;
+          Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+          Alcotest.test_case "preamble" `Quick test_preamble;
+          prop_wire_ingest_round_trip;
+          prop_wire_query_round_trip;
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "every prefix is Incomplete" `Quick test_scan_every_prefix;
+          Alcotest.test_case "two frames, positioned scan" `Quick test_scan_two_frames_and_pos;
+          Alcotest.test_case "every bit flip detected" `Quick test_scan_bit_flips;
+          Alcotest.test_case "oversized and overlong rejected" `Quick
+            test_scan_oversized_and_overlong;
+          prop_scan_split_stream;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "equivalence with in-process engine" `Quick
+            test_serve_equivalence;
+          Alcotest.test_case "backpressure drops nothing" `Quick
+            test_serve_backpressure_no_drop;
+          Alcotest.test_case "bad key rejected, connection survives" `Quick
+            test_serve_rejects_bad_key_keeps_conn;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_serve_malformed_inputs;
+          Alcotest.test_case "slow loris reaped" `Quick test_serve_slow_loris_reaped;
+          Alcotest.test_case "checkpoint, restart, reconnect" `Quick
+            test_serve_checkpoint_restart_reconnect;
+        ] );
+    ]
