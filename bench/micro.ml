@@ -519,6 +519,8 @@ let run_contention scale =
 
 module Pool = Sh_par.Domain_pool
 module SE = Sh_par.Shard_engine
+module Qop = Stream_histogram.Query_op
+module FG = Stream_histogram.Fw_group
 
 (* Pre-generated rounds of (key, value) arrivals, round-robin over shards,
    each shard's values drawn from its own split_ix-derived source — the
@@ -543,9 +545,9 @@ let run_par scale =
   let prefill = (par_round_data ~shards ~batch:(shards * window) ~rounds:1 ~seed:31).(0) in
   let round_data = par_round_data ~shards ~batch ~rounds ~seed:32 in
   let host_cores = Domain.recommended_domain_count () in
-  let measure ~mode ~domains ~cold =
+  let measure ~domains ~cold =
     Pool.with_pool ~domains (fun pool ->
-        let eng = SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon in
+        let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
         (* steady state before the clock starts: windows full, lists warm *)
         SE.ingest eng prefill;
         SE.refresh_all eng;
@@ -558,15 +560,15 @@ let run_par scale =
         let dt = Unix.gettimeofday () -. t0 in
         Float.of_int (batch * rounds) /. dt)
   in
+  (* one mode left — the JSON keeps the [modes] list shape so report
+     tooling and cross-run diffs stay stable *)
   let mode_rows =
-    List.map
-      (fun mode ->
-        ( mode,
-          List.map
-            (fun d ->
-              (d, measure ~mode ~domains:d ~cold:false, measure ~mode ~domains:d ~cold:true))
-            domain_counts ))
-      [ SE.Locked; SE.Pinned ]
+    [
+      ( "pinned",
+        List.map
+          (fun d -> (d, measure ~domains:d ~cold:false, measure ~domains:d ~cold:true))
+          domain_counts );
+    ]
   in
   Report.note "S=%d shards, window n=%d, B=%d, eps=%g; %d rounds of %d-point batches, each \
                followed by a full refresh sweep" shards window buckets epsilon rounds batch;
@@ -583,7 +585,7 @@ let run_par scale =
          in
          List.map
            (fun (d, w, c) ->
-             [ SE.mode_to_string mode; string_of_int d; Printf.sprintf "%.0f" w;
+             [ mode; string_of_int d; Printf.sprintf "%.0f" w;
                Printf.sprintf "%.0f" (1e9 /. w); Printf.sprintf "%.2fx" (w /. warm1);
                Printf.sprintf "%.0f" c; Printf.sprintf "%.2fx" (c /. cold1) ])
            rows)
@@ -608,7 +610,7 @@ let run_par scale =
                   in
                   Report.Jobj
                     [
-                      ("mode", Report.Jstring (SE.mode_to_string mode));
+                      ("mode", Report.Jstring mode);
                       ( "scaling",
                         Report.Jlist
                           (List.map
@@ -631,13 +633,11 @@ let run_par scale =
 (* -------------------------------------- reads concurrent with ingest
 
    The wait-free read plane's headline number: query throughput from a
-   dedicated reader domain while the engine ingests continuously.  In
-   [Locked] mode every query serialises on a shard mutex against the
-   ingest tasks; in [Pinned] mode queries answer from the epoch-published
-   snapshots and never touch a lock — engine.query_lock_ops, reported per
-   row, stays zero and is asserted by CI.  Like run_par, speedups need
-   real cores; host_cores is in the JSON so single-core runs are
-   legible. *)
+   dedicated reader domain while the engine ingests continuously.
+   Queries answer from the epoch-published snapshots and never touch a
+   lock — engine.query_lock_ops, reported per row, stays zero and is
+   asserted by CI.  Like run_par, speedups need real cores; host_cores
+   is in the JSON so single-core runs are legible. *)
 let run_read scale =
   Report.section "BENCH-MICRO-READ: snapshot queries concurrent with ingest";
   let shards, window, buckets, epsilon, batch, qbatch, qrounds, domain_counts =
@@ -653,24 +653,26 @@ let run_read scale =
     let rng = Rng.create ~seed:43 in
     Array.init 16 (fun _ ->
         Array.init qbatch (fun _ ->
-            let key = Rng.int rng shards in
+            let scope =
+              if Rng.int rng 16 = 0 then Qop.Global else Qop.Key (Rng.int rng shards)
+            in
             let q =
               match Rng.int rng 5 with
-              | 0 -> SE.Current_error
-              | 1 -> SE.Window_length
+              | 0 -> Qop.Current_error
+              | 1 -> Qop.Window_length
               | 2 ->
-                SE.Herror { k = 1 + Rng.int rng buckets; x = Rng.int rng (window + 1) }
+                Qop.Herror { k = 1 + Rng.int rng buckets; x = Rng.int rng (window + 1) }
               | 3 ->
                 let lo = 1 + Rng.int rng window in
-                SE.Range_sum { lo; hi = lo + Rng.int rng window }
-              | _ -> SE.Point_estimate { index = 1 + Rng.int rng window }
+                Qop.Range_sum { lo; hi = lo + Rng.int rng window }
+              | _ -> Qop.Point_estimate { index = 1 + Rng.int rng window }
             in
-            (key, q)))
+            (scope, q)))
   in
   let host_cores = Domain.recommended_domain_count () in
-  let measure ~mode ~domains =
+  let measure ~domains =
     Pool.with_pool ~domains (fun pool ->
-        let eng = SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon in
+        let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
         SE.set_refresh_policy eng (Stream_histogram.Params.Every 64);
         SE.ingest eng prefill;
         SE.refresh_all eng;
@@ -704,10 +706,7 @@ let run_read scale =
         (qps, ingest_rate, SE.query_lock_ops eng - qlock0))
   in
   let mode_rows =
-    List.map
-      (fun mode ->
-        (mode, List.map (fun d -> (d, measure ~mode ~domains:d)) domain_counts))
-      [ SE.Locked; SE.Pinned ]
+    [ ("pinned", List.map (fun d -> (d, measure ~domains:d)) domain_counts) ]
   in
   Report.note
     "S=%d shards, window n=%d, B=%d, eps=%g; reader fires %d batches of %d mixed queries \
@@ -723,7 +722,7 @@ let run_read scale =
        (fun (mode, rows) ->
          List.map
            (fun (d, (qps, ips, qlocks)) ->
-             [ SE.mode_to_string mode; string_of_int d; Printf.sprintf "%.0f" qps;
+             [ mode; string_of_int d; Printf.sprintf "%.0f" qps;
                Printf.sprintf "%.0f" (1e9 /. qps); Printf.sprintf "%.0f" ips;
                string_of_int qlocks ])
            rows)
@@ -745,7 +744,7 @@ let run_read scale =
                 (fun (mode, rows) ->
                   Report.Jobj
                     [
-                      ("mode", Report.Jstring (SE.mode_to_string mode));
+                      ("mode", Report.Jstring mode);
                       ( "scaling",
                         Report.Jlist
                           (List.map
@@ -761,6 +760,98 @@ let run_read scale =
                              rows) );
                     ])
                 mode_rows) );
+       ])
+
+(* ------------------------------------------------------ summary merges
+
+   The Mergeable capability's combine costs, per summary family: GK is a
+   two-pointer walk plus a compress, agglomerative shifts one operand's
+   interval queues into the concatenated index space, and the
+   fixed-window group union moves per-key summaries verbatim (so its
+   cost is the sorted-array splice, independent of window contents).
+   eval_global is benchmarked alongside because the aggregation plane
+   pays one per Global query element. *)
+let run_merge scale =
+  Report.section "BENCH-MICRO-MERGE: mergeable-summary combine costs";
+  (* the agglomerative merge recomputes the shifted side's prefix errors,
+     so its operands are kept an order of magnitude smaller *)
+  let n, n_ag, quota =
+    match scale with
+    | Bench_config.Small -> (2_000, 500, 0.25)
+    | Bench_config.Default | Bench_config.Full -> (20_000, 2_000, 1.0)
+  in
+  let gk_eps = 0.01 in
+  let mk_gk seed =
+    let g = Sh_quantile.Gk.create ~epsilon:gk_eps in
+    Array.iter (Sh_quantile.Gk.insert g) (network ~seed ~len:n);
+    g
+  in
+  let ga = mk_gk 51 and gb = mk_gk 52 in
+  let ag_buckets = 16 in
+  let mk_ag seed =
+    let ag = AG.create ~buckets:ag_buckets ~epsilon:0.1 in
+    Array.iter (AG.push ag) (network ~seed ~len:n_ag);
+    ag
+  in
+  let aa = mk_ag 53 and ab = mk_ag 54 in
+  let shards = 8 and window = 1024 and fw_buckets = 8 in
+  let fws =
+    Pool.with_pool ~domains:1 (fun pool ->
+        let eng = SE.create ~pool ~shards ~window ~buckets:fw_buckets ~epsilon:0.1 in
+        let data = network ~seed:55 ~len:(shards * window) in
+        SE.ingest eng (Array.mapi (fun i v -> (i mod shards, v)) data);
+        SE.refresh_all eng;
+        SE.decode_snapshot (SE.snapshot_bytes eng))
+  in
+  let half = shards / 2 in
+  let left = FG.of_summaries ~base:0 (Array.sub fws 0 half) in
+  let right = FG.of_summaries ~base:half (Array.sub fws half (shards - half)) in
+  let group = FG.merge left right in
+  let tests =
+    [
+      Test.make
+        ~name:(Printf.sprintf "gk.merge eps=%g n=%d+%d" gk_eps n n)
+        (Staged.stage (fun () -> ignore (Sh_quantile.Gk.merge ga gb)));
+      Test.make
+        ~name:(Printf.sprintf "agglomerative.merge B=%d n=%d+%d" ag_buckets n_ag n_ag)
+        (Staged.stage (fun () -> ignore (AG.merge aa ab)));
+      Test.make
+        ~name:(Printf.sprintf "fw_group.merge S=%d+%d" half (shards - half))
+        (Staged.stage (fun () -> ignore (FG.merge left right)));
+      Test.make
+        ~name:(Printf.sprintf "fw_group.eval_global range_sum S=%d" shards)
+        (Staged.stage (fun () ->
+             ignore
+               (FG.eval_global group
+                  (Qop.Range_sum { lo = 1; hi = window }))));
+    ]
+  in
+  Report.note
+    "GK: eps=%g, %d points per operand (%d and %d stored tuples); AG: B=%d, %d points per \
+     operand; FW group: %d keys of window n=%d, split %d+%d"
+    gk_eps n
+    (Sh_quantile.Gk.size ga)
+    (Sh_quantile.Gk.size gb)
+    ag_buckets n_ag shards window half (shards - half);
+  let rows = measure_group ~quota tests in
+  Report.table ~headers:[ "operation"; "time/op" ]
+    (List.map (fun (name, ns) -> [ name; pretty_ns ns ]) rows);
+  Report.json_add "micro_merge"
+    (Report.Jobj
+       [
+         ("points_per_operand", Report.Jint n);
+         ("ag_points_per_operand", Report.Jint n_ag);
+         ("gk_epsilon", Report.Jfloat gk_eps);
+         ("ag_buckets", Report.Jint ag_buckets);
+         ("fw_shards", Report.Jint shards);
+         ("fw_window", Report.Jint window);
+         ( "rows",
+           Report.Jlist
+             (List.map
+                (fun (name, ns) ->
+                  Report.Jobj
+                    [ ("op", Report.Jstring name); ("ns_per_op", Report.Jfloat ns) ])
+                rows) );
        ])
 
 let run scale =
@@ -832,13 +923,13 @@ let run_persist scale =
       (fun () ->
         Pool.with_pool ~domains:1 @@ fun pool ->
         let window = List.hd (List.rev fw_windows) in
-        let eng = SE.create ~mode:SE.Pinned ~pool ~shards ~window ~buckets ~epsilon in
+        let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
         SE.ingest eng (par_round_data ~shards ~batch:(shards * window) ~rounds:1 ~seed:22).(0);
         SE.refresh_all eng;
         let ck_ns = timed_ns ~reps:(max 5 (reps / 5)) (fun () -> SE.checkpoint eng ~file:ck_file) in
         let rs_ns =
           timed_ns ~reps:(max 5 (reps / 5)) (fun () ->
-              SE.restore_from ~mode:SE.Pinned ~pool ~file:ck_file)
+              SE.restore_from ~pool ~file:ck_file)
         in
         let bytes = String.length (Persist.read_file ck_file) in
         (window, bytes, ck_ns, rs_ns))
@@ -935,7 +1026,7 @@ let run_net scale =
   let host_cores = Domain.recommended_domain_count () in
   let policy = Stream_histogram.Params.Every 256 in
   let fresh_engine pool =
-    let eng = SE.create ~mode:SE.Pinned ~pool ~shards ~window ~buckets ~epsilon in
+    let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
     SE.set_refresh_policy eng policy;
     eng
   in

@@ -31,6 +31,8 @@ module O = Sh_obs.Obs
 module Lat = Sh_obs.Latency
 module Pool = Sh_par.Domain_pool
 module SE = Sh_par.Shard_engine
+module Qop = Stream_histogram.Query_op
+module Aggregator = Sh_agg.Aggregator
 module Addr = Sh_net.Addr
 module Net_server = Sh_net.Server
 module Net_client = Sh_net.Client
@@ -439,27 +441,9 @@ let serve_cmd =
           ~doc:
             "Run estimation queries concurrent with ingest from a dedicated reader domain, \
              pacing towards $(docv) queries per ingested point (0, the default, disables \
-             query traffic).  Queries answer from the wait-free published snapshots in \
-             $(b,pinned) mode and under the shard mutex in $(b,locked) mode; the end-of-run \
+             query traffic).  Queries answer from the wait-free published snapshots — zero \
+             mutex acquisitions, witnessed by the end-of-run $(b,query_lock_ops=0) — and the \
              report counts queries served, throughput and snapshot generation lag.")
-  in
-  let mode_conv =
-    let parse s =
-      match SE.mode_of_string s with
-      | Some m -> Ok m
-      | None -> Error (`Msg (Printf.sprintf "unknown ingest mode %S (expected locked|pinned)" s))
-    in
-    Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (SE.mode_to_string m))
-  in
-  let mode =
-    Arg.(
-      value
-      & opt mode_conv SE.Pinned
-      & info [ "mode" ] ~docv:"MODE"
-          ~doc:
-            "Ingest pipeline: $(b,pinned) (lock-free SPSC rings, domain-pinned shard owners — \
-             the default) or $(b,locked) (per-shard mutexes, kept one release for comparison). \
-             Answers are identical; only wall-clock differs.")
   in
   let addr_conv =
     let parse s =
@@ -497,7 +481,7 @@ let serve_cmd =
   in
   let run shards domains count batch window buckets epsilon policy dist skew seed metrics
       trace_out checkpoint_file checkpoint_every restore_file record_file record_every
-      latency_window query_mix mode listen max_points idle_timeout =
+      latency_window query_mix listen max_points idle_timeout =
     with_obs metrics trace_out @@ fun () ->
     if batch < 1 then invalid_arg "serve: --batch must be >= 1";
     if record_every < 1 then invalid_arg "serve: --record-every must be >= 1";
@@ -524,9 +508,9 @@ let serve_cmd =
     Pool.with_pool ~domains @@ fun pool ->
     let eng =
       match restore_file with
-      | None -> SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon
+      | None -> SE.create ~pool ~shards ~window ~buckets ~epsilon
       | Some file ->
-        let eng = SE.restore_from ~mode ~pool ~file in
+        let eng = SE.restore_from ~pool ~file in
         Printf.printf "restored %d shards (%d points) from %s\n" (SE.shard_count eng)
           (SE.total_points eng) file;
         eng
@@ -576,13 +560,11 @@ let serve_cmd =
          Printf.printf "checkpoint: wrote %s (%d write(s))\n" file
            rep.Net_server.checkpoints_written
        | _ -> ());
-      Printf.printf "serve: %d points, %d batches over %d shards, %d domains (%s, %s mode)\n"
+      Printf.printf "serve: %d points, %d batches over %d shards, %d domains (%s)\n"
         (SE.total_points eng) (SE.batches eng) shards domains
-        (Stream_histogram.Params.policy_to_string policy)
-        (SE.mode_to_string (SE.mode eng));
-      if SE.mode eng = SE.Pinned then
-        Printf.printf "pinned: %d backpressure spill(s), %d refresh steal(s), %d lock op(s)\n"
-          (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
+        (Stream_histogram.Params.policy_to_string policy);
+      Printf.printf "pinned: %d backpressure spill(s), %d refresh steal(s), %d lock op(s)\n"
+        (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
       Printf.printf "queries: %d served, %.0f queries/s, query_lock_ops=%d\n"
         rep.Net_server.queries_served
         (Float.of_int rep.Net_server.queries_served /. Float.max elapsed 1e-9)
@@ -728,11 +710,13 @@ let serve_cmd =
     in
     (* --- concurrent query traffic ---------------------------------------
        A reader domain outside the ingest pool fires batched estimation
-       queries while the stream is live.  In [Pinned] mode every answer
-       comes off the published snapshots — zero mutex acquisitions, which
-       the report proves via engine.query_lock_ops — and the reader also
+       queries while the stream is live.  Every answer comes off the
+       wait-free published snapshots — zero mutex acquisitions, which the
+       report proves via engine.query_lock_ops — and the reader also
        samples the snapshot generation lag of random shards into a tiny
-       histogram (the staleness contract, observed). *)
+       histogram (the staleness contract, observed).  One scope in
+       sixteen is [Global] — the all-keys fold over the published
+       views. *)
     let q_stop = Atomic.make false in
     let query_domain =
       if query_mix <= 0.0 then None
@@ -741,7 +725,7 @@ let serve_cmd =
           (Domain.spawn (fun () ->
                let qrng = Rng.split_ix root (shards + 1) in
                let qbatch = 64 in
-               let qs = Array.make qbatch (0, SE.Current_error) in
+               let qs = Array.make qbatch (Qop.Key 0, Qop.Current_error) in
                let served = ref 0 in
                let lag = [| 0; 0; 0 |] in
                while not (Atomic.get q_stop) do
@@ -751,23 +735,26 @@ let serve_cmd =
                  if !served >= target then Domain.cpu_relax ()
                  else begin
                    for i = 0 to qbatch - 1 do
-                     let key = Rng.int qrng shards in
+                     let scope =
+                       if Rng.int qrng 16 = 0 then Qop.Global
+                       else Qop.Key (Rng.int qrng shards)
+                     in
                      let q =
                        match Rng.int qrng 5 with
-                       | 0 -> SE.Current_error
-                       | 1 -> SE.Window_length
+                       | 0 -> Qop.Current_error
+                       | 1 -> Qop.Window_length
                        | 2 ->
-                         SE.Herror
+                         Qop.Herror
                            {
                              k = 1 + Rng.int qrng eng_buckets;
                              x = Rng.int qrng (eng_window + 1);
                            }
                        | 3 ->
                          let lo = 1 + Rng.int qrng eng_window in
-                         SE.Range_sum { lo; hi = lo + Rng.int qrng eng_window }
-                       | _ -> SE.Point_estimate { index = 1 + Rng.int qrng eng_window }
+                         Qop.Range_sum { lo; hi = lo + Rng.int qrng eng_window }
+                       | _ -> Qop.Point_estimate { index = 1 + Rng.int qrng eng_window }
                      in
-                     qs.(i) <- (key, q)
+                     qs.(i) <- (scope, q)
                    done;
                    ignore (SE.query_many eng qs);
                    served := !served + qbatch;
@@ -819,18 +806,16 @@ let serve_cmd =
      | Some file -> Printf.printf "checkpoint: wrote %s (%d write(s))\n" file !checkpoints
      | None -> ());
     let elapsed = Unix.gettimeofday () -. t0 in
-    Printf.printf "serve: %d points, %d batches of <=%d over %d shards, %d domains (%s, %s mode)\n"
+    Printf.printf "serve: %d points, %d batches of <=%d over %d shards, %d domains (%s)\n"
       (SE.total_points eng) (SE.batches eng) batch shards domains
-      (Stream_histogram.Params.policy_to_string policy)
-      (SE.mode_to_string (SE.mode eng));
-    if SE.mode eng = SE.Pinned then
-      Printf.printf "pinned: %d backpressure spill(s), %d refresh steal(s), %d lock op(s)\n"
-        (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
+      (Stream_histogram.Params.policy_to_string policy);
+    Printf.printf "pinned: %d backpressure spill(s), %d refresh steal(s), %d lock op(s)\n"
+      (SE.backpressure_waits eng) (SE.refresh_steals eng) (SE.lock_ops eng);
     (match query_report with
     | None ->
       (* No query traffic was requested: say so explicitly (with the
-         lock-op witness, which must be 0 in pinned mode even for the
-         ingest-only run) instead of omitting the line. *)
+         lock-op witness, which must be 0 even for the ingest-only run)
+         instead of omitting the line. *)
       Printf.printf "queries: 0 served, 0 queries/s, query_lock_ops=%d\n"
         (SE.query_lock_ops eng)
     | Some ((served, lag), q_elapsed) ->
@@ -873,7 +858,7 @@ let serve_cmd =
     Term.(
       const run $ shards $ domains $ count $ batch $ window $ buckets_arg $ epsilon_arg $ policy
       $ dist $ skew $ seed_arg $ metrics_arg $ trace_out_arg $ checkpoint_file $ checkpoint_every
-      $ restore_file $ record_file $ record_every $ latency_window $ query_mix $ mode
+      $ restore_file $ record_file $ record_every $ latency_window $ query_mix
       $ listen $ max_points $ idle_timeout)
 
 (* ---------------------------------------------------------- loadgen *)
@@ -920,6 +905,15 @@ let loadgen_cmd =
       & info [ "query-mix" ] ~docv:"R"
           ~doc:"Interleave estimation queries, pacing towards $(docv) queries per ingested point.")
   in
+  let global_mix =
+    Arg.(
+      value & opt float 0.0
+      & info [ "global-mix" ] ~docv:"F"
+          ~doc:
+            "Fraction of $(b,--query-mix) traffic scoped $(b,global) (over all keys) instead of \
+             a single key — exercises the all-keys fold on a leaf and the snapshot-merge path \
+             on an aggregator.  The report counts degraded (partial) answers.")
+  in
   let do_shutdown =
     Arg.(
       value & flag
@@ -939,12 +933,15 @@ let loadgen_cmd =
              and resend the unacknowledged request — rides out a server restart without \
              dropping acknowledged points.")
   in
-  let run addr connections batch count dist skew seed query_mix do_shutdown timeout retries =
+  let run addr connections batch count dist skew seed query_mix global_mix do_shutdown timeout
+      retries =
     if connections < 1 then invalid_arg "loadgen: --connections must be >= 1";
     if batch < 1 then invalid_arg "loadgen: --batch must be >= 1";
     if count < 0 then invalid_arg "loadgen: --count must be >= 0";
     if query_mix < 0.0 || not (Float.is_finite query_mix) then
       invalid_arg "loadgen: --query-mix must be a finite ratio >= 0";
+    if global_mix < 0.0 || global_mix > 1.0 || not (Float.is_finite global_mix) then
+      invalid_arg "loadgen: --global-mix must be a fraction in [0, 1]";
     let connect_one () =
       Net_client.connect ~timeout ~retries ~retry_delay:0.2 addr
     in
@@ -1032,6 +1029,7 @@ let loadgen_cmd =
     let sent = ref 0 in
     let acked = ref 0 in
     let q_sent = ref 0 in
+    let q_partial = ref 0 in
     let inflight = Array.make connections None in
     let t_send = Array.make connections 0.0 in
     let round = ref 0 in
@@ -1080,35 +1078,40 @@ let loadgen_cmd =
           let qb = min 64 (target - !q_sent) in
           let qs =
             Array.init qb (fun _ ->
-                let key = Rng.int key_rng shards in
+                let scope =
+                  if global_mix > 0.0 && Rng.float key_rng 1.0 < global_mix then Qop.Global
+                  else Qop.Key (Rng.int key_rng shards)
+                in
                 match Rng.int key_rng 5 with
-                | 0 -> (key, SE.Current_error)
-                | 1 -> (key, SE.Window_length)
+                | 0 -> (scope, Qop.Current_error)
+                | 1 -> (scope, Qop.Window_length)
                 | 2 ->
-                  ( key,
-                    SE.Herror
+                  ( scope,
+                    Qop.Herror
                       {
                         k = 1 + Rng.int key_rng (max 1 st.Wire.buckets);
                         x = Rng.int key_rng (eng_window + 1);
                       } )
                 | 3 ->
                   let lo = 1 + Rng.int key_rng eng_window in
-                  (key, SE.Range_sum { lo; hi = lo + Rng.int key_rng eng_window })
-                | _ -> (key, SE.Point_estimate { index = 1 + Rng.int key_rng eng_window }))
+                  (scope, Qop.Range_sum { lo; hi = lo + Rng.int key_rng eng_window })
+                | _ -> (scope, Qop.Point_estimate { index = 1 + Rng.int key_rng eng_window }))
           in
           let i = !round mod connections in
           let tq = Unix.gettimeofday () in
-          let answers =
-            match Net_client.query conns.(i) qs with
+          let answers, missing =
+            match Net_client.query_partial conns.(i) qs with
             | a -> a
             | exception (Net_client.Net_error _ | Unix.Unix_error _) when retries > 0 -> (
               match resend_sync i (Wire.Query qs) with
-              | Wire.Answers a -> a
+              | Wire.Answers a -> (a, 0)
+              | Wire.Answers_partial { answers; leaves_missing } -> (answers, leaves_missing)
               | _ -> failwith "loadgen: unexpected response to query")
           in
           Gk.insert rtt_query (Unix.gettimeofday () -. tq);
           if Array.length answers <> qb then
             failwith "loadgen: short answer vector";
+          if missing > 0 then incr q_partial;
           q_sent := !q_sent + qb
         done
       end;
@@ -1118,9 +1121,9 @@ let loadgen_cmd =
     (* Spot-check the served state end to end: window lengths must sit in
        [0, window] for any engine that really ingested our stream. *)
     let spot_keys = min shards 8 in
-    let spot =
-      Net_client.query conns.(0)
-        (Array.init spot_keys (fun k -> (k, SE.Window_length)))
+    let spot, _spot_missing =
+      Net_client.query_partial conns.(0)
+        (Array.init spot_keys (fun k -> (Qop.Key k, Qop.Window_length)))
     in
     let spot_ok =
       Array.for_all (fun v -> v >= 0.0 && v <= Float.of_int eng_window) spot
@@ -1150,12 +1153,13 @@ let loadgen_cmd =
     in
     print_rtt "ingest" rtt_ingest;
     print_rtt "query" rtt_query;
-    if !q_sent > 0 then Printf.printf "queries: %d sent\n" !q_sent;
+    if !q_sent > 0 then
+      Printf.printf "queries: %d sent, %d degraded (partial) batch(es)\n" !q_sent !q_partial;
     Printf.printf "spot queries: %s (%d key(s), window lengths within [0, %d])\n"
       (if spot_ok then "ok" else "FAILED")
       spot_keys eng_window;
-    Printf.printf "server: %d total points, mode %s, query_lock_ops=%d, backpressure_waits=%d\n"
-      st1.Wire.total_points st1.Wire.mode st1.Wire.query_lock_ops st1.Wire.backpressure_waits;
+    Printf.printf "server: %d total points, query_lock_ops=%d, backpressure_waits=%d\n"
+      st1.Wire.total_points st1.Wire.query_lock_ops st1.Wire.backpressure_waits;
     if not spot_ok then exit 1
   in
   Cmd.v
@@ -1164,7 +1168,134 @@ let loadgen_cmd =
              mixed queries, RTT quantiles")
     Term.(
       const run $ connect $ connections $ batch $ count $ dist $ skew $ seed_arg $ query_mix
-      $ do_shutdown $ timeout $ retries)
+      $ global_mix $ do_shutdown $ timeout $ retries)
+
+(* -------------------------------------------------------- aggregate *)
+
+let addr_conv =
+  let parse s =
+    match Addr.of_string s with Ok a -> Ok a | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Addr.to_string a))
+
+let aggregate_cmd =
+  let connect =
+    Arg.(
+      non_empty
+      & opt_all addr_conv []
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Leaf $(b,shist serve --listen) endpoint (repeatable).  Leaf $(docv) order fixes \
+             the global key space: leaf i's shards follow leaf i-1's.  All leaves must be up \
+             and agree on (window, buckets) at startup.")
+  in
+  let listen =
+    Arg.(
+      non_empty
+      & opt_all addr_conv []
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve the aggregated tree over the same wire protocol the leaves speak \
+             (repeatable) — $(b,shist loadgen) and $(b,shist peek) work unchanged against \
+             the root.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Bound on every leaf touch — a dead leaf degrades the reply, never hangs it.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:"Close a client connection idle on a partial frame for $(docv) seconds.")
+  in
+  let run connect listen timeout idle_timeout =
+    let agg = Aggregator.create ~timeout connect in
+    Printf.printf "aggregate: %d leaves, %d shards total (window %d, buckets %d)\n%!"
+      (Aggregator.leaf_count agg) (Aggregator.total_shards agg) (Aggregator.window agg)
+      (Aggregator.buckets agg);
+    let listeners =
+      List.map
+        (fun a ->
+          let fd = Net_server.listen a in
+          Printf.printf "listening on %s\n%!" (Addr.to_string a);
+          fd)
+        listen
+    in
+    let t0 = Unix.gettimeofday () in
+    let rep = Aggregator.run ~idle_timeout ~listeners agg () in
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+    List.iter
+      (function
+        | Addr.Unix_sock p -> ( try Unix.unlink p with Sys_error _ | Unix.Unix_error _ -> ())
+        | Addr.Tcp _ -> ())
+      listen;
+    Aggregator.close agg;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "net: %d connection(s), %d frame(s) in, %d out, %d protocol error(s), %d idle close(s)\n"
+      rep.Aggregator.connections rep.Aggregator.frames_in rep.Aggregator.frames_out
+      rep.Aggregator.protocol_errors rep.Aggregator.idle_closes;
+    Printf.printf "net: %d bytes in, %d bytes out\n" rep.Aggregator.bytes_in
+      rep.Aggregator.bytes_out;
+    Printf.printf
+      "aggregate: %d point(s) forwarded, %d query element(s), %d partial (degraded) replies\n"
+      rep.Aggregator.points_forwarded rep.Aggregator.queries_served
+      rep.Aggregator.partial_replies;
+    Printf.printf "elapsed %.3fs  throughput %.0f points/s\n" elapsed
+      (Float.of_int rep.Aggregator.points_forwarded /. Float.max elapsed 1e-9)
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:
+         "Root of a two-tier aggregation tree: fan ingest and scoped queries out over N leaf \
+          shist serve processes, merge snapshot summaries for global answers, degrade (never \
+          hang) on leaf failure")
+    Term.(const run $ connect $ listen $ timeout $ idle_timeout)
+
+(* ------------------------------------------------------------- peek *)
+
+let peek_cmd =
+  let connect =
+    Arg.(
+      required
+      & pos 0 (some addr_conv) None
+      & info [] ~docv:"ADDR" ~doc:"Endpoint to query: a leaf serve or an aggregate root.")
+  in
+  let timeout =
+    Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECS" ~doc:"Socket timeout.")
+  in
+  let retries =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"K" ~doc:"Connect retry budget.")
+  in
+  let run addr timeout retries =
+    let c = Net_client.connect ~timeout ~retries ~retry_delay:0.2 addr in
+    Fun.protect ~finally:(fun () -> Net_client.close c) @@ fun () ->
+    let st = Net_client.stats c in
+    let w = st.Wire.window in
+    let qs =
+      [|
+        (Qop.Global, Qop.Window_length);
+        (Qop.Global, Qop.Range_sum { lo = 1; hi = w });
+        (Qop.Global, Qop.Current_error);
+      |]
+    in
+    let answers, missing = Net_client.query_partial c qs in
+    (* %.17g: bit-faithful float text, so two endpoints answering the
+       same state diff clean — the CI oracle comparison greps these. *)
+    Printf.printf "global window_length answer=%.17g leaves_missing=%d\n" answers.(0) missing;
+    Printf.printf "global range_sum[1,%d] answer=%.17g leaves_missing=%d\n" w answers.(1)
+      missing;
+    Printf.printf "global current_error answer=%.17g leaves_missing=%d\n" answers.(2) missing
+  in
+  Cmd.v
+    (Cmd.info "peek"
+       ~doc:
+         "One-shot Global-scope queries against any wire endpoint, printed bit-faithfully — \
+          the scale-out equivalence check")
+    Term.(const run $ connect $ timeout $ retries)
 
 (* -------------------------------------------------------- quantiles *)
 
@@ -1185,4 +1316,4 @@ let quantiles_cmd =
 let () =
   let doc = "streaming histogram toolkit (Guha & Koudas, ICDE 2002 reproduction)" in
   let info = Cmd.info "shist" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; stream_cmd; query_cmd; quantiles_cmd; selectivity_cmd; heavy_cmd; serve_cmd; loadgen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; stream_cmd; query_cmd; quantiles_cmd; selectivity_cmd; heavy_cmd; serve_cmd; loadgen_cmd; aggregate_cmd; peek_cmd ]))

@@ -1,0 +1,99 @@
+(** Two-tier distributed aggregation: a root that owns client
+    connections to N leaf [shist serve] processes and answers the same
+    wire protocol they do.
+
+    {2 Key space}
+
+    Each leaf owns a contiguous slice of the global key space in the
+    order its address was given: leaf [i] with [s_i] shards owns global
+    keys [offset_i .. offset_i + s_i - 1] where
+    [offset_i = s_0 + ... + s_{i-1}].  [Key k] requests are routed to
+    the owning leaf with the key rebased into the leaf's local space;
+    [Global] requests pull one engine snapshot per leaf (the checkpoint
+    byte stream over the wire), decode them with the persistence codec,
+    splice the per-leaf summaries into one disjoint-key
+    {!Stream_histogram.Fw_group} and fold in ascending key order from
+    [0.0] — the exact float association the single-process engine's
+    [query_global] uses, so a complete answer is bit-identical to a
+    one-process oracle fed the same per-key streams.
+
+    {2 Degradation}
+
+    A leaf failure is never a hang and never an exception out of
+    {!query} / {!ingest} / {!stats}: every leaf touch is bounded by the
+    aggregator timeout, a failed touch marks the leaf down (one cheap
+    reconnect attempt per subsequent request), and the caller sees a
+    typed partial result — [leaves_missing > 0] with the unreachable
+    leaves' contributions answered as [0.0] (queries) or dropped from
+    the ack (ingest).  Only {!create} requires every leaf up, because
+    that is where the key-space layout is fixed. *)
+
+type t
+
+val create : ?timeout:float -> Sh_net.Addr.t list -> t
+(** Connect to every leaf (all must be reachable), probe geometry via
+    [Stats] and fix the key-space layout.  Raises
+    {!Stream_histogram.Summary_intf.Merge_incompatible} if the leaves
+    disagree on [(window, buckets)], {!Sh_net.Client.Net_error} if a leaf is
+    unreachable.  [timeout] (default 5 s) bounds every later leaf
+    touch. *)
+
+val total_shards : t -> int
+val leaf_count : t -> int
+val window : t -> int
+val buckets : t -> int
+val leaf_addrs : t -> Sh_net.Addr.t array
+
+val query :
+  t ->
+  (Stream_histogram.Query_op.scope * Stream_histogram.Query_op.t) array ->
+  float array * int
+(** Fan a scoped batch out and merge.  Returns the positional answers
+    and the number of distinct leaves that could not contribute; with a
+    leaf down, its [Key] answers and its slice of every [Global] answer
+    are [0.0].  Raises [Invalid_argument] on an out-of-range key. *)
+
+val ingest : t -> (int * float array) array -> int * int
+(** Split the batch across the owning leaves.  Returns
+    [(points acked, leaves missing)] — a down leaf's sub-batch is
+    dropped, not retried.  Raises [Invalid_argument] on an out-of-range
+    key. *)
+
+val stats : t -> Sh_net.Wire.stats * int
+(** The tree's geometry with the live leaves' counters summed, plus how
+    many leaves could not be reached. *)
+
+val close : t -> unit
+(** Drop every leaf connection.  Idempotent. *)
+
+(** {2 Serving the wire protocol}
+
+    The root speaks the same protocol as a leaf, so [shist loadgen] and
+    {!Sh_net.Client} work unchanged against it.  [Checkpoint] and [Snapshot]
+    are refused with an [Error_reply] (the root holds no state); a
+    degraded [Query] answers {!Sh_net.Wire.response.Answers_partial}. *)
+
+type report = {
+  connections : int;
+  frames_in : int;
+  frames_out : int;
+  bytes_in : int;
+  bytes_out : int;
+  points_forwarded : int;  (** points acked by leaves on forwarded ingest *)
+  queries_served : int;  (** individual query elements answered *)
+  partial_replies : int;  (** [Answers_partial] frames sent *)
+  protocol_errors : int;
+  idle_closes : int;
+}
+
+val run :
+  ?idle_timeout:float ->
+  ?stop:(unit -> bool) ->
+  listeners:Unix.file_descr list ->
+  t ->
+  unit ->
+  report
+(** Serve until [Shutdown] or [stop ()].  [listeners] are bound,
+    listening, non-blocking sockets (see {!Sh_net.Server.listen}).  Leaf
+    fan-out is inline and blocking, bounded per leaf by the aggregator
+    timeout. *)

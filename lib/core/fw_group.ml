@@ -1,0 +1,90 @@
+module FW = Fixed_window
+
+type entry = { key : int; fw : FW.t; view : FW.View.t }
+type t = { entries : entry array } (* strictly increasing [key] *)
+
+let empty = { entries = [||] }
+let cardinal g = Array.length g.entries
+let keys g = Array.map (fun e -> e.key) g.entries
+
+let geometry_of e = (FW.window e.fw, FW.buckets e.fw, FW.epsilon e.fw)
+
+let of_summaries ~base fws =
+  if base < 0 then invalid_arg "Fw_group.of_summaries: negative base key";
+  (match Array.length fws with
+  | 0 -> ()
+  | _ ->
+    let w = FW.window fws.(0)
+    and b = FW.buckets fws.(0)
+    and e = FW.epsilon fws.(0) in
+    Array.iter
+      (fun fw ->
+        if FW.window fw <> w || FW.buckets fw <> b || FW.epsilon fw <> e then
+          Summary_intf.merge_incompatiblef
+            "Fw_group.of_summaries: mixed geometry (window %d buckets %d \
+             epsilon %g vs window %d buckets %d epsilon %g)"
+            (FW.window fw) (FW.buckets fw) (FW.epsilon fw) w b e)
+      fws);
+  { entries = Array.mapi (fun i fw -> { key = base + i; fw; view = FW.view fw }) fws }
+
+(* Disjoint union: a sorted two-pointer merge of the entry arrays.  The
+   per-key summaries travel verbatim — there is no error composition to
+   account for — so merging only has to police geometry and key
+   disjointness. *)
+let merge a b =
+  if Array.length a.entries = 0 then { entries = b.entries }
+  else if Array.length b.entries = 0 then { entries = a.entries }
+  else begin
+    let wa, ba, ea = geometry_of a.entries.(0)
+    and wb, bb, eb = geometry_of b.entries.(0) in
+    if wa <> wb || ba <> bb || ea <> eb then
+      Summary_intf.merge_incompatiblef
+        "Fw_group.merge: geometry differs (window %d/%d, buckets %d/%d, \
+         epsilon %g/%g)"
+        wa wb ba bb ea eb;
+    let la = Array.length a.entries and lb = Array.length b.entries in
+    let out = Array.make (la + lb) a.entries.(0) in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to la + lb - 1 do
+      let take_a =
+        if !i >= la then false
+        else if !j >= lb then true
+        else begin
+          let x = a.entries.(!i) and y = b.entries.(!j) in
+          if x.key = y.key then
+            Summary_intf.merge_incompatiblef "Fw_group.merge: overlapping key %d"
+              x.key;
+          x.key < y.key
+        end
+      in
+      if take_a then begin
+        out.(k) <- a.entries.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.entries.(!j);
+        incr j
+      end
+    done;
+    { entries = out }
+  end
+
+module _ : Summary_intf.Mergeable with type t := t = struct
+  let merge = merge
+end
+
+let find g key =
+  let rec go lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let e = g.entries.(mid) in
+      if e.key = key then Some e.view
+      else if e.key < key then go (mid + 1) hi
+      else go lo (mid - 1)
+    end
+  in
+  go 0 (Array.length g.entries - 1)
+
+let eval_global g q =
+  Array.fold_left (fun acc e -> acc +. Query_op.eval_view e.view q) 0.0 g.entries

@@ -1,0 +1,47 @@
+(** A group of {!Fixed_window} summaries over {e disjoint global keys} —
+    the mergeable shape of the fixed-window maintainer.
+
+    A single [Fixed_window.t] summarises one totally-ordered stream; two of
+    them cannot be merged into one window without re-interleaving the
+    streams the structure deliberately forgot.  What {e is} mergeable is a
+    keyed family: each key owns its window, and merging two families over
+    disjoint key ranges is a union that moves every per-key summary
+    verbatim.  No approximation error composes — each key's answers are
+    exactly what the contributing summary would have said — which is why
+    the aggregation plane's [Global] answers over fixed-window state are
+    bit-identical to a single process that owns all the keys.
+
+    Every summary in a group must share geometry (window, buckets,
+    epsilon); mixed geometry and overlapping keys raise
+    {!Summary_intf.Merge_incompatible}. *)
+
+type t
+
+val empty : t
+(** The group over no keys — {!merge}'s identity. *)
+
+val of_summaries : base:int -> Fixed_window.t array -> t
+(** [of_summaries ~base fws] keys [fws.(i)] as [base + i] and cuts a
+    published read view of each (refreshing stale summaries first).
+    Raises [Invalid_argument] on a negative [base] and
+    {!Summary_intf.Merge_incompatible} on mixed geometry. *)
+
+val cardinal : t -> int
+val keys : t -> int array
+(** Keys present, ascending. *)
+
+val merge : t -> t -> t
+(** Disjoint-key union, leaving both operands untouched.  Per-key
+    summaries travel verbatim — no error composition.  Raises
+    {!Summary_intf.Merge_incompatible} on overlapping keys or differing
+    geometry.  Merging with {!empty} shares the other operand's entries:
+    answers are bit-identical (the [Mergeable] identity law). *)
+
+val find : t -> int -> Fixed_window.View.t option
+(** The published view of one key, if present.  O(log keys). *)
+
+val eval_global : t -> Query_op.t -> float
+(** Answer [q] over every key: the fold of the per-key
+    {!Query_op.eval_view} answers in ascending key order, accumulated
+    left-to-right from [0.0] — {!Query_op.scope}'s [Global] contract, with
+    its fixed float association. *)

@@ -165,6 +165,17 @@ let query t qs =
   | Wire.Answers a -> a
   | resp -> unexpected "query" resp
 
+let query_partial t qs =
+  match call t (Wire.Query qs) with
+  | Wire.Answers a -> (a, 0)
+  | Wire.Answers_partial { answers; leaves_missing } -> (answers, leaves_missing)
+  | resp -> unexpected "query" resp
+
+let snapshot t =
+  match call t Wire.Snapshot with
+  | Wire.Snapshot_reply bytes -> bytes
+  | resp -> unexpected "snapshot" resp
+
 let stats t =
   match call t Wire.Stats with
   | Wire.Stats_reply s -> s

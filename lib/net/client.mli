@@ -46,7 +46,26 @@ val call : t -> Wire.request -> Wire.response
 val ingest : t -> (int * float array) array -> int
 (** Returns the acked point count. *)
 
-val query : t -> (int * Sh_par.Shard_engine.query) array -> float array
+val query :
+  t ->
+  (Stream_histogram.Query_op.scope * Stream_histogram.Query_op.t) array ->
+  float array
+(** Strict form: an {!Wire.response.Answers_partial} degraded reply is
+    protocol corruption here — use {!query_partial} when talking to an
+    aggregator that may be missing leaves. *)
+
+val query_partial :
+  t ->
+  (Stream_histogram.Query_op.scope * Stream_histogram.Query_op.t) array ->
+  float array * int
+(** Like {!query} but accepting degraded replies: returns the positional
+    answers and the number of leaves the answering peer could not reach
+    ([0] for a complete {!Wire.response.Answers}). *)
+
+val snapshot : t -> string
+(** The peer engine's checkpoint byte stream
+    ({!Sh_par.Shard_engine.snapshot_bytes}). *)
+
 val stats : t -> Wire.stats
 val metrics : t -> string
 val checkpoint : t -> string

@@ -1,5 +1,6 @@
 module Codec = Sh_persist.Codec
 module SE = Sh_par.Shard_engine
+module Q = Stream_histogram.Query_op
 module FW = Stream_histogram.Fixed_window
 module M = Sh_obs.Metric
 module Obs = Sh_obs.Obs
@@ -58,10 +59,11 @@ let listen addr =
    semantic rejection that keeps the connection open. *)
 type op =
   | Op_ingest of int (* points in this request's groups *)
-  | Op_query of (int * SE.query) array
+  | Op_query of (Q.scope * Q.t) array
   | Op_stats
   | Op_metrics
   | Op_checkpoint
+  | Op_snapshot
   | Op_ping
   | Op_shutdown
   | Op_bad of string
@@ -74,6 +76,12 @@ type client = {
 }
 
 let keys_ok shards arr = Array.for_all (fun (k, _) -> k >= 0 && k < shards) arr
+
+let scopes_ok shards qs =
+  Array.for_all
+    (fun (scope, _) ->
+      match scope with Q.Key k -> k >= 0 && k < shards | Q.Global -> true)
+    qs
 
 let run ?(config = default_config) ?(stop = fun () -> false) ?max_points
     ~engine ~listeners () =
@@ -125,7 +133,6 @@ let run ?(config = default_config) ?(stop = fun () -> false) ?max_points
         shards;
         window;
         buckets;
-        mode = SE.mode_to_string (SE.mode engine);
         total_points = SE.total_points engine;
         batches = SE.batches engine;
         queries = SE.queries engine;
@@ -204,13 +211,14 @@ let run ?(config = default_config) ?(stop = fun () -> false) ?max_points
                    :: cl.ops
              | Wire.Query qs ->
                cl.ops <-
-                 (if keys_ok shards qs then Op_query qs
+                 (if scopes_ok shards qs then Op_query qs
                   else
                     Op_bad (Printf.sprintf "key out of range [0, %d)" shards))
                  :: cl.ops
              | Wire.Stats -> cl.ops <- Op_stats :: cl.ops
              | Wire.Metrics -> cl.ops <- Op_metrics :: cl.ops
              | Wire.Checkpoint -> cl.ops <- Op_checkpoint :: cl.ops
+             | Wire.Snapshot -> cl.ops <- Op_snapshot :: cl.ops
              | Wire.Ping -> cl.ops <- Op_ping :: cl.ops
              | Wire.Shutdown -> cl.ops <- Op_shutdown :: cl.ops)
          done
@@ -239,6 +247,18 @@ let run ?(config = default_config) ?(stop = fun () -> false) ?max_points
           match write_checkpoint () with
           | Some file -> send cl (Wire.Checkpointed file)
           | None -> send cl (Wire.Error_reply "no checkpoint path configured"))
+        | Op_snapshot ->
+          let bytes = SE.snapshot_bytes engine in
+          (* frame overhead: one tag byte + the string's varint length
+             prefix; leave a conservative margin *)
+          if String.length bytes + 16 > config.max_frame_payload then
+            send cl
+              (Wire.Error_reply
+                 (Printf.sprintf
+                    "snapshot is %d byte(s), larger than the %d-byte frame \
+                     limit"
+                    (String.length bytes) config.max_frame_payload))
+          else send cl (Wire.Snapshot_reply bytes)
         | Op_ping -> send cl Wire.Pong
         | Op_shutdown ->
           finishing := true;

@@ -1,9 +1,9 @@
 module Codec = Sh_persist.Codec
 module Frame = Sh_persist.Frame
-module SE = Sh_par.Shard_engine
+module Q = Stream_histogram.Query_op
 
 let magic = "SHNW"
-let protocol_version = 1
+let protocol_version = 2
 let preamble_len = 5
 
 let preamble =
@@ -28,10 +28,11 @@ let max_frame_payload = 1 lsl 24
 
 type request =
   | Ingest of (int * float array) array
-  | Query of (int * SE.query) array
+  | Query of (Q.scope * Q.t) array
   | Stats
   | Metrics
   | Checkpoint
+  | Snapshot
   | Ping
   | Shutdown
 
@@ -39,7 +40,6 @@ type stats = {
   shards : int;
   window : int;
   buckets : int;
-  mode : string;
   total_points : int;
   batches : int;
   queries : int;
@@ -52,9 +52,11 @@ type stats = {
 type response =
   | Ack of int
   | Answers of float array
+  | Answers_partial of { answers : float array; leaves_missing : int }
   | Stats_reply of stats
   | Metrics_reply of string
   | Checkpointed of string
+  | Snapshot_reply of string
   | Pong
   | Shutting_down
   | Error_reply of string
@@ -71,6 +73,7 @@ let tag_metrics = 0x04
 let tag_checkpoint = 0x05
 let tag_ping = 0x06
 let tag_shutdown = 0x07
+let tag_snapshot = 0x08
 let tag_ack = 0x81
 let tag_answers = 0x82
 let tag_stats_reply = 0x83
@@ -78,46 +81,13 @@ let tag_metrics_reply = 0x84
 let tag_checkpointed = 0x85
 let tag_pong = 0x86
 let tag_shutting_down = 0x87
+let tag_snapshot_reply = 0x88
+let tag_answers_partial = 0x89
 let tag_error = 0xFF
 
-(* query constructor tags *)
-let qt_current_error = 0
-let qt_window_length = 1
-let qt_herror = 2
-let qt_range_sum = 3
-let qt_point_estimate = 4
-
-let put_query buf q =
-  match q with
-  | SE.Current_error -> Codec.put_u8 buf qt_current_error
-  | SE.Window_length -> Codec.put_u8 buf qt_window_length
-  | SE.Herror { k; x } ->
-    Codec.put_u8 buf qt_herror;
-    Codec.put_varint buf k;
-    Codec.put_varint buf x
-  | SE.Range_sum { lo; hi } ->
-    Codec.put_u8 buf qt_range_sum;
-    Codec.put_varint buf lo;
-    Codec.put_varint buf hi
-  | SE.Point_estimate { index } ->
-    Codec.put_u8 buf qt_point_estimate;
-    Codec.put_varint buf index
-
-let get_query r =
-  let t = Codec.get_u8 r in
-  if t = qt_current_error then SE.Current_error
-  else if t = qt_window_length then SE.Window_length
-  else if t = qt_herror then
-    let k = Codec.get_varint r in
-    let x = Codec.get_varint r in
-    SE.Herror { k; x }
-  else if t = qt_range_sum then
-    let lo = Codec.get_varint r in
-    let hi = Codec.get_varint r in
-    SE.Range_sum { lo; hi }
-  else if t = qt_point_estimate then
-    SE.Point_estimate { index = Codec.get_varint r }
-  else Codec.corruptf "bad query tag %d" t
+(* Query sub-tags live with the variant itself: {!Stream_histogram.Query_op}
+   owns [put]/[get]/[put_scope]/[get_scope], so the wire encoding cannot
+   drift from the engine's vocabulary. *)
 
 (* --- encode --------------------------------------------------------- *)
 
@@ -139,14 +109,14 @@ let encode_request req =
     Codec.put_u8 buf tag_query;
     Codec.put_varint buf (Array.length qs);
     Array.iter
-      (fun (k, q) ->
-        if k < 0 then invalid_arg "Wire.encode_request: negative key";
-        Codec.put_varint buf k;
-        put_query buf q)
+      (fun (scope, q) ->
+        Q.put_scope buf scope;
+        Q.put buf q)
       qs
   | Stats -> Codec.put_u8 buf tag_stats
   | Metrics -> Codec.put_u8 buf tag_metrics
   | Checkpoint -> Codec.put_u8 buf tag_checkpoint
+  | Snapshot -> Codec.put_u8 buf tag_snapshot
   | Ping -> Codec.put_u8 buf tag_ping
   | Shutdown -> Codec.put_u8 buf tag_shutdown);
   frame_of buf
@@ -160,12 +130,15 @@ let encode_response resp =
   | Answers a ->
     Codec.put_u8 buf tag_answers;
     Codec.put_float_array buf a
+  | Answers_partial { answers; leaves_missing } ->
+    Codec.put_u8 buf tag_answers_partial;
+    Codec.put_float_array buf answers;
+    Codec.put_varint buf leaves_missing
   | Stats_reply s ->
     Codec.put_u8 buf tag_stats_reply;
     Codec.put_varint buf s.shards;
     Codec.put_varint buf s.window;
     Codec.put_varint buf s.buckets;
-    Codec.put_string buf s.mode;
     Codec.put_varint buf s.total_points;
     Codec.put_varint buf s.batches;
     Codec.put_varint buf s.queries;
@@ -179,6 +152,9 @@ let encode_response resp =
   | Checkpointed path ->
     Codec.put_u8 buf tag_checkpointed;
     Codec.put_string buf path
+  | Snapshot_reply bytes ->
+    Codec.put_u8 buf tag_snapshot_reply;
+    Codec.put_string buf bytes
   | Pong -> Codec.put_u8 buf tag_pong
   | Shutting_down -> Codec.put_u8 buf tag_shutting_down
   | Error_reply msg ->
@@ -214,12 +190,13 @@ let decode_request r =
           (Codec.remaining r);
       Query
         (Array.init n (fun _ ->
-             let k = Codec.get_varint r in
-             (k, get_query r)))
+             let scope = Q.get_scope r in
+             (scope, Q.get r)))
     end
     else if t = tag_stats then Stats
     else if t = tag_metrics then Metrics
     else if t = tag_checkpoint then Checkpoint
+    else if t = tag_snapshot then Snapshot
     else if t = tag_ping then Ping
     else if t = tag_shutdown then Shutdown
     else Codec.corruptf "bad request tag %d" t
@@ -232,11 +209,15 @@ let decode_response r =
   let resp =
     if t = tag_ack then Ack (Codec.get_varint r)
     else if t = tag_answers then Answers (Codec.get_float_array r)
+    else if t = tag_answers_partial then begin
+      let answers = Codec.get_float_array r in
+      let leaves_missing = Codec.get_varint r in
+      Answers_partial { answers; leaves_missing }
+    end
     else if t = tag_stats_reply then begin
       let shards = Codec.get_varint r in
       let window = Codec.get_varint r in
       let buckets = Codec.get_varint r in
-      let mode = Codec.get_string r in
       let total_points = Codec.get_varint r in
       let batches = Codec.get_varint r in
       let queries = Codec.get_varint r in
@@ -249,7 +230,6 @@ let decode_response r =
           shards;
           window;
           buckets;
-          mode;
           total_points;
           batches;
           queries;
@@ -261,6 +241,7 @@ let decode_response r =
     end
     else if t = tag_metrics_reply then Metrics_reply (Codec.get_string r)
     else if t = tag_checkpointed then Checkpointed (Codec.get_string r)
+    else if t = tag_snapshot_reply then Snapshot_reply (Codec.get_string r)
     else if t = tag_pong then Pong
     else if t = tag_shutting_down then Shutting_down
     else if t = tag_error then Error_reply (Codec.get_string r)

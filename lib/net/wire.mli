@@ -9,14 +9,16 @@
     followed by {!Sh_persist.Codec} primitives.  See DESIGN.md section 15
     for the grammar and the version-bump policy (shared with the snapshot
     codec: any layout change bumps {!protocol_version}, peers reject
-    foreign versions with a typed error).
+    foreign versions with a typed error).  Version 2 adds scoped queries
+    ({!Stream_histogram.Query_op.scope}), snapshot interchange, and
+    partial answers — the aggregation-plane vocabulary.
 
     Every decoding failure raises {!Sh_persist.Codec.Corrupt} (or
     [Version_mismatch] for a foreign preamble) — the typed errors the
     server answers with an error frame and a closed connection, never a
     crash. *)
 
-module SE := Sh_par.Shard_engine
+module Q := Stream_histogram.Query_op
 
 val magic : string
 (** ["SHNW"] — stream-histogram network wire. *)
@@ -45,12 +47,18 @@ type request =
       (** Batched arrivals as [(key, values)] runs — decoded straight into
           {!Sh_par.Shard_engine.ingest_groups} without per-point pairs.
           Values must be finite (enforced at decode time). *)
-  | Query of (int * SE.query) array
-      (** Batched estimation queries, answered positionally with one float
-          each (the {!Sh_par.Shard_engine.query_many} clamping contract). *)
+  | Query of (Q.scope * Q.t) array
+      (** Batched scoped estimation queries, answered positionally with
+          one float each ({!Stream_histogram.Query_op}'s clamping
+          contract; a [Global] scope folds over every key behind the
+          answering peer). *)
   | Stats  (** Engine geometry + cumulative counters. *)
   | Metrics  (** Prometheus text exposition of the metric registry. *)
   | Checkpoint  (** Write the server's configured checkpoint file now. *)
+  | Snapshot
+      (** Ask for the engine's checkpoint byte stream in one reply frame —
+          the aggregation plane's interchange format
+          ({!Sh_par.Shard_engine.snapshot_bytes}). *)
   | Ping
   | Shutdown  (** Ask the server to flush, close and exit its serve loop. *)
 
@@ -58,7 +66,6 @@ type stats = {
   shards : int;
   window : int;
   buckets : int;
-  mode : string;
   total_points : int;
   batches : int;
   queries : int;
@@ -71,14 +78,22 @@ type stats = {
 type response =
   | Ack of int  (** Ingest applied; the count of points now in the engine. *)
   | Answers of float array
+  | Answers_partial of { answers : float array; leaves_missing : int }
+      (** An aggregator's degraded reply: positional answers computed from
+          the leaves that responded, plus how many leaves were
+          unreachable.  Never sent with [leaves_missing = 0]. *)
   | Stats_reply of stats
   | Metrics_reply of string
   | Checkpointed of string  (** The path the checkpoint was published to. *)
+  | Snapshot_reply of string
+      (** The engine's checkpoint bytes ({!Sh_par.Shard_engine.snapshot_bytes}),
+          decodable with {!Sh_par.Shard_engine.decode_snapshot}. *)
   | Pong
   | Shutting_down
   | Error_reply of string
-      (** Semantic rejection (bad key, no checkpoint configured) or the
-          last frame before the server closes a misbehaving connection. *)
+      (** Semantic rejection (bad key, no checkpoint configured, snapshot
+          too large for a frame) or the last frame before the server
+          closes a misbehaving connection. *)
 
 val points_in_groups : (int * float array) array -> int
 

@@ -1,32 +1,18 @@
 module FW = Stream_histogram.Fixed_window
-module Params = Stream_histogram.Params
-module Histogram = Sh_histogram.Histogram
+module Q = Stream_histogram.Query_op
 module Intmemo = Sh_util.Intmemo
 module Obs = Sh_obs.Obs
 module M = Sh_obs.Metric
 module L = Sh_obs.Latency
 module Ring = Spsc_ring
 
-(* One shard = one independent fixed-window summary.
-
-   [Locked] mode is the PR 3 engine: the mutex is the shard's ownership
-   token, every touch of [fw] holds it, and a batch becomes one pool task
-   per touched shard.  [Pinned] mode replaces the mutex with static
+(* One shard = one independent fixed-window summary, under static
    ownership: each owner (a slot of the domain pool) exclusively drains a
    contiguous slice of shards, the producer hands values over through one
    bounded SPSC ring per shard, and nothing on the per-point path locks or
-   CASes.  The mutex field is allocated either way (it is two words) but
-   in [Pinned] mode it is never taken — [engine.lock_ops] proves it. *)
-type shard = { fw : FW.t; lock : Mutex.t }
-
-type mode = Locked | Pinned
-
-let mode_to_string = function Locked -> "locked" | Pinned -> "pinned"
-
-let mode_of_string = function
-  | "locked" -> Some Locked
-  | "pinned" -> Some Pinned
-  | _ -> None
+   CASes.  (The historical [Locked] mutex-per-shard mode is retired; the
+   [lock_ops] / [query_lock_ops] counters remain as flat-zero witnesses
+   that nothing reintroduced a lock.) *)
 
 let default_ring_capacity = 1024
 
@@ -38,50 +24,39 @@ let pad_stride = 8
 
 type t = {
   pool : Domain_pool.t;
-  mode : mode;
-  shards : shard array;
-  (* --- ownership map (Pinned): owner o drains shards
+  shards : FW.t array;
+  (* --- ownership map: owner o drains shards
      [slice_lo.(o) .. slice_hi.(o) - 1]; owners = min(domains, shards) so
      every owner has a non-empty slice. *)
   owners : int;
   slice_lo : int array;
   slice_hi : int array;
-  (* --- Pinned ingest lane: one SPSC ring per (producer, shard) pair —
-     the engine is single-producer (see [ingest]), so that is one ring per
+  (* --- ingest lane: one SPSC ring per (producer, shard) pair — the
+     engine is single-producer (see [ingest]), so that is one ring per
      shard.  A full ring spills into the per-shard overflow buffer
      (growable, bounded by the batch size) and counts a backpressure
      event; [drain_buf] is the owner-side scratch a shard's ring + spill
      are assembled into so each shard still sees exactly one [push_slice]
-     per batch (the refresh-cadence contract shared with [Locked]). *)
+     per batch. *)
   rings : Ring.t array;
   overflow : float array array;
   overflow_len : int array; (* slot k * pad_stride *)
   drain_buf : float array array;
   drain_tasks : (unit -> unit) array; (* one per owner *)
   drain_one : int -> unit; (* caller-side drain of one shard (quiesce) *)
-  (* --- Pinned refresh: work-stealing sweep.  Each owner claims shards
-     from its own slice through a per-owner atomic cursor, then steals
-     from other owners' cursors once its slice is done — a Zipf-hot slice
-     cannot serialise the sweep on one domain. *)
+  (* --- refresh: work-stealing sweep.  Each owner claims shards from its
+     own slice through a per-owner atomic cursor, then steals from other
+     owners' cursors once its slice is done — a Zipf-hot slice cannot
+     serialise the sweep on one domain. *)
   cursors : int Atomic.t array;
   warm_sweep : (unit -> unit) array;
   cold_sweep : (unit -> unit) array;
-  (* --- Locked routing arena, reused across batches: [counts] is the
-     per-shard sub-batch size of the batch being ingested, [group_data.(k)]
-     the per-shard value buffer (capacity doubling, never shrinks), and
-     the task arrays are built once at creation. *)
-  counts : int array;
-  group_data : float array array;
-  ingest_tasks : (unit -> unit) array;
-  warm_tasks : (unit -> unit) array;
-  cold_tasks : (unit -> unit) array;
   (* --- RCU read plane: one padded atomic slot per shard holding the
      immutable view published at that shard's last refresh.  The slot's
-     owner (drain/sweep task, or the mutex holder in [Locked]) republishes
-     whenever the live generation has advanced past the published one;
-     readers [Atomic.get] the pointer and evaluate against the copy —
-     wait-free, never touching the live summary, its mutex, or the owner's
-     cache lines. *)
+     owner (drain/sweep task) republishes whenever the live generation has
+     advanced past the published one; readers [Atomic.get] the pointer and
+     evaluate against the copy — wait-free, never touching the live
+     summary or the owner's cache lines. *)
   views : FW.View.t Atomic.t array;
   publish : int -> unit; (* owner-side: republish shard k if stale *)
   (* Per-domain, per-shard HERROR memo for view-side reads, stamped with
@@ -108,7 +83,7 @@ type t = {
 
 (* Wire an engine around an existing shard array — shared by [create]
    (fresh summaries) and [restore_from] (decoded ones). *)
-let build ~mode ~ring_capacity ~pool shard_arr =
+let build ~ring_capacity ~pool shard_arr =
   let shards = Array.length shard_arr in
   let labels = [ ("instance", Obs.instance "se") ] in
   let c_lock_ops = Obs.counter ~labels "engine.lock_ops" in
@@ -122,8 +97,6 @@ let build ~mode ~ring_capacity ~pool shard_arr =
   let l_drain = L.tracker ~labels "latency.ring_drain" in
   let l_sweep = L.tracker ~labels "latency.refresh_sweep" in
   let l_query = L.tracker ~labels "latency.query" in
-  let counts = Array.make shards 0 in
-  let group_data = Array.make shards [||] in
   (* Read-plane slots.  Every shard starts with a real view (capturing
      refreshes, which is a no-op on decoded shards and trivial on empty
      fresh ones), so readers never see a sentinel.  The throwaway spacer
@@ -133,19 +106,19 @@ let build ~mode ~ring_capacity ~pool shard_arr =
   let views =
     Array.init shards (fun k ->
         ignore (Sys.opaque_identity (Array.make pad_stride 0));
-        Atomic.make (FW.view shard_arr.(k).fw))
+        Atomic.make (FW.view shard_arr.(k)))
   in
   M.add c_published shards;
   M.set g_read_gen
     (Float.of_int (FW.View.generation (Atomic.get views.(shards - 1))));
   (* Republish shard k's view if its live generation moved past the
      published one.  Only called with exclusive access to the shard (its
-     owner in [Pinned], under its mutex in [Locked]), which makes the
-     needs_refresh/generation reads stable; the publication points are
-     refresh completions — a drain that left the shard dirty under a
-     [Lazy] / mid-cadence [Every k] policy publishes nothing. *)
+     owner), which makes the needs_refresh/generation reads stable; the
+     publication points are refresh completions — a drain that left the
+     shard dirty under a [Lazy] / mid-cadence [Every k] policy publishes
+     nothing. *)
   let publish k =
-    let fw = shard_arr.(k).fw in
+    let fw = shard_arr.(k) in
     if
       (not (FW.needs_refresh fw))
       && FW.generation fw <> FW.View.generation (Atomic.get views.(k))
@@ -155,36 +128,6 @@ let build ~mode ~ring_capacity ~pool shard_arr =
       M.incr c_published;
       M.set g_read_gen (Float.of_int (FW.View.generation v))
     end
-  in
-  let locked k f =
-    let sh = shard_arr.(k) in
-    Mutex.lock sh.lock;
-    M.incr c_lock_ops;
-    match f sh.fw with
-    | () ->
-      publish k;
-      Mutex.unlock sh.lock
-    | exception e ->
-      Mutex.unlock sh.lock;
-      raise e
-  in
-  (* The prebuilt task closures capture the shard and the arena cells
-     directly, so a batch submits the same immutable task array every
-     time; a task for a shard the batch doesn't touch is a no-op. *)
-  let ingest_task k =
-    fun () ->
-      let c = counts.(k) in
-      if c > 0 then locked k (fun fw -> FW.push_slice fw group_data.(k) ~pos:0 ~len:c)
-  in
-  (* [Locked] refresh granularity is one task per shard, so l_sweep sees
-     per-shard rebuild durations there; [Pinned] records per-owner sweep
-     durations from sweep_task below. *)
-  let refresh_task ~cold k =
-    fun () ->
-      let lat = Obs.latency_enabled () in
-      let t0 = if lat then Obs.now () else 0.0 in
-      locked k (fun fw -> FW.refresh ~cold fw);
-      if lat then L.record l_sweep (Obs.now () -. t0)
   in
   (* contiguous slices, remainder spread over the first owners *)
   let owners = max 1 (min (Domain_pool.domains pool) shards) in
@@ -213,7 +156,7 @@ let build ~mode ~ring_capacity ~pool shard_arr =
         Array.blit overflow.(k) 0 buf n spilled;
         overflow_len.(k * pad_stride) <- 0
       end;
-      FW.push_slice shard_arr.(k).fw buf ~pos:0 ~len:(n + spilled);
+      FW.push_slice shard_arr.(k) buf ~pos:0 ~len:(n + spilled);
       (* the Every-k boundary publication point: push_slice refreshed iff
          the policy fired, and publish keys off that *)
       publish k
@@ -240,11 +183,8 @@ let build ~mode ~ring_capacity ~pool shard_arr =
   in
   let sweep_task ~cold o =
     let refresh k =
-      match mode with
-      | Pinned ->
-        FW.refresh ~cold shard_arr.(k).fw;
-        publish k
-      | Locked -> locked k (fun fw -> FW.refresh ~cold fw)
+      FW.refresh ~cold shard_arr.(k);
+      publish k
     in
     fun () ->
       let lat = Obs.latency_enabled () in
@@ -267,7 +207,6 @@ let build ~mode ~ring_capacity ~pool shard_arr =
   in
   {
     pool;
-    mode;
     shards = shard_arr;
     owners;
     slice_lo;
@@ -281,11 +220,6 @@ let build ~mode ~ring_capacity ~pool shard_arr =
     cursors;
     warm_sweep = Array.init owners (sweep_task ~cold:false);
     cold_sweep = Array.init owners (sweep_task ~cold:true);
-    counts;
-    group_data;
-    ingest_tasks = Array.init shards ingest_task;
-    warm_tasks = Array.init shards (refresh_task ~cold:false);
-    cold_tasks = Array.init shards (refresh_task ~cold:true);
     views;
     publish;
     reader_memos =
@@ -305,52 +239,35 @@ let build ~mode ~ring_capacity ~pool shard_arr =
     l_query;
   }
 
-let create_with_ring ~mode ~ring_capacity ~pool ~shards ~window ~buckets ~epsilon =
+let create_with_ring ~ring_capacity ~pool ~shards ~window ~buckets ~epsilon =
   if shards < 1 then invalid_arg "Shard_engine.create: shards must be >= 1";
   if ring_capacity < 1 then
     invalid_arg "Shard_engine.create: ring_capacity must be >= 1";
   (* sequential creation: instance-name allocation stays deterministic
      (fw0, fw1, ... in key order) regardless of the pool size *)
-  build ~mode ~ring_capacity ~pool
-    (Array.init shards (fun _ ->
-         { fw = FW.create ~window ~buckets ~epsilon; lock = Mutex.create () }))
+  build ~ring_capacity ~pool
+    (Array.init shards (fun _ -> FW.create ~window ~buckets ~epsilon))
 
-let create ~mode ~pool ~shards ~window ~buckets ~epsilon =
-  create_with_ring ~mode ~ring_capacity:default_ring_capacity ~pool ~shards
-    ~window ~buckets ~epsilon
+let create ~pool ~shards ~window ~buckets ~epsilon =
+  create_with_ring ~ring_capacity:default_ring_capacity ~pool ~shards ~window
+    ~buckets ~epsilon
 
 let shard_count t = Array.length t.shards
-let mode t = t.mode
 let ring_capacity t = Ring.capacity t.rings.(0)
 
 let check_key t key =
   if key < 0 || key >= Array.length t.shards then
     invalid_arg (Printf.sprintf "Shard_engine: key %d out of range [0, %d)" key (Array.length t.shards))
 
-(* [Locked]: take the shard's mutex around [f].  [Pinned]: run [f]
-   directly — exclusivity comes from the call-site discipline (live-shard
-   access does not overlap an in-flight [ingest] / [refresh_all] call; see
-   the .mli).  Either way, [f] may have refreshed the shard, so the view
-   is republished before the exclusive section ends. *)
+(* Run [f] on the live shard.  Exclusivity comes from the call-site
+   discipline (live-shard access does not overlap an in-flight [ingest] /
+   [refresh_all] call; see the .mli).  [f] may have refreshed the shard,
+   so the view is republished before returning. *)
 let with_shard t key f =
   check_key t key;
-  let s = t.shards.(key) in
-  match t.mode with
-  | Pinned ->
-    let v = f s.fw in
-    t.publish key;
-    v
-  | Locked ->
-    Mutex.lock s.lock;
-    M.incr t.c_lock_ops;
-    (match f s.fw with
-    | v ->
-      t.publish key;
-      Mutex.unlock s.lock;
-      v
-    | exception e ->
-      Mutex.unlock s.lock;
-      raise e)
+  let v = f t.shards.(key) in
+  t.publish key;
+  v
 
 (* Spill one value that found its ring full.  Growable, never shrinks;
    bounded by the batch size (once a ring is full it stays full for the
@@ -366,60 +283,32 @@ let spill t k v =
   t.overflow_len.(k * pad_stride) <- len + 1;
   M.incr t.c_backpressure
 
-(* Route a batch.  Both modes validate everything first (a rejected batch
-   ingests nothing), count points once per batch, and give every touched
-   shard exactly one [push_slice] covering its sub-batch in arrival order
-   — so the per-batch refresh amortisation of the sequential path carries
-   over unchanged and the two modes are observationally identical.
-
-   [Locked]: bucket values by key into the arena (two counting passes),
-   then one pool task per touched shard under its mutex.
-
-   [Pinned]: push each value into its shard's SPSC ring — no lock, no CAS
-   — spilling to the overflow buffer on [Would_block]; then one drain task
-   per owner applies each owned shard's ring + spill.  Steady state
+(* Route a batch: validate everything first (a rejected batch ingests
+   nothing), count points once per batch, and give every touched shard
+   exactly one [push_slice] covering its sub-batch in arrival order — so
+   the per-batch refresh amortisation of the sequential path carries over
+   unchanged.  Each value goes into its shard's SPSC ring — no lock, no
+   CAS — spilling to the overflow buffer on a full ring; then one drain
+   task per owner applies each owned shard's ring + spill.  Steady state
    allocates nothing per batch beyond pool submission bookkeeping.
 
-   Either way the arena/rings make [ingest] single-producer: concurrent
-   [ingest] calls on the same engine would race on them. *)
+   The rings make [ingest] single-producer: concurrent [ingest] calls on
+   the same engine would race on them. *)
 let ingest t batch =
   let nb = Array.length batch in
   if nb > 0 then begin
     let lat = Obs.latency_enabled () in
     let t0 = if lat then Obs.now () else 0.0 in
-    let s = Array.length t.shards in
     for i = 0 to nb - 1 do
       let k, v = batch.(i) in
       check_key t k;
       if not (Float.is_finite v) then invalid_arg "Shard_engine.ingest: non-finite value"
     done;
-    (match t.mode with
-    | Pinned ->
-      for i = 0 to nb - 1 do
-        let k, v = batch.(i) in
-        if not (Ring.try_push t.rings.(k) v) then spill t k v
-      done;
-      ignore (Domain_pool.run t.pool t.drain_tasks)
-    | Locked ->
-      let counts = t.counts in
-      Array.fill counts 0 s 0;
-      for i = 0 to nb - 1 do
-        let k, _ = batch.(i) in
-        counts.(k) <- counts.(k) + 1
-      done;
-      for k = 0 to s - 1 do
-        if Array.length t.group_data.(k) < counts.(k) then
-          t.group_data.(k) <-
-            Array.make (max counts.(k) (2 * Array.length t.group_data.(k))) 0.0
-      done;
-      (* second pass refills counts as fill cursors, then restores them *)
-      Array.fill counts 0 s 0;
-      for i = 0 to nb - 1 do
-        let k, v = batch.(i) in
-        t.group_data.(k).(counts.(k)) <- v;
-        counts.(k) <- counts.(k) + 1
-      done;
-      ignore (Domain_pool.run t.pool t.ingest_tasks));
+    for i = 0 to nb - 1 do
+      let k, v = batch.(i) in
+      if not (Ring.try_push t.rings.(k) v) then spill t k v
+    done;
+    ignore (Domain_pool.run t.pool t.drain_tasks);
     M.add t.c_points nb;
     M.incr t.c_batches;
     if lat then begin
@@ -432,9 +321,7 @@ let ingest t batch =
 (* Pre-grouped ingest: the batch arrives as (key, values) runs — the shape
    of a decoded network ingest frame — and is routed without ever building
    per-point (key, value) pairs.  Same contract and same observable
-   behaviour as [ingest] of the flattened pairs: validate everything first,
-   count points once, one [push_slice] per touched shard in arrival order
-   (group order for a repeated key). *)
+   behaviour as [ingest] of the flattened pairs. *)
 let ingest_groups t groups =
   let ng = Array.length groups in
   let nb = ref 0 in
@@ -445,7 +332,6 @@ let ingest_groups t groups =
   if nb > 0 then begin
     let lat = Obs.latency_enabled () in
     let t0 = if lat then Obs.now () else 0.0 in
-    let s = Array.length t.shards in
     for g = 0 to ng - 1 do
       let k, vs = groups.(g) in
       check_key t k;
@@ -454,36 +340,15 @@ let ingest_groups t groups =
           invalid_arg "Shard_engine.ingest_groups: non-finite value"
       done
     done;
-    (match t.mode with
-    | Pinned ->
-      for g = 0 to ng - 1 do
-        let k, vs = groups.(g) in
-        let ring = t.rings.(k) in
-        for i = 0 to Array.length vs - 1 do
-          let v = vs.(i) in
-          if not (Ring.try_push ring v) then spill t k v
-        done
-      done;
-      ignore (Domain_pool.run t.pool t.drain_tasks)
-    | Locked ->
-      let counts = t.counts in
-      Array.fill counts 0 s 0;
-      for g = 0 to ng - 1 do
-        let k, vs = groups.(g) in
-        counts.(k) <- counts.(k) + Array.length vs
-      done;
-      for k = 0 to s - 1 do
-        if Array.length t.group_data.(k) < counts.(k) then
-          t.group_data.(k) <-
-            Array.make (max counts.(k) (2 * Array.length t.group_data.(k))) 0.0
-      done;
-      Array.fill counts 0 s 0;
-      for g = 0 to ng - 1 do
-        let k, vs = groups.(g) in
-        Array.blit vs 0 t.group_data.(k) counts.(k) (Array.length vs);
-        counts.(k) <- counts.(k) + Array.length vs
-      done;
-      ignore (Domain_pool.run t.pool t.ingest_tasks));
+    for g = 0 to ng - 1 do
+      let k, vs = groups.(g) in
+      let ring = t.rings.(k) in
+      for i = 0 to Array.length vs - 1 do
+        let v = vs.(i) in
+        if not (Ring.try_push ring v) then spill t k v
+      done
+    done;
+    ignore (Domain_pool.run t.pool t.drain_tasks);
     M.add t.c_points nb;
     M.incr t.c_batches;
     if lat then begin
@@ -493,17 +358,12 @@ let ingest_groups t groups =
   end
 
 (* Rebuild every stale shard's interval lists across the pool: the batched
-   refresh.  [Locked] keeps the PR 3 shape (one task per shard, the pool
-   FIFO load-balances); [Pinned] runs the work-stealing sweep so skewed
-   per-shard costs cannot serialise on one owner. *)
+   refresh, as a work-stealing sweep so skewed per-shard costs cannot
+   serialise on one owner. *)
 let refresh_all ?(cold = false) t =
   Obs.with_span "engine.refresh_all" (fun () ->
-      (match t.mode with
-      | Locked ->
-        ignore (Domain_pool.run t.pool (if cold then t.cold_tasks else t.warm_tasks))
-      | Pinned ->
-        Array.iteri (fun o c -> Atomic.set c t.slice_lo.(o)) t.cursors;
-        ignore (Domain_pool.run t.pool (if cold then t.cold_sweep else t.warm_sweep)));
+      Array.iteri (fun o c -> Atomic.set c t.slice_lo.(o)) t.cursors;
+      ignore (Domain_pool.run t.pool (if cold then t.cold_sweep else t.warm_sweep));
       M.incr t.c_refreshes)
 
 let pool t = t.pool
@@ -523,15 +383,14 @@ let read_gen t ~key = FW.View.generation (view t ~key)
 let generation_lag t ~key =
   check_key t key;
   let lag =
-    FW.generation t.shards.(key).fw
-    - FW.View.generation (Atomic.get t.views.(key))
+    FW.generation t.shards.(key) - FW.View.generation (Atomic.get t.views.(key))
   in
   if lag < 0 then 0 else lag
 
 let publication_lag t ~key =
   check_key t key;
   let lag =
-    FW.points_seen t.shards.(key).fw
+    FW.points_seen t.shards.(key)
     - FW.View.points_seen (Atomic.get t.views.(key))
   in
   if lag < 0 then 0 else lag
@@ -549,18 +408,8 @@ let reader_memo t key v =
 
 (* Estimation queries feed the "latency.query" tracker; the timers are
    hand-rolled like the task timers so the disabled path costs one boolean
-   load and no closure beyond the continuation.  [Locked] queries answer
-   from the live shard under its mutex (counted in engine.query_lock_ops
-   as well as engine.lock_ops); [Pinned] queries answer from the published
-   view — wait-free, no lock, no live-shard access. *)
-let locked_query t key f =
-  let lat = Obs.latency_enabled () in
-  let t0 = if lat then Obs.now () else 0.0 in
-  M.incr t.c_query_lock_ops;
-  let v = with_shard t key f in
-  if lat then L.record t.l_query (Obs.now () -. t0);
-  v
-
+   load and no closure beyond the continuation.  Every query answers from
+   the published view — wait-free, no lock, no live-shard access. *)
 let view_query t key f =
   let lat = Obs.latency_enabled () in
   let t0 = if lat then Obs.now () else 0.0 in
@@ -568,103 +417,63 @@ let view_query t key f =
   if lat then L.record t.l_query (Obs.now () -. t0);
   v
 
-let length t ~key =
-  match t.mode with
-  | Locked -> with_shard t key FW.length
-  | Pinned -> FW.View.length (view t ~key)
+let length t ~key = FW.View.length (view t ~key)
 
 let current_error t ~key =
   M.incr t.c_queries;
-  match t.mode with
-  | Locked -> locked_query t key FW.current_error
-  | Pinned -> view_query t key FW.View.current_error
+  view_query t key FW.View.current_error
 
 let current_histogram t ~key =
   M.incr t.c_queries;
-  match t.mode with
-  | Locked -> locked_query t key FW.current_histogram
-  | Pinned -> view_query t key FW.View.current_histogram
+  view_query t key FW.View.current_histogram
 
 let herror t ~key ~k ~x =
   M.incr t.c_queries;
-  match t.mode with
-  | Locked -> locked_query t key (fun fw -> FW.herror fw ~k ~x)
-  | Pinned ->
-    view_query t key (fun v -> FW.View.herror ~memo:(reader_memo t key v) v ~k ~x)
+  view_query t key (fun v -> FW.View.herror ~memo:(reader_memo t key v) v ~k ~x)
 
 let work_counters t ~key = with_shard t key FW.work_counters
 let with_key t ~key ~f = with_shard t key f
 
 (* --- batched queries --------------------------------------------------- *)
 
-type query =
-  | Current_error
-  | Window_length
-  | Herror of { k : int; x : int }
-  | Range_sum of { lo : int; hi : int }
-  | Point_estimate of { index : int }
-
-(* Serving-layer clamping: a remote client cannot know the instantaneous
-   window length, so structural parameters are clamped to the answering
-   state instead of raising (the single-query entry points keep the strict
-   live contract). *)
-let clamp_herror ~b ~n ~k ~x =
-  let k = if k < 1 then 1 else if k > b then b else k in
-  let x = if x < 0 then 0 else if x > n then n else x in
-  (k, x)
-
-let answer_hist h ~n q =
-  match q with
-  | Range_sum { lo; hi } ->
-    let lo = if lo < 1 then 1 else lo in
-    let hi = if hi > n then n else hi in
-    if lo > hi then 0.0 else Histogram.range_sum_estimate h ~lo ~hi
-  | Point_estimate { index } ->
-    if index < 1 || index > n then 0.0 else Histogram.point_estimate h index
-  | Current_error | Window_length | Herror _ -> assert false
+(* [Global]: the fold of the per-key answers over the published views in
+   ascending key order, accumulated left-to-right from 0.0 —
+   {!Query_op.scope}'s fixed float association, matching
+   [Fw_group.eval_global] over the same per-key window contents
+   bit-for-bit. *)
+let eval_global t q =
+  let acc = ref 0.0 in
+  for key = 0 to Array.length t.shards - 1 do
+    let v = Atomic.get t.views.(key) in
+    acc := !acc +. Q.eval_view ~memo:(reader_memo t key v) v q
+  done;
+  !acc
 
 let query_many t qs =
   let lat = Obs.latency_enabled () in
   let t0 = if lat then Obs.now () else 0.0 in
   let out = Array.make (Array.length qs) 0.0 in
-  (match t.mode with
-  | Pinned ->
-    Array.iteri
-      (fun i (key, q) ->
-        let v = view t ~key in
-        out.(i) <-
-          (match q with
-          | Current_error -> FW.View.current_error v
-          | Window_length -> Float.of_int (FW.View.length v)
-          | Herror { k; x } ->
-            let k, x =
-              clamp_herror ~b:(FW.View.buckets v) ~n:(FW.View.length v) ~k ~x
-            in
-            FW.View.herror ~memo:(reader_memo t key v) v ~k ~x
-          | (Range_sum _ | Point_estimate _) as q -> (
-            match FW.View.histogram v with
-            | None -> 0.0
-            | Some h -> answer_hist h ~n:(FW.View.length v) q)))
-      qs
-  | Locked ->
-    Array.iteri
-      (fun i (key, q) ->
-        M.incr t.c_query_lock_ops;
-        out.(i) <-
-          with_shard t key (fun fw ->
-              match q with
-              | Current_error -> FW.current_error fw
-              | Window_length -> Float.of_int (FW.length fw)
-              | Herror { k; x } ->
-                let k, x = clamp_herror ~b:(FW.buckets fw) ~n:(FW.length fw) ~k ~x in
-                FW.herror fw ~k ~x
-              | (Range_sum _ | Point_estimate _) as q ->
-                let n = FW.length fw in
-                if n = 0 then 0.0 else answer_hist (FW.current_histogram fw) ~n q))
-      qs);
+  Array.iteri
+    (fun i (scope, q) ->
+      out.(i) <-
+        (match scope with
+        | Q.Key key ->
+          check_key t key;
+          let v = Atomic.get t.views.(key) in
+          Q.eval_view ~memo:(reader_memo t key v) v q
+        | Q.Global -> eval_global t q))
+    qs;
   M.add t.c_queries (Array.length qs);
   if lat then L.record t.l_query (Obs.now () -. t0);
   out
+
+let query_global t q =
+  let lat = Obs.latency_enabled () in
+  let t0 = if lat then Obs.now () else 0.0 in
+  let v = eval_global t q in
+  M.incr t.c_queries;
+  if lat then L.record t.l_query (Obs.now () -. t0);
+  v
 
 let total_points t = M.value t.c_points
 let batches t = M.value t.c_batches
@@ -691,23 +500,22 @@ module P = Sh_persist.Persist
 
 let engine_tag = Char.code 'S'
 
-(* Quiescence protocol for [Pinned]: every batch drains its rings before
-   [ingest] returns, so between engine calls the rings and overflow
-   buffers are empty — but a checkpoint must not silently trust that, so
-   it drains any residual hand-off state into the shards (on the caller,
-   which is safe under the no-concurrent-ingest contract) before encoding
-   a frame.  A frame therefore always captures a shard with no in-flight
-   values. *)
+(* Quiescence protocol: every batch drains its rings before [ingest]
+   returns, so between engine calls the rings and overflow buffers are
+   empty — but a snapshot must not silently trust that, so it drains any
+   residual hand-off state into the shards (on the caller, which is safe
+   under the no-concurrent-ingest contract) before encoding a frame.  A
+   frame therefore always captures a shard with no in-flight values. *)
 let quiesce t =
-  match t.mode with
-  | Locked -> ()
-  | Pinned ->
-    for k = 0 to Array.length t.shards - 1 do
-      t.drain_one k
-    done
+  for k = 0 to Array.length t.shards - 1 do
+    t.drain_one k
+  done
 
-let checkpoint t ~file =
-  Obs.with_span "engine.checkpoint" @@ fun () ->
+(* The checkpoint byte layout, shared verbatim by the on-disk file and the
+   wire snapshot interchange frames: persist header, one meta frame (tag,
+   shard count, point/batch/refresh totals), then one frame per shard in
+   key order. *)
+let encode_frames t =
   quiesce t;
   let meta = Buffer.create 32 in
   Codec.put_u8 meta engine_tag;
@@ -715,12 +523,6 @@ let checkpoint t ~file =
   Codec.put_varint meta (M.value t.c_points);
   Codec.put_varint meta (M.value t.c_batches);
   Codec.put_varint meta (M.value t.c_refreshes);
-  (* Each shard is encoded under its ownership token — the mutex in
-     [Locked] mode (queries keep flowing while the checkpoint walks the
-     shards), plain exclusive access in quiesced [Pinned] mode — so every
-     frame is an internally consistent summary.  The file itself is
-     assembled in memory and published atomically only after every frame
-     is captured. *)
   let shard_frames =
     Array.to_list
       (Array.mapi
@@ -730,27 +532,32 @@ let checkpoint t ~file =
             Frame.frame_string (Buffer.contents payload))
          t.shards)
   in
-  P.write_file_atomic ~path:file ~header:(Frame.header_string ())
-    ~frames:(Frame.frame_string (Buffer.contents meta) :: shard_frames);
+  (Frame.header_string (), Frame.frame_string (Buffer.contents meta) :: shard_frames)
+
+let checkpoint t ~file =
+  Obs.with_span "engine.checkpoint" @@ fun () ->
+  let header, frames = encode_frames t in
+  P.write_file_atomic ~path:file ~header ~frames;
   M.incr P.c_snapshots
 
-let restore_from ~mode ~pool ~file =
-  Obs.with_span "engine.restore" @@ fun () ->
-  P.rejecting @@ fun () ->
-  let r = Codec.of_string (P.read_file file) in
+let snapshot_bytes t =
+  Obs.with_span "engine.snapshot" @@ fun () ->
+  let header, frames = encode_frames t in
+  String.concat "" (header :: frames)
+
+let decode_shards r =
   Frame.read_header r;
   let meta = Frame.read_frame r in
   let tag = Codec.get_u8 meta in
   if tag <> engine_tag then
-    Codec.corruptf "Shard_engine.restore_from: tag %d is not an engine checkpoint"
-      tag;
+    Codec.corruptf "Shard_engine: tag %d is not an engine checkpoint" tag;
   let shards = Codec.get_varint meta in
   let points = Codec.get_varint meta in
   let batches = Codec.get_varint meta in
   let refreshes = Codec.get_varint meta in
   Codec.expect_end meta ~what:"engine meta frame";
   if shards < 1 then
-    Codec.corruptf "Shard_engine.restore_from: shard count %d < 1" shards;
+    Codec.corruptf "Shard_engine: shard count %d < 1" shards;
   (* Sequential decode in key order: deterministic instance names, and
      each shard's cold refresh happens inside FW.decode. *)
   let shard_arr =
@@ -758,10 +565,22 @@ let restore_from ~mode ~pool ~file =
         let fr = Frame.read_frame r in
         let fw = FW.decode fr in
         Codec.expect_end fr ~what:"shard frame";
-        { fw; lock = Mutex.create () })
+        fw)
   in
   Codec.expect_end r ~what:"engine checkpoint";
-  let t = build ~mode ~ring_capacity:default_ring_capacity ~pool shard_arr in
+  (shard_arr, points, batches, refreshes)
+
+let decode_snapshot s =
+  P.rejecting @@ fun () ->
+  let arr, _, _, _ = decode_shards (Codec.of_string s) in
+  arr
+
+let restore_from ~pool ~file =
+  Obs.with_span "engine.restore" @@ fun () ->
+  P.rejecting @@ fun () ->
+  let r = Codec.of_string (P.read_file file) in
+  let shard_arr, points, batches, refreshes = decode_shards r in
+  let t = build ~ring_capacity:default_ring_capacity ~pool shard_arr in
   M.add t.c_points points;
   M.add t.c_batches batches;
   M.add t.c_refreshes refreshes;

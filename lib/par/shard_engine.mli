@@ -5,28 +5,23 @@
     one windowed epsilon-approximate histogram per key (tenant, sensor,
     router port ...) at line rate.  Shards are fully independent — the
     paper's per-stream algorithm (Theorem 1) needs no cross-stream state —
-    so the engine needs no histogram-level locking; what varies is how a
-    batch reaches the shards:
+    so the engine needs no histogram-level locking.  A batch reaches the
+    shards through the lock-free pipeline: the producer routes each value
+    into a bounded {!Spsc_ring} per shard — one array store plus one
+    atomic store, no mutex, no CAS — and one drain task per {e owner}
+    applies each owned shard's sub-batch.  Owners are static contiguous
+    slices of the shard space, at most one per pool domain, so no two
+    tasks ever touch the same shard.  A full ring spills to a per-shard
+    overflow buffer (bounded by the batch size) and counts
+    [engine.backpressure_waits].  Refresh sweeps are work-stealing: each
+    owner claims its own slice through an atomic cursor, then steals from
+    slower owners, so a Zipf-hot slice cannot serialise the sweep.
 
-    {ul
-    {- {!Pinned} (the lock-free pipeline, default everywhere in-tree): the
-       producer routes each value into a bounded {!Spsc_ring} per shard —
-       one array store plus one atomic store, no mutex, no CAS — and one
-       drain task per {e owner} applies each owned shard's sub-batch.
-       Owners are static contiguous slices of the shard space, at most one
-       per pool domain, so no two tasks ever touch the same shard.  A full
-       ring spills to a per-shard overflow buffer (bounded by the batch
-       size) and counts [engine.backpressure_waits].  Refresh sweeps are
-       work-stealing: each owner claims its own slice through an atomic
-       cursor, then steals from slower owners, so a Zipf-hot slice cannot
-       serialise the sweep.}
-    {- {!Locked} (the PR 3 engine, kept one release for head-to-head
-       benchmarking): per-shard mutexes, one pool task per touched shard.
-       [engine.lock_ops] counts every mutex acquisition in this mode — and
-       stays flat in [Pinned] mode, which is the lock-freedom proof the
-       tests pin.}}
+    (The historical [Locked] mutex-per-shard mode is retired; the
+    [engine.lock_ops] / [engine.query_lock_ops] counters remain and stay
+    exactly flat — the lock-freedom witnesses the tests and CI pin.)
 
-    Results are bit-identical across modes and to driving one sequential
+    Results are bit-identical to driving one sequential
     {!Stream_histogram.Fixed_window.t} per key with the same per-key
     subsequences (property-tested for domain counts 1, 2 and 4): shard
     independence means parallel execution changes only wall-clock, never
@@ -34,16 +29,7 @@
 
 type t
 
-type mode =
-  | Locked  (** per-shard mutex, one pool task per touched shard *)
-  | Pinned  (** SPSC rings + domain-pinned shard owners; lock-free ingest *)
-
-val mode_to_string : mode -> string
-val mode_of_string : string -> mode option
-(** ["locked"] / ["pinned"]. *)
-
 val create :
-  mode:mode ->
   pool:Domain_pool.t ->
   shards:int ->
   window:int ->
@@ -53,13 +39,12 @@ val create :
 (** An engine of [shards] summaries ([>= 1]), each a fixed-window
     maintainer with the given window/buckets/epsilon and the default
     ([Lazy]) refresh policy — use {!set_refresh_policy} for another.
-    Stream keys are [0 .. shards - 1].  [Pinned] rings hold
+    Stream keys are [0 .. shards - 1].  Rings hold
     {!default_ring_capacity} values ({!create_with_ring} for another).
     The pool is borrowed, not owned: several engines may share one pool,
     and {!Domain_pool.shutdown} remains the caller's job. *)
 
 val create_with_ring :
-  mode:mode ->
   ring_capacity:int ->
   pool:Domain_pool.t ->
   shards:int ->
@@ -79,7 +64,6 @@ val set_refresh_policy : t -> Stream_histogram.Params.refresh_policy -> unit
     [Invalid_argument] on [Every k] with [k < 1]. *)
 
 val shard_count : t -> int
-val mode : t -> mode
 val ring_capacity : t -> int
 (** Actual (power-of-two) per-shard ring capacity. *)
 
@@ -90,12 +74,11 @@ val ingest : t -> (int * float) array -> unit
     each shard's sub-batch as a single
     {!Stream_histogram.Fixed_window.push_slice} in arrival order — so the
     per-batch refresh amortisation of the sequential path carries over
-    unchanged in both modes, and answers cannot depend on the mode.
-    Returns once every point of the batch is applied (the [Pinned] rings
-    are fully drained — no value is ever left in flight between calls).
-    The engine is single-producer: at most one [ingest] per engine at a
-    time.  Raises [Invalid_argument] (before ingesting anything) if any
-    key is out of range or any value non-finite. *)
+    unchanged.  Returns once every point of the batch is applied (the
+    rings are fully drained — no value is ever left in flight between
+    calls).  The engine is single-producer: at most one [ingest] per
+    engine at a time.  Raises [Invalid_argument] (before ingesting
+    anything) if any key is out of range or any value non-finite. *)
 
 val ingest_groups : t -> (int * float array) array -> unit
 (** {!ingest} for a batch that arrives pre-grouped as [(key, values)] runs
@@ -110,7 +93,7 @@ val refresh_all : ?cold:bool -> t -> unit
 (** Rebuild every stale shard's interval lists across the pool — the
     batched counterpart of {!Stream_histogram.Fixed_window.refresh};
     [~cold:true] forces from-scratch rebuilds (the correctness oracle).
-    [Pinned] sweeps are work-stealing (see [engine.refresh_steals]). *)
+    Sweeps are work-stealing (see [engine.refresh_steals]). *)
 
 (** {2 Per-key queries — the concurrency contract}
 
@@ -118,56 +101,47 @@ val refresh_all : ?cold:bool -> t -> unit
     view} ({!Stream_histogram.Fixed_window.View}): an immutable snapshot
     behind a padded atomic pointer, republished by the shard's owner at
     every publication point.  Publication points are refresh completions —
-    a {!refresh_all} sweep, an arrival-driven rebuild inside {!ingest}
+    a {!refresh_all} sweep, or an arrival-driven rebuild inside {!ingest}
     ([Eager] every batch, [Every k] whenever a batch crosses the cadence
-    boundary), or a query-triggered rebuild under a [Locked] mutex.  The
-    two modes then route queries differently:
+    boundary).
 
-    {ul
-    {- [Locked] — {!current_error}, {!current_histogram}, {!herror},
-       {!length} and {!query_many} answer from the {e live} shard under
-       its mutex.  Safe concurrent with {!ingest} / {!refresh_all} from
-       any domain, at the price of one mutex acquisition per query
-       (counted in [engine.query_lock_ops] as well as [engine.lock_ops]),
-       and answers always reflect every ingested point.}
-    {- [Pinned] — the same calls answer from the {e published view}:
-       wait-free loads that never take a lock ([engine.query_lock_ops]
-       stays exactly flat — the read-side lock-freedom witness), never
-       touch the live summary, and are therefore safe from any domain
-       concurrent with an in-flight {!ingest} / {!refresh_all}.  The price
-       is bounded staleness: answers reflect the shard as of its last
-       publication point, i.e. at most one refresh cadence behind the live
-       summary ([Lazy] defers publication to the next {!refresh_all} —
-       quiesce with it before reading if you need current answers).  After
-       any engine call returns, the published generation equals the live
-       generation of every shard that call refreshed (property-tested);
-       {!generation_lag} / {!publication_lag} expose the distance.}}
+    {!current_error}, {!current_histogram}, {!herror}, {!length},
+    {!query_many} and {!query_global} answer from the published view:
+    wait-free loads that never take a lock ([engine.query_lock_ops] stays
+    exactly flat — the read-side lock-freedom witness), never touch the
+    live summary, and are therefore safe from any domain concurrent with
+    an in-flight {!ingest} / {!refresh_all}.  The price is bounded
+    staleness: answers reflect the shard as of its last publication
+    point, i.e. at most one refresh cadence behind the live summary
+    ([Lazy] defers publication to the next {!refresh_all} — quiesce with
+    it before reading if you need current answers).  After any engine
+    call returns, the published generation equals the live generation of
+    every shard that call refreshed (property-tested);
+    {!generation_lag} / {!publication_lag} expose the distance.
 
     View answers are bit-identical to querying the quiesced live summary
     at the same generation — the snapshot-equivalence property the test
-    suite pins across modes and domain counts.
+    suite pins against the sequential {!Stream_histogram.Fixed_window}
+    oracle.
 
     Live-shard escape hatches ({!with_key}, {!fold}, {!work_counters},
-    {!set_refresh_policy}, {!checkpoint}) bypass the view.  In [Locked]
-    mode they lock per shard and remain safe concurrent with ingest; in
-    [Pinned] mode they require the same exclusivity as {!ingest} itself
-    (no overlap with an in-flight engine call — the single producer that
-    drives ingest may use them between batches, which is every in-tree
-    usage). *)
+    {!set_refresh_policy}, {!checkpoint}, {!snapshot_bytes}) bypass the
+    view and require the same exclusivity as {!ingest} itself (no overlap
+    with an in-flight engine call — the single producer that drives
+    ingest may use them between batches, which is every in-tree usage). *)
 
 val length : t -> key:int -> int
-(** Window length: live under the mutex in [Locked], from the published
-    view in [Pinned] (not counted as an estimation query). *)
+(** Window length, from the published view (not counted as an estimation
+    query). *)
 
 val current_error : t -> key:int -> float
 val current_histogram : t -> key:int -> Sh_histogram.Histogram.t
 val herror : t -> key:int -> k:int -> x:int -> float
 
 val view : t -> key:int -> Stream_histogram.Fixed_window.View.t
-(** The shard's currently published view — one wait-free atomic load, in
-    either mode.  The natural input for {!Sh_query.Estimator}-style
-    read-side consumers that want a stable snapshot across several
-    estimates. *)
+(** The shard's currently published view — one wait-free atomic load.
+    The natural input for {!Sh_query.Estimator}-style read-side consumers
+    that want a stable snapshot across several estimates. *)
 
 val read_gen : t -> key:int -> int
 (** Generation stamp of the published view (also the ["engine.read_gen"]
@@ -184,44 +158,47 @@ val publication_lag : t -> key:int -> int
     the staleness bound in points.  Same read discipline as
     {!generation_lag}. *)
 
-(** {2 Batched queries} *)
+(** {2 Batched queries}
 
-type query =
-  | Current_error  (** approximate HERROR\[n, B\] of the window *)
-  | Window_length  (** points in the window, as a float *)
-  | Herror of { k : int; x : int }
-      (** HERROR\[x, k\]; [k] clamped to [\[1, B\]], [x] to [\[0, n\]] *)
-  | Range_sum of { lo : int; hi : int }
-      (** histogram range-sum estimate over window indices, intersected
-          with [\[1, n\]] (empty intersection and empty window sum to 0) *)
-  | Point_estimate of { index : int }
-      (** histogram point estimate; 0 outside [\[1, n\]] *)
+    The query vocabulary and its clamping contract live in
+    {!Stream_histogram.Query_op} — one shared definition consumed by this
+    engine, the wire codec, and the root aggregator. *)
 
-val query_many : t -> (int * query) array -> float array
-(** Answer a batch of [(key, query)] pairs, one float per element, under
-    the per-mode routing above ([Pinned]: each element is a wait-free view
-    load + evaluation, with a per-domain HERROR memo amortising repeated
-    [Herror] probes against the same view).  Unlike the single-query entry
-    points, structural parameters are clamped to the answering state
-    rather than raising — a remote client cannot know the instantaneous
-    window length (see the per-constructor notes).  Counted in
-    ["engine.queries"] per element and timed as one ["latency.query"]
-    observation. *)
+val query_many :
+  t ->
+  (Stream_histogram.Query_op.scope * Stream_histogram.Query_op.t) array ->
+  float array
+(** Answer a batch of scoped queries, one float per element.  A
+    [Key key] element is a wait-free view load + one
+    {!Stream_histogram.Query_op.eval_view} (with a per-domain HERROR memo
+    amortising repeated [Herror] probes against the same view); raises
+    [Invalid_argument] on an out-of-range key.  A [Global] element is
+    answered inline as {!query_global}.  Counted in ["engine.queries"]
+    per element and timed as one ["latency.query"] observation. *)
+
+val query_global : t -> Stream_histogram.Query_op.t -> float
+(** Answer one query over {e every} key: the fold of the per-key view
+    answers in ascending key order, accumulated left-to-right from [0.0]
+    — {!Stream_histogram.Query_op.scope}'s [Global] contract, with its
+    fixed float association.  Bit-identical to
+    {!Stream_histogram.Fw_group.eval_global} over the same per-key window
+    contents, which is how the root aggregator's leaf-merged answers are
+    proved against this single-process oracle.  Wait-free (published
+    views only — quiesce with {!refresh_all} first for current
+    answers). *)
 
 val with_key :
   t -> key:int -> f:(Stream_histogram.Fixed_window.t -> 'a) -> 'a
 (** Run [f] against the {e live} summary of one shard — the quiesced-read
-    escape hatch (recorders, oracles, tests).  [Locked]: under the shard's
-    mutex.  [Pinned]: caller must guarantee no concurrent engine call.
-    If [f] refreshed the shard, its view is republished before the
-    exclusive section ends. *)
+    escape hatch (recorders, oracles, tests).  Caller must guarantee no
+    concurrent engine call.  If [f] refreshed the shard, its view is
+    republished before returning. *)
 
 val work_counters : t -> key:int -> Stream_histogram.Fixed_window.work_counters
 
 val fold : t -> init:'a -> f:('a -> int -> Stream_histogram.Fixed_window.t -> 'a) -> 'a
-(** Fold over live shards in key order ([Locked]: holding each shard's
-    lock in turn; [Pinned]: see the live-shard contract above).  [f] must
-    not call back into the engine. *)
+(** Fold over live shards in key order (see the live-shard contract
+    above).  [f] must not call back into the engine. *)
 
 (** {2 Introspection} *)
 
@@ -232,8 +209,8 @@ val batches : t -> int
 
 val lock_ops : t -> int
 (** Mutex acquisitions this engine has performed (["engine.lock_ops"]).
-    Grows with every batch and query in [Locked] mode; stays exactly flat
-    in [Pinned] mode — the steady-state lock-freedom witness. *)
+    Always [0] since the [Locked] mode's retirement — kept as the
+    steady-state lock-freedom witness (CI greps it). *)
 
 val backpressure_waits : t -> int
 (** Values that found their ring full and were spilled to the overflow
@@ -242,7 +219,7 @@ val backpressure_waits : t -> int
 
 val refresh_steals : t -> int
 (** Shards refreshed by a non-owner during {!refresh_all} work-stealing
-    sweeps (["engine.refresh_steals"], [Pinned] only). *)
+    sweeps (["engine.refresh_steals"]). *)
 
 val queries : t -> int
 (** Estimation queries answered (["engine.queries"]): single-query calls
@@ -250,38 +227,53 @@ val queries : t -> int
 
 val query_lock_ops : t -> int
 (** Mutex acquisitions performed by the query plane
-    (["engine.query_lock_ops"]).  Grows with every estimation query in
-    [Locked] mode; stays exactly flat in [Pinned] mode even under a mixed
-    ingest+query run — the read-side wait-freedom witness. *)
+    (["engine.query_lock_ops"]).  Always [0] — the read-side wait-freedom
+    witness, pinned even under a mixed ingest+query run. *)
 
 val snapshots_published : t -> int
 (** Read views published since creation (["engine.snapshots_published"]),
     including the initial per-shard captures. *)
 
-(** {2 Durability}
+(** {2 Durability & snapshot interchange}
 
-    A checkpoint is one {!Sh_persist.Frame}-formatted file: header, an
-    engine meta frame (shard count, cumulative counters), then one
-    {!Stream_histogram.Fixed_window} frame per shard.  Files are published
-    with write-to-temp + atomic rename, so a crash during {!checkpoint}
-    always leaves the previous checkpoint readable (proved by the
-    fault-injection suite).  The mode is runtime configuration, not
-    state: a checkpoint written by either mode restores into either. *)
+    A checkpoint is one {!Sh_persist.Frame}-formatted byte stream:
+    header, an engine meta frame (shard count, cumulative counters), then
+    one {!Stream_histogram.Fixed_window} frame per shard in key order.
+    {!checkpoint} publishes those bytes as a file (write-to-temp + atomic
+    rename, so a crash during {!checkpoint} always leaves the previous
+    checkpoint readable — proved by the fault-injection suite);
+    {!snapshot_bytes} returns the {e same bytes} in memory — the
+    interchange format the aggregation plane ships over the wire and
+    decodes with {!decode_snapshot}. *)
 
 val checkpoint : t -> file:string -> unit
-(** Capture every shard and atomically publish the file.  [Pinned]
-    engines are quiesced first: any residual ring/overflow contents are
-    drained into their shards on the caller, so every frame captures a
-    shard with no in-flight values.  Do not run concurrently with
-    {!ingest}: frames are per-shard consistent, but a mid-batch
-    checkpoint would split that batch across the checkpoint boundary. *)
+(** Capture every shard and atomically publish the file.  The engine is
+    quiesced first: any residual ring/overflow contents are drained into
+    their shards on the caller, so every frame captures a shard with no
+    in-flight values.  Do not run concurrently with {!ingest}: frames are
+    per-shard consistent, but a mid-batch checkpoint would split that
+    batch across the checkpoint boundary. *)
 
-val restore_from : mode:mode -> pool:Domain_pool.t -> file:string -> t
+val snapshot_bytes : t -> string
+(** The checkpoint byte stream, in memory — byte-identical to what
+    {!checkpoint} would write.  Same quiescence and exclusivity contract
+    as {!checkpoint}. *)
+
+val decode_snapshot : string -> Stream_histogram.Fixed_window.t array
+(** Decode {!snapshot_bytes} (or a checkpoint file's contents) into its
+    per-shard summaries, in key order — each rebuilt with one cold
+    refresh, so every answer is bit-identical to the source shard's at
+    capture.  The aggregation plane's half of the interchange contract:
+    it feeds these to {!Stream_histogram.Fw_group.of_summaries} without
+    knowing the engine's framing.  Raises {!Sh_persist.Persist.Corrupt}
+    on damaged bytes, {!Sh_persist.Persist.Version_mismatch} on a foreign
+    format version. *)
+
+val restore_from : pool:Domain_pool.t -> file:string -> t
 (** Rebuild an engine from a {!checkpoint} file: geometry, per-shard
     window state (each rebuilt with one cold refresh), policies, and the
-    cumulative {!total_points}/{!batches} counters all come from the file;
-    the ingest [mode] is chosen fresh by the caller.  Raises
-    {!Sh_persist.Persist.Corrupt} on any damaged or truncated file,
-    {!Sh_persist.Persist.Version_mismatch} on a foreign format version,
-    and [Sys_error] if the file cannot be read — never returns a silently
-    wrong engine. *)
+    cumulative {!total_points}/{!batches} counters all come from the
+    file.  Raises {!Sh_persist.Persist.Corrupt} on any damaged or
+    truncated file, {!Sh_persist.Persist.Version_mismatch} on a foreign
+    format version, and [Sys_error] if the file cannot be read — never
+    returns a silently wrong engine. *)

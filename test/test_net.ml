@@ -14,6 +14,7 @@ module Frame = Sh_persist.Frame
 module Pool = Sh_par.Domain_pool
 module SE = Sh_par.Shard_engine
 module FW = Stream_histogram.Fixed_window
+module Qop = Stream_histogram.Query_op
 module Params = Stream_histogram.Params
 module Rng = Sh_util.Rng
 
@@ -62,13 +63,16 @@ let test_wire_request_round_trips () =
       Wire.Ingest [| (0, [| 1.5; -2.25; 0.0 |]); (7, [||]); (0, [| 3.0 |]) |];
       Wire.Query
         [|
-          (0, SE.Current_error);
-          (3, SE.Window_length);
-          (1, SE.Herror { k = 4; x = 17 });
-          (2, SE.Range_sum { lo = 3; hi = 9 });
-          (5, SE.Point_estimate { index = 11 });
+          (Qop.Key 0, Qop.Current_error);
+          (Qop.Key 3, Qop.Window_length);
+          (Qop.Key 1, Qop.Herror { k = 4; x = 17 });
+          (Qop.Key 2, Qop.Range_sum { lo = 3; hi = 9 });
+          (Qop.Key 5, Qop.Point_estimate { index = 11 });
+          (Qop.Global, Qop.Range_sum { lo = 1; hi = 64 });
+          (Qop.Global, Qop.Window_length);
         |];
       Wire.Stats;
+      Wire.Snapshot;
       Wire.Metrics;
       Wire.Checkpoint;
       Wire.Ping;
@@ -83,7 +87,6 @@ let test_wire_response_round_trips () =
       Wire.shards = 16;
       window = 1024;
       buckets = 8;
-      mode = "pinned";
       total_points = 123456;
       batches = 99;
       queries = 7;
@@ -99,6 +102,8 @@ let test_wire_response_round_trips () =
       Wire.Ack 65536;
       Wire.Answers [||];
       Wire.Answers [| 0.0; -1.5; 3.25e9 |];
+      Wire.Answers_partial { answers = [| 1.0; 0.0 |]; leaves_missing = 1 };
+      Wire.Snapshot_reply "SHSNAPBYTES\x00\x01";
       Wire.Stats_reply stats;
       Wire.Metrics_reply "engine_points 12\n";
       Wire.Checkpointed "/tmp/x.ckpt";
@@ -156,17 +161,18 @@ let prop_wire_query_round_trip =
   Helpers.qcheck_case ~count:120 ~name:"wire: Query encode/scan/decode round trip"
     QCheck2.Gen.(
       small_list
-        (pair (int_range 0 63)
+        (pair
+           (oneof [ map (fun k -> Qop.Key k) (int_range 0 63); return Qop.Global ])
            (oneof
               [
-                return SE.Current_error;
-                return SE.Window_length;
+                return Qop.Current_error;
+                return Qop.Window_length;
                 (let* k = int_range 0 50 and* x = int_range 0 5000 in
-                 return (SE.Herror { k; x }));
+                 return (Qop.Herror { k; x }));
                 (let* lo = int_range 0 5000 and* hi = int_range 0 5000 in
-                 return (SE.Range_sum { lo; hi }));
+                 return (Qop.Range_sum { lo; hi }));
                 (let* index = int_range 0 5000 in
-                 return (SE.Point_estimate { index }));
+                 return (Qop.Point_estimate { index }));
               ])))
     (fun qs ->
       let r = Wire.Query (Array.of_list qs) in
@@ -299,8 +305,7 @@ let with_server ?config ?(policy = Params.Eager) ?(ring_capacity = SE.default_ri
     Domain.spawn (fun () ->
         Pool.with_pool ~domains:1 (fun pool ->
             let eng =
-              SE.create_with_ring ~mode:SE.Pinned ~ring_capacity ~pool ~shards ~window
-                ~buckets ~epsilon
+              SE.create_with_ring ~ring_capacity ~pool ~shards ~window ~buckets ~epsilon
             in
             SE.set_refresh_policy eng policy;
             Server.run ?config ~stop:(fun () -> Atomic.get stop) ~engine:eng
@@ -355,7 +360,7 @@ let test_serve_equivalence () =
   with_server ~shards ~window ~buckets ~epsilon addr @@ fun () ->
   (* reference: the same batches through an in-process engine *)
   Pool.with_pool ~domains:1 @@ fun pool ->
-  let ref_eng = SE.create ~mode:SE.Pinned ~pool ~shards ~window ~buckets ~epsilon in
+  let ref_eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
   SE.set_refresh_policy ref_eng Params.Eager;
   let rng = Rng.create ~seed:7 in
   let c = Client.connect ~timeout:5. addr in
@@ -379,13 +384,20 @@ let test_serve_equivalence () =
     Array.concat
       (List.init shards (fun k ->
            [|
-             (k, SE.Current_error);
-             (k, SE.Window_length);
-             (k, SE.Herror { k = buckets + 3; x = window + 50 });
-             (k, SE.Herror { k = 1; x = 0 });
-             (k, SE.Range_sum { lo = 0; hi = window + 9 });
-             (k, SE.Point_estimate { index = 1 + (k mod window) });
-           |]))
+             (Qop.Key k, Qop.Current_error);
+             (Qop.Key k, Qop.Window_length);
+             (Qop.Key k, Qop.Herror { k = buckets + 3; x = window + 50 });
+             (Qop.Key k, Qop.Herror { k = 1; x = 0 });
+             (Qop.Key k, Qop.Range_sum { lo = 0; hi = window + 9 });
+             (Qop.Key k, Qop.Point_estimate { index = 1 + (k mod window) });
+           |])
+      @ [
+          [|
+            (Qop.Global, Qop.Window_length);
+            (Qop.Global, Qop.Range_sum { lo = 1; hi = window });
+            (Qop.Global, Qop.Current_error);
+          |];
+        ])
   in
   let remote = Client.query c qs in
   let local = SE.query_many ref_eng qs in
@@ -398,6 +410,16 @@ let test_serve_equivalence () =
   let st = Client.stats c in
   Alcotest.(check int) "server points" (SE.total_points ref_eng) st.Wire.total_points;
   Alcotest.(check int) "query plane stayed lock-free" 0 st.Wire.query_lock_ops;
+  (* the snapshot interchange frame decodes to the same shard summaries
+     the in-process reference holds *)
+  let fws = SE.decode_snapshot (Client.snapshot c) in
+  Alcotest.(check int) "snapshot shard count" shards (Array.length fws);
+  Array.iteri
+    (fun k fw ->
+      Alcotest.(check int)
+        (Printf.sprintf "snapshot shard %d length" k)
+        (SE.length ref_eng ~key:k) (FW.length fw))
+    fws;
   Client.ping c
 
 let test_serve_backpressure_no_drop () =
@@ -561,7 +583,7 @@ let test_serve_checkpoint_restart_reconnect () =
         Alcotest.(check string) "checkpoint path echoed" ckpt path;
         let st = Client.stats c in
         let lengths =
-          Client.query c (Array.init shards (fun k -> (k, SE.Window_length)))
+          Client.query c (Array.init shards (fun k -> (Qop.Key k, Qop.Window_length)))
         in
         result := (st.Wire.total_points, lengths);
         Client.shutdown c);
@@ -573,7 +595,7 @@ let test_serve_checkpoint_restart_reconnect () =
   let srv =
     Domain.spawn (fun () ->
         Pool.with_pool ~domains:1 (fun pool ->
-            let eng = SE.restore_from ~mode:SE.Pinned ~pool ~file:ckpt in
+            let eng = SE.restore_from ~pool ~file:ckpt in
             Server.run ~engine:eng ~listeners:[ listener ] ()))
   in
   Fun.protect
@@ -586,7 +608,7 @@ let test_serve_checkpoint_restart_reconnect () =
   let st = Client.stats c in
   Alcotest.(check int) "restored every checkpointed point" points_before
     st.Wire.total_points;
-  let lengths = Client.query c (Array.init shards (fun k -> (k, SE.Window_length))) in
+  let lengths = Client.query c (Array.init shards (fun k -> (Qop.Key k, Qop.Window_length))) in
   Array.iteri
     (fun k l ->
       if Int64.bits_of_float l <> Int64.bits_of_float lengths_before.(k) then

@@ -9,6 +9,7 @@ module Pool = Sh_par.Domain_pool
 module SE = Sh_par.Shard_engine
 module Ring = Sh_par.Spsc_ring
 module FW = Stream_histogram.Fixed_window
+module Qop = Stream_histogram.Query_op
 module Params = Stream_histogram.Params
 module H = Sh_histogram.Histogram
 module Rng = Sh_util.Rng
@@ -216,14 +217,13 @@ let test_ring_across_domains () =
 (* --------------------------------------- engine == sequential reference *)
 
 let policies = [ Params.Lazy; Params.Eager; Params.Every 3 ]
-let modes = [ SE.Locked; SE.Pinned ]
 
 (* Drive a Shard_engine and one plain Fixed_window per key with identical
    per-key data, then compare every observable: lengths, herror, and full
    histogram series. *)
-let engine_matches_sequential ~mode ~domains ~shards ~window ~buckets ~epsilon ~policy ~batches =
+let engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon ~policy ~batches =
   Pool.with_pool ~domains (fun pool ->
-      let eng = SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon in
+      let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon in
       SE.set_refresh_policy eng policy;
       let refs =
         Array.init shards (fun _ ->
@@ -271,7 +271,7 @@ let engine_matches_sequential ~mode ~domains ~shards ~window ~buckets ~epsilon ~
 
 let prop_engine_equals_sequential =
   Helpers.qcheck_case ~count:25
-    ~name:"Shard_engine (Pinned and Locked) == one sequential Fixed_window per key"
+    ~name:"Shard_engine == one sequential Fixed_window per key"
     QCheck2.Gen.(
       let* shards = int_range 1 9 in
       let* window = int_range 4 48 in
@@ -289,15 +289,13 @@ let prop_engine_equals_sequential =
           (fun b -> Array.of_list (List.map (fun (k, v) -> (k, Float.of_int v)) b))
           batches
       in
-      (* both modes against the same sequential oracle: Pinned == Locked
-         == sequential, at every domain count *)
+      (* the lock-free engine against the sequential oracle, at every
+         domain count — the equivalence witness the Locked mode used to
+         provide lives entirely here now *)
       List.for_all
         (fun domains ->
-          List.for_all
-            (fun mode ->
-              engine_matches_sequential ~mode ~domains ~shards ~window ~buckets ~epsilon:0.1
-                ~policy ~batches)
-            modes)
+          engine_matches_sequential ~domains ~shards ~window ~buckets ~epsilon:0.1 ~policy
+            ~batches)
         domain_counts)
 
 let prop_push_many_equals_push =
@@ -362,111 +360,88 @@ let test_engine_validation () =
   Pool.with_pool ~domains:1 (fun pool ->
       Alcotest.check_raises "shards >= 1"
         (Invalid_argument "Shard_engine.create: shards must be >= 1") (fun () ->
-          ignore (SE.create ~mode:SE.Pinned ~pool ~shards:0 ~window:8 ~buckets:2 ~epsilon:0.1));
+          ignore (SE.create ~pool ~shards:0 ~window:8 ~buckets:2 ~epsilon:0.1));
       Alcotest.check_raises "ring capacity >= 1"
         (Invalid_argument "Shard_engine.create: ring_capacity must be >= 1") (fun () ->
           ignore
-            (SE.create_with_ring ~mode:SE.Pinned ~ring_capacity:0 ~pool ~shards:2 ~window:8
-               ~buckets:2 ~epsilon:0.1));
-      List.iter
-        (fun mode ->
-          let eng = SE.create ~mode ~pool ~shards:4 ~window:8 ~buckets:2 ~epsilon:0.1 in
-          Alcotest.(check int) "shard count" 4 (SE.shard_count eng);
-          Alcotest.(check bool) "mode recorded" true (SE.mode eng = mode);
-          Alcotest.check_raises "key out of range"
-            (Invalid_argument "Shard_engine: key 4 out of range [0, 4)") (fun () ->
-              SE.ingest eng [| (4, 1.0) |]);
-          (* the rejected batch must not have ingested its valid prefix *)
-          Alcotest.(check int) "nothing ingested" 0 (SE.total_points eng);
-          Alcotest.(check int) "shard untouched" 0 (SE.length eng ~key:0))
-        modes);
-  Alcotest.(check (option string)) "mode round trip" (Some "pinned")
-    (Option.map SE.mode_to_string (SE.mode_of_string "pinned"));
-  Alcotest.(check bool) "unknown mode rejected" true (SE.mode_of_string "spin" = None)
+            (SE.create_with_ring ~ring_capacity:0 ~pool ~shards:2 ~window:8 ~buckets:2
+               ~epsilon:0.1));
+      let eng = SE.create ~pool ~shards:4 ~window:8 ~buckets:2 ~epsilon:0.1 in
+      Alcotest.(check int) "shard count" 4 (SE.shard_count eng);
+      Alcotest.check_raises "key out of range"
+        (Invalid_argument "Shard_engine: key 4 out of range [0, 4)") (fun () ->
+          SE.ingest eng [| (4, 1.0) |]);
+      (* the rejected batch must not have ingested its valid prefix *)
+      Alcotest.(check int) "nothing ingested" 0 (SE.total_points eng);
+      Alcotest.(check int) "shard untouched" 0 (SE.length eng ~key:0))
 
 let test_engine_refresh_all_and_counters () =
-  List.iter
-    (fun mode ->
-      Pool.with_pool ~domains:2 (fun pool ->
-          let eng = SE.create ~mode ~pool ~shards:3 ~window:16 ~buckets:3 ~epsilon:0.2 in
-          let batch =
-            Array.init 60 (fun i -> (i mod 3, Float.of_int ((i * 13) mod 97)))
-          in
-          SE.ingest eng batch;
-          Alcotest.(check int) "points counted" 60 (SE.total_points eng);
-          Alcotest.(check int) "one batch" 1 (SE.batches eng);
-          (* publish the snapshots: [Pinned] lengths read the view, which
-             under the default [Lazy] policy is only published at refresh *)
-          SE.refresh_all eng;
-          Array.iter
-            (fun k ->
-              Alcotest.(check int) (Printf.sprintf "shard %d length" k) 16 (SE.length eng ~key:k))
-            [| 0; 1; 2 |];
-          SE.refresh_all eng;
-          Array.iter
-            (fun k ->
-              Alcotest.(check bool)
-                (Printf.sprintf "shard %d clean" k)
-                false
-                (SE.fold eng ~init:false ~f:(fun acc k' fw ->
-                     if k = k' then FW.needs_refresh fw else acc)))
-            [| 0; 1; 2 |];
-          (* cold refresh is the oracle: answers must not move *)
-          let errs = Array.init 3 (fun k -> SE.current_error eng ~key:k) in
-          SE.refresh_all ~cold:true eng;
-          Array.iteri
-            (fun k e ->
-              Helpers.check_close (Printf.sprintf "cold refresh agrees, shard %d" k) e
-                (SE.current_error eng ~key:k))
-            errs))
-    modes
+  Pool.with_pool ~domains:2 (fun pool ->
+      let eng = SE.create ~pool ~shards:3 ~window:16 ~buckets:3 ~epsilon:0.2 in
+      let batch = Array.init 60 (fun i -> (i mod 3, Float.of_int ((i * 13) mod 97))) in
+      SE.ingest eng batch;
+      Alcotest.(check int) "points counted" 60 (SE.total_points eng);
+      Alcotest.(check int) "one batch" 1 (SE.batches eng);
+      (* publish the snapshots: lengths read the view, which under the
+         default [Lazy] policy is only published at refresh *)
+      SE.refresh_all eng;
+      Array.iter
+        (fun k ->
+          Alcotest.(check int) (Printf.sprintf "shard %d length" k) 16 (SE.length eng ~key:k))
+        [| 0; 1; 2 |];
+      SE.refresh_all eng;
+      Array.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d clean" k)
+            false
+            (SE.fold eng ~init:false ~f:(fun acc k' fw ->
+                 if k = k' then FW.needs_refresh fw else acc)))
+        [| 0; 1; 2 |];
+      (* cold refresh is the oracle: answers must not move *)
+      let errs = Array.init 3 (fun k -> SE.current_error eng ~key:k) in
+      SE.refresh_all ~cold:true eng;
+      Array.iteri
+        (fun k e ->
+          Helpers.check_close (Printf.sprintf "cold refresh agrees, shard %d" k) e
+            (SE.current_error eng ~key:k))
+        errs)
 
 (* ------------------------------------ lock-freedom and backpressure *)
 
-(* The acceptance gate of the lock-free rework: a steady-state Pinned
-   engine performs zero mutex lock/unlock operations per point, across
-   ingest, refresh sweeps and queries — while the Locked engine's
-   engine.lock_ops grows with every batch. *)
+(* The acceptance gate of the lock-free rework, kept as a flat-zero
+   witness now that the Locked comparison mode is retired: the engine
+   performs zero mutex lock/unlock operations over its whole lifetime,
+   across ingest, refresh sweeps and queries. *)
 let test_pinned_zero_lock_ops () =
   List.iter
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
-          let drive mode =
-            let eng = SE.create ~mode ~pool ~shards:4 ~window:32 ~buckets:2 ~epsilon:0.3 in
-            (* warm up past creation so the measurement is steady state *)
-            SE.ingest eng (Array.init 64 (fun i -> (i mod 4, Float.of_int i)));
-            SE.refresh_all eng;
-            let before = SE.lock_ops eng in
-            for b = 1 to 5 do
-              SE.ingest eng (Array.init 64 (fun i -> (i mod 4, Float.of_int (b * i))))
-            done;
-            SE.refresh_all eng;
-            for k = 0 to 3 do
-              ignore (SE.current_error eng ~key:k);
-              ignore (SE.herror eng ~key:k ~k:2 ~x:16)
-            done;
-            ignore
-              (SE.query_many eng
-                 (Array.init 8 (fun i ->
-                      (i mod 4, if i < 4 then SE.Current_error else SE.Herror { k = 2; x = 9 }))));
-            (SE.lock_ops eng - before, SE.query_lock_ops eng)
-          in
-          let pinned_lock, pinned_qlock = drive SE.Pinned in
+          let eng = SE.create ~pool ~shards:4 ~window:32 ~buckets:2 ~epsilon:0.3 in
+          SE.ingest eng (Array.init 64 (fun i -> (i mod 4, Float.of_int i)));
+          SE.refresh_all eng;
+          for b = 1 to 5 do
+            SE.ingest eng (Array.init 64 (fun i -> (i mod 4, Float.of_int (b * i))))
+          done;
+          SE.refresh_all eng;
+          for k = 0 to 3 do
+            ignore (SE.current_error eng ~key:k);
+            ignore (SE.herror eng ~key:k ~k:2 ~x:16)
+          done;
+          ignore
+            (SE.query_many eng
+               (Array.init 8 (fun i ->
+                    ( Qop.Key (i mod 4),
+                      if i < 4 then Qop.Current_error else Qop.Herror { k = 2; x = 9 } ))));
+          ignore (SE.query_global eng Qop.Window_length);
           Alcotest.(check int)
-            (Printf.sprintf "Pinned: zero lock ops in steady state, %d domains" domains)
-            0 pinned_lock;
+            (Printf.sprintf "zero lock ops over the lifetime, %d domains" domains)
+            0 (SE.lock_ops eng);
           (* the wait-freedom witness: snapshot-backed queries never touch
-             a mutex, over the engine's whole lifetime *)
+             a mutex *)
           Alcotest.(check int)
-            (Printf.sprintf "Pinned: zero query lock ops, %d domains" domains)
-            0 pinned_qlock;
-          let locked_lock, locked_qlock = drive SE.Locked in
-          Alcotest.(check bool)
-            (Printf.sprintf "Locked: lock ops grow, %d domains" domains)
-            true (locked_lock > 0);
-          Alcotest.(check bool)
-            (Printf.sprintf "Locked: query lock ops grow, %d domains" domains)
-            true (locked_qlock > 0)))
+            (Printf.sprintf "zero query lock ops, %d domains" domains)
+            0 (SE.query_lock_ops eng)))
     domain_counts
 
 (* Saturate deliberately tiny rings: every point must still land (spilled
@@ -477,8 +452,8 @@ let test_backpressure_no_point_dropped () =
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
           let eng =
-            SE.create_with_ring ~mode:SE.Pinned ~ring_capacity:4 ~pool ~shards:2 ~window:64
-              ~buckets:2 ~epsilon:0.3
+            SE.create_with_ring ~ring_capacity:4 ~pool ~shards:2 ~window:64 ~buckets:2
+              ~epsilon:0.3
           in
           Alcotest.(check int) "tiny ring capacity" 4 (SE.ring_capacity eng);
           (* 90 of 100 points hit shard 0: its capacity-4 ring must spill *)
@@ -526,7 +501,7 @@ let test_work_stealing_sweep_exactly_once () =
     (fun domains ->
       Pool.with_pool ~domains (fun pool ->
           let shards = 8 in
-          let eng = SE.create ~mode:SE.Pinned ~pool ~shards ~window:16 ~buckets:2 ~epsilon:0.3 in
+          let eng = SE.create ~pool ~shards ~window:16 ~buckets:2 ~epsilon:0.3 in
           (* Zipf-ish skew: every shard gets something, shard 0 gets most *)
           let batch =
             Array.init 200 (fun i ->
@@ -552,8 +527,8 @@ let test_work_stealing_sweep_exactly_once () =
 (* The read plane's central claim: a published snapshot answers
    current_error / current_histogram / herror bit-identically (plain
    float / structural equality, no tolerance) to the quiesced live
-   summary it was captured from — across both modes, every domain count,
-   and all refresh policies. *)
+   summary it was captured from — across every domain count and all
+   refresh policies. *)
 let prop_snapshot_equals_quiesced_live =
   Helpers.qcheck_case ~count:15
     ~name:"published view == quiesced live shard (bit-identical)"
@@ -576,52 +551,59 @@ let prop_snapshot_equals_quiesced_live =
       in
       List.for_all
         (fun domains ->
-          List.for_all
-            (fun mode ->
-              Pool.with_pool ~domains (fun pool ->
-                  let eng = SE.create ~mode ~pool ~shards ~window ~buckets ~epsilon:0.15 in
-                  SE.set_refresh_policy eng policy;
-                  List.iter (SE.ingest eng) batches;
-                  SE.refresh_all eng;
-                  let ok = ref true in
-                  let check b = if not b then ok := false in
-                  for key = 0 to shards - 1 do
-                    let v = SE.view eng ~key in
-                    (* quiesced: published == live, generation and watermark *)
-                    check (SE.generation_lag eng ~key = 0);
-                    check (SE.publication_lag eng ~key = 0);
-                    let n = SE.with_key eng ~key ~f:FW.length in
-                    check (FW.View.length v = n);
-                    check (FW.View.buckets v = buckets);
-                    let live_err = SE.with_key eng ~key ~f:FW.current_error in
-                    check (Float.equal (FW.View.current_error v) live_err);
-                    check (Float.equal (SE.current_error eng ~key) live_err);
-                    if n > 0 then begin
-                      let sv = H.to_series (FW.View.current_histogram v) in
-                      check (sv = H.to_series (SE.with_key eng ~key ~f:FW.current_histogram));
-                      check (sv = H.to_series (SE.current_histogram eng ~key));
+          Pool.with_pool ~domains (fun pool ->
+              let eng = SE.create ~pool ~shards ~window ~buckets ~epsilon:0.15 in
+              SE.set_refresh_policy eng policy;
+              List.iter (SE.ingest eng) batches;
+              SE.refresh_all eng;
+              let ok = ref true in
+              let check b = if not b then ok := false in
+              for key = 0 to shards - 1 do
+                let v = SE.view eng ~key in
+                (* quiesced: published == live, generation and watermark *)
+                check (SE.generation_lag eng ~key = 0);
+                check (SE.publication_lag eng ~key = 0);
+                let n = SE.with_key eng ~key ~f:FW.length in
+                check (FW.View.length v = n);
+                check (FW.View.buckets v = buckets);
+                let live_err = SE.with_key eng ~key ~f:FW.current_error in
+                check (Float.equal (FW.View.current_error v) live_err);
+                check (Float.equal (SE.current_error eng ~key) live_err);
+                if n > 0 then begin
+                  let sv = H.to_series (FW.View.current_histogram v) in
+                  check (sv = H.to_series (SE.with_key eng ~key ~f:FW.current_histogram));
+                  check (sv = H.to_series (SE.current_histogram eng ~key));
+                  List.iter
+                    (fun k ->
                       List.iter
-                        (fun k ->
-                          List.iter
-                            (fun x ->
-                              let live =
-                                SE.with_key eng ~key ~f:(fun fw -> FW.herror fw ~k ~x)
-                              in
-                              check (Float.equal (FW.View.herror v ~k ~x) live);
-                              check (Float.equal (SE.herror eng ~key ~k ~x) live))
-                            [ 0; 1; (n + 1) / 2; n ])
-                        [ 1; buckets ]
-                    end
-                  done;
-                  !ok))
-            modes)
+                        (fun x ->
+                          let live =
+                            SE.with_key eng ~key ~f:(fun fw -> FW.herror fw ~k ~x)
+                          in
+                          check (Float.equal (FW.View.herror v ~k ~x) live);
+                          check (Float.equal (SE.herror eng ~key ~k ~x) live))
+                        [ 0; 1; (n + 1) / 2; n ])
+                    [ 1; buckets ]
+                end
+              done;
+              (* the Global scope folds the same published views the per-key
+                 reads above just checked: same association, from 0.0 *)
+              let expect = ref 0.0 in
+              for key = 0 to shards - 1 do
+                expect := !expect +. Float.of_int (SE.length eng ~key)
+              done;
+              check (Float.equal (SE.query_global eng Qop.Window_length) !expect);
+              check
+                (Float.equal
+                   (SE.query_global eng Qop.Window_length)
+                   (SE.query_many eng [| (Qop.Global, Qop.Window_length) |]).(0));
+              !ok))
         domain_counts)
 
 (* Freshness: once any engine call has returned, the published generation
    never lags the live one — every refresh path (drain-triggered Eager /
-   Every-k rebuilds, sweeps, lock-holder refreshes, query-triggered lazy
-   refreshes in Locked) republishes before handing the shard back.  The
-   staleness contract of the .mli, as a property. *)
+   Every-k rebuilds, sweeps) republishes before handing the shard back.
+   The staleness contract of the .mli, as a property. *)
 let prop_view_never_stale =
   Helpers.qcheck_case ~count:15
     ~name:"published generation never lags a completed engine call"
@@ -642,86 +624,78 @@ let prop_view_never_stale =
       in
       List.for_all
         (fun domains ->
-          List.for_all
-            (fun mode ->
-              Pool.with_pool ~domains (fun pool ->
-                  let eng = SE.create ~mode ~pool ~shards ~window ~buckets:3 ~epsilon:0.2 in
-                  SE.set_refresh_policy eng policy;
-                  let fresh () =
-                    let ok = ref true in
-                    for key = 0 to shards - 1 do
-                      if SE.generation_lag eng ~key <> 0 then ok := false
-                    done;
-                    !ok
-                  in
-                  let ok = ref (fresh ()) in
-                  List.iter
-                    (fun b ->
-                      SE.ingest eng b;
-                      if not (fresh ()) then ok := false)
-                    batches;
-                  for key = 0 to shards - 1 do
-                    ignore (SE.current_error eng ~key);
-                    ignore (SE.length eng ~key)
-                  done;
-                  if not (fresh ()) then ok := false;
-                  SE.refresh_all eng;
-                  if not (fresh ()) then ok := false;
-                  (* after a full sweep the snapshot also carries every point *)
-                  for key = 0 to shards - 1 do
-                    if SE.publication_lag eng ~key <> 0 then ok := false
-                  done;
-                  !ok))
-            modes)
+          Pool.with_pool ~domains (fun pool ->
+              let eng = SE.create ~pool ~shards ~window ~buckets:3 ~epsilon:0.2 in
+              SE.set_refresh_policy eng policy;
+              let fresh () =
+                let ok = ref true in
+                for key = 0 to shards - 1 do
+                  if SE.generation_lag eng ~key <> 0 then ok := false
+                done;
+                !ok
+              in
+              let ok = ref (fresh ()) in
+              List.iter
+                (fun b ->
+                  SE.ingest eng b;
+                  if not (fresh ()) then ok := false)
+                batches;
+              for key = 0 to shards - 1 do
+                ignore (SE.current_error eng ~key);
+                ignore (SE.length eng ~key)
+              done;
+              if not (fresh ()) then ok := false;
+              SE.refresh_all eng;
+              if not (fresh ()) then ok := false;
+              (* after a full sweep the snapshot also carries every point *)
+              for key = 0 to shards - 1 do
+                if SE.publication_lag eng ~key <> 0 then ok := false
+              done;
+              !ok))
         domain_counts)
 
 (* Serving-layer clamping of [query_many], against the strict single-query
    entry points; also pins down the query counters. *)
 let test_query_many_clamping () =
-  List.iter
-    (fun mode ->
-      Pool.with_pool ~domains:2 (fun pool ->
-          let eng = SE.create ~mode ~pool ~shards:2 ~window:8 ~buckets:2 ~epsilon:0.3 in
-          SE.ingest eng (Array.init 16 (fun i -> (i mod 2, Float.of_int (i + 1))));
-          SE.refresh_all eng;
-          Alcotest.(check int) "window filled" 8 (SE.length eng ~key:0);
-          let qs =
-            [|
-              (0, SE.Window_length);
-              (0, SE.Current_error);
-              (0, SE.Herror { k = 99; x = 999 });      (* clamps to (buckets, n) *)
-              (0, SE.Herror { k = 0; x = -5 });        (* clamps to (1, 0) -> 0 *)
-              (0, SE.Range_sum { lo = -3; hi = 999 }); (* intersected with [1, n] *)
-              (0, SE.Range_sum { lo = 6; hi = 2 });    (* empty -> 0 *)
-              (0, SE.Point_estimate { index = 0 });    (* out of range -> 0 *)
-              (0, SE.Point_estimate { index = 1 });
-              (1, SE.Window_length);
-            |]
-          in
-          let out = SE.query_many eng qs in
-          let h = SE.current_histogram eng ~key:0 in
-          Alcotest.(check (float 0.0)) "window length" 8.0 out.(0);
-          Alcotest.(check (float 0.0)) "current error == single-query entry"
-            (SE.current_error eng ~key:0) out.(1);
-          Alcotest.(check (float 0.0)) "clamped herror == strict herror at the bounds"
-            (SE.herror eng ~key:0 ~k:2 ~x:8) out.(2);
-          Alcotest.(check (float 0.0)) "herror clamped to x=0 is 0" 0.0 out.(3);
-          Alcotest.(check (float 1e-9)) "full-range sum estimate"
-            (H.range_sum_estimate h ~lo:1 ~hi:8) out.(4);
-          Alcotest.(check (float 0.0)) "inverted range" 0.0 out.(5);
-          Alcotest.(check (float 0.0)) "point out of range" 0.0 out.(6);
-          Alcotest.(check (float 1e-9)) "point estimate" (H.point_estimate h 1) out.(7);
-          Alcotest.(check (float 0.0)) "second shard length" 8.0 out.(8);
-          (* a batched call counts each element once; the three single-query
-             entries used above (histogram, error, herror) add three more *)
-          Alcotest.(check int) "query counter" (9 + 3) (SE.queries eng);
-          (match mode with
-          | SE.Pinned ->
-            Alcotest.(check int) "Pinned: no query lock ops" 0 (SE.query_lock_ops eng)
-          | SE.Locked ->
-            Alcotest.(check bool) "Locked: query lock ops counted" true
-              (SE.query_lock_ops eng > 0))))
-    modes
+  Pool.with_pool ~domains:2 (fun pool ->
+      let eng = SE.create ~pool ~shards:2 ~window:8 ~buckets:2 ~epsilon:0.3 in
+      SE.ingest eng (Array.init 16 (fun i -> (i mod 2, Float.of_int (i + 1))));
+      SE.refresh_all eng;
+      Alcotest.(check int) "window filled" 8 (SE.length eng ~key:0);
+      let key0 = Qop.Key 0 in
+      let qs =
+        [|
+          (key0, Qop.Window_length);
+          (key0, Qop.Current_error);
+          (key0, Qop.Herror { k = 99; x = 999 });      (* clamps to (buckets, n) *)
+          (key0, Qop.Herror { k = 0; x = -5 });        (* clamps to (1, 0) -> 0 *)
+          (key0, Qop.Range_sum { lo = -3; hi = 999 }); (* intersected with [1, n] *)
+          (key0, Qop.Range_sum { lo = 6; hi = 2 });    (* empty -> 0 *)
+          (key0, Qop.Point_estimate { index = 0 });    (* out of range -> 0 *)
+          (key0, Qop.Point_estimate { index = 1 });
+          (Qop.Key 1, Qop.Window_length);
+          (Qop.Global, Qop.Window_length);             (* all-keys fold *)
+        |]
+      in
+      let out = SE.query_many eng qs in
+      let h = SE.current_histogram eng ~key:0 in
+      Alcotest.(check (float 0.0)) "window length" 8.0 out.(0);
+      Alcotest.(check (float 0.0)) "current error == single-query entry"
+        (SE.current_error eng ~key:0) out.(1);
+      Alcotest.(check (float 0.0)) "clamped herror == strict herror at the bounds"
+        (SE.herror eng ~key:0 ~k:2 ~x:8) out.(2);
+      Alcotest.(check (float 0.0)) "herror clamped to x=0 is 0" 0.0 out.(3);
+      Alcotest.(check (float 1e-9)) "full-range sum estimate"
+        (H.range_sum_estimate h ~lo:1 ~hi:8) out.(4);
+      Alcotest.(check (float 0.0)) "inverted range" 0.0 out.(5);
+      Alcotest.(check (float 0.0)) "point out of range" 0.0 out.(6);
+      Alcotest.(check (float 1e-9)) "point estimate" (H.point_estimate h 1) out.(7);
+      Alcotest.(check (float 0.0)) "second shard length" 8.0 out.(8);
+      Alcotest.(check (float 0.0)) "global length sums both shards" 16.0 out.(9);
+      (* a batched call counts each element once; the three single-query
+         entries used above (histogram, error, herror) add three more *)
+      Alcotest.(check int) "query counter" (10 + 3) (SE.queries eng);
+      Alcotest.(check int) "no query lock ops" 0 (SE.query_lock_ops eng))
 
 (* ------------------------------------------- telemetry under parallelism *)
 

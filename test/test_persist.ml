@@ -347,77 +347,78 @@ let engines_equal a b =
 let test_engine_checkpoint_restore () =
   List.iter
     (fun domains ->
-      List.iter
-        (fun mode ->
-          let tag =
-            Printf.sprintf "%d domains, %s" domains (SE.mode_to_string mode)
-          in
-          with_temp_file @@ fun file ->
-          Pool.with_pool ~domains @@ fun pool ->
-          let shards = 5 in
-          let eng =
-            SE.create ~mode ~pool ~shards ~window:24 ~buckets:3 ~epsilon:0.2
-          in
-          SE.set_refresh_policy eng (Params.Every 3);
-          for b = 0 to 5 do
-            SE.ingest eng (mk_batch ~shards ~n:40 b)
-          done;
-          (* quiesce so both sides' read planes agree (see [engines_equal]) *)
-          SE.refresh_all eng;
-          SE.checkpoint eng ~file;
-          let restored = SE.restore_from ~mode ~pool ~file in
-          Alcotest.(check bool)
-            (Printf.sprintf "restored == original, %s" tag)
-            true (engines_equal eng restored);
-          (* checkpoint of the restored engine must be byte-identical *)
-          with_temp_file (fun file2 ->
-              SE.checkpoint restored ~file:file2;
-              Alcotest.(check string)
-                (Printf.sprintf "re-checkpoint bytes identical, %s" tag)
-                (P.read_file file) (P.read_file file2));
-          (* and it must track the original through further ingest *)
-          let more = mk_batch ~shards ~n:60 99 in
-          SE.ingest eng more;
-          SE.ingest restored more;
-          SE.refresh_all eng;
-          SE.refresh_all restored;
-          Alcotest.(check bool)
-            (Printf.sprintf "tracks original after restart, %s" tag)
-            true (engines_equal eng restored))
-        [ SE.Locked; SE.Pinned ])
+      let tag = Printf.sprintf "%d domains" domains in
+      with_temp_file @@ fun file ->
+      Pool.with_pool ~domains @@ fun pool ->
+      let shards = 5 in
+      let eng = SE.create ~pool ~shards ~window:24 ~buckets:3 ~epsilon:0.2 in
+      SE.set_refresh_policy eng (Params.Every 3);
+      for b = 0 to 5 do
+        SE.ingest eng (mk_batch ~shards ~n:40 b)
+      done;
+      (* quiesce so both sides' read planes agree (see [engines_equal]) *)
+      SE.refresh_all eng;
+      SE.checkpoint eng ~file;
+      let restored = SE.restore_from ~pool ~file in
+      Alcotest.(check bool)
+        (Printf.sprintf "restored == original, %s" tag)
+        true (engines_equal eng restored);
+      (* checkpoint of the restored engine must be byte-identical *)
+      with_temp_file (fun file2 ->
+          SE.checkpoint restored ~file:file2;
+          Alcotest.(check string)
+            (Printf.sprintf "re-checkpoint bytes identical, %s" tag)
+            (P.read_file file) (P.read_file file2));
+      (* and it must track the original through further ingest *)
+      let more = mk_batch ~shards ~n:60 99 in
+      SE.ingest eng more;
+      SE.ingest restored more;
+      SE.refresh_all eng;
+      SE.refresh_all restored;
+      Alcotest.(check bool)
+        (Printf.sprintf "tracks original after restart, %s" tag)
+        true (engines_equal eng restored))
     domain_counts
 
-(* the ingest mode is runtime configuration, not persisted state: a
-   checkpoint written by either mode must restore into either *)
-let test_engine_cross_mode_restore () =
+(* the checkpoint byte stream doubles as the aggregation plane's snapshot
+   interchange: in-memory snapshot bytes must be exactly the checkpoint
+   file image, and decode back to the same shard summaries *)
+let test_engine_snapshot_bytes_roundtrip () =
   with_temp_file @@ fun file ->
   Pool.with_pool ~domains:2 @@ fun pool ->
   let shards = 4 in
-  let eng =
-    SE.create ~mode:SE.Pinned ~pool ~shards ~window:16 ~buckets:3 ~epsilon:0.2
-  in
+  let eng = SE.create ~pool ~shards ~window:16 ~buckets:3 ~epsilon:0.2 in
   for b = 0 to 3 do
     SE.ingest eng (mk_batch ~shards ~n:30 b)
   done;
-  (* quiesce so both sides' read planes agree (see [engines_equal]) *)
   SE.refresh_all eng;
   SE.checkpoint eng ~file;
-  let as_locked = SE.restore_from ~mode:SE.Locked ~pool ~file in
-  Alcotest.(check bool) "pinned checkpoint restores as locked" true
-    (engines_equal eng as_locked);
-  with_temp_file @@ fun file2 ->
-  SE.checkpoint as_locked ~file:file2;
-  let back = SE.restore_from ~mode:SE.Pinned ~pool ~file:file2 in
-  Alcotest.(check bool) "locked checkpoint restores as pinned" true
-    (engines_equal eng back);
-  (* both continuations stay in lockstep under further ingest *)
-  let more = mk_batch ~shards ~n:50 7 in
-  SE.ingest as_locked more;
-  SE.ingest back more;
-  SE.refresh_all as_locked;
-  SE.refresh_all back;
-  Alcotest.(check bool) "cross-mode continuations agree" true
-    (engines_equal as_locked back)
+  let bytes = SE.snapshot_bytes eng in
+  Alcotest.(check string) "snapshot bytes == checkpoint file image" (P.read_file file) bytes;
+  let fws = SE.decode_snapshot bytes in
+  Alcotest.(check int) "decoded shard count" shards (Array.length fws);
+  let enc fw =
+    let b = Buffer.create 256 in
+    FW.encode b fw;
+    Buffer.contents b
+  in
+  Array.iteri
+    (fun k fw ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d length" k)
+        (SE.length eng ~key:k) (FW.length fw);
+      Alcotest.(check string)
+        (Printf.sprintf "shard %d re-encodes identically" k)
+        (SE.with_key eng ~key:k ~f:enc) (enc fw))
+    fws;
+  (* mangled interchange bytes are rejected, not mis-decoded *)
+  let mangled = Bytes.of_string bytes in
+  Bytes.set mangled (String.length bytes / 2)
+    (Char.chr ((Char.code (Bytes.get mangled (String.length bytes / 2)) + 1) land 0xff));
+  Alcotest.(check bool) "corrupt snapshot rejected" true
+    (match SE.decode_snapshot (Bytes.to_string mangled) with
+    | _ -> false
+    | exception Sh_persist.Persist.Corrupt _ -> true)
 
 (* -------------------------------------------------- fault-injection matrix *)
 
@@ -431,7 +432,7 @@ let engine_scenario pool =
   (* Pinned: every faulted checkpoint also exercises the ring-quiescence
      path that precedes frame encoding *)
   let eng =
-    SE.create ~mode:SE.Pinned ~pool ~shards ~window:16 ~buckets:3 ~epsilon:0.2
+    SE.create ~pool ~shards ~window:16 ~buckets:3 ~epsilon:0.2
   in
   for b = 0 to 3 do
     SE.ingest eng (mk_batch ~shards ~n:30 b)
@@ -466,14 +467,14 @@ let test_fault_crash_matrix () =
         (Printf.sprintf "crash %d left checkpoint A untouched" i)
         golden (P.read_file file);
       (* ...and still restores to a working engine *)
-      let r = SE.restore_from ~mode:SE.Pinned ~pool ~file in
+      let r = SE.restore_from ~pool ~file in
       Alcotest.(check int) "restored shard count" shards (SE.shard_count r))
     crash_points;
   (* after all that, an unfaulted checkpoint still works *)
   SE.refresh_all eng;
   SE.checkpoint eng ~file;
   Alcotest.(check bool) "clean checkpoint after faults" true
-    (engines_equal eng (SE.restore_from ~mode:SE.Pinned ~pool ~file))
+    (engines_equal eng (SE.restore_from ~pool ~file))
 
 let test_fault_mangling_matrix () =
   Pool.with_pool ~domains:2 @@ fun pool ->
@@ -496,7 +497,7 @@ let test_fault_mangling_matrix () =
         let rej_before = M.value P.c_corrupt_rejections in
         expect_rejected
           (Printf.sprintf "restore of file truncated at %d" k)
-          (fun () -> SE.restore_from ~mode:SE.Pinned ~pool ~file);
+          (fun () -> SE.restore_from ~pool ~file);
         Alcotest.(check bool)
           (Printf.sprintf "rejection counted (truncate %d)" k)
           true
@@ -515,14 +516,14 @@ let test_fault_mangling_matrix () =
         SE.checkpoint eng ~file;
         expect_rejected
           (Printf.sprintf "restore of file with bit %d flipped" i)
-          (fun () -> SE.restore_from ~mode:SE.Pinned ~pool ~file)
+          (fun () -> SE.restore_from ~pool ~file)
       end)
     flips;
   (* recovery: the next clean checkpoint heals the damaged file *)
   SE.refresh_all eng;
   SE.checkpoint eng ~file;
   Alcotest.(check bool) "healed by clean checkpoint" true
-    (engines_equal eng (SE.restore_from ~mode:SE.Pinned ~pool ~file))
+    (engines_equal eng (SE.restore_from ~pool ~file))
 
 let test_fault_save_crash_keeps_old_snapshot () =
   with_temp_file @@ fun file ->
@@ -580,10 +581,10 @@ let () =
         ] );
       ( "shard_engine",
         [
-          Alcotest.test_case "checkpoint/restore at 1,2,4 domains, both modes"
+          Alcotest.test_case "checkpoint/restore at 1,2,4 domains"
             `Quick test_engine_checkpoint_restore;
-          Alcotest.test_case "cross-mode restore" `Quick
-            test_engine_cross_mode_restore;
+          Alcotest.test_case "snapshot bytes interchange" `Quick
+            test_engine_snapshot_bytes_roundtrip;
         ] );
       ( "faults",
         [
